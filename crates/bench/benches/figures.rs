@@ -1,0 +1,32 @@
+//! Criterion benches — one per table/figure of the paper — timing the
+//! regeneration of each artifact from the models. Run with
+//! `cargo bench -p edea-bench --bench figures`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edea_bench::experiments as e;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_artifacts");
+    g.sample_size(20);
+    g.bench_function("table1", |b| b.iter(|| black_box(e::table1())));
+    g.bench_function("table2", |b| b.iter(|| black_box(e::table2())));
+    g.bench_function("fig2a", |b| b.iter(|| black_box(e::fig2a())));
+    g.bench_function("fig2b", |b| b.iter(|| black_box(e::fig2b())));
+    g.bench_function("fig3", |b| b.iter(|| black_box(e::fig3())));
+    g.bench_function("fig7", |b| b.iter(|| black_box(e::fig7())));
+    g.bench_function("fig8", |b| b.iter(|| black_box(e::fig8())));
+    g.bench_function("fig9", |b| b.iter(|| black_box(e::fig9())));
+    g.bench_function("fig10", |b| b.iter(|| black_box(e::fig10())));
+    g.bench_function("fig11", |b| b.iter(|| black_box(e::fig11())));
+    g.bench_function("fig12", |b| b.iter(|| black_box(e::fig12())));
+    g.bench_function("fig13", |b| b.iter(|| black_box(e::fig13())));
+    g.bench_function("table3", |b| b.iter(|| black_box(e::table3())));
+    g.bench_function("ablation", |b| b.iter(|| black_box(e::ablation())));
+    g.bench_function("scale_study", |b| b.iter(|| black_box(e::scale_study())));
+    g.bench_function("portion_study", |b| b.iter(|| black_box(e::portion_study())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches of the simulator itself: how fast the reproduction
+//! simulates the hardware. Run with `cargo bench -p edea-bench --bench
+//! simulator`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edea::core::{pipeline, timing};
+use edea::mobilenet_v1_cifar10;
+use edea::nn::mobilenet::MobileNetV1;
+use edea::nn::quantize::{QuantStrategy, QuantizedDscNetwork};
+use edea::nn::sparsity::SparsityProfile;
+use edea::tensor::rng;
+use edea::{Edea, EdeaConfig};
+use std::hint::black_box;
+
+fn bench_analytic(c: &mut Criterion) {
+    let cfg = EdeaConfig::paper();
+    let layers = mobilenet_v1_cifar10();
+    c.bench_function("analytic_timing_13_layers", |b| {
+        b.iter(|| {
+            for l in &layers {
+                black_box(timing::layer_cycles(l, &cfg));
+            }
+        });
+    });
+    c.bench_function("clocked_pipeline_layer0", |b| {
+        b.iter(|| black_box(pipeline::simulate_layer(&layers[0], &cfg, 0)));
+    });
+    c.bench_function("dse_full_sweep", |b| {
+        b.iter(|| black_box(edea::dse::sweep::full_sweep(&layers)));
+    });
+}
+
+fn bench_functional(c: &mut Criterion) {
+    // Width-0.25 model keeps a single layer in the microsecond-to-
+    // millisecond range.
+    let mut model = MobileNetV1::synthetic(0.25, 1);
+    let calib = rng::synthetic_batch(1, 3, 32, 32, 2);
+    let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
+        &mut model,
+        &calib,
+        &SparsityProfile::paper(),
+        QuantStrategy::paper(),
+    )
+    .expect("calibration");
+    let edea = Edea::new(EdeaConfig::paper());
+    let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
+
+    let mut g = c.benchmark_group("functional_sim");
+    g.sample_size(20);
+    g.bench_function("layer0_width025", |b| {
+        b.iter(|| black_box(edea.run_layer(&qnet.layers()[0], &input).expect("run")));
+    });
+    g.bench_function("network_width025", |b| {
+        b.iter(|| black_box(edea.run_network(&qnet, &input).expect("run")));
+    });
+    g.bench_function("golden_executor_width025", |b| {
+        b.iter(|| black_box(edea::nn::executor::run_network(&qnet, &input)));
+    });
+    g.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deploy_flow");
+    g.sample_size(10);
+    g.bench_function("calibrate_shaped_width025", |b| {
+        b.iter(|| {
+            let mut model = MobileNetV1::synthetic(0.25, 3);
+            let calib = rng::synthetic_batch(1, 3, 32, 32, 4);
+            black_box(
+                QuantizedDscNetwork::calibrate_shaped(
+                    &mut model,
+                    &calib,
+                    &SparsityProfile::paper(),
+                    QuantStrategy::paper(),
+                )
+                .expect("calibration"),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analytic, bench_functional, bench_calibration);
+criterion_main!(benches);

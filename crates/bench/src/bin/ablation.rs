@@ -1,0 +1,6 @@
+//! Regenerates the paper's ablation artifact. Run with:
+//! `cargo run -p edea-bench --bin ablation --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::ablation());
+}

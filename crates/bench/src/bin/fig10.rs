@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10 artifact. Run with:
+//! `cargo run -p edea-bench --bin fig10 --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::fig10());
+}

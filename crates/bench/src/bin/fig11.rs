@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig11 artifact. Run with:
+//! `cargo run -p edea-bench --bin fig11 --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::fig11());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig12 artifact. Run with:
+//! `cargo run -p edea-bench --bin fig12 --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::fig12());
+}

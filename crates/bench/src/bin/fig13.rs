@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig13 artifact. Run with:
+//! `cargo run -p edea-bench --bin fig13 --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::fig13());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig2a artifact. Run with:
+//! `cargo run -p edea-bench --bin fig2a --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::fig2a());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig2b artifact. Run with:
+//! `cargo run -p edea-bench --bin fig2b --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::fig2b());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig3 artifact. Run with:
+//! `cargo run -p edea-bench --bin fig3 --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::fig3());
+}

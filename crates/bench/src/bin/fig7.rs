@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7 artifact. Run with:
+//! `cargo run -p edea-bench --bin fig7 --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::fig7());
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Fig. 8 (layout view): prints the floorplan table
+//! and writes `fig8_layout.svg` (or the path given as the first argument).
+//! Run with: `cargo run -p edea-bench --bin fig8 --release`
+
+fn main() {
+    let (report, svg) = edea_bench::experiments::fig8();
+    print!("{report}");
+    let path = std::env::args().nth(1).unwrap_or_else(|| "fig8_layout.svg".to_owned());
+    match std::fs::write(&path, svg) {
+        Ok(()) => println!("\nSVG written to {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

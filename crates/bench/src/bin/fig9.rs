@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig9 artifact. Run with:
+//! `cargo run -p edea-bench --bin fig9 --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::fig9());
+}

@@ -1,0 +1,6 @@
+//! Extension study beyond the paper's evaluation. Run with:
+//! `cargo run -p edea-bench --bin portion_study --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::portion_study());
+}

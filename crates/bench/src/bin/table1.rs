@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 artifact. Run with:
+//! `cargo run -p edea-bench --bin table1 --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::table1());
+}

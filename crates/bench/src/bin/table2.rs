@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2 artifact. Run with:
+//! `cargo run -p edea-bench --bin table2 --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::table2());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3 artifact. Run with:
+//! `cargo run -p edea-bench --bin table3 --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::table3());
+}

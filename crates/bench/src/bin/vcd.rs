@@ -1,0 +1,26 @@
+//! Dumps the cycle-accurate pipeline trace of a layer as a VCD waveform
+//! (openable in GTKWave) — the reproduction's QuestaSim-equivalent artifact.
+//!
+//! Usage: `cargo run -p edea-bench --bin vcd --release [layer] [out.vcd]`
+
+use edea::core::{pipeline, trace};
+use edea::{mobilenet_v1_cifar10, EdeaConfig};
+
+fn main() {
+    let layer: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0);
+    let path = std::env::args().nth(2).unwrap_or_else(|| format!("edea_layer{layer}.vcd"));
+    let layers = mobilenet_v1_cifar10();
+    assert!(layer < layers.len(), "layer must be 0..13");
+    let cfg = EdeaConfig::paper();
+    let sim = pipeline::simulate_layer(&layers[layer], &cfg, 2_000_000);
+    let vcd = trace::to_vcd(&sim.events, cfg.clock_mhz);
+    match std::fs::write(&path, &vcd) {
+        Ok(()) => println!(
+            "layer {layer}: {} cycles, {} events -> {path} ({} bytes)",
+            sim.total_cycles,
+            sim.events.len(),
+            vcd.len()
+        ),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -1,0 +1,7 @@
+//! Heavyweight cross-check: full-width functional simulation vs the golden
+//! executor and the analytic timing model (takes a few seconds).
+//! Run with: `cargo run -p edea-bench --bin verify_sim --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::verify_sim());
+}

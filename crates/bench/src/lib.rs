@@ -1,0 +1,18 @@
+//! Benchmark harness for the EDEA reproduction.
+//!
+//! One function per table/figure of the paper's evaluation; each returns the
+//! rendered rows/series the paper reports (plus the paper's published values
+//! side by side). The binaries in `src/bin` print them; the Criterion
+//! benches in `benches/` time their regeneration; EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+//!
+//! ```
+//! let out = edea_bench::experiments::fig13();
+//! assert!(out.contains("973.5"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,120 @@
+//! Minimal aligned-text table rendering for the experiment reports.
+
+/// A simple column-aligned table builder.
+///
+/// ```
+/// use edea_bench::report::Table;
+///
+/// let mut t = Table::new(vec!["layer", "GOPS"]);
+/// t.row(vec!["0".into(), "1024.0".into()]);
+/// let s = t.render();
+/// assert!(s.contains("layer"));
+/// assert!(s.contains("1024.0"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<&'static str>) -> Self {
+        Self { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with padded columns and a separator line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        for c in 0..cols {
+            out.push_str(&format!("{:<w$}", self.headers[c], w = widths[c]));
+            out.push_str(if c + 1 == cols { "\n" } else { " | " });
+        }
+        for c in 0..cols {
+            out.push_str(&"-".repeat(widths[c]));
+            out.push_str(if c + 1 == cols { "\n" } else { "-+-" });
+        }
+        for row in &self.rows {
+            for c in 0..cols {
+                out.push_str(&format!("{:<w$}", row[c], w = widths[c]));
+                out.push_str(if c + 1 == cols { "\n" } else { " | " });
+            }
+        }
+        out
+    }
+}
+
+/// Formats a float with the given number of decimals.
+#[must_use]
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long_header"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines are the same width.
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_decimals() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(1.0, 0), "1");
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,475 @@
+//! The functional accelerator simulator.
+//!
+//! [`Edea::run_layer`] executes one quantized DSC layer exactly as the
+//! silicon would: portion by portion, channel pass by channel pass, tile by
+//! tile through the DWC engine, Non-Conv unit, intermediate buffer, PWC
+//! engine and psum SRAM — counting every buffer and external-memory access
+//! on the way. Its outputs are **bit-exact** with `edea-nn`'s golden
+//! executor (checked in tests and again in the integration suite), and its
+//! cycle accounting is cross-checked against the analytic model of
+//! [`crate::timing`].
+
+use edea_nn::quantize::{QuantizedDscLayer, QuantizedDscNetwork};
+use edea_tensor::{Tensor3, Tensor4};
+
+use crate::buffer::BufferSet;
+use crate::config::EdeaConfig;
+use crate::engine::{DwcEngine, EngineActivity, PwcEngine};
+use crate::nonconv::NonConvUnit;
+use crate::schedule::{portions, spatial_tiles};
+use crate::stats::{BufferTraffic, LayerStats, NetworkStats};
+use crate::timing;
+use crate::CoreError;
+
+/// Result of running one layer.
+#[derive(Debug, Clone)]
+pub struct LayerRun {
+    /// The int8 layer output (after the output-side Non-Conv).
+    pub output: Tensor3<i8>,
+    /// The reconstructed intermediate map (PWC input) — never leaves the
+    /// chip in hardware; exposed for verification.
+    pub pwc_input: Tensor3<i8>,
+    /// Execution statistics.
+    pub stats: LayerStats,
+}
+
+/// Result of running a full network.
+#[derive(Debug, Clone)]
+pub struct NetworkRun {
+    /// Final feature map.
+    pub output: Tensor3<i8>,
+    /// Per-layer statistics.
+    pub stats: NetworkStats,
+}
+
+/// The EDEA accelerator.
+#[derive(Debug, Clone)]
+pub struct Edea {
+    cfg: EdeaConfig,
+    dwc: DwcEngine,
+    pwc: PwcEngine,
+    nonconv: NonConvUnit,
+}
+
+impl Edea {
+    /// Builds an accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid; use [`Edea::try_new`] for a fallible
+    /// constructor.
+    #[must_use]
+    pub fn new(cfg: EdeaConfig) -> Self {
+        Self::try_new(cfg).expect("invalid EDEA configuration")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] from [`EdeaConfig::validate`].
+    pub fn try_new(cfg: EdeaConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        let dwc = DwcEngine::new(&cfg);
+        let pwc = PwcEngine::new(&cfg);
+        let nonconv = NonConvUnit::new(&cfg);
+        Ok(Self { cfg, dwc, pwc, nonconv })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EdeaConfig {
+        &self.cfg
+    }
+
+    fn check_layer(&self, layer: &QuantizedDscLayer, input: &Tensor3<i8>) -> Result<(), CoreError> {
+        let s = layer.shape();
+        let t = &self.cfg.tile;
+        if input.shape() != (s.d_in, s.in_spatial, s.in_spatial) {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "layer {} expects input ({}, {}, {}), got {:?}",
+                    s.index, s.d_in, s.in_spatial, s.in_spatial,
+                    input.shape()
+                ),
+            });
+        }
+        if s.d_in % t.td != 0 {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!("d_in {} not a multiple of Td {}", s.d_in, t.td),
+            });
+        }
+        if s.k_out % t.tk != 0 {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!("k_out {} not a multiple of Tk {}", s.k_out, t.tk),
+            });
+        }
+        if s.out_spatial() % t.tn != 0 {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "output size {} not a multiple of Tn {}",
+                    s.out_spatial(),
+                    t.tn
+                ),
+            });
+        }
+        if s.kernel != t.kernel {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!("kernel {} != engine kernel {}", s.kernel, t.kernel),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs one quantized DSC layer.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if the layer does not map onto the
+    /// engine geometry (channels/kernels must be multiples of `Td`/`Tk`,
+    /// output size a multiple of `Tn`); [`CoreError::BufferOverflow`] if a
+    /// buffer capacity would be exceeded.
+    pub fn run_layer(
+        &self,
+        layer: &QuantizedDscLayer,
+        input: &Tensor3<i8>,
+    ) -> Result<LayerRun, CoreError> {
+        self.check_layer(layer, input)?;
+        let s = layer.shape();
+        let t = self.cfg.tile;
+        let (td, tk, tn, tm) = (t.td, t.tk, t.tn, t.tm);
+        let out = s.out_spatial();
+        let pad = s.pad();
+        let padded = input.zero_padded(pad);
+        let channel_passes = s.d_in / td;
+        let kernel_tiles = s.k_out / tk;
+
+        let mut buffers = BufferSet::new(&self.cfg);
+        // Layer-setup transfers (once per layer): all DWC weights, both
+        // Non-Conv parameter sets.
+        let dwc_weight_bytes = s.kernel * s.kernel * s.d_in;
+        buffers.external.read(dwc_weight_bytes);
+        buffers.dwc_weight.fill(dwc_weight_bytes)?;
+        let offline_bytes = 6 * (s.d_in + s.k_out); // 2×24-bit words per channel
+        buffers.external.read(offline_bytes);
+        buffers.offline.fill(offline_bytes)?;
+
+        // Pre-slice weights per channel pass / kernel tile.
+        // Depthwise weights are (D, 1, K, K): the per-pass slice selects Td
+        // *kernels* (one per channel).
+        let dw_slices: Vec<Tensor4<i8>> = (0..channel_passes)
+            .map(|ct| layer.dw_weights().values().kernel_slice(ct * td, td))
+            .collect();
+        let pw_slices: Vec<Vec<Tensor4<i8>>> = (0..channel_passes)
+            .map(|ct| {
+                let chan = layer.pw_weights().values().channel_slice(ct * td, td);
+                (0..kernel_tiles).map(|kt| chan.kernel_slice(kt * tk, tk)).collect()
+            })
+            .collect();
+
+        let mut mid_map = Tensor3::<i8>::zeros(s.d_in, out, out);
+        let mut out_map = Tensor3::<i8>::zeros(s.k_out, out, out);
+        let mut dwc_activity = EngineActivity::default();
+        let mut pwc_activity = EngineActivity::default();
+        let mut nonconv_ops = 0u64;
+        let mut dwc_invocations = 0u64;
+        let mut pwc_invocations = 0u64;
+
+        let tr = (tn - 1) * s.stride + s.kernel;
+        let tc = (tm - 1) * s.stride + s.kernel;
+
+        for portion in portions(out, self.cfg.portion_limit) {
+            // Per-portion psum SRAM residency (write traffic is counted per
+            // PWC invocation below).
+            let psum_bytes = portion.pixels() * s.k_out * 4;
+            buffers.psum.reserve(psum_bytes)?;
+            let mut psum = Tensor3::<i32>::zeros(s.k_out, portion.rows, portion.cols);
+            let tiles = spatial_tiles(&portion, &self.cfg);
+
+            for ct in 0..channel_passes {
+                // Initiation: load the portion's ifmap slice for this
+                // channel window (with halo), the weight slice registers and
+                // the offline parameters.
+                let (_, _, rows, cols) =
+                    portion.input_region(s.stride, s.kernel, pad, s.in_spatial);
+                let slice_bytes = rows * cols * td;
+                buffers.external.read(slice_bytes);
+                buffers.ifmap.fill(slice_bytes)?;
+                buffers.dwc_weight.read(s.kernel * s.kernel * td);
+                buffers.offline.read(6 * td);
+                // PWC weight slice for this channel window × all kernels.
+                let pw_bytes = td * s.k_out;
+                buffers.external.read(pw_bytes);
+                buffers.pwc_weight.fill(pw_bytes)?;
+
+                for st in &tiles {
+                    // DWC: one engine cycle.
+                    let window = Tensor3::from_fn(td, tr, tc, |c, h, w| {
+                        padded[(ct * td + c, st.row0 * s.stride + h, st.col0 * s.stride + w)]
+                    });
+                    buffers.ifmap.read(tr * tc * td);
+                    let dwc_out = self.dwc.compute_tile(&window, &dw_slices[ct], s.stride)?;
+                    dwc_activity.merge(&dwc_out.activity);
+                    dwc_invocations += 1;
+
+                    // Non-Conv: fold to int8 and stream to the intermediate
+                    // buffer (direct data transfer — no external round trip).
+                    let (mid_tile, nc) =
+                        self.nonconv.apply_tile(&dwc_out.acc, &layer.nonconv1()[ct * td..])?;
+                    nonconv_ops += nc.ops;
+                    buffers.intermediate.fill(tn * tm * td)?;
+                    for c in 0..td {
+                        for n in 0..tn {
+                            for m in 0..tm {
+                                mid_map[(ct * td + c, st.row0 + n, st.col0 + m)] =
+                                    mid_tile[(c, n, m)];
+                            }
+                        }
+                    }
+
+                    // PWC: one engine cycle per kernel tile, accumulating
+                    // into the psum SRAM.
+                    for kt in 0..kernel_tiles {
+                        buffers.intermediate.read(tn * tm * td);
+                        buffers.pwc_weight.read(td * tk);
+                        let p = self.pwc.compute_tile(&mid_tile, &pw_slices[ct][kt])?;
+                        pwc_activity.merge(&p.activity);
+                        pwc_invocations += 1;
+                        // Read-modify-write: the first pass writes fresh
+                        // values, later passes read the running sums first.
+                        if ct > 0 {
+                            buffers.psum.read(tk * tn * tm * 4);
+                        }
+                        for k in 0..tk {
+                            for n in 0..tn {
+                                for m in 0..tm {
+                                    psum[(
+                                        kt * tk + k,
+                                        st.row0 - portion.row0 + n,
+                                        st.col0 - portion.col0 + m,
+                                    )] += p.partial[(k, n, m)];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Drain: output-side Non-Conv and external write-back
+            // (overlapped with the next portion in hardware — no cycles).
+            buffers.psum.read(psum_bytes);
+            let (portion_out, nc) = self.nonconv.apply_tile(&psum, layer.nonconv2())?;
+            nonconv_ops += nc.ops;
+            for k in 0..s.k_out {
+                for r in 0..portion.rows {
+                    for c in 0..portion.cols {
+                        out_map[(k, portion.row0 + r, portion.col0 + c)] =
+                            portion_out[(k, r, c)];
+                    }
+                }
+            }
+            buffers.external.write(portion.pixels() * s.k_out);
+            buffers.psum.clear();
+        }
+
+        // psum write traffic: one word per PWC invocation.
+        // (Recorded here in bulk — the loop above tracked reads.)
+        let psum_write_bytes = pwc_invocations * (tk * tn * tm * 4) as u64;
+
+        let breakdown = timing::layer_cycles(&s, &self.cfg);
+        debug_assert_eq!(dwc_invocations, breakdown.dwc_busy, "DWC cycle accounting");
+        debug_assert_eq!(pwc_invocations, breakdown.pwc_busy, "PWC cycle accounting");
+
+        let zero_frac = |t: &Tensor3<i8>| {
+            t.as_slice().iter().filter(|&&v| v == 0).count() as f64 / t.len() as f64
+        };
+        let stats = LayerStats {
+            shape: s,
+            breakdown,
+            cycles: breakdown.total(),
+            dwc_activity,
+            pwc_activity,
+            nonconv_ops,
+            input_zero: zero_frac(input),
+            mid_zero: zero_frac(&mid_map),
+            out_zero: zero_frac(&out_map),
+            external: BufferTraffic {
+                reads: buffers.external.reads,
+                writes: buffers.external.writes,
+            },
+            onchip: BufferTraffic {
+                reads: buffers.onchip_reads(),
+                writes: buffers.onchip_writes() + psum_write_bytes,
+            },
+            intermediate: BufferTraffic {
+                reads: buffers.intermediate.reads(),
+                writes: buffers.intermediate.writes(),
+            },
+            psum: BufferTraffic { reads: buffers.psum.reads(), writes: psum_write_bytes },
+        };
+        Ok(LayerRun { output: out_map, pwc_input: mid_map, stats })
+    }
+
+    /// Runs the whole quantized DSC stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-layer error.
+    pub fn run_network(
+        &self,
+        net: &QuantizedDscNetwork,
+        input: &Tensor3<i8>,
+    ) -> Result<NetworkRun, CoreError> {
+        let mut x = input.clone();
+        let mut layers = Vec::with_capacity(net.layers().len());
+        for layer in net.layers() {
+            let run = self.run_layer(layer, &x)?;
+            x = run.output;
+            layers.push(run.stats);
+        }
+        Ok(NetworkRun { output: x, stats: NetworkStats { layers } })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_nn::executor;
+    use edea_nn::mobilenet::MobileNetV1;
+    use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
+    use edea_nn::sparsity::SparsityProfile;
+    use edea_tensor::rng;
+
+    fn setup() -> (MobileNetV1, QuantizedDscNetwork, Tensor3<i8>) {
+        let mut model = MobileNetV1::synthetic(0.25, 31);
+        let calib = rng::synthetic_batch(2, 3, 32, 32, 32);
+        let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
+            &mut model,
+            &calib,
+            &SparsityProfile::paper(),
+            QuantStrategy::paper(),
+        )
+        .unwrap();
+        let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
+        (model, qnet, input)
+    }
+
+    #[test]
+    fn layer_is_bit_exact_with_golden_executor() {
+        let (_, qnet, input) = setup();
+        let edea = Edea::new(EdeaConfig::paper());
+        let run = edea.run_layer(&qnet.layers()[0], &input).unwrap();
+        let golden = executor::run_layer(&qnet.layers()[0], &input);
+        assert_eq!(run.pwc_input, golden.pwc_input, "intermediate map differs");
+        assert_eq!(run.output, golden.output, "output map differs");
+    }
+
+    #[test]
+    fn network_is_bit_exact_with_golden_executor() {
+        let (_, qnet, input) = setup();
+        let edea = Edea::new(EdeaConfig::paper());
+        let run = edea.run_network(&qnet, &input).unwrap();
+        let golden = executor::run_network(&qnet, &input);
+        assert_eq!(run.output, golden.output);
+        // Zero statistics agree too.
+        for (a, b) in run.stats.layers.iter().zip(&golden.activities) {
+            assert!((a.mid_zero - b.dwc_out_zero).abs() < 1e-12);
+            assert!((a.out_zero - b.pwc_out_zero).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cycle_counts_match_analytic_model() {
+        let (_, qnet, input) = setup();
+        let edea = Edea::new(EdeaConfig::paper());
+        let run = edea.run_network(&qnet, &input).unwrap();
+        for stats in &run.stats.layers {
+            let analytic = timing::layer_cycles(&stats.shape, edea.config());
+            assert_eq!(stats.cycles, analytic.total(), "layer {}", stats.shape.index);
+        }
+    }
+
+    #[test]
+    fn mac_counts_match_workload() {
+        let (_, qnet, input) = setup();
+        let edea = Edea::new(EdeaConfig::paper());
+        let run = edea.run_network(&qnet, &input).unwrap();
+        for stats in &run.stats.layers {
+            assert_eq!(stats.dwc_activity.mac_slots, stats.shape.dwc_macs());
+            assert_eq!(stats.pwc_activity.mac_slots, stats.shape.pwc_macs());
+        }
+    }
+
+    #[test]
+    fn intermediate_traffic_replaces_external_roundtrip() {
+        // The direct transfer: intermediate-buffer writes equal the
+        // intermediate map size × channel passes … and none of it appears
+        // as external traffic beyond input/weights/output.
+        let (_, qnet, input) = setup();
+        let edea = Edea::new(EdeaConfig::paper());
+        let l0 = &qnet.layers()[0];
+        let run = edea.run_layer(l0, &input).unwrap();
+        let s = l0.shape();
+        let inter_elems = s.intermediate_elems();
+        assert_eq!(run.stats.intermediate.writes, inter_elems);
+        // Each intermediate byte is read once per kernel tile:
+        assert_eq!(
+            run.stats.intermediate.reads,
+            inter_elems * (s.k_out / 16) as u64
+        );
+        // External writes are exactly the ofmap (nothing intermediate):
+        assert_eq!(run.stats.external.writes, s.ofmap_elems());
+    }
+
+    #[test]
+    fn rejects_mismatched_input() {
+        let (_, qnet, _) = setup();
+        let edea = Edea::new(EdeaConfig::paper());
+        let bad = Tensor3::<i8>::zeros(3, 32, 32);
+        assert!(matches!(
+            edea.run_layer(&qnet.layers()[0], &bad),
+            Err(CoreError::UnsupportedShape { .. })
+        ));
+    }
+
+    #[test]
+    fn synthetic_stats_match_simulated_traffic() {
+        // The analytic stats constructor must reproduce the simulator's
+        // accounting exactly (cycles, MAC slots, every traffic category).
+        let (_, qnet, input) = setup();
+        let edea = Edea::new(EdeaConfig::paper());
+        let run = edea.run_network(&qnet, &input).unwrap();
+        for stats in &run.stats.layers {
+            let synth = crate::stats::synthetic_layer_stats(
+                &stats.shape,
+                edea.config(),
+                stats.input_zero,
+                stats.mid_zero,
+                stats.out_zero,
+            );
+            assert_eq!(stats.cycles, synth.cycles, "layer {}", stats.shape.index);
+            assert_eq!(stats.external, synth.external, "layer {}", stats.shape.index);
+            assert_eq!(stats.onchip, synth.onchip, "layer {}", stats.shape.index);
+            assert_eq!(stats.intermediate, synth.intermediate, "layer {}", stats.shape.index);
+            assert_eq!(stats.psum, synth.psum, "layer {}", stats.shape.index);
+            assert_eq!(stats.nonconv_ops, synth.nonconv_ops, "layer {}", stats.shape.index);
+            assert_eq!(
+                stats.dwc_activity.mac_slots, synth.dwc_activity.mac_slots,
+                "layer {}",
+                stats.shape.index
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_is_full_when_engines_fire() {
+        // "100% PE utilization": every DWC invocation uses all 288 slots,
+        // every PWC invocation all 512.
+        let (_, qnet, input) = setup();
+        let edea = Edea::new(EdeaConfig::paper());
+        let run = edea.run_layer(&qnet.layers()[0], &input).unwrap();
+        let b = &run.stats.breakdown;
+        assert_eq!(run.stats.dwc_activity.mac_slots, b.dwc_busy * 288);
+        assert_eq!(run.stats.pwc_activity.mac_slots, b.pwc_busy * 512);
+    }
+}

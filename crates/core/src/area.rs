@@ -1,0 +1,232 @@
+//! Area model (paper Fig. 8 dimensions, Fig. 9 left pie, Table III).
+//!
+//! Two parameterizations:
+//!
+//! * [`AreaBreakdown::paper`] — component areas transcribed from the die
+//!   (825.032 µm × 699.52 µm = 0.577 mm²) and the Fig. 9 percentages; used
+//!   when reproducing the paper's figures.
+//! * [`UnitAreas`] + [`AreaBreakdown::from_unit_areas`] — first-principles
+//!   areas per MAC / per byte, for scaling studies (e.g. "what if `Tk`
+//!   doubles?"), calibrated so the paper configuration lands on the paper
+//!   breakdown.
+
+use crate::config::EdeaConfig;
+use crate::paperdata;
+
+/// Component areas in µm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// PWC engine.
+    pub pwc_um2: f64,
+    /// DWC engine.
+    pub dwc_um2: f64,
+    /// Non-Conv units.
+    pub nonconv_um2: f64,
+    /// SRAM buffers (ifmap, weights, offline, psum).
+    pub buffers_um2: f64,
+    /// Intermediate buffer.
+    pub intermediate_um2: f64,
+    /// Control and everything else.
+    pub control_um2: f64,
+}
+
+impl AreaBreakdown {
+    /// The paper's silicon breakdown: Fig. 9 percentages applied to the
+    /// Fig. 8 die (0.577 mm²).
+    #[must_use]
+    pub fn paper() -> Self {
+        let die = paperdata::DIE_WIDTH_UM * paperdata::DIE_HEIGHT_UM;
+        Self {
+            pwc_um2: die * paperdata::area_pct::PWC / 100.0,
+            dwc_um2: die * paperdata::area_pct::DWC / 100.0,
+            nonconv_um2: die * paperdata::area_pct::NONCONV / 100.0,
+            buffers_um2: die * paperdata::area_pct::BUFFERS / 100.0,
+            intermediate_um2: die * paperdata::area_pct::INTERMEDIATE / 100.0,
+            control_um2: die * paperdata::area_pct::CONTROL / 100.0,
+        }
+    }
+
+    /// Derives the breakdown from unit areas and a configuration.
+    #[must_use]
+    pub fn from_unit_areas(cfg: &EdeaConfig, unit: &UnitAreas) -> Self {
+        let sram_bytes = cfg.ifmap_buf_bytes
+            + cfg.dwc_weight_buf_bytes
+            + cfg.offline_buf_bytes
+            + cfg.pwc_weight_buf_bytes
+            + cfg.psum_buf_bytes;
+        Self {
+            pwc_um2: cfg.pwc_macs() as f64 * unit.mac_pwc_um2,
+            dwc_um2: cfg.dwc_macs() as f64 * unit.mac_dwc_um2,
+            nonconv_um2: cfg.tile.td as f64 * unit.nonconv_lane_um2,
+            buffers_um2: sram_bytes as f64 * unit.sram_um2_byte,
+            intermediate_um2: cfg.intermediate_buf_bytes as f64 * unit.rf_um2_byte,
+            control_um2: unit.control_um2,
+        }
+    }
+
+    /// Total area in µm².
+    #[must_use]
+    pub fn total_um2(&self) -> f64 {
+        self.pwc_um2
+            + self.dwc_um2
+            + self.nonconv_um2
+            + self.buffers_um2
+            + self.intermediate_um2
+            + self.control_um2
+    }
+
+    /// Total area in mm².
+    #[must_use]
+    pub fn total_mm2(&self) -> f64 {
+        self.total_um2() / 1e6
+    }
+
+    /// Component shares as `(label, percent)` pairs, in Fig. 9 order.
+    #[must_use]
+    pub fn shares(&self) -> Vec<(&'static str, f64)> {
+        let t = self.total_um2();
+        vec![
+            ("pwc", 100.0 * self.pwc_um2 / t),
+            ("dwc", 100.0 * self.dwc_um2 / t),
+            ("nonconv", 100.0 * self.nonconv_um2 / t),
+            ("buffers", 100.0 * self.buffers_um2 / t),
+            ("intermediate", 100.0 * self.intermediate_um2 / t),
+            ("control", 100.0 * self.control_um2 / t),
+        ]
+    }
+
+    /// PWC-to-DWC area ratio (paper: ≈1.7×, tracking the 1.78× PE ratio).
+    #[must_use]
+    pub fn pwc_to_dwc_ratio(&self) -> f64 {
+        self.pwc_um2 / self.dwc_um2
+    }
+
+    /// Area efficiency in GOPS/mm² for a given throughput.
+    #[must_use]
+    pub fn area_efficiency(&self, gops: f64) -> f64 {
+        gops / self.total_mm2()
+    }
+}
+
+/// First-principles unit areas (µm²), 22 nm-calibrated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitAreas {
+    /// Per DWC MAC (multiplier + adder-tree share + pipeline registers).
+    pub mac_dwc_um2: f64,
+    /// Per PWC MAC.
+    pub mac_pwc_um2: f64,
+    /// Per Non-Conv lane (24×20-bit multiplier, adder, round/clip).
+    pub nonconv_lane_um2: f64,
+    /// Per SRAM byte (array + periphery).
+    pub sram_um2_byte: f64,
+    /// Per register-file byte.
+    pub rf_um2_byte: f64,
+    /// Fixed control overhead.
+    pub control_um2: f64,
+}
+
+impl UnitAreas {
+    /// Calibrated so that [`EdeaConfig::paper`] reproduces the paper's
+    /// component areas.
+    #[must_use]
+    pub fn calibrated_22nm() -> Self {
+        let paper = AreaBreakdown::paper();
+        let cfg = EdeaConfig::paper();
+        let sram_bytes = (cfg.ifmap_buf_bytes
+            + cfg.dwc_weight_buf_bytes
+            + cfg.offline_buf_bytes
+            + cfg.pwc_weight_buf_bytes
+            + cfg.psum_buf_bytes) as f64;
+        Self {
+            mac_dwc_um2: paper.dwc_um2 / cfg.dwc_macs() as f64,
+            mac_pwc_um2: paper.pwc_um2 / cfg.pwc_macs() as f64,
+            nonconv_lane_um2: paper.nonconv_um2 / cfg.tile.td as f64,
+            sram_um2_byte: paper.buffers_um2 / sram_bytes,
+            rf_um2_byte: paper.intermediate_um2 / cfg.intermediate_buf_bytes as f64,
+            control_um2: paper.control_um2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_total_matches_die() {
+        let a = AreaBreakdown::paper();
+        assert!((a.total_mm2() - 0.577).abs() < 0.001, "{}", a.total_mm2());
+        // The paper rounds to 0.58 mm².
+        assert!((a.total_mm2() - paperdata::headline::AREA_MM2).abs() < 0.005);
+    }
+
+    #[test]
+    fn paper_shares_match_fig9() {
+        let a = AreaBreakdown::paper();
+        let shares = a.shares();
+        let want = [
+            ("pwc", 47.90),
+            ("dwc", 28.37),
+            ("nonconv", 14.87),
+            ("buffers", 5.38),
+            ("intermediate", 2.48),
+            ("control", 1.00),
+        ];
+        for ((name, got), (wname, wval)) in shares.iter().zip(want) {
+            assert_eq!(*name, wname);
+            assert!((got - wval).abs() < 0.01, "{name}: {got} vs {wval}");
+        }
+    }
+
+    #[test]
+    fn pwc_to_dwc_ratio_matches_paper() {
+        // "The area ratio of PWC to DWC is approximately 1.7X."
+        let a = AreaBreakdown::paper();
+        assert!((a.pwc_to_dwc_ratio() - 1.69).abs() < 0.02, "{}", a.pwc_to_dwc_ratio());
+    }
+
+    #[test]
+    fn area_efficiency_matches_table3() {
+        // 973.55 GOPS / 0.58 mm² = 1678.53 GOPS/mm².
+        let ae = paperdata::headline::PEAK_EE_GOPS / paperdata::headline::AREA_MM2;
+        assert!((ae - paperdata::headline::AREA_EFF_GOPS_MM2).abs() < 1.0);
+        let a = AreaBreakdown::paper();
+        let got = a.area_efficiency(paperdata::headline::PEAK_EE_GOPS);
+        assert!((got - 1687.0).abs() < 5.0, "{got} (paper rounds area up to 0.58)");
+    }
+
+    #[test]
+    fn calibrated_unit_areas_round_trip() {
+        let unit = UnitAreas::calibrated_22nm();
+        let derived = AreaBreakdown::from_unit_areas(&EdeaConfig::paper(), &unit);
+        let paper = AreaBreakdown::paper();
+        assert!((derived.total_um2() - paper.total_um2()).abs() < 1.0);
+        assert!((derived.pwc_um2 - paper.pwc_um2).abs() < 1.0);
+        assert!((derived.buffers_um2 - paper.buffers_um2).abs() < 1.0);
+    }
+
+    #[test]
+    fn scaling_pe_arrays_scales_area_linearly() {
+        // Doubling Tk doubles the PWC array and grows the die accordingly —
+        // the "friendly to scaling" claim, area side.
+        let unit = UnitAreas::calibrated_22nm();
+        let mut cfg = EdeaConfig::paper();
+        cfg.tile = edea_dse::TileConfig::new(2, 2, 8, 32, 3);
+        cfg.intermediate_buf_bytes = 128;
+        let scaled = AreaBreakdown::from_unit_areas(&cfg, &unit);
+        let base = AreaBreakdown::from_unit_areas(&EdeaConfig::paper(), &unit);
+        assert!((scaled.pwc_um2 / base.pwc_um2 - 2.0).abs() < 1e-9);
+        assert_eq!(scaled.dwc_um2, base.dwc_um2);
+    }
+
+    #[test]
+    fn unit_areas_are_physically_plausible() {
+        let unit = UnitAreas::calibrated_22nm();
+        // An int8 MAC in 22 nm is a few hundred µm²; SRAM well under 1 µm²/b
+        // would be implausible, above 5 µm²/B generous. These bounds catch
+        // transcription errors rather than assert precision.
+        assert!(unit.mac_dwc_um2 > 100.0 && unit.mac_dwc_um2 < 1000.0, "{unit:?}");
+        assert!(unit.mac_pwc_um2 > 100.0 && unit.mac_pwc_um2 < 1000.0, "{unit:?}");
+        assert!(unit.sram_um2_byte > 0.05 && unit.sram_um2_byte < 5.0, "{unit:?}");
+    }
+}

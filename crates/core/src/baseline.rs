@@ -1,0 +1,134 @@
+//! Baseline architectures for the ablation study.
+//!
+//! The paper motivates two design decisions that these baselines isolate:
+//!
+//! * **Parallel dual engines** (vs. running the same two engines serially,
+//!   DWC phase then PWC phase — the paper's ref \[6\] organization): the
+//!   overlap hides all DWC compute under the PWC and shares one initiation,
+//!   reducing latency.
+//! * **Direct data transfer** through the intermediate buffer (vs. writing
+//!   the DWC output to external memory and reading it back — what a
+//!   non-streaming engine must do): eliminates `2·N·M·D` external accesses
+//!   per layer (Fig. 3).
+//!
+//! [`serial_dual`] models both penalties together (ref \[6\]-style);
+//! [`roundtrip_external_traffic`] isolates the traffic penalty for energy
+//! comparisons.
+
+use edea_nn::workload::LayerShape;
+
+use crate::config::EdeaConfig;
+use crate::timing;
+
+/// Cycle/traffic summary of a baseline execution of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineLayer {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Extra external traffic versus EDEA, in bytes.
+    pub extra_external_bytes: u64,
+}
+
+/// Serial dual-engine baseline: the same DWC and PWC arrays, but the PWC
+/// phase only starts after the whole DWC phase of a portion-pass finished,
+/// and the intermediate map round-trips external memory.
+///
+/// Per portion-pass: DWC phase `9 + S` cycles (one tile per cycle after its
+/// own initiation), then PWC phase `9 + S·Kt` cycles.
+#[must_use]
+pub fn serial_dual(shape: &LayerShape, cfg: &EdeaConfig) -> BaselineLayer {
+    let b = timing::layer_cycles(shape, cfg);
+    // Each portion-pass pays both initiations and the un-hidden DWC compute.
+    let passes = b.portions * b.channel_passes;
+    let cycles = 2 * cfg.init_cycles * passes + b.dwc_busy + b.pwc_busy;
+    BaselineLayer { cycles, extra_external_bytes: roundtrip_external_traffic(shape) }
+}
+
+/// The external-traffic penalty of dropping the intermediate buffer: the
+/// DWC output is written out and read back once per kernel-tile pass
+/// (the `La` dataflow re-reads the PWC input `⌈K/Tk⌉` times — from external
+/// memory, without the on-chip buffer).
+#[must_use]
+pub fn roundtrip_external_traffic(shape: &LayerShape) -> u64 {
+    let inter = shape.intermediate_elems();
+    let kernel_tiles = shape.k_out.div_ceil(16) as u64;
+    inter + inter * kernel_tiles
+}
+
+/// The paper's Fig. 3 variant of the same quantity: counting each crossing
+/// once (write + read), the activation-access reduction EDEA achieves.
+#[must_use]
+pub fn fig3_roundtrip_traffic(shape: &LayerShape) -> u64 {
+    2 * shape.intermediate_elems()
+}
+
+/// Relative latency of EDEA vs. the serial-dual baseline for one layer
+/// (`< 1`: EDEA faster).
+#[must_use]
+pub fn parallel_speed_ratio(shape: &LayerShape, cfg: &EdeaConfig) -> f64 {
+    let edea = timing::layer_cycles(shape, cfg).total();
+    let serial = serial_dual(shape, cfg).cycles;
+    edea as f64 / serial as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_nn::workload::mobilenet_v1_cifar10;
+
+    fn cfg() -> EdeaConfig {
+        EdeaConfig::paper()
+    }
+
+    #[test]
+    fn serial_is_always_slower() {
+        for l in mobilenet_v1_cifar10() {
+            let edea = timing::layer_cycles(&l, &cfg()).total();
+            let serial = serial_dual(&l, &cfg()).cycles;
+            assert!(serial > edea, "layer {}", l.index);
+        }
+    }
+
+    #[test]
+    fn overlap_gain_is_roughly_one_over_kt_plus_init() {
+        // For layer 6 (S=4, Kt=32, 64 passes): serial adds 9 + S = 13 cycles
+        // per pass over EDEA's 137 → ratio ≈ 137/150.
+        let l6 = mobilenet_v1_cifar10()[6];
+        let ratio = parallel_speed_ratio(&l6, &cfg());
+        assert!((ratio - 137.0 / 150.0).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn network_level_speedup_band() {
+        // Across the network the parallel overlap buys a modest but real
+        // latency reduction (the headline EDEA wins are energy/streaming).
+        let layers = mobilenet_v1_cifar10();
+        let edea: u64 = layers.iter().map(|l| timing::layer_cycles(l, &cfg()).total()).sum();
+        let serial: u64 = layers.iter().map(|l| serial_dual(l, &cfg()).cycles).sum();
+        let speedup = serial as f64 / edea as f64;
+        assert!(speedup > 1.05 && speedup < 1.30, "speedup {speedup}");
+    }
+
+    #[test]
+    fn roundtrip_traffic_dominated_by_rereads() {
+        // Layer 12: 4096-element intermediate × (1 write + 64 re-reads).
+        let l12 = mobilenet_v1_cifar10()[12];
+        assert_eq!(roundtrip_external_traffic(&l12), 4096 * 65);
+        assert_eq!(fig3_roundtrip_traffic(&l12), 8192);
+    }
+
+    #[test]
+    fn fig3_traffic_sums_to_paper_scale() {
+        // Σ 2·N·M·D over the network = 315 392 eliminated accesses (the
+        // Fig. 3 delta between baseline and direct transfer).
+        let total: u64 = mobilenet_v1_cifar10().iter().map(fig3_roundtrip_traffic).sum();
+        assert_eq!(total, 2 * 157_696);
+    }
+
+    #[test]
+    fn serial_extra_traffic_positive_everywhere() {
+        for l in mobilenet_v1_cifar10() {
+            assert!(serial_dual(&l, &cfg()).extra_external_bytes > 0);
+        }
+    }
+}

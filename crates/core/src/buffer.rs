@@ -1,0 +1,281 @@
+//! On-chip buffers and the external-memory interface, with access counting.
+//!
+//! Fig. 4's buffer set: DWC ifmap buffer, DWC weight buffer, offline
+//! (Non-Conv parameter) buffer, intermediate buffer, PWC weight buffer —
+//! plus the psum SRAM the portion-wise PWC accumulation requires (not
+//! detailed in the paper; see DESIGN.md). Every transfer in the functional
+//! simulator goes through these objects so the energy model and the
+//! DSE cross-checks read real counts, not estimates.
+
+use crate::CoreError;
+
+/// A capacity-checked buffer that counts bytes read/written and tracks the
+/// peak occupancy a schedule actually required.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackedBuffer {
+    name: &'static str,
+    capacity: usize,
+    reads: u64,
+    writes: u64,
+    occupancy: usize,
+    peak: usize,
+}
+
+impl TrackedBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        Self { name, capacity, reads: 0, writes: 0, occupancy: 0, peak: 0 }
+    }
+
+    /// Buffer name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Configured capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes read so far.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Peak occupancy observed.
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Records a read of `bytes`.
+    pub fn read(&mut self, bytes: usize) {
+        self.reads += bytes as u64;
+    }
+
+    /// Declares the live contents to be `bytes` (e.g. after loading a tile),
+    /// checking capacity, and counts the fill as writes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BufferOverflow`] if `bytes` exceeds the capacity.
+    pub fn fill(&mut self, bytes: usize) -> Result<(), CoreError> {
+        if bytes > self.capacity {
+            return Err(CoreError::BufferOverflow {
+                buffer: self.name,
+                required: bytes,
+                capacity: self.capacity,
+            });
+        }
+        self.writes += bytes as u64;
+        self.occupancy = bytes;
+        self.peak = self.peak.max(bytes);
+        Ok(())
+    }
+
+    /// Declares `bytes` of live contents *without* counting write traffic —
+    /// used to capacity-check a residency whose fill traffic is accounted
+    /// separately (e.g. psum write-backs counted per engine invocation).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BufferOverflow`] if `bytes` exceeds the capacity.
+    pub fn reserve(&mut self, bytes: usize) -> Result<(), CoreError> {
+        if bytes > self.capacity {
+            return Err(CoreError::BufferOverflow {
+                buffer: self.name,
+                required: bytes,
+                capacity: self.capacity,
+            });
+        }
+        self.occupancy = bytes;
+        self.peak = self.peak.max(bytes);
+        Ok(())
+    }
+
+    /// Records a write of `bytes` on top of the current occupancy.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BufferOverflow`] if the occupancy would exceed capacity.
+    pub fn append(&mut self, bytes: usize) -> Result<(), CoreError> {
+        let new = self.occupancy + bytes;
+        if new > self.capacity {
+            return Err(CoreError::BufferOverflow {
+                buffer: self.name,
+                required: new,
+                capacity: self.capacity,
+            });
+        }
+        self.writes += bytes as u64;
+        self.occupancy = new;
+        self.peak = self.peak.max(new);
+        Ok(())
+    }
+
+    /// Empties the buffer (occupancy only; counters persist).
+    pub fn clear(&mut self) {
+        self.occupancy = 0;
+    }
+}
+
+/// External (off-chip) memory interface counters, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExternalMemory {
+    /// Bytes read from external memory.
+    pub reads: u64,
+    /// Bytes written to external memory.
+    pub writes: u64,
+}
+
+impl ExternalMemory {
+    /// Records a read.
+    pub fn read(&mut self, bytes: usize) {
+        self.reads += bytes as u64;
+    }
+
+    /// Records a write.
+    pub fn write(&mut self, bytes: usize) {
+        self.writes += bytes as u64;
+    }
+
+    /// Total traffic.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// The complete buffer set of Fig. 4 (plus the psum SRAM).
+#[derive(Debug, Clone)]
+pub struct BufferSet {
+    /// DWC ifmap buffer.
+    pub ifmap: TrackedBuffer,
+    /// DWC weight buffer.
+    pub dwc_weight: TrackedBuffer,
+    /// Offline buffer (Non-Conv `k`, `b` parameters).
+    pub offline: TrackedBuffer,
+    /// Intermediate buffer (direct DWC→PWC transfer).
+    pub intermediate: TrackedBuffer,
+    /// PWC weight buffer.
+    pub pwc_weight: TrackedBuffer,
+    /// PWC partial-sum SRAM.
+    pub psum: TrackedBuffer,
+    /// External memory interface.
+    pub external: ExternalMemory,
+}
+
+impl BufferSet {
+    /// Builds the buffer set from an [`crate::EdeaConfig`].
+    #[must_use]
+    pub fn new(cfg: &crate::EdeaConfig) -> Self {
+        Self {
+            ifmap: TrackedBuffer::new("dwc_ifmap", cfg.ifmap_buf_bytes),
+            dwc_weight: TrackedBuffer::new("dwc_weight", cfg.dwc_weight_buf_bytes),
+            offline: TrackedBuffer::new("offline", cfg.offline_buf_bytes),
+            intermediate: TrackedBuffer::new("intermediate", cfg.intermediate_buf_bytes),
+            pwc_weight: TrackedBuffer::new("pwc_weight", cfg.pwc_weight_buf_bytes),
+            psum: TrackedBuffer::new("psum", cfg.psum_buf_bytes),
+            external: ExternalMemory::default(),
+        }
+    }
+
+    /// Total on-chip SRAM bytes read.
+    #[must_use]
+    pub fn onchip_reads(&self) -> u64 {
+        self.ifmap.reads()
+            + self.dwc_weight.reads()
+            + self.offline.reads()
+            + self.intermediate.reads()
+            + self.pwc_weight.reads()
+            + self.psum.reads()
+    }
+
+    /// Total on-chip SRAM bytes written.
+    #[must_use]
+    pub fn onchip_writes(&self) -> u64 {
+        self.ifmap.writes()
+            + self.dwc_weight.writes()
+            + self.offline.writes()
+            + self.intermediate.writes()
+            + self.pwc_weight.writes()
+            + self.psum.writes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdeaConfig;
+
+    #[test]
+    fn fill_checks_capacity() {
+        let mut b = TrackedBuffer::new("test", 100);
+        b.fill(100).unwrap();
+        assert_eq!(b.peak(), 100);
+        let err = b.fill(101).unwrap_err();
+        assert!(matches!(err, CoreError::BufferOverflow { buffer: "test", .. }));
+    }
+
+    #[test]
+    fn append_accumulates_and_overflows() {
+        let mut b = TrackedBuffer::new("test", 10);
+        b.append(6).unwrap();
+        b.append(4).unwrap();
+        assert!(b.append(1).is_err());
+        b.clear();
+        b.append(10).unwrap();
+        assert_eq!(b.writes(), 20);
+        assert_eq!(b.peak(), 10);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut b = TrackedBuffer::new("test", 1000);
+        b.read(10);
+        b.read(20);
+        b.fill(500).unwrap();
+        assert_eq!(b.reads(), 30);
+        assert_eq!(b.writes(), 500);
+    }
+
+    #[test]
+    fn external_memory_totals() {
+        let mut e = ExternalMemory::default();
+        e.read(100);
+        e.write(50);
+        assert_eq!(e.total(), 150);
+    }
+
+    #[test]
+    fn buffer_set_aggregates() {
+        let mut set = BufferSet::new(&EdeaConfig::paper());
+        set.ifmap.read(5);
+        set.psum.fill(7).unwrap();
+        assert_eq!(set.onchip_reads(), 5);
+        assert_eq!(set.onchip_writes(), 7);
+    }
+
+    #[test]
+    fn paper_capacities_hold_worst_layers() {
+        let set = BufferSet::new(&EdeaConfig::paper());
+        // Layer-3 psums: 8×8 portion × 256 kernels × 4 B.
+        assert!(set.psum.capacity() >= 8 * 8 * 256 * 4);
+        // Deepest DWC weights: 3·3·1024.
+        assert!(set.dwc_weight.capacity() >= 9 * 1024);
+        // Widest PWC weight slice: 8 × 1024, double-buffered.
+        assert!(set.pwc_weight.capacity() >= 2 * 8 * 1024);
+        // Stride-2 portion window: 17×17×8, double-buffered.
+        assert!(set.ifmap.capacity() >= 2 * 17 * 17 * 8);
+    }
+}

@@ -1,0 +1,270 @@
+//! State-of-the-art comparison (paper Table III).
+//!
+//! The published numbers of the four comparison designs, this work's
+//! numbers (from the models in this crate), and the normalization to
+//! 22 nm / 0.8 V / 8 bit. For each competitor both the paper's normalized
+//! values and the values from our scaling rule are carried, so the bench
+//! prints paper-vs-measured side by side.
+
+use crate::paperdata;
+use crate::scaling::{scale_area_efficiency, scale_energy_efficiency, OperatingPoint};
+
+/// One Table III column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SotaEntry {
+    /// Short citation label.
+    pub name: &'static str,
+    /// Venue/year as printed in Table III.
+    pub venue: &'static str,
+    /// Operating point.
+    pub point: OperatingPoint,
+    /// PE count.
+    pub pe_count: u64,
+    /// Benchmark network.
+    pub benchmark: &'static str,
+    /// Convolution types accelerated.
+    pub conv_type: &'static str,
+    /// Power in mW.
+    pub power_mw: f64,
+    /// Clock in MHz.
+    pub freq_mhz: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Throughput in GOPS (8-bit-normalized where the paper does so).
+    pub throughput_gops: f64,
+    /// Energy efficiency in TOPS/W (8-bit-normalized).
+    pub energy_eff: f64,
+    /// Area efficiency in GOPS/mm² (8-bit-normalized).
+    pub area_eff: f64,
+    /// Paper's normalized energy efficiency (22 nm / 0.8 V).
+    pub paper_norm_ee: f64,
+    /// Paper's normalized area efficiency.
+    pub paper_norm_ae: f64,
+}
+
+impl SotaEntry {
+    /// Our normalization of the energy efficiency (already
+    /// precision-normalized inputs, so only tech/voltage scale).
+    #[must_use]
+    pub fn our_norm_ee(&self) -> f64 {
+        let mut from = self.point;
+        from.precision_bits = 8; // energy_eff is stored 8-bit-normalized
+        scale_energy_efficiency(self.energy_eff, &from, &OperatingPoint::edea())
+    }
+
+    /// Our normalization of the area efficiency.
+    #[must_use]
+    pub fn our_norm_ae(&self) -> f64 {
+        let mut from = self.point;
+        from.precision_bits = 8;
+        scale_area_efficiency(self.area_eff, &from, &OperatingPoint::edea())
+    }
+}
+
+/// The four comparison designs of Table III (with \[4\]'s two engines as
+/// separate rows, as the paper prints them).
+#[must_use]
+pub fn sota_entries() -> Vec<SotaEntry> {
+    vec![
+        SotaEntry {
+            name: "[16]",
+            venue: "ISVLSI'19",
+            point: OperatingPoint { tech_nm: 65.0, voltage: 1.08, precision_bits: 8 },
+            pe_count: 256,
+            benchmark: "MobileNetV1",
+            conv_type: "DWC+PWC",
+            power_mw: 55.4,
+            freq_mhz: 100.0,
+            area_mm2: 3.24,
+            throughput_gops: 51.2,
+            energy_eff: 0.92,
+            area_eff: 15.8,
+            paper_norm_ee: 7.73,
+            paper_norm_ae: 266.86,
+        },
+        SotaEntry {
+            name: "[17]",
+            venue: "ICCE-TW'21",
+            point: OperatingPoint { tech_nm: 40.0, voltage: 0.9, precision_bits: 16 },
+            pe_count: 128,
+            benchmark: "MobileNetV1",
+            conv_type: "DWC+PWC",
+            power_mw: 112.5,
+            freq_mhz: 200.0,
+            area_mm2: 2.168,
+            // 8-bit-normalized values (paper: 38.8 GOPS → 155.2 with ‡).
+            throughput_gops: 155.2,
+            energy_eff: 1.36,
+            area_eff: 71.6,
+            paper_norm_ee: 4.32,
+            paper_norm_ae: 290.12,
+        },
+        SotaEntry {
+            name: "[18]",
+            venue: "TCASI'24",
+            point: OperatingPoint { tech_nm: 28.0, voltage: 0.9, precision_bits: 8 },
+            pe_count: 288,
+            benchmark: "DTN",
+            conv_type: "SC+DSC",
+            power_mw: 43.6,
+            freq_mhz: 200.0,
+            area_mm2: 1.485,
+            throughput_gops: 215.6,
+            energy_eff: 4.94,
+            area_eff: 145.28,
+            paper_norm_ee: 9.9,
+            paper_norm_ae: 255.0,
+        },
+        SotaEntry {
+            name: "[4] DWC",
+            venue: "VLSI-SoC'23",
+            point: OperatingPoint { tech_nm: 22.0, voltage: 0.8, precision_bits: 8 },
+            pe_count: 72,
+            benchmark: "MobileNetV1",
+            conv_type: "DWC",
+            power_mw: 25.6,
+            freq_mhz: 1000.0,
+            area_mm2: 0.25,
+            throughput_gops: 129.8,
+            energy_eff: 5.07,
+            area_eff: 519.2,
+            paper_norm_ee: 5.07,
+            paper_norm_ae: 519.2,
+        },
+        SotaEntry {
+            name: "[4] PWC",
+            venue: "VLSI-SoC'23",
+            point: OperatingPoint { tech_nm: 22.0, voltage: 0.8, precision_bits: 8 },
+            pe_count: 72,
+            benchmark: "MobileNetV1",
+            conv_type: "PWC",
+            power_mw: 29.16,
+            freq_mhz: 1000.0,
+            area_mm2: 0.25,
+            throughput_gops: 115.38,
+            energy_eff: 3.96,
+            area_eff: 461.52,
+            paper_norm_ee: 3.96,
+            paper_norm_ae: 461.52,
+        },
+    ]
+}
+
+/// This work's Table III column, computed from the given measured values
+/// (peak-efficiency point).
+#[must_use]
+pub fn this_work(power_mw: f64, throughput_gops: f64, area_mm2: f64) -> SotaEntry {
+    let energy_eff = throughput_gops / power_mw; // GOPS/mW = TOPS/W
+    SotaEntry {
+        name: "This Work",
+        venue: "SOCC'24",
+        point: OperatingPoint::edea(),
+        pe_count: 800,
+        benchmark: "MobileNetV1",
+        conv_type: "DWC+PWC",
+        power_mw,
+        freq_mhz: 1000.0,
+        area_mm2,
+        throughput_gops,
+        energy_eff,
+        area_eff: throughput_gops / area_mm2,
+        paper_norm_ee: paperdata::headline::PEAK_TOPS_W,
+        paper_norm_ae: paperdata::headline::AREA_EFF_GOPS_MM2,
+    }
+}
+
+/// Speedup factors of this work over each competitor (normalized EE),
+/// as quoted in the paper's Sec. IV-C.
+#[must_use]
+pub fn ee_advantages(ours: &SotaEntry, entries: &[SotaEntry]) -> Vec<(&'static str, f64)> {
+    entries.iter().map(|e| (e.name, ours.energy_eff / e.our_norm_ee())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_competitor_rows() {
+        assert_eq!(sota_entries().len(), 5);
+    }
+
+    #[test]
+    fn this_work_matches_paper_headline() {
+        let w = this_work(72.5, 973.55, 0.58);
+        assert!((w.energy_eff - 13.43).abs() < 0.01);
+        assert!((w.area_eff - 1678.53).abs() < 0.5);
+        assert_eq!(w.pe_count, 800);
+    }
+
+    #[test]
+    fn pre_scaling_advantages_match_paper() {
+        // "our work surpasses [16], [17], [18], [4] by 14.6X, 9.87X, 2.72X,
+        // 2.65X in energy efficiency" (before technology scaling).
+        let entries = sota_entries();
+        let ours = this_work(72.5, 973.55, 0.58);
+        let want = [14.6, 9.87, 2.72, 2.65];
+        for (e, w) in entries.iter().zip(want) {
+            let adv = ours.energy_eff / e.energy_eff;
+            assert!((adv - w).abs() / w < 0.02, "{}: {adv} vs {w}", e.name);
+        }
+    }
+
+    #[test]
+    fn post_scaling_this_work_still_wins() {
+        // "Post-scaling … our study maintains its advantage" — against both
+        // the paper's normalized numbers and ours.
+        let entries = sota_entries();
+        let ours = this_work(72.5, 973.55, 0.58);
+        for e in &entries {
+            assert!(ours.energy_eff > e.paper_norm_ee, "{} paper-norm", e.name);
+            assert!(ours.energy_eff > e.our_norm_ee(), "{} our-norm", e.name);
+            assert!(ours.area_eff > e.paper_norm_ae, "{} paper-norm ae", e.name);
+            assert!(ours.area_eff > e.our_norm_ae(), "{} our-norm ae", e.name);
+        }
+    }
+
+    #[test]
+    fn paper_post_scaling_factors_reproduced() {
+        // "outperforming them by 1.74X, 3.11X, 1.37X, 2.65X in energy
+        // efficiency" against the paper's normalized values.
+        let entries = sota_entries();
+        let ours = this_work(72.5, 973.55, 0.58);
+        let want = [1.74, 3.11, 1.37, 2.65];
+        for (e, w) in entries.iter().zip(want) {
+            let adv = ours.energy_eff / e.paper_norm_ee;
+            assert!((adv - w).abs() / w < 0.02, "{}: {adv} vs {w}", e.name);
+        }
+    }
+
+    #[test]
+    fn our_normalization_close_to_papers() {
+        // The paper does not print its exact scaling rule; our
+        // tech^1.5·V² (EE) / tech²·V² (AE) reproduces its normalized
+        // numbers to ≈12 % / 20 %.
+        for e in sota_entries() {
+            let err = (e.our_norm_ee() - e.paper_norm_ee).abs() / e.paper_norm_ee;
+            assert!(err < 0.12, "{}: our {} vs paper {}", e.name, e.our_norm_ee(), e.paper_norm_ee);
+            let err_ae = (e.our_norm_ae() - e.paper_norm_ae).abs() / e.paper_norm_ae;
+            assert!(err_ae < 0.20, "{}: ae our {} vs paper {}", e.name, e.our_norm_ae(), e.paper_norm_ae);
+        }
+    }
+
+    #[test]
+    fn area_efficiency_advantage_factors() {
+        // "and by 6.29X, 7.79X, 6.58X, 3.23X in area efficiency" (paper
+        // normalized values; [4] factor quoted against its DWC row).
+        // Note: the [16]/[18]/[4] factors follow exactly from Table III's
+        // normalized AEs (1678.53/266.86 = 6.29, /255 = 6.58, /519.2 =
+        // 3.23), but the quoted 7.79× for [17] is inconsistent with its own
+        // table value (1678.53/290.12 = 5.79) — we flag the discrepancy and
+        // verify the self-consistent value.
+        let entries = sota_entries();
+        let ours = this_work(72.5, 973.55, 0.58);
+        let want = [6.29, 5.79, 6.58, 3.23];
+        for (e, w) in entries.iter().zip(want) {
+            let adv = ours.area_eff / e.paper_norm_ae;
+            assert!((adv - w).abs() / w < 0.03, "{}: {adv} vs {w}", e.name);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Architecture configuration.
+
+use edea_dse::TileConfig;
+
+use crate::CoreError;
+
+/// Complete parameterization of the EDEA accelerator.
+///
+/// [`EdeaConfig::paper`] is the silicon configuration of the paper
+/// (Sec. III/IV); every experiment uses it. The fields are public and
+/// validated by [`EdeaConfig::validate`] so that scaling studies (the paper:
+/// "PE arrays are friendly to scaling") can explore variants.
+///
+/// # Example
+///
+/// ```
+/// use edea_core::EdeaConfig;
+///
+/// let cfg = EdeaConfig::paper();
+/// assert_eq!(cfg.dwc_macs(), 288);
+/// assert_eq!(cfg.pwc_macs(), 512);
+/// assert_eq!(cfg.pe_count(), 800);
+/// assert_eq!(cfg.peak_gops(), 1600.0); // 800 MACs × 2 ops × 1 GHz
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdeaConfig {
+    /// Tiling (Tn, Tm, Td, Tk, kernel) — Case 6 / La of the DSE.
+    pub tile: TileConfig,
+    /// Pipeline initiation cycles per portion-pass (Fig. 7: 9).
+    pub init_cycles: u64,
+    /// Maximum portion edge in *ofmap pixels* (8 → portions of ≤ 8×8
+    /// outputs; reverse-engineered from Eq. 2 + Fig. 13, see DESIGN.md).
+    pub portion_limit: usize,
+    /// Clock frequency in MHz (1000 = the paper's 1 GHz TT corner).
+    pub clock_mhz: u64,
+    /// Supply voltage in volts (0.8 V).
+    pub voltage: f64,
+    /// Technology node in nanometres (22 nm FDSOI).
+    pub tech_nm: f64,
+    /// DWC ifmap buffer capacity in bytes.
+    pub ifmap_buf_bytes: usize,
+    /// DWC weight buffer capacity in bytes.
+    pub dwc_weight_buf_bytes: usize,
+    /// Offline (Non-Conv parameter) buffer capacity in bytes.
+    pub offline_buf_bytes: usize,
+    /// Intermediate (DWC→PWC) buffer capacity in bytes.
+    pub intermediate_buf_bytes: usize,
+    /// PWC weight buffer capacity in bytes.
+    pub pwc_weight_buf_bytes: usize,
+    /// PWC partial-sum SRAM capacity in bytes.
+    pub psum_buf_bytes: usize,
+}
+
+impl EdeaConfig {
+    /// The paper's silicon configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            tile: TileConfig::edea(),
+            init_cycles: 9,
+            portion_limit: 8,
+            clock_mhz: 1000,
+            voltage: 0.8,
+            tech_nm: 22.0,
+            // Largest portion input region: 17×17×8 (stride 2) ≈ 2.3 KiB;
+            // double-buffered.
+            ifmap_buf_bytes: 8 * 1024,
+            // All DWC weights of the deepest layer: 3·3·1024 = 9 KiB.
+            dwc_weight_buf_bytes: 10 * 1024,
+            // k and b, 24 bit each, for both boundaries of the deepest
+            // layer: 6·(1024 + 1024) = 12 KiB.
+            offline_buf_bytes: 16 * 1024,
+            // One 2×2×8 tile, double-buffered.
+            intermediate_buf_bytes: 64,
+            // One channel slice × all kernels of the widest layer:
+            // 8 × 1024 = 8 KiB, double-buffered.
+            pwc_weight_buf_bytes: 16 * 1024,
+            // Worst portion psums: 8×8 outputs × 256 kernels × 4 B (layer 3).
+            psum_buf_bytes: 64 * 1024,
+        }
+    }
+
+    /// MACs in the DWC engine (`Td·H·W·Tn·Tm` = 288).
+    #[must_use]
+    pub fn dwc_macs(&self) -> u64 {
+        edea_dse::pe_array::dwc_macs(&self.tile)
+    }
+
+    /// MACs in the PWC engine (`Td·Tk·Tn·Tm` = 512).
+    #[must_use]
+    pub fn pwc_macs(&self) -> u64 {
+        edea_dse::pe_array::pwc_macs(&self.tile)
+    }
+
+    /// Total PE count (Table III: 800).
+    #[must_use]
+    pub fn pe_count(&self) -> u64 {
+        self.dwc_macs() + self.pwc_macs()
+    }
+
+    /// Theoretical peak throughput in GOPS (2 ops per MAC per cycle).
+    #[must_use]
+    pub fn peak_gops(&self) -> f64 {
+        2.0 * self.pe_count() as f64 * self.clock_mhz as f64 / 1000.0
+    }
+
+    /// Clock period in nanoseconds.
+    #[must_use]
+    pub fn period_ns(&self) -> f64 {
+        1000.0 / self.clock_mhz as f64
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] describing the first violation.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.tile.tn == 0 || self.tile.tm == 0 || self.tile.td == 0 || self.tile.tk == 0 {
+            return Err(CoreError::InvalidConfig { detail: "tile dims must be non-zero".into() });
+        }
+        if self.portion_limit < self.tile.tn || self.portion_limit < self.tile.tm {
+            return Err(CoreError::InvalidConfig {
+                detail: "portion limit must cover at least one spatial tile".into(),
+            });
+        }
+        if self.portion_limit % self.tile.tn != 0 || self.portion_limit % self.tile.tm != 0 {
+            return Err(CoreError::InvalidConfig {
+                detail: "portion limit must be a multiple of the spatial tile".into(),
+            });
+        }
+        if self.clock_mhz == 0 {
+            return Err(CoreError::InvalidConfig { detail: "clock must be non-zero".into() });
+        }
+        if !(self.voltage > 0.0 && self.tech_nm > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                detail: "voltage and technology must be positive".into(),
+            });
+        }
+        let min_inter = 2 * self.tile.tn * self.tile.tm * self.tile.td;
+        if self.intermediate_buf_bytes < min_inter {
+            return Err(CoreError::InvalidConfig {
+                detail: format!(
+                    "intermediate buffer must hold a double-buffered tile ({min_inter} bytes)"
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for EdeaConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_validates() {
+        EdeaConfig::paper().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_pe_counts_match_table3() {
+        let c = EdeaConfig::paper();
+        assert_eq!(c.pe_count(), 800);
+        assert_eq!(c.dwc_macs(), 288);
+        assert_eq!(c.pwc_macs(), 512);
+    }
+
+    #[test]
+    fn peak_gops_is_1600() {
+        assert_eq!(EdeaConfig::paper().peak_gops(), 1600.0);
+        assert_eq!(EdeaConfig::paper().period_ns(), 1.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = EdeaConfig::paper();
+        c.portion_limit = 3; // not a multiple of Tn=2
+        assert!(c.validate().is_err());
+        let mut c = EdeaConfig::paper();
+        c.clock_mhz = 0;
+        assert!(c.validate().is_err());
+        let mut c = EdeaConfig::paper();
+        c.intermediate_buf_bytes = 16; // less than double-buffered tile
+        assert!(c.validate().is_err());
+        let mut c = EdeaConfig::paper();
+        c.voltage = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(EdeaConfig::default(), EdeaConfig::paper());
+    }
+
+    #[test]
+    fn scaled_config_validates() {
+        // "In DWC, the number of channels can be scaled, while in PWC, both
+        // the number of channels and kernels can be scaled."
+        let mut c = EdeaConfig::paper();
+        c.tile = edea_dse::TileConfig::new(2, 2, 16, 32, 3);
+        c.intermediate_buf_bytes = 256; // 2× the doubled 2×2×16 tile
+        c.validate().unwrap();
+        assert_eq!(c.dwc_macs(), 576);
+        assert_eq!(c.pwc_macs(), 2048);
+    }
+}

@@ -1,0 +1,199 @@
+//! The depthwise convolution engine (paper Fig. 5a).
+//!
+//! "The DWC engine consists of a fully parallel PE array capable of
+//! simultaneously computing 8 channels of ifmap, resulting in a total of
+//! 288 MAC operations. Each column of PE performs 3×3 MACs using an adder
+//! tree and produces the output of DWC. … The DWC engine utilizes an ifmap
+//! of size 4×4×8 (5×5×8 when stride is 2) and a tiled kernel of size 3×3×8,
+//! and generates an ofmap of size 2×2×8."
+//!
+//! One invocation of [`DwcEngine::compute_tile`] models one engine cycle:
+//! all `Td` channel PEs fire in parallel, each computing its `Tn×Tm` output
+//! windows through 9-input adder trees.
+
+use edea_tensor::{Tensor3, Tensor4};
+
+use crate::config::EdeaConfig;
+use crate::engine::EngineActivity;
+use crate::CoreError;
+
+/// Output of one DWC engine cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DwcTileOutput {
+    /// Accumulators, shape `(Td, Tn, Tm)` — int8×int8 sums over 3×3 taps
+    /// (19-bit worst case, carried in `i32`).
+    pub acc: Tensor3<i32>,
+    /// Multiplier activity for the power model.
+    pub activity: EngineActivity,
+}
+
+/// The DWC PE array.
+#[derive(Debug, Clone)]
+pub struct DwcEngine {
+    td: usize,
+    tn: usize,
+    tm: usize,
+    kernel: usize,
+}
+
+impl DwcEngine {
+    /// Builds the engine from the architecture configuration.
+    #[must_use]
+    pub fn new(cfg: &EdeaConfig) -> Self {
+        Self { td: cfg.tile.td, tn: cfg.tile.tn, tm: cfg.tile.tm, kernel: cfg.tile.kernel }
+    }
+
+    /// MAC slots exercised per invocation (288 for the paper config).
+    #[must_use]
+    pub fn macs_per_cycle(&self) -> u64 {
+        (self.td * self.kernel * self.kernel * self.tn * self.tm) as u64
+    }
+
+    /// Computes one tile: `ifmap` is the `(Td, Tr, Tc)` input window
+    /// (`Tr = (Tn−1)·stride + kernel`), `weights` the `(Td, 1, K, K)` kernel
+    /// slice.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if tile shapes do not match the
+    /// engine geometry.
+    pub fn compute_tile(
+        &self,
+        ifmap: &Tensor3<i8>,
+        weights: &Tensor4<i8>,
+        stride: usize,
+    ) -> Result<DwcTileOutput, CoreError> {
+        let tr = (self.tn - 1) * stride + self.kernel;
+        let tc = (self.tm - 1) * stride + self.kernel;
+        if ifmap.shape() != (self.td, tr, tc) {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "DWC ifmap tile {:?}, engine expects ({}, {tr}, {tc}) at stride {stride}",
+                    ifmap.shape(),
+                    self.td
+                ),
+            });
+        }
+        if weights.shape() != (self.td, 1, self.kernel, self.kernel) {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "DWC weight tile {:?}, engine expects ({}, 1, {}, {})",
+                    weights.shape(),
+                    self.td,
+                    self.kernel,
+                    self.kernel
+                ),
+            });
+        }
+        let mut acc = Tensor3::<i32>::zeros(self.td, self.tn, self.tm);
+        let mut activity = EngineActivity::default();
+        for c in 0..self.td {
+            for on in 0..self.tn {
+                for om in 0..self.tm {
+                    // One 9-input adder tree: integer addition is
+                    // associative, so a linear fold is bit-exact with the
+                    // tree the RTL instantiates.
+                    let mut sum = 0i32;
+                    for kh in 0..self.kernel {
+                        for kw in 0..self.kernel {
+                            let a = ifmap[(c, on * stride + kh, om * stride + kw)];
+                            let w = weights[(c, 0, kh, kw)];
+                            sum += i32::from(a) * i32::from(w);
+                            activity.mac_slots += 1;
+                            if a == 0 {
+                                activity.zero_act_slots += 1;
+                            }
+                            if w == 0 {
+                                activity.zero_weight_slots += 1;
+                            }
+                        }
+                    }
+                    acc[(c, on, om)] = sum;
+                }
+            }
+        }
+        debug_assert_eq!(activity.mac_slots, self.macs_per_cycle());
+        Ok(DwcTileOutput { acc, activity })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_tensor::conv::depthwise_conv2d_i8;
+    use edea_tensor::rng;
+
+    fn engine() -> DwcEngine {
+        DwcEngine::new(&EdeaConfig::paper())
+    }
+
+    #[test]
+    fn macs_per_cycle_is_288() {
+        assert_eq!(engine().macs_per_cycle(), 288);
+    }
+
+    #[test]
+    fn matches_reference_conv_stride1() {
+        // A 4×4×8 window against the golden depthwise conv (valid padding).
+        let ifmap = rng::uniform_i8_tensor3(8, 4, 4, -128, 127, 1);
+        let weights = rng::uniform_i8_tensor4(8, 1, 3, 3, -128, 127, 2);
+        let out = engine().compute_tile(&ifmap, &weights, 1).unwrap();
+        let reference = depthwise_conv2d_i8(&ifmap, &weights, 1, 0);
+        assert_eq!(out.acc, reference);
+    }
+
+    #[test]
+    fn matches_reference_conv_stride2() {
+        // Fig. 5a: a 5×5×8 window at stride 2 still yields 2×2×8 outputs.
+        let ifmap = rng::uniform_i8_tensor3(8, 5, 5, -128, 127, 3);
+        let weights = rng::uniform_i8_tensor4(8, 1, 3, 3, -128, 127, 4);
+        let out = engine().compute_tile(&ifmap, &weights, 2).unwrap();
+        let reference = depthwise_conv2d_i8(&ifmap, &weights, 2, 0);
+        assert_eq!(out.acc.shape(), (8, 2, 2));
+        assert_eq!(out.acc, reference);
+    }
+
+    #[test]
+    fn counts_zero_operands() {
+        let mut ifmap = rng::uniform_i8_tensor3(8, 4, 4, 1, 127, 5); // no zeros
+        let weights = rng::uniform_i8_tensor4(8, 1, 3, 3, 1, 127, 6); // no zeros
+        let out = engine().compute_tile(&ifmap, &weights, 1).unwrap();
+        assert_eq!(out.activity.zero_act_slots, 0);
+        assert_eq!(out.activity.zero_weight_slots, 0);
+        // Zero one input pixel: it participates in windows covering it.
+        ifmap[(0, 1, 1)] = 0;
+        let out = engine().compute_tile(&ifmap, &weights, 1).unwrap();
+        // Pixel (1,1) is covered by all four 3×3 windows at stride 1.
+        assert_eq!(out.activity.zero_act_slots, 4);
+    }
+
+    #[test]
+    fn worst_case_accumulator_fits_19_bits() {
+        let ifmap = rng::uniform_i8_tensor3(8, 4, 4, -128, -128, 7);
+        let weights = rng::uniform_i8_tensor4(8, 1, 3, 3, -128, -128, 8);
+        let out = engine().compute_tile(&ifmap, &weights, 1).unwrap();
+        for &v in out.acc.as_slice() {
+            assert_eq!(v, 9 * 128 * 128);
+            assert!(edea_fixed::sat::fits_in_bits(i64::from(v), 19));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_tile_shapes() {
+        let weights = rng::uniform_i8_tensor4(8, 1, 3, 3, -1, 1, 9);
+        let bad_ifmap = rng::uniform_i8_tensor3(8, 4, 4, -1, 1, 10);
+        // 4×4 window is invalid at stride 2 (needs 5×5).
+        assert!(engine().compute_tile(&bad_ifmap, &weights, 2).is_err());
+        let bad_channels = rng::uniform_i8_tensor3(4, 4, 4, -1, 1, 11);
+        assert!(engine().compute_tile(&bad_channels, &weights, 1).is_err());
+    }
+
+    #[test]
+    fn full_parallelism_every_cycle() {
+        // 100 % PE utilization: every invocation exercises all 288 slots.
+        let ifmap = rng::uniform_i8_tensor3(8, 4, 4, -128, 127, 12);
+        let weights = rng::uniform_i8_tensor4(8, 1, 3, 3, -128, 127, 13);
+        let out = engine().compute_tile(&ifmap, &weights, 1).unwrap();
+        assert_eq!(out.activity.mac_slots, 288);
+    }
+}

@@ -1,0 +1,67 @@
+//! The two convolution engines (paper Fig. 5).
+//!
+//! Both engines are *bit-exact* datapath models: given the same int8 tiles
+//! the RTL would see, they produce the accumulator values the adder trees
+//! would produce, plus the activity statistics (zero-operand counts) the
+//! power model consumes.
+
+mod dwc;
+mod pwc;
+
+pub use dwc::{DwcEngine, DwcTileOutput};
+pub use pwc::{PwcEngine, PwcTileOutput};
+
+/// Activity statistics of one engine invocation.
+///
+/// `mac_slots` counts every multiplier slot exercised (the engines always
+/// run fully parallel — 100 % PE utilization); `zero_act_slots` counts slots
+/// whose activation operand was zero, which clock-gate their multiplier in
+/// the silicon and therefore consume almost no dynamic energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineActivity {
+    /// Multiplier slots exercised.
+    pub mac_slots: u64,
+    /// Slots with a zero activation operand (gated).
+    pub zero_act_slots: u64,
+    /// Slots with a zero weight operand.
+    pub zero_weight_slots: u64,
+}
+
+impl EngineActivity {
+    /// Merges another activity record into this one.
+    pub fn merge(&mut self, other: &EngineActivity) {
+        self.mac_slots += other.mac_slots;
+        self.zero_act_slots += other.zero_act_slots;
+        self.zero_weight_slots += other.zero_weight_slots;
+    }
+
+    /// Fraction of slots gated by zero activations.
+    #[must_use]
+    pub fn gating_fraction(&self) -> f64 {
+        if self.mac_slots == 0 {
+            return 0.0;
+        }
+        self.zero_act_slots as f64 / self.mac_slots as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EngineActivity { mac_slots: 10, zero_act_slots: 3, zero_weight_slots: 1 };
+        a.merge(&EngineActivity { mac_slots: 5, zero_act_slots: 2, zero_weight_slots: 0 });
+        assert_eq!(a.mac_slots, 15);
+        assert_eq!(a.zero_act_slots, 5);
+        assert_eq!(a.zero_weight_slots, 1);
+    }
+
+    #[test]
+    fn gating_fraction_handles_empty() {
+        assert_eq!(EngineActivity::default().gating_fraction(), 0.0);
+        let a = EngineActivity { mac_slots: 4, zero_act_slots: 1, zero_weight_slots: 0 };
+        assert_eq!(a.gating_fraction(), 0.25);
+    }
+}

@@ -1,0 +1,196 @@
+//! The pointwise convolution engine (paper Fig. 5b).
+//!
+//! "The PWC engine incorporates a total of 512 MAC operations. It operates
+//! on an ifmap with dimensions 2×2×8 and a tiled kernel of size 1×1×8×16,
+//! producing an ofmap with dimensions 2×2×16."
+//!
+//! One invocation models one engine cycle: 64 dot-product lanes
+//! (`Tn·Tm·Tk`), each 8 deep (`Td`), summed by 8-input adder trees. The
+//! returned values are *partial sums over one channel slice*; accumulation
+//! across the `⌈D/Td⌉` passes happens in the psum SRAM
+//! (see [`crate::accelerator`]).
+
+use edea_tensor::{Tensor3, Tensor4};
+
+use crate::config::EdeaConfig;
+use crate::engine::EngineActivity;
+use crate::CoreError;
+
+/// Output of one PWC engine cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PwcTileOutput {
+    /// Partial sums for one channel slice, shape `(Tk, Tn, Tm)`.
+    pub partial: Tensor3<i32>,
+    /// Multiplier activity for the power model.
+    pub activity: EngineActivity,
+}
+
+/// The PWC PE array.
+#[derive(Debug, Clone)]
+pub struct PwcEngine {
+    td: usize,
+    tk: usize,
+    tn: usize,
+    tm: usize,
+}
+
+impl PwcEngine {
+    /// Builds the engine from the architecture configuration.
+    #[must_use]
+    pub fn new(cfg: &EdeaConfig) -> Self {
+        Self { td: cfg.tile.td, tk: cfg.tile.tk, tn: cfg.tile.tn, tm: cfg.tile.tm }
+    }
+
+    /// MAC slots exercised per invocation (512 for the paper config).
+    #[must_use]
+    pub fn macs_per_cycle(&self) -> u64 {
+        (self.td * self.tk * self.tn * self.tm) as u64
+    }
+
+    /// Computes one tile: `ifmap` is the `(Td, Tn, Tm)` intermediate tile
+    /// from the Non-Conv unit, `weights` the `(Tk, Td, 1, 1)` kernel tile.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if tile shapes do not match the
+    /// engine geometry.
+    pub fn compute_tile(
+        &self,
+        ifmap: &Tensor3<i8>,
+        weights: &Tensor4<i8>,
+    ) -> Result<PwcTileOutput, CoreError> {
+        if ifmap.shape() != (self.td, self.tn, self.tm) {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "PWC ifmap tile {:?}, engine expects ({}, {}, {})",
+                    ifmap.shape(),
+                    self.td,
+                    self.tn,
+                    self.tm
+                ),
+            });
+        }
+        if weights.shape() != (self.tk, self.td, 1, 1) {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "PWC weight tile {:?}, engine expects ({}, {}, 1, 1)",
+                    weights.shape(),
+                    self.tk,
+                    self.td
+                ),
+            });
+        }
+        let mut partial = Tensor3::<i32>::zeros(self.tk, self.tn, self.tm);
+        let mut activity = EngineActivity::default();
+        for k in 0..self.tk {
+            for on in 0..self.tn {
+                for om in 0..self.tm {
+                    // One 8-input adder tree over the channel slice.
+                    let mut sum = 0i32;
+                    for c in 0..self.td {
+                        let a = ifmap[(c, on, om)];
+                        let w = weights[(k, c, 0, 0)];
+                        sum += i32::from(a) * i32::from(w);
+                        activity.mac_slots += 1;
+                        if a == 0 {
+                            activity.zero_act_slots += 1;
+                        }
+                        if w == 0 {
+                            activity.zero_weight_slots += 1;
+                        }
+                    }
+                    partial[(k, on, om)] = sum;
+                }
+            }
+        }
+        debug_assert_eq!(activity.mac_slots, self.macs_per_cycle());
+        Ok(PwcTileOutput { partial, activity })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_tensor::conv::pointwise_conv2d_i8;
+    use edea_tensor::rng;
+
+    fn engine() -> PwcEngine {
+        PwcEngine::new(&EdeaConfig::paper())
+    }
+
+    #[test]
+    fn macs_per_cycle_is_512() {
+        assert_eq!(engine().macs_per_cycle(), 512);
+    }
+
+    #[test]
+    fn matches_reference_pointwise_conv() {
+        let ifmap = rng::uniform_i8_tensor3(8, 2, 2, -128, 127, 1);
+        let weights = rng::uniform_i8_tensor4(16, 8, 1, 1, -128, 127, 2);
+        let out = engine().compute_tile(&ifmap, &weights).unwrap();
+        assert_eq!(out.partial, pointwise_conv2d_i8(&ifmap, &weights));
+        assert_eq!(out.partial.shape(), (16, 2, 2));
+    }
+
+    #[test]
+    fn slice_accumulation_equals_full_depth_conv() {
+        // Two channel slices accumulated externally must equal a single
+        // 16-channel pointwise conv — the psum-SRAM contract.
+        let full = rng::uniform_i8_tensor3(16, 2, 2, -128, 127, 3);
+        let weights = rng::uniform_i8_tensor4(16, 16, 1, 1, -128, 127, 4);
+        let lo = full.channel_slice(0, 8);
+        let hi = full.channel_slice(8, 8);
+        let w_lo = weights.channel_slice(0, 8);
+        let w_hi = weights.channel_slice(8, 8);
+        let e = engine();
+        let a = e.compute_tile(&lo, &w_lo).unwrap().partial;
+        let b = e.compute_tile(&hi, &w_hi).unwrap().partial;
+        let reference = pointwise_conv2d_i8(&full, &weights);
+        for k in 0..16 {
+            for n in 0..2 {
+                for m in 0..2 {
+                    assert_eq!(a[(k, n, m)] + b[(k, n, m)], reference[(k, n, m)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_activation_gating_counts() {
+        let mut ifmap = rng::uniform_i8_tensor3(8, 2, 2, 1, 127, 5);
+        let weights = rng::uniform_i8_tensor4(16, 8, 1, 1, 1, 127, 6);
+        ifmap[(3, 1, 0)] = 0; // one zero activation feeds all 16 kernels
+        let out = engine().compute_tile(&ifmap, &weights).unwrap();
+        assert_eq!(out.activity.zero_act_slots, 16);
+    }
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        let e = engine();
+        let ifmap = rng::uniform_i8_tensor3(8, 2, 2, -1, 1, 7);
+        let bad_w = rng::uniform_i8_tensor4(8, 8, 1, 1, -1, 1, 8);
+        assert!(e.compute_tile(&ifmap, &bad_w).is_err());
+        let bad_ifmap = rng::uniform_i8_tensor3(16, 2, 2, -1, 1, 9);
+        let w = rng::uniform_i8_tensor4(16, 8, 1, 1, -1, 1, 10);
+        assert!(e.compute_tile(&bad_ifmap, &w).is_err());
+    }
+
+    #[test]
+    fn full_parallelism_every_cycle() {
+        let ifmap = rng::uniform_i8_tensor3(8, 2, 2, -128, 127, 11);
+        let weights = rng::uniform_i8_tensor4(16, 8, 1, 1, -128, 127, 12);
+        let out = engine().compute_tile(&ifmap, &weights).unwrap();
+        assert_eq!(out.activity.mac_slots, 512);
+    }
+
+    #[test]
+    fn worst_case_partial_fits_adder_tree_width() {
+        let ifmap = rng::uniform_i8_tensor3(8, 2, 2, -128, -128, 13);
+        let weights = rng::uniform_i8_tensor4(16, 8, 1, 1, -128, -128, 14);
+        let out = engine().compute_tile(&ifmap, &weights).unwrap();
+        for &v in out.partial.as_slice() {
+            assert_eq!(v, 8 * 128 * 128);
+            assert!(edea_fixed::sat::fits_in_bits(i64::from(v), 19));
+        }
+    }
+}

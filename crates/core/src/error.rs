@@ -1,0 +1,63 @@
+//! Error type for the accelerator simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the accelerator simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The layer/input presented to the accelerator does not match its
+    /// configuration (e.g. channel count not a multiple of `Td`).
+    UnsupportedShape {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An on-chip buffer would overflow its configured capacity.
+    BufferOverflow {
+        /// Which buffer.
+        buffer: &'static str,
+        /// Bytes required.
+        required: usize,
+        /// Bytes available.
+        capacity: usize,
+    },
+    /// A configuration value is invalid.
+    InvalidConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnsupportedShape { detail } => write!(f, "unsupported shape: {detail}"),
+            CoreError::BufferOverflow { buffer, required, capacity } => write!(
+                f,
+                "buffer {buffer} overflow: {required} bytes required, {capacity} available"
+            ),
+            CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::BufferOverflow { buffer: "psum", required: 10, capacity: 5 };
+        let s = e.to_string();
+        assert!(s.contains("psum") && s.contains("10") && s.contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

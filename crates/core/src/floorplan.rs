@@ -1,0 +1,195 @@
+//! Floorplan model (paper Fig. 8 "Layout view").
+//!
+//! The P&R database is not reproducible, but the quantitative content of
+//! Fig. 8 is: the die dimensions (825.032 µm × 699.52 µm) and the relative
+//! placement/area of the blocks. This module slices the die into block
+//! rectangles proportional to the area breakdown and emits an SVG rendering.
+
+use crate::area::AreaBreakdown;
+use crate::paperdata;
+
+/// One placed block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Block name.
+    pub name: &'static str,
+    /// Lower-left x (µm).
+    pub x: f64,
+    /// Lower-left y (µm).
+    pub y: f64,
+    /// Width (µm).
+    pub w: f64,
+    /// Height (µm).
+    pub h: f64,
+}
+
+impl Block {
+    /// Block area (µm²).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+}
+
+/// A floorplan: die dimensions plus placed blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    /// Die width (µm).
+    pub width_um: f64,
+    /// Die height (µm).
+    pub height_um: f64,
+    /// Placed blocks (cover the die exactly).
+    pub blocks: Vec<Block>,
+}
+
+/// Builds the floorplan by recursive slicing: the PWC engine takes the right
+/// side of the die, the DWC engine the upper left, Non-Conv below it, and
+/// the buffers/control fill the remainder — mirroring the relative placement
+/// visible in Fig. 8.
+#[must_use]
+pub fn floorplan(area: &AreaBreakdown) -> Floorplan {
+    let total = area.total_um2();
+    let width = paperdata::DIE_WIDTH_UM;
+    let height = paperdata::DIE_HEIGHT_UM;
+    let scale = (width * height) / total; // absorb rounding differences
+    let mut blocks = Vec::new();
+
+    // Right vertical slice: PWC engine.
+    let pwc_w = area.pwc_um2 * scale / height;
+    blocks.push(Block { name: "pwc_engine", x: width - pwc_w, y: 0.0, w: pwc_w, h: height });
+    let left_w = width - pwc_w;
+
+    // Upper-left: DWC engine.
+    let dwc_h = area.dwc_um2 * scale / left_w;
+    blocks.push(Block { name: "dwc_engine", x: 0.0, y: height - dwc_h, w: left_w, h: dwc_h });
+
+    // Middle-left: Non-Conv units.
+    let nc_h = area.nonconv_um2 * scale / left_w;
+    blocks.push(Block {
+        name: "nonconv",
+        x: 0.0,
+        y: height - dwc_h - nc_h,
+        w: left_w,
+        h: nc_h,
+    });
+
+    // Bottom-left strip: buffers, intermediate buffer, control.
+    let strip_h = height - dwc_h - nc_h;
+    let buf_w = area.buffers_um2 * scale / strip_h;
+    blocks.push(Block { name: "buffers", x: 0.0, y: 0.0, w: buf_w, h: strip_h });
+    let int_w = area.intermediate_um2 * scale / strip_h;
+    blocks.push(Block { name: "intermediate", x: buf_w, y: 0.0, w: int_w, h: strip_h });
+    let ctl_w = left_w - buf_w - int_w;
+    blocks.push(Block { name: "control", x: buf_w + int_w, y: 0.0, w: ctl_w, h: strip_h });
+
+    Floorplan { width_um: width, height_um: height, blocks }
+}
+
+/// Renders a floorplan to a standalone SVG document.
+#[must_use]
+pub fn to_svg(fp: &Floorplan) -> String {
+    const COLORS: [(&str, &str); 6] = [
+        ("pwc_engine", "#4e79a7"),
+        ("dwc_engine", "#f28e2b"),
+        ("nonconv", "#59a14f"),
+        ("buffers", "#e15759"),
+        ("intermediate", "#b07aa1"),
+        ("control", "#bab0ac"),
+    ];
+    let color = |name: &str| {
+        COLORS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or("#cccccc", |(_, c)| *c)
+    };
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {:.1} {:.1}\" width=\"825\" height=\"700\">\n",
+        fp.width_um, fp.height_um
+    );
+    svg.push_str(&format!(
+        "  <rect x=\"0\" y=\"0\" width=\"{:.1}\" height=\"{:.1}\" fill=\"#222\"/>\n",
+        fp.width_um, fp.height_um
+    ));
+    for b in &fp.blocks {
+        // SVG y grows downward; flip.
+        let y = fp.height_um - b.y - b.h;
+        svg.push_str(&format!(
+            "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{}\" stroke=\"#000\"/>\n",
+            b.x, y, b.w, b.h, color(b.name)
+        ));
+        svg.push_str(&format!(
+            "  <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"24\" fill=\"#fff\">{}</text>\n",
+            b.x + 8.0,
+            y + b.h / 2.0,
+            b.name
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> Floorplan {
+        floorplan(&AreaBreakdown::paper())
+    }
+
+    #[test]
+    fn die_dimensions_match_fig8() {
+        let fp = plan();
+        assert_eq!(fp.width_um, 825.032);
+        assert_eq!(fp.height_um, 699.52);
+    }
+
+    #[test]
+    fn blocks_cover_die_exactly() {
+        let fp = plan();
+        let sum: f64 = fp.blocks.iter().map(Block::area).sum();
+        let die = fp.width_um * fp.height_um;
+        assert!((sum - die).abs() / die < 1e-9, "{sum} vs {die}");
+    }
+
+    #[test]
+    fn blocks_stay_inside_die_and_do_not_overlap() {
+        let fp = plan();
+        for b in &fp.blocks {
+            assert!(b.x >= -1e-9 && b.y >= -1e-9);
+            assert!(b.x + b.w <= fp.width_um + 1e-9, "{}", b.name);
+            assert!(b.y + b.h <= fp.height_um + 1e-9, "{}", b.name);
+        }
+        // Pairwise overlap area must be zero.
+        for (i, a) in fp.blocks.iter().enumerate() {
+            for b in fp.blocks.iter().skip(i + 1) {
+                let ox = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
+                let oy = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
+                if ox > 1e-6 && oy > 1e-6 {
+                    panic!("{} overlaps {} by {}", a.name, b.name, ox * oy);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_areas_match_breakdown_shares() {
+        let area = AreaBreakdown::paper();
+        let fp = floorplan(&area);
+        let die = fp.width_um * fp.height_um;
+        let find = |n: &str| fp.blocks.iter().find(|b| b.name == n).unwrap().area() / die;
+        assert!((find("pwc_engine") - 0.4790).abs() < 0.001);
+        assert!((find("dwc_engine") - 0.2837).abs() < 0.001);
+        assert!((find("nonconv") - 0.1487).abs() < 0.001);
+    }
+
+    #[test]
+    fn svg_contains_all_blocks() {
+        let svg = to_svg(&plan());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("pwc_engine"));
+        assert!(svg.contains("dwc_engine"));
+        assert!(svg.contains("nonconv"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 7); // die + 6 blocks
+    }
+}

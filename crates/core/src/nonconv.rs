@@ -1,0 +1,151 @@
+//! The Non-Convolutional unit (paper Fig. 6).
+//!
+//! Eight parallel lanes, one per channel of the current `Td` slice, each
+//! applying the folded `y = k·x + b` (Q8.16), the round stage, and the
+//! ReLU-folded clip to int8. The unit sits between the DWC adder trees and
+//! the intermediate buffer; the same hardware is reused on the output path
+//! after the PWC (the paper describes only the DWC→PWC placement; reuse on
+//! drain is our documented assumption — it adds no cycles because the
+//! output interface is otherwise idle).
+
+use edea_nn::fold::FoldedAffine;
+use edea_tensor::Tensor3;
+
+use crate::config::EdeaConfig;
+use crate::CoreError;
+
+/// Activity record of the Non-Conv unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NonConvActivity {
+    /// Multiply-add operations performed.
+    pub ops: u64,
+    /// Outputs clipped to zero (the ReLU floor) — these feed the zero-gating
+    /// statistics of the PWC engine.
+    pub zero_outputs: u64,
+}
+
+/// The Non-Conv unit: `lanes` parallel Q8.16 multiply-add datapaths.
+#[derive(Debug, Clone)]
+pub struct NonConvUnit {
+    lanes: usize,
+}
+
+impl NonConvUnit {
+    /// Builds the unit from the architecture configuration (`Td` lanes).
+    #[must_use]
+    pub fn new(cfg: &EdeaConfig) -> Self {
+        Self { lanes: cfg.tile.td }
+    }
+
+    /// Number of parallel lanes (8 in the paper: "Non-Conv Unit #0 … X8").
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Transforms one accumulator tile `(C, Tn, Tm)` with per-channel
+    /// parameters (`params[c]` applies to channel `c`), producing the int8
+    /// tile the intermediate buffer stores.
+    ///
+    /// `params` may cover more channels than the tile (the caller passes the
+    /// slice for the current channel window).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if `params` has fewer entries than
+    /// the tile has channels.
+    pub fn apply_tile(
+        &self,
+        acc: &Tensor3<i32>,
+        params: &[FoldedAffine],
+    ) -> Result<(Tensor3<i8>, NonConvActivity), CoreError> {
+        let (c, h, w) = acc.shape();
+        if params.len() < c {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!("{} Non-Conv parameter sets for {c} channels", params.len()),
+            });
+        }
+        let mut activity = NonConvActivity::default();
+        let out = Tensor3::from_fn(c, h, w, |ci, hi, wi| {
+            activity.ops += 1;
+            let y = params[ci].apply_fixed(acc[(ci, hi, wi)], 0);
+            if y == 0 {
+                activity.zero_outputs += 1;
+            }
+            y
+        });
+        Ok((out, activity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_fixed::Q8x16;
+    use edea_tensor::Tensor3;
+
+    fn unit() -> NonConvUnit {
+        NonConvUnit::new(&EdeaConfig::paper())
+    }
+
+    fn affine(k: f64, b: f64) -> FoldedAffine {
+        FoldedAffine::fold(k, b, 1.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn paper_unit_has_8_lanes() {
+        assert_eq!(unit().lanes(), 8);
+    }
+
+    #[test]
+    fn applies_per_channel_affine() {
+        let acc = Tensor3::<i32>::from_fn(2, 2, 2, |c, h, w| (c as i32 + 1) * (h * 2 + w) as i32);
+        let params = vec![affine(1.0, 0.0), affine(0.5, 1.0)];
+        let (out, act) = unit().apply_tile(&acc, &params).unwrap();
+        assert_eq!(out[(0, 1, 1)], 3); // 1.0·3 + 0
+        assert_eq!(out[(1, 1, 1)], 4); // 0.5·6 + 1
+        assert_eq!(act.ops, 8);
+    }
+
+    #[test]
+    fn relu_floor_counts_zero_outputs() {
+        let acc = Tensor3::<i32>::from_fn(1, 2, 2, |_, h, w| (h * 2 + w) as i32 - 2); // -2..1
+        let params = vec![affine(1.0, 0.0)];
+        let (out, act) = unit().apply_tile(&acc, &params).unwrap();
+        assert_eq!(out.as_slice(), &[0, 0, 0, 1]);
+        assert_eq!(act.zero_outputs, 3);
+    }
+
+    #[test]
+    fn saturates_at_127() {
+        let acc = Tensor3::<i32>::from_fn(1, 1, 1, |_, _, _| 1_000_000);
+        let (out, _) = unit().apply_tile(&acc, &[affine(1.0, 0.0)]).unwrap();
+        assert_eq!(out[(0, 0, 0)], 127);
+    }
+
+    #[test]
+    fn rejects_missing_params() {
+        let acc = Tensor3::<i32>::zeros(8, 2, 2);
+        let params = vec![affine(1.0, 0.0); 4];
+        assert!(unit().apply_tile(&acc, &params).is_err());
+    }
+
+    #[test]
+    fn matches_q8_16_reference_bit_exactly() {
+        // The unit must be exactly FoldedAffine::apply_fixed per element.
+        let acc = Tensor3::<i32>::from_fn(3, 2, 2, |c, h, w| {
+            (c as i32 * 1000 - 1500) + (h as i32 * 77) - (w as i32 * 31)
+        });
+        let params = vec![
+            FoldedAffine::fold(0.7, -0.3, 0.02, 0.01, 0.015),
+            FoldedAffine::fold(-0.2, 0.9, 0.02, 0.01, 0.015),
+            FoldedAffine::fold(1.4, 0.0, 0.02, 0.01, 0.015),
+        ];
+        let (out, _) = unit().apply_tile(&acc, &params).unwrap();
+        for ((c, h, w), &v) in out.indexed_iter() {
+            assert_eq!(v, params[c].apply_fixed(acc[(c, h, w)], 0));
+        }
+        // And the constants really are Q8.16 words:
+        assert_eq!(params[0].k, Q8x16::from_f64(params[0].k_exact));
+    }
+}

@@ -1,0 +1,169 @@
+//! Published reference values from the EDEA paper (SOCC 2024), used for
+//! paper-vs-measured comparisons in tests, benches and EXPERIMENTS.md.
+//!
+//! Everything in this module is *data transcribed from the paper*, never
+//! computed — the reproduction's own numbers come from the models and are
+//! compared against these.
+
+/// Number of DSC layers evaluated.
+pub const NUM_LAYERS: usize = 13;
+
+/// Fig. 12: per-layer energy efficiency in TOPS/W.
+pub const ENERGY_EFFICIENCY_TOPS_W: [f64; NUM_LAYERS] = [
+    10.89, 8.70, 9.07, 9.36, 9.69, 9.81, 9.74, 11.99, 12.51, 12.50, 13.43, 10.77, 13.38,
+];
+
+/// Fig. 13: per-layer throughput in GOPS.
+pub const THROUGHPUT_GOPS: [f64; NUM_LAYERS] = [
+    1024.0, 1024.0, 1024.0, 1024.0, 1024.0, 973.5, 973.5, 973.5, 973.5, 973.5, 973.5, 905.6,
+    905.6,
+];
+
+/// Per-layer power in mW, implied by Figs. 12 & 13 (`P = TP / EE`); the
+/// paper quotes the endpoints explicitly: layer 1 = 117.7 mW (highest),
+/// layer 12 = 67.7 mW (lowest).
+#[must_use]
+pub fn power_mw() -> [f64; NUM_LAYERS] {
+    let mut out = [0.0; NUM_LAYERS];
+    for i in 0..NUM_LAYERS {
+        out[i] = THROUGHPUT_GOPS[i] / ENERGY_EFFICIENCY_TOPS_W[i];
+    }
+    out
+}
+
+/// Fig. 11 anchors: layer-12 zero percentages (DWC, PWC).
+pub const LAYER12_ZERO_PCT: (f64, f64) = (97.4, 95.3);
+
+/// Sec. IV headline numbers.
+pub mod headline {
+    /// Peak energy efficiency (TOPS/W), at layer 10.
+    pub const PEAK_TOPS_W: f64 = 13.43;
+    /// Throughput at the peak-efficiency point (GOPS).
+    pub const PEAK_EE_GOPS: f64 = 973.55;
+    /// Peak throughput (GOPS), layers 0–4.
+    pub const PEAK_GOPS: f64 = 1024.0;
+    /// Average energy efficiency over all DSC layers (TOPS/W).
+    pub const AVG_TOPS_W: f64 = 11.13;
+    /// Average throughput (GOPS).
+    pub const AVG_GOPS: f64 = 981.42;
+    /// Die area (mm²).
+    pub const AREA_MM2: f64 = 0.58;
+    /// Area efficiency (GOPS/mm²).
+    pub const AREA_EFF_GOPS_MM2: f64 = 1678.53;
+    /// Power at the peak-efficiency point (mW), Table III.
+    pub const POWER_MW: f64 = 72.5;
+    /// Clock (MHz), supply (V), technology (nm).
+    pub const CLOCK_MHZ: f64 = 1000.0;
+    /// Supply voltage (V).
+    pub const VOLTAGE: f64 = 0.8;
+    /// Technology node (nm).
+    pub const TECH_NM: f64 = 22.0;
+}
+
+/// Fig. 8: layout dimensions in micrometres.
+pub const DIE_WIDTH_UM: f64 = 825.032;
+/// Fig. 8: layout height in micrometres.
+pub const DIE_HEIGHT_UM: f64 = 699.52;
+
+/// Fig. 9 (left): area breakdown percentages.
+pub mod area_pct {
+    /// PWC engine.
+    pub const PWC: f64 = 47.90;
+    /// DWC engine.
+    pub const DWC: f64 = 28.37;
+    /// Non-Conv units.
+    pub const NONCONV: f64 = 14.87;
+    /// On-chip buffers (ifmap/weight/offline/psum).
+    pub const BUFFERS: f64 = 5.38;
+    /// Intermediate buffer.
+    pub const INTERMEDIATE: f64 = 2.48;
+    /// Control / others.
+    pub const CONTROL: f64 = 1.00;
+}
+
+/// Fig. 9 (right): power breakdown percentages at the peak workload.
+pub mod power_pct {
+    /// PWC engine.
+    pub const PWC: f64 = 66.23;
+    /// DWC engine.
+    pub const DWC: f64 = 15.70;
+    /// Clock tree ("others" in the paper's description).
+    pub const CLOCK: f64 = 6.14;
+    /// Non-Conv units.
+    pub const NONCONV: f64 = 4.20;
+    /// Buffers.
+    pub const BUFFERS: f64 = 3.48;
+    /// External interface / IO.
+    pub const IO: f64 = 3.49;
+    /// Control.
+    pub const CONTROL: f64 = 0.75;
+}
+
+/// Fig. 3: intermediate-elimination reduction band (min %, max %, total %).
+pub const FIG3_REDUCTION: (f64, f64, f64) = (15.4, 46.9, 34.7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_endpoints_match_paper_quotes() {
+        let p = power_mw();
+        // "Layer1 exhibits the highest power consumption of 117.7 mW. …
+        // layer12 demonstrates the lowest power consumption of 67.7 mW."
+        assert!((p[1] - 117.7).abs() < 0.05, "{}", p[1]);
+        assert!((p[12] - 67.7).abs() < 0.05, "{}", p[12]);
+        let max = p.iter().cloned().fold(f64::MIN, f64::max);
+        let min = p.iter().cloned().fold(f64::MAX, f64::min);
+        assert_eq!(max, p[1]);
+        assert_eq!(min, p[12]);
+    }
+
+    #[test]
+    fn peak_ee_point_is_layer10() {
+        let best = ENERGY_EFFICIENCY_TOPS_W
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(best.0, 10);
+        assert_eq!(*best.1, headline::PEAK_TOPS_W);
+        // Table III: 973.55 GOPS / 72.5 mW = 13.43 TOPS/W.
+        assert!((headline::PEAK_EE_GOPS / headline::POWER_MW - headline::PEAK_TOPS_W).abs() < 0.01);
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let area = area_pct::PWC
+            + area_pct::DWC
+            + area_pct::NONCONV
+            + area_pct::BUFFERS
+            + area_pct::INTERMEDIATE
+            + area_pct::CONTROL;
+        assert!((area - 100.0).abs() < 0.01, "{area}");
+        let power = power_pct::PWC
+            + power_pct::DWC
+            + power_pct::CLOCK
+            + power_pct::NONCONV
+            + power_pct::BUFFERS
+            + power_pct::IO
+            + power_pct::CONTROL;
+        assert!((power - 100.0).abs() < 0.01, "{power}");
+    }
+
+    #[test]
+    fn die_dimensions_match_area() {
+        let area_mm2 = DIE_WIDTH_UM * DIE_HEIGHT_UM / 1e6;
+        assert!((area_mm2 - headline::AREA_MM2).abs() < 0.01, "{area_mm2}");
+    }
+
+    #[test]
+    fn average_ee_matches_headline_roughly() {
+        // The arithmetic mean of Fig. 12 is 10.9; the paper's stated average
+        // (11.13) is slightly above it (weighting unstated) — both ways the
+        // headline is consistent with the series.
+        let mean: f64 =
+            ENERGY_EFFICIENCY_TOPS_W.iter().sum::<f64>() / ENERGY_EFFICIENCY_TOPS_W.len() as f64;
+        assert!((mean - headline::AVG_TOPS_W).abs() < 0.3, "{mean}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Technology / voltage / precision normalization (paper Table III,
+//! methodology of the paper's ref \[19\]).
+//!
+//! Cross-technology comparisons scale each design to a common operating
+//! point (22 nm, 0.8 V, 8-bit):
+//!
+//! * **Precision**: quadratic — a `b`-bit MAC costs ≈ `(b/8)²` of an 8-bit
+//!   one, so throughput-type metrics gain `(b/8)²` when normalized to 8 bit.
+//! * **Energy efficiency**: dynamic energy ∝ `C·V²`, with switched
+//!   capacitance shrinking ≈ `tech^1.5` (gate + wire); EE scales by
+//!   `(tech/22)^1.5 · (V/0.8)²`. This exponent reproduces the paper's
+//!   normalized numbers within ≈10 % (see tests) — closer than the naive
+//!   linear-capacitance rule.
+//! * **Area efficiency**: area ∝ `tech²`; with the voltage-headroom factor
+//!   the paper evidently applies, AE scales by `(tech/22)² · (V/0.8)²`.
+
+/// An operating point: technology node, supply voltage, precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Technology node in nm.
+    pub tech_nm: f64,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+    /// Datapath precision in bits.
+    pub precision_bits: u32,
+}
+
+impl OperatingPoint {
+    /// The EDEA reference point: 22 nm, 0.8 V, 8 bit.
+    #[must_use]
+    pub fn edea() -> Self {
+        Self { tech_nm: 22.0, voltage: 0.8, precision_bits: 8 }
+    }
+}
+
+/// Precision normalization factor to 8 bit: `(bits/8)²`.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+#[must_use]
+pub fn precision_factor(bits: u32) -> f64 {
+    assert!(bits > 0, "precision must be positive");
+    let r = f64::from(bits) / 8.0;
+    r * r
+}
+
+/// Scales an energy-efficiency figure (TOPS/W) from one operating point to
+/// another: `× (from.tech/to.tech)^1.5 · (from.V/to.V)²`, precision
+/// normalized quadratically.
+#[must_use]
+pub fn scale_energy_efficiency(ee: f64, from: &OperatingPoint, to: &OperatingPoint) -> f64 {
+    ee * precision_factor(from.precision_bits) / precision_factor(to.precision_bits)
+        * (from.tech_nm / to.tech_nm).powf(1.5)
+        * (from.voltage / to.voltage).powi(2)
+}
+
+/// Scales an area-efficiency figure (GOPS/mm²):
+/// `× (from.tech/to.tech)² · (from.V/to.V)²`, precision normalized.
+#[must_use]
+pub fn scale_area_efficiency(ae: f64, from: &OperatingPoint, to: &OperatingPoint) -> f64 {
+    ae * precision_factor(from.precision_bits) / precision_factor(to.precision_bits)
+        * (from.tech_nm / to.tech_nm).powi(2)
+        * (from.voltage / to.voltage).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(tech: f64, v: f64, bits: u32) -> OperatingPoint {
+        OperatingPoint { tech_nm: tech, voltage: v, precision_bits: bits }
+    }
+
+    #[test]
+    fn identity_at_reference_point() {
+        let e = OperatingPoint::edea();
+        assert_eq!(scale_energy_efficiency(13.43, &e, &e), 13.43);
+        assert_eq!(scale_area_efficiency(1678.53, &e, &e), 1678.53);
+    }
+
+    #[test]
+    fn precision_normalization_is_quadratic() {
+        // Table III normalizes [17]'s 16-bit results "using (Precision/8)²":
+        // 0.34 TOPS/W → 1.36.
+        assert_eq!(precision_factor(16), 4.0);
+        assert_eq!(precision_factor(8), 1.0);
+        assert!((0.34 * precision_factor(16) - 1.36).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reproduces_paper_normalized_ee_within_12pct() {
+        // Paper Table III normalized energy efficiencies: [16] 7.73,
+        // [17] 4.32, [18] 9.9 (from 0.92/1.36/4.94 pre-scaling). The paper's
+        // exact rule is unstated; tech^1.5·V² lands within 12 % on all
+        // three (a linear-capacitance rule errs by up to 45 %).
+        let to = OperatingPoint::edea();
+        let cases = [
+            (0.92, pt(65.0, 1.08, 8), 7.73),
+            (0.34, pt(40.0, 0.9, 16), 4.32),
+            (4.94, pt(28.0, 0.9, 8), 9.9),
+        ];
+        for (raw, from, paper) in cases {
+            let got = scale_energy_efficiency(raw, &from, &to);
+            let err = (got - paper).abs() / paper;
+            assert!(err < 0.12, "{raw} @ {from:?}: got {got}, paper {paper} ({err:.1}%)");
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_normalized_ae_within_20pct() {
+        // Paper Table III normalized area efficiencies: [16] 266.86,
+        // [17] 290.12 (8-bit-normalized 71.6), [18] 255.
+        let to = OperatingPoint::edea();
+        let cases = [
+            (15.8, pt(65.0, 1.08, 8), 266.86),
+            (17.9, pt(40.0, 0.9, 16), 290.12),
+            (145.28, pt(28.0, 0.9, 8), 255.0),
+        ];
+        for (raw, from, paper) in cases {
+            let got = scale_area_efficiency(raw, &from, &to);
+            let err = (got - paper).abs() / paper;
+            assert!(err < 0.20, "{raw} @ {from:?}: got {got}, paper {paper} ({err:.1}%)");
+        }
+    }
+
+    #[test]
+    fn same_tech_designs_are_untouched() {
+        // [4] is also 22 nm / 0.8 V / 8 bit: its numbers pass through.
+        let to = OperatingPoint::edea();
+        let from = pt(22.0, 0.8, 8);
+        assert_eq!(scale_energy_efficiency(5.07, &from, &to), 5.07);
+        assert_eq!(scale_area_efficiency(519.2, &from, &to), 519.2);
+    }
+
+    #[test]
+    fn scaling_is_monotone_in_tech_and_voltage() {
+        let to = OperatingPoint::edea();
+        let a = scale_energy_efficiency(1.0, &pt(65.0, 1.0, 8), &to);
+        let b = scale_energy_efficiency(1.0, &pt(40.0, 1.0, 8), &to);
+        let c = scale_energy_efficiency(1.0, &pt(40.0, 0.9, 8), &to);
+        assert!(a > b && b > c);
+    }
+}

@@ -1,0 +1,188 @@
+//! Tile/portion iteration of the chosen dataflow.
+//!
+//! The DSE selected `La` with `Tn = Tm = 2`, `Td = 8`, `Tk = 16`; the
+//! realized hardware additionally splits large feature maps into spatial
+//! **portions** (ifmap-buffer constraint) and, thanks to the intermediate
+//! buffer, runs the kernel loop innermost at tile granularity (Fig. 7):
+//!
+//! ```text
+//! for portion in portions(ofmap):          # ≤ 8×8 ofmap pixels
+//!   for ct in 0..⌈D/Td⌉:                   # channel passes
+//!     (9-cycle initiation: load ifmap slice, weights, offline params)
+//!     for st in spatial_tiles(portion):    # 2×2 ofmap each
+//!       DWC tile → Non-Conv → intermediate buffer     (1 cycle)
+//!       for kt in 0..⌈K/Tk⌉:               # kernel tiles
+//!         PWC tile → psum[st][kt] += …                (1 cycle each)
+//!   drain psums → Non-Conv → output                   (overlapped)
+//! ```
+
+use crate::config::EdeaConfig;
+
+/// A spatial portion: a rectangle of ofmap pixels processed with one psum
+/// residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Portion {
+    /// First ofmap row.
+    pub row0: usize,
+    /// First ofmap column.
+    pub col0: usize,
+    /// Rows of ofmap pixels.
+    pub rows: usize,
+    /// Columns of ofmap pixels.
+    pub cols: usize,
+}
+
+impl Portion {
+    /// Ofmap pixels in this portion.
+    #[must_use]
+    pub fn pixels(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The ifmap region this portion reads (in *unpadded* ifmap
+    /// coordinates, clipped to the map): returns
+    /// `(row0, col0, rows, cols)` of the input window including halo.
+    #[must_use]
+    pub fn input_region(&self, stride: usize, kernel: usize, pad: usize, in_spatial: usize) -> (usize, usize, usize, usize) {
+        // Padded-coordinate window: [row0*stride, row0*stride + (rows-1)*stride + kernel)
+        let r0p = self.row0 * stride;
+        let c0p = self.col0 * stride;
+        let rows_p = (self.rows - 1) * stride + kernel;
+        let cols_p = (self.cols - 1) * stride + kernel;
+        // Clip to real (unpadded) extent.
+        let r0 = r0p.saturating_sub(pad);
+        let c0 = c0p.saturating_sub(pad);
+        let r1 = (r0p + rows_p).saturating_sub(pad).min(in_spatial);
+        let c1 = (c0p + cols_p).saturating_sub(pad).min(in_spatial);
+        (r0, c0, r1 - r0, c1 - c0)
+    }
+}
+
+/// A spatial tile inside a portion: `Tn×Tm` ofmap pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpatialTile {
+    /// First ofmap row.
+    pub row0: usize,
+    /// First ofmap column.
+    pub col0: usize,
+}
+
+/// Splits an `out_spatial × out_spatial` ofmap into portions of at most
+/// `limit × limit` pixels (row-major).
+#[must_use]
+pub fn portions(out_spatial: usize, limit: usize) -> Vec<Portion> {
+    let edges = crate::timing::portion_edges(out_spatial, limit);
+    let mut out = Vec::new();
+    let mut row0 = 0;
+    for &rows in &edges {
+        let mut col0 = 0;
+        for &cols in &edges {
+            out.push(Portion { row0, col0, rows, cols });
+            col0 += cols;
+        }
+        row0 += rows;
+    }
+    out
+}
+
+/// Spatial tiles of a portion, row-major, each anchored at a multiple of
+/// `(Tn, Tm)` relative to the portion origin.
+#[must_use]
+pub fn spatial_tiles(p: &Portion, cfg: &EdeaConfig) -> Vec<SpatialTile> {
+    let mut tiles = Vec::new();
+    let mut r = 0;
+    while r < p.rows {
+        let mut c = 0;
+        while c < p.cols {
+            tiles.push(SpatialTile { row0: p.row0 + r, col0: p.col0 + c });
+            c += cfg.tile.tm;
+        }
+        r += cfg.tile.tn;
+    }
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> EdeaConfig {
+        EdeaConfig::paper()
+    }
+
+    #[test]
+    fn portions_tile_the_plane_disjointly() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let ps = portions(n, 8);
+            let mut covered = vec![false; n * n];
+            for p in &ps {
+                for r in p.row0..p.row0 + p.rows {
+                    for c in p.col0..p.col0 + p.cols {
+                        assert!(!covered[r * n + c], "overlap at ({r},{c})");
+                        covered[r * n + c] = true;
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&v| v), "n={n} not fully covered");
+        }
+    }
+
+    #[test]
+    fn portion_counts_match_timing_model() {
+        use edea_nn::workload::mobilenet_v1_cifar10;
+        for l in mobilenet_v1_cifar10() {
+            let ps = portions(l.out_spatial(), cfg().portion_limit);
+            let breakdown = crate::timing::layer_cycles(&l, &cfg());
+            assert_eq!(ps.len() as u64, breakdown.portions, "layer {}", l.index);
+            let tiles: u64 =
+                ps.iter().map(|p| spatial_tiles(p, &cfg()).len() as u64).sum();
+            assert_eq!(tiles, breakdown.spatial_tiles, "layer {}", l.index);
+        }
+    }
+
+    #[test]
+    fn spatial_tiles_are_2x2_anchored() {
+        let p = Portion { row0: 8, col0: 0, rows: 8, cols: 8 };
+        let tiles = spatial_tiles(&p, &cfg());
+        assert_eq!(tiles.len(), 16);
+        assert_eq!(tiles[0], SpatialTile { row0: 8, col0: 0 });
+        assert_eq!(tiles[1], SpatialTile { row0: 8, col0: 2 });
+        assert_eq!(tiles[4], SpatialTile { row0: 10, col0: 0 });
+    }
+
+    #[test]
+    fn input_region_stride1_includes_halo() {
+        // 8×8 ofmap portion at origin, stride 1, 3×3 kernel, pad 1 on a
+        // 32×32 map: reads rows −1..9 clipped to 0..9.
+        let p = Portion { row0: 0, col0: 0, rows: 8, cols: 8 };
+        let (r0, c0, rows, cols) = p.input_region(1, 3, 1, 32);
+        assert_eq!((r0, c0), (0, 0));
+        assert_eq!((rows, cols), (9, 9));
+        // An interior portion sees the full 10×10 halo window.
+        let p = Portion { row0: 8, col0: 8, rows: 8, cols: 8 };
+        let (r0, c0, rows, cols) = p.input_region(1, 3, 1, 32);
+        assert_eq!((r0, c0), (7, 7));
+        assert_eq!((rows, cols), (10, 10));
+    }
+
+    #[test]
+    fn input_region_stride2() {
+        // 8×8 ofmap portion, stride 2: input window 17×17 (clipped at map
+        // edges).
+        let p = Portion { row0: 0, col0: 0, rows: 8, cols: 8 };
+        let (_, _, rows, cols) = p.input_region(2, 3, 1, 32);
+        assert_eq!((rows, cols), (16, 16)); // left/top clipped by pad
+        let p = Portion { row0: 8, col0: 8, rows: 8, cols: 8 };
+        let (r0, c0, rows, cols) = p.input_region(2, 3, 1, 32);
+        assert_eq!((r0, c0), (15, 15));
+        assert_eq!((rows, cols), (17, 17));
+    }
+
+    #[test]
+    fn small_maps_are_single_portions() {
+        let ps = portions(2, 8);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].pixels(), 4);
+        assert_eq!(spatial_tiles(&ps[0], &cfg()).len(), 1);
+    }
+}

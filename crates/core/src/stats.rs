@@ -1,0 +1,217 @@
+//! Execution statistics collected by the functional simulator.
+
+use edea_nn::workload::LayerShape;
+
+use crate::config::EdeaConfig;
+use crate::engine::EngineActivity;
+use crate::timing::CycleBreakdown;
+
+/// Per-buffer byte counters snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferTraffic {
+    /// Bytes read.
+    pub reads: u64,
+    /// Bytes written.
+    pub writes: u64,
+}
+
+impl BufferTraffic {
+    /// Total bytes moved.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Complete statistics of one layer executed on the accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStats {
+    /// The layer executed.
+    pub shape: LayerShape,
+    /// Cycle breakdown from the timing model (the functional schedule is
+    /// cross-checked against it).
+    pub breakdown: CycleBreakdown,
+    /// Total cycles.
+    pub cycles: u64,
+    /// DWC engine activity (all invocations merged).
+    pub dwc_activity: EngineActivity,
+    /// PWC engine activity.
+    pub pwc_activity: EngineActivity,
+    /// Non-Conv operations (both boundaries).
+    pub nonconv_ops: u64,
+    /// Zero fraction of the layer input codes.
+    pub input_zero: f64,
+    /// Zero fraction of the intermediate (PWC input) codes — Fig. 11's
+    /// "DWC zero percentage".
+    pub mid_zero: f64,
+    /// Zero fraction of the output codes — Fig. 11's "PWC zero percentage".
+    pub out_zero: f64,
+    /// External-memory traffic.
+    pub external: BufferTraffic,
+    /// On-chip SRAM traffic (all buffers).
+    pub onchip: BufferTraffic,
+    /// Intermediate-buffer traffic alone (the "direct data transfer").
+    pub intermediate: BufferTraffic,
+    /// Psum register-file traffic alone (accumulation read-modify-write).
+    pub psum: BufferTraffic,
+}
+
+impl LayerStats {
+    /// Useful MAC operations (= workload MACs; the engines never idle
+    /// partially within a cycle).
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.dwc_activity.mac_slots + self.pwc_activity.mac_slots
+    }
+
+    /// Throughput in GOPS at the configured clock.
+    #[must_use]
+    pub fn throughput_gops(&self, cfg: &EdeaConfig) -> f64 {
+        2.0 * self.total_macs() as f64 / (self.cycles as f64 * cfg.period_ns())
+    }
+
+    /// Latency in nanoseconds.
+    #[must_use]
+    pub fn latency_ns(&self, cfg: &EdeaConfig) -> f64 {
+        self.cycles as f64 * cfg.period_ns()
+    }
+}
+
+/// Statistics of a full network run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Per-layer statistics, in layer order.
+    pub layers: Vec<LayerStats>,
+}
+
+impl NetworkStats {
+    /// Total cycles over all layers.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total MACs over all layers.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(LayerStats::total_macs).sum()
+    }
+
+    /// Ops-weighted average throughput in GOPS.
+    #[must_use]
+    pub fn average_gops(&self, cfg: &EdeaConfig) -> f64 {
+        2.0 * self.total_macs() as f64 / (self.total_cycles() as f64 * cfg.period_ns())
+    }
+
+    /// Total external traffic in bytes.
+    #[must_use]
+    pub fn external_total(&self) -> u64 {
+        self.layers.iter().map(|l| l.external.total()).sum()
+    }
+}
+
+/// Builds a [`LayerStats`] analytically — same accounting as the functional
+/// simulator (verified by equality tests), but without executing the layer.
+/// Zero *fractions* are taken from the caller (e.g. the sparsity profile or
+/// a previous run); engine zero-slot counts are estimated from them.
+///
+/// Used by the power-model calibration, which needs full-size statistics
+/// that would otherwise require a width-1.0 simulation per tweak.
+///
+/// # Panics
+///
+/// Panics if the layer does not map onto the configuration (dims must be
+/// multiples of the tile sizes).
+#[must_use]
+pub fn synthetic_layer_stats(
+    shape: &LayerShape,
+    cfg: &EdeaConfig,
+    input_zero: f64,
+    mid_zero: f64,
+    out_zero: f64,
+) -> LayerStats {
+    let t = cfg.tile;
+    assert_eq!(shape.d_in % t.td, 0, "d_in must be a multiple of Td");
+    assert_eq!(shape.k_out % t.tk, 0, "k_out must be a multiple of Tk");
+    let breakdown = crate::timing::layer_cycles(shape, cfg);
+    let out = shape.out_spatial();
+    let passes = (shape.d_in / t.td) as u64;
+    let kernel_tiles = (shape.k_out / t.tk) as u64;
+    let tr = (t.tn - 1) * shape.stride + shape.kernel;
+    let tc = (t.tm - 1) * shape.stride + shape.kernel;
+
+    // External traffic (mirrors accelerator.rs):
+    let mut ext_reads = (shape.kernel * shape.kernel * shape.d_in) as u64 // DWC weights
+        + 6 * (shape.d_in + shape.k_out) as u64; // offline parameters
+    let mut ifmap_slice_writes = 0u64;
+    for portion in crate::schedule::portions(out, cfg.portion_limit) {
+        let (_, _, rows, cols) =
+            portion.input_region(shape.stride, shape.kernel, shape.pad(), shape.in_spatial);
+        let slice = (rows * cols * t.td) as u64;
+        ext_reads += passes * (slice + (t.td * shape.k_out) as u64);
+        ifmap_slice_writes += passes * slice;
+    }
+    let ext_writes = shape.ofmap_elems();
+
+    // On-chip traffic:
+    let dwc_inv = breakdown.dwc_busy;
+    let pwc_inv = breakdown.pwc_busy;
+    let tile_bytes = (t.tn * t.tm * t.td) as u64;
+    let psum_word = (t.tk * t.tn * t.tm * 4) as u64;
+    let ifmap_reads = dwc_inv * (tr * tc * t.td) as u64;
+    let dwcw_reads = breakdown.portions * passes * (shape.kernel * shape.kernel * t.td) as u64;
+    let offline_reads = breakdown.portions * passes * 6 * t.td as u64;
+    let inter_writes = dwc_inv * tile_bytes;
+    let inter_reads = pwc_inv * tile_bytes;
+    let pwcw_reads = pwc_inv * (t.td * t.tk) as u64;
+    // psum: read-modify-write except the first pass; plus the drain read.
+    let psum_reads = pwc_inv.saturating_sub(breakdown.spatial_tiles * kernel_tiles) * psum_word
+        + shape.ofmap_elems() * 4;
+    let psum_writes = pwc_inv * psum_word;
+    let onchip_fills = (shape.kernel * shape.kernel * shape.d_in) as u64 // dwc weight fill
+        + 6 * (shape.d_in + shape.k_out) as u64 // offline fill
+        + ifmap_slice_writes
+        + breakdown.portions * passes * (t.td * shape.k_out) as u64; // pwc weight fills
+
+    let est = |slots: u64, z: f64| (slots as f64 * z).round() as u64;
+    LayerStats {
+        shape: *shape,
+        breakdown,
+        cycles: breakdown.total(),
+        dwc_activity: EngineActivity {
+            mac_slots: shape.dwc_macs(),
+            zero_act_slots: est(shape.dwc_macs(), input_zero),
+            zero_weight_slots: 0,
+        },
+        pwc_activity: EngineActivity {
+            mac_slots: shape.pwc_macs(),
+            zero_act_slots: est(shape.pwc_macs(), mid_zero),
+            zero_weight_slots: 0,
+        },
+        // Every intermediate element passes the Non-Conv once, every output
+        // element once at the drain.
+        nonconv_ops: shape.intermediate_elems() + shape.ofmap_elems(),
+        input_zero,
+        mid_zero,
+        out_zero,
+        external: BufferTraffic { reads: ext_reads, writes: ext_writes },
+        onchip: BufferTraffic {
+            reads: ifmap_reads + dwcw_reads + offline_reads + inter_reads + pwcw_reads
+                + psum_reads,
+            writes: onchip_fills + inter_writes + psum_writes,
+        },
+        intermediate: BufferTraffic { reads: inter_reads, writes: inter_writes },
+        psum: BufferTraffic { reads: psum_reads, writes: psum_writes },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_traffic_totals() {
+        let t = BufferTraffic { reads: 3, writes: 4 };
+        assert_eq!(t.total(), 7);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests: the engine datapaths against the golden reference
+//! kernels, on arbitrary int8 tiles.
+
+use edea_core::engine::{DwcEngine, PwcEngine};
+use edea_core::nonconv::NonConvUnit;
+use edea_core::{EdeaConfig, timing};
+use edea_nn::fold::FoldedAffine;
+use edea_tensor::conv::{depthwise_conv2d_i8, pointwise_conv2d_i8};
+use edea_tensor::{Tensor3, Tensor4};
+use proptest::prelude::*;
+
+fn i8_tensor3(c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor3<i8>> {
+    prop::collection::vec(any::<i8>(), c * h * w)
+        .prop_map(move |v| Tensor3::from_vec(v, c, h, w).expect("sized"))
+}
+
+fn i8_tensor4(k: usize, c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor4<i8>> {
+    prop::collection::vec(any::<i8>(), k * c * h * w)
+        .prop_map(move |v| Tensor4::from_vec(v, k, c, h, w).expect("sized"))
+}
+
+proptest! {
+    /// The DWC engine equals the reference depthwise convolution on any
+    /// 4×4×8 tile (stride 1).
+    #[test]
+    fn dwc_engine_equals_reference_s1(ifmap in i8_tensor3(8, 4, 4),
+                                      weights in i8_tensor4(8, 1, 3, 3)) {
+        let engine = DwcEngine::new(&EdeaConfig::paper());
+        let out = engine.compute_tile(&ifmap, &weights, 1).expect("tile");
+        prop_assert_eq!(out.acc, depthwise_conv2d_i8(&ifmap, &weights, 1, 0));
+    }
+
+    /// The DWC engine equals the reference on any 5×5×8 tile (stride 2).
+    #[test]
+    fn dwc_engine_equals_reference_s2(ifmap in i8_tensor3(8, 5, 5),
+                                      weights in i8_tensor4(8, 1, 3, 3)) {
+        let engine = DwcEngine::new(&EdeaConfig::paper());
+        let out = engine.compute_tile(&ifmap, &weights, 2).expect("tile");
+        prop_assert_eq!(out.acc, depthwise_conv2d_i8(&ifmap, &weights, 2, 0));
+    }
+
+    /// The PWC engine equals the reference pointwise convolution on any
+    /// 2×2×8 tile with a 16×8 kernel tile.
+    #[test]
+    fn pwc_engine_equals_reference(ifmap in i8_tensor3(8, 2, 2),
+                                   weights in i8_tensor4(16, 8, 1, 1)) {
+        let engine = PwcEngine::new(&EdeaConfig::paper());
+        let out = engine.compute_tile(&ifmap, &weights).expect("tile");
+        prop_assert_eq!(out.partial, pointwise_conv2d_i8(&ifmap, &weights));
+    }
+
+    /// Engine zero-activation counts are exact: each zero activation gates
+    /// exactly the slots that consume it.
+    #[test]
+    fn pwc_gating_count_is_exact(ifmap in i8_tensor3(8, 2, 2),
+                                 weights in i8_tensor4(16, 8, 1, 1)) {
+        let engine = PwcEngine::new(&EdeaConfig::paper());
+        let out = engine.compute_tile(&ifmap, &weights).expect("tile");
+        let zeros = ifmap.as_slice().iter().filter(|&&v| v == 0).count() as u64;
+        prop_assert_eq!(out.activity.zero_act_slots, zeros * 16);
+    }
+
+    /// The Non-Conv unit is elementwise-identical to the folded affine.
+    #[test]
+    fn nonconv_unit_matches_folded_affine(acc in prop::collection::vec(-200_000i32..200_000, 32),
+                                          k in -2.0f64..2.0, b in -50.0f64..50.0) {
+        let unit = NonConvUnit::new(&EdeaConfig::paper());
+        let tile = Tensor3::from_vec(acc.clone(), 8, 2, 2).expect("sized");
+        let f = FoldedAffine::fold(k, b, 0.05, 0.05, 0.1);
+        let params = vec![f; 8];
+        let (out, _) = unit.apply_tile(&tile, &params).expect("apply");
+        for (i, &a) in acc.iter().enumerate() {
+            prop_assert_eq!(out.as_slice()[i], f.apply_fixed(a, 0));
+        }
+    }
+
+    /// Non-Conv outputs always land in [0, 127] (ReLU-folded clip).
+    #[test]
+    fn nonconv_outputs_in_relu_range(acc in prop::collection::vec(any::<i32>(), 32),
+                                     k in -100.0f64..100.0, b in -100.0f64..100.0) {
+        let unit = NonConvUnit::new(&EdeaConfig::paper());
+        let tile = Tensor3::from_vec(acc, 8, 2, 2).expect("sized");
+        let params = vec![FoldedAffine::fold(k, b, 1.0, 1.0, 1.0); 8];
+        let (out, activity) = unit.apply_tile(&tile, &params).expect("apply");
+        prop_assert!(out.as_slice().iter().all(|&v| (0..=127).contains(&v)));
+        let zeros = out.as_slice().iter().filter(|&&v| v == 0).count() as u64;
+        prop_assert_eq!(activity.zero_outputs, zeros);
+    }
+
+    /// Eq. 1/Eq. 2 cycles are monotone in every workload dimension.
+    #[test]
+    fn cycles_monotone_in_workload(d_mult in 1usize..6, k_mult in 1usize..6,
+                                   sp in 1usize..6) {
+        use edea_nn::workload::LayerShape;
+        let cfg = EdeaConfig::paper();
+        let mk = |d: usize, k: usize, s: usize| LayerShape {
+            index: 0, in_spatial: 2 * s, d_in: 8 * d, k_out: 16 * k, stride: 1, kernel: 3,
+        };
+        let base = timing::layer_cycles(&mk(d_mult, k_mult, sp), &cfg).total();
+        prop_assert!(timing::layer_cycles(&mk(d_mult + 1, k_mult, sp), &cfg).total() > base);
+        prop_assert!(timing::layer_cycles(&mk(d_mult, k_mult + 1, sp), &cfg).total() > base);
+        prop_assert!(timing::layer_cycles(&mk(d_mult, k_mult, sp + 1), &cfg).total() > base);
+    }
+}

@@ -1,0 +1,214 @@
+//! External-memory access-count models (paper Table II / Fig. 2b).
+//!
+//! Accesses are counted at the external-memory interface, per inference, in
+//! elements (int8 words). The two loop orders trade activation re-reads
+//! against weight re-reads:
+//!
+//! | | activation access | weight access |
+//! |---|---|---|
+//! | **La** DWC | `Tr·Tc·Td · ⌈N/Tn⌉·⌈M/Tm⌉ · ⌈D/Td⌉` | `H·W·D` |
+//! | **La** PWC | `N·M·D · ⌈K/Tk⌉` | `D·K` |
+//! | **Lb** DWC | `R·C·D` | `H·W·D · ⌈N/Tn⌉·⌈M/Tm⌉` |
+//! | **Lb** PWC | `N·M·D` | `D·K · ⌈N/Tn⌉·⌈M/Tm⌉` |
+//!
+//! The La rows with `Tn = Tm = 2` are exactly paper Table II. (`Lb` holds
+//! activations stationary — each is fetched once, weights are re-fetched per
+//! spatial tile.)
+
+use edea_nn::workload::LayerShape;
+
+use crate::{LoopOrder, TileConfig};
+
+/// Access counts of one DSC layer under one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessCounts {
+    /// DWC activation reads.
+    pub dwc_act: u64,
+    /// DWC weight reads.
+    pub dwc_weight: u64,
+    /// PWC activation reads.
+    pub pwc_act: u64,
+    /// PWC weight reads.
+    pub pwc_weight: u64,
+}
+
+impl AccessCounts {
+    /// Total activation accesses.
+    #[must_use]
+    pub fn act_total(&self) -> u64 {
+        self.dwc_act + self.pwc_act
+    }
+
+    /// Total weight accesses.
+    #[must_use]
+    pub fn weight_total(&self) -> u64 {
+        self.dwc_weight + self.pwc_weight
+    }
+
+    /// All accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.act_total() + self.weight_total()
+    }
+
+    /// Element-wise sum, for aggregating over layers.
+    #[must_use]
+    pub fn add(&self, other: &AccessCounts) -> AccessCounts {
+        AccessCounts {
+            dwc_act: self.dwc_act + other.dwc_act,
+            dwc_weight: self.dwc_weight + other.dwc_weight,
+            pwc_act: self.pwc_act + other.pwc_act,
+            pwc_weight: self.pwc_weight + other.pwc_weight,
+        }
+    }
+}
+
+fn ceil_div(a: usize, b: usize) -> u64 {
+    a.div_ceil(b) as u64
+}
+
+/// Access counts of one layer under `(order, cfg)`.
+///
+/// # Panics
+///
+/// Panics if the configuration's kernel does not match the layer's.
+#[must_use]
+pub fn layer_access(layer: &LayerShape, cfg: &TileConfig, order: LoopOrder) -> AccessCounts {
+    assert_eq!(cfg.kernel, layer.kernel, "kernel size mismatch");
+    let n = layer.out_spatial();
+    let spatial_tiles = ceil_div(n, cfg.tn) * ceil_div(n, cfg.tm);
+    let channel_tiles = ceil_div(layer.d_in, cfg.td);
+    let kernel_tiles = ceil_div(layer.k_out, cfg.tk);
+    let (tr, tc) = cfg.input_tile(layer.stride);
+    let d = layer.d_in as u64;
+    let k = layer.k_out as u64;
+    let hw = (layer.kernel * layer.kernel) as u64;
+    let nm = (n * n) as u64;
+    let rc = (layer.in_spatial * layer.in_spatial) as u64;
+    match order {
+        LoopOrder::La => AccessCounts {
+            // Each spatial tile re-reads its (halo-overlapping) input window
+            // for every channel tile; weights are fetched once.
+            dwc_act: (tr * tc) as u64 * cfg.td as u64 * spatial_tiles * channel_tiles,
+            dwc_weight: hw * d,
+            // The whole intermediate map is re-read once per kernel tile.
+            pwc_act: nm * d * kernel_tiles,
+            pwc_weight: d * k,
+        },
+        LoopOrder::Lb => AccessCounts {
+            // Activations fetched once; weights re-fetched per spatial tile.
+            dwc_act: rc * d,
+            dwc_weight: hw * d * spatial_tiles,
+            pwc_act: nm * d,
+            pwc_weight: d * k * spatial_tiles,
+        },
+    }
+}
+
+/// Sums [`layer_access`] over a layer stack.
+#[must_use]
+pub fn network_access(layers: &[LayerShape], cfg: &TileConfig, order: LoopOrder) -> AccessCounts {
+    layers
+        .iter()
+        .fold(AccessCounts::default(), |acc, l| acc.add(&layer_access(l, cfg, order)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_nn::workload::mobilenet_v1_cifar10;
+
+    fn layer0() -> LayerShape {
+        mobilenet_v1_cifar10()[0] // 32×32×32 → 32×32×64, stride 1
+    }
+
+    #[test]
+    fn table2_equations_layer0() {
+        // Hand-evaluated Table II for layer 0 with the EDEA config:
+        // DWC act = Tr·Tc·D·(N·M)/(Tn·Tm) = 4·4·32·(1024/4)  = 131072
+        // DWC wgt = H·W·D                  = 9·32             = 288
+        // PWC act = N·M·D·K/Tk             = 1024·32·4        = 131072
+        // PWC wgt = D·K                    = 32·64            = 2048
+        let a = layer_access(&layer0(), &TileConfig::edea(), LoopOrder::La);
+        assert_eq!(a.dwc_act, 131_072);
+        assert_eq!(a.dwc_weight, 288);
+        assert_eq!(a.pwc_act, 131_072);
+        assert_eq!(a.pwc_weight, 2_048);
+    }
+
+    #[test]
+    fn stride2_layer_uses_5x5_windows() {
+        let l1 = mobilenet_v1_cifar10()[1]; // stride 2
+        let a = layer_access(&l1, &TileConfig::edea(), LoopOrder::La);
+        // Tr=Tc=5: 25·8·(8·8 tiles)·(64/8 channel tiles) = 25·8·64·8
+        assert_eq!(a.dwc_act, 25 * 8 * 64 * 8);
+    }
+
+    #[test]
+    fn la_has_higher_act_lb_has_higher_weight() {
+        // The paper's qualitative claim, checked on every layer.
+        let cfg = TileConfig::edea();
+        for l in mobilenet_v1_cifar10() {
+            let la = layer_access(&l, &cfg, LoopOrder::La);
+            let lb = layer_access(&l, &cfg, LoopOrder::Lb);
+            assert!(la.act_total() >= lb.act_total(), "layer {}", l.index);
+            assert!(lb.weight_total() >= la.weight_total(), "layer {}", l.index);
+        }
+    }
+
+    #[test]
+    fn la_weight_access_equals_parameter_count() {
+        // Weight-stationary: every weight crosses the interface exactly once.
+        let cfg = TileConfig::edea();
+        for l in mobilenet_v1_cifar10() {
+            let a = layer_access(&l, &cfg, LoopOrder::La);
+            assert_eq!(a.weight_total(), l.dwc_params() + l.pwc_params());
+        }
+    }
+
+    #[test]
+    fn network_totals_have_fig2b_magnitude() {
+        // Fig. 2b's best configuration (La, Tn=Tm=2, Case 6) sums to a few
+        // million accesses over the 13 layers; weights ≈ 3.2M (read once).
+        let layers = mobilenet_v1_cifar10();
+        let a = network_access(&layers, &TileConfig::edea(), LoopOrder::La);
+        assert_eq!(a.weight_total(), 3_139_584 + 9 * 4_960); // PWC + DWC params
+        assert!(a.act_total() > 1_000_000 && a.act_total() < 10_000_000);
+        // Lb is dominated by weight re-reads (orders of magnitude more):
+        let b = network_access(&layers, &TileConfig::edea(), LoopOrder::Lb);
+        assert!(b.weight_total() > 3 * a.weight_total());
+    }
+
+    #[test]
+    fn kernel_tile_size_scales_pwc_act_rereads() {
+        let l = layer0();
+        let case3 = TileConfig::new(2, 2, 4, 16, 3);
+        let case1 = TileConfig::new(2, 2, 4, 4, 3);
+        let a3 = layer_access(&l, &case3, LoopOrder::La);
+        let a1 = layer_access(&l, &case1, LoopOrder::La);
+        assert_eq!(a1.pwc_act, 4 * a3.pwc_act); // K/4 vs K/16 passes
+        assert_eq!(a1.dwc_act, a3.dwc_act); // Td does not change act totals
+    }
+
+    #[test]
+    fn ceilings_cover_ragged_dimensions() {
+        // A layer whose dims are not multiples of the tiles still counts
+        // whole tiles (hardware pads).
+        let l = LayerShape { index: 0, in_spatial: 5, d_in: 10, k_out: 20, stride: 1, kernel: 3 };
+        let cfg = TileConfig::new(2, 2, 8, 16, 3);
+        let a = layer_access(&l, &cfg, LoopOrder::La);
+        // spatial tiles = ceil(5/2)^2 = 9, channel tiles = ceil(10/8) = 2
+        assert_eq!(a.dwc_act, 16 * 8 * 9 * 2);
+        // kernel tiles = ceil(20/16) = 2
+        assert_eq!(a.pwc_act, 25 * 10 * 2);
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let x = AccessCounts { dwc_act: 1, dwc_weight: 2, pwc_act: 3, pwc_weight: 4 };
+        let y = x.add(&x);
+        assert_eq!(y.total(), 20);
+        assert_eq!(y.act_total(), 8);
+        assert_eq!(y.weight_total(), 12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Design space exploration (DSE) for the EDEA dual-engine DSC accelerator.
+//!
+//! Reproduces Section II of the paper: given the 13 DSC layers of
+//! MobileNetV1-CIFAR10, explore loop orders ([`LoopOrder::La`] /
+//! [`LoopOrder::Lb`]), spatial tile sizes (`Tn = Tm ∈ {1, 2}`) and
+//! channel/kernel tile sizes (Table I's six `(Td, Tk)` cases), scoring each
+//! point by PE-array size (Fig. 2a) and external-memory access count
+//! (Fig. 2b), and analyze the activation-access reduction from eliminating
+//! the intermediate DWC→PWC transfer (Fig. 3).
+//!
+//! The headline result this crate reproduces: **loop order La with
+//! Tn = Tm = 2 and Case 6 (Td = 8, Tk = 16) minimizes the access count**
+//! (tie-broken towards the largest PE array, i.e. the highest parallelism),
+//! which is exactly the configuration the hardware of Section III
+//! implements.
+//!
+//! # Example
+//!
+//! ```
+//! use edea_dse::sweep::{full_sweep, select_optimal};
+//! use edea_nn::workload::mobilenet_v1_cifar10;
+//!
+//! let layers = mobilenet_v1_cifar10();
+//! let rows = full_sweep(&layers);
+//! let best = select_optimal(&rows).expect("non-empty sweep");
+//! assert_eq!(best.case.name, "Case6");
+//! assert_eq!(best.config.tn, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod access;
+pub mod intermediate;
+pub mod loops;
+pub mod pe_array;
+pub mod sweep;
+pub mod tiling;
+
+pub use access::AccessCounts;
+pub use loops::LoopOrder;
+pub use tiling::{TileConfig, TilingCase};

@@ -1,0 +1,141 @@
+//! Convolution loop nests and the two explored orders.
+
+use std::fmt;
+
+/// The five convolution loop levels of the paper's Sec. II, innermost first:
+///
+/// 1. `Window` — MACs within one convolution window (`Tr×Tc` for DWC,
+///    `Tn×Tm` for PWC).
+/// 2. `ChannelTile` — the `Td` channels inside one tile.
+/// 3. `Spatial` — scanning the feature map along `R×C` (DWC) / `N×M` (PWC).
+/// 4. `ChannelOuter` — iterating channel tiles across the full depth `D`.
+/// 5. `KernelOuter` — iterating kernel tiles across `K` (PWC only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loop {
+    /// Loop1: MAC within a convolution window.
+    Window,
+    /// Loop2: across the tile depth `Td`.
+    ChannelTile,
+    /// Loop3: across the feature-map spatial extent.
+    Spatial,
+    /// Loop4: across the ifmap depth `D` in steps of `Td`.
+    ChannelOuter,
+    /// Loop5: across the ofmap depth `K` in steps of `Tk` (PWC only).
+    KernelOuter,
+}
+
+impl fmt::Display for Loop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Loop::Window => "Loop1 (window MAC)",
+            Loop::ChannelTile => "Loop2 (Td)",
+            Loop::Spatial => "Loop3 (spatial)",
+            Loop::ChannelOuter => "Loop4 (D)",
+            Loop::KernelOuter => "Loop5 (K)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The two loop orders explored by the paper (inner → outer):
+///
+/// * `La`: Loop1 → Loop2 → **Loop3 → Loop4** → Loop5 — spatial scan inside
+///   the channel loop. Weights stay resident while the map is scanned
+///   (weight-stationary): weights are read once, activations are re-read.
+/// * `Lb`: Loop1 → Loop2 → **Loop4 → Loop3** → Loop5 — channel loop inside
+///   the spatial scan. Activations stay resident (activation-stationary):
+///   activations are read once, weights are re-read per spatial tile.
+///
+/// Paper: "The loop order La consistently demonstrates higher activation
+/// access count, while Lb consistently exhibits higher weight access count."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopOrder {
+    /// Weight-stationary order (spatial inner, channel outer).
+    La,
+    /// Activation-stationary order (channel inner, spatial outer).
+    Lb,
+}
+
+impl LoopOrder {
+    /// Both explored orders.
+    #[must_use]
+    pub fn all() -> [LoopOrder; 2] {
+        [LoopOrder::La, LoopOrder::Lb]
+    }
+
+    /// The loop nest, innermost first.
+    #[must_use]
+    pub fn nest(&self) -> [Loop; 5] {
+        match self {
+            LoopOrder::La => [
+                Loop::Window,
+                Loop::ChannelTile,
+                Loop::Spatial,
+                Loop::ChannelOuter,
+                Loop::KernelOuter,
+            ],
+            LoopOrder::Lb => [
+                Loop::Window,
+                Loop::ChannelTile,
+                Loop::ChannelOuter,
+                Loop::Spatial,
+                Loop::KernelOuter,
+            ],
+        }
+    }
+
+    /// Whether weights stay stationary across the spatial scan (true for
+    /// `La`).
+    #[must_use]
+    pub fn weights_stationary(&self) -> bool {
+        matches!(self, LoopOrder::La)
+    }
+}
+
+impl fmt::Display for LoopOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopOrder::La => f.write_str("La"),
+            LoopOrder::Lb => f.write_str("Lb"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_differ_only_in_loop3_loop4() {
+        let a = LoopOrder::La.nest();
+        let b = LoopOrder::Lb.nest();
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[1], b[1]);
+        assert_eq!(a[4], b[4]);
+        assert_eq!(a[2], b[3]);
+        assert_eq!(a[3], b[2]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn la_is_weight_stationary() {
+        assert!(LoopOrder::La.weights_stationary());
+        assert!(!LoopOrder::Lb.weights_stationary());
+    }
+
+    #[test]
+    fn window_is_innermost_kernel_outermost() {
+        for order in LoopOrder::all() {
+            let nest = order.nest();
+            assert_eq!(nest[0], Loop::Window);
+            assert_eq!(nest[4], Loop::KernelOuter);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LoopOrder::La.to_string(), "La");
+        assert_eq!(LoopOrder::Lb.to_string(), "Lb");
+        assert!(Loop::Spatial.to_string().contains("Loop3"));
+    }
+}

@@ -1,0 +1,102 @@
+//! PE-array sizing (paper Fig. 2a, Table II "PE Array" column).
+
+use crate::TileConfig;
+
+/// MAC count of the DWC PE array: `Td × H × W × Tn × Tm`.
+///
+/// # Example
+///
+/// ```
+/// use edea_dse::{pe_array, TileConfig};
+///
+/// // The paper's configuration yields the 288-MAC DWC engine of Fig. 5a.
+/// assert_eq!(pe_array::dwc_macs(&TileConfig::edea()), 288);
+/// ```
+#[must_use]
+pub fn dwc_macs(cfg: &TileConfig) -> u64 {
+    (cfg.td * cfg.kernel * cfg.kernel * cfg.tn * cfg.tm) as u64
+}
+
+/// MAC count of the PWC PE array: `Td × Tk × Tn × Tm`.
+///
+/// # Example
+///
+/// ```
+/// use edea_dse::{pe_array, TileConfig};
+///
+/// // The paper's configuration yields the 512-MAC PWC engine of Fig. 5b.
+/// assert_eq!(pe_array::pwc_macs(&TileConfig::edea()), 512);
+/// ```
+#[must_use]
+pub fn pwc_macs(cfg: &TileConfig) -> u64 {
+    (cfg.td * cfg.tk * cfg.tn * cfg.tm) as u64
+}
+
+/// Total MAC count of both engines (the "PE Array Size" of Fig. 2a).
+#[must_use]
+pub fn total_macs(cfg: &TileConfig) -> u64 {
+    dwc_macs(cfg) + pwc_macs(cfg)
+}
+
+/// Ratio of PWC to DWC MACs — the paper quotes 1.8× (512/288) and observes
+/// the layout area ratio tracks it at ≈1.7×.
+#[must_use]
+pub fn pwc_to_dwc_ratio(cfg: &TileConfig) -> f64 {
+    pwc_macs(cfg) as f64 / dwc_macs(cfg) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::{exploration_groups, table1_cases};
+
+    #[test]
+    fn edea_sizes_match_fig5() {
+        let cfg = TileConfig::edea();
+        assert_eq!(dwc_macs(&cfg), 288);
+        assert_eq!(pwc_macs(&cfg), 512);
+        assert_eq!(total_macs(&cfg), 800); // Table III "PE Count"
+        assert!((pwc_to_dwc_ratio(&cfg) - 512.0 / 288.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pe_size_is_linear_in_tile_dims() {
+        // Paper: "The required PE array size exhibits a linear relationship
+        // with the tiling size Tn, Tm, Td and Tk."
+        let base = TileConfig::new(1, 1, 4, 4, 3);
+        let double_td = TileConfig::new(1, 1, 8, 4, 3);
+        let double_tk = TileConfig::new(1, 1, 4, 8, 3);
+        let double_tn = TileConfig::new(2, 1, 4, 4, 3);
+        assert_eq!(dwc_macs(&double_td), 2 * dwc_macs(&base));
+        assert_eq!(pwc_macs(&double_tk), 2 * pwc_macs(&base));
+        assert_eq!(total_macs(&double_tn), 2 * total_macs(&base));
+    }
+
+    #[test]
+    fn fig2a_range_is_reproduced() {
+        // Fig. 2a's axis spans 0..800; the maximum over all groups × cases
+        // must be exactly 800 (Case 6, Tn=Tm=2) and the minimum 52
+        // (Case 1, Tn=Tm=1: 36 + 16).
+        let mut max = 0;
+        let mut min = u64::MAX;
+        for group in exploration_groups() {
+            for case in table1_cases() {
+                let size = total_macs(&group.config(case));
+                max = max.max(size);
+                min = min.min(size);
+            }
+        }
+        assert_eq!(max, 800);
+        assert_eq!(min, 52);
+    }
+
+    #[test]
+    fn pe_size_is_independent_of_loop_order() {
+        for case in table1_cases() {
+            let groups = exploration_groups();
+            let la = total_macs(&groups[2].config(case)); // La, Tn=2
+            let lb = total_macs(&groups[3].config(case)); // Lb, Tn=2
+            assert_eq!(la, lb);
+        }
+    }
+}

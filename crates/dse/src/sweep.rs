@@ -1,0 +1,158 @@
+//! The full design-space sweep (Fig. 2) and optimal-point selection.
+
+use edea_nn::workload::LayerShape;
+
+use crate::access::{network_access, AccessCounts};
+use crate::pe_array;
+use crate::tiling::{exploration_groups, table1_cases, ExplorationGroup, TilingCase};
+use crate::TileConfig;
+
+/// One evaluated design point: a group (loop order × spatial tile) and a
+/// Table I case, with its PE size and network-total access counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRow {
+    /// The exploration group (order, Tn).
+    pub group: ExplorationGroup,
+    /// The `(Td, Tk)` case.
+    pub case: TilingCase,
+    /// The full tile configuration.
+    pub config: TileConfig,
+    /// Total PE MACs (Fig. 2a value).
+    pub pe_macs: u64,
+    /// Network-total access counts (Fig. 2b values).
+    pub access: AccessCounts,
+}
+
+/// Evaluates all 4 groups × 6 cases over a layer stack (24 design points).
+#[must_use]
+pub fn full_sweep(layers: &[LayerShape]) -> Vec<SweepRow> {
+    let mut rows = Vec::with_capacity(24);
+    for group in exploration_groups() {
+        for case in table1_cases() {
+            let config = group.config(case);
+            rows.push(SweepRow {
+                group,
+                case,
+                config,
+                pe_macs: pe_array::total_macs(&config),
+                access: network_access(layers, &config, group.order),
+            });
+        }
+    }
+    rows
+}
+
+/// Selects the paper's optimum: minimal total access count, tie-broken
+/// towards the **largest** PE array (highest parallelism — the paper prefers
+/// Case 6 over the access-equivalent Case 3 for exactly this reason).
+///
+/// Returns `None` for an empty sweep.
+#[must_use]
+pub fn select_optimal(rows: &[SweepRow]) -> Option<&SweepRow> {
+    rows.iter().min_by(|a, b| {
+        a.access
+            .total()
+            .cmp(&b.access.total())
+            .then(b.pe_macs.cmp(&a.pe_macs)) // larger PE wins ties
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoopOrder;
+    use edea_nn::workload::mobilenet_v1_cifar10;
+
+    #[test]
+    fn sweep_has_24_points() {
+        let rows = full_sweep(&mobilenet_v1_cifar10());
+        assert_eq!(rows.len(), 24);
+    }
+
+    #[test]
+    fn optimum_is_la_tn2_case6() {
+        // The headline DSE result of the paper.
+        let rows = full_sweep(&mobilenet_v1_cifar10());
+        let best = select_optimal(&rows).unwrap();
+        assert_eq!(best.group.order, LoopOrder::La);
+        assert_eq!(best.group.tn, 2);
+        assert_eq!(best.case.name, "Case6");
+        assert_eq!(best.pe_macs, 800);
+    }
+
+    #[test]
+    fn la_higher_act_lb_higher_weight_in_every_group() {
+        // The paper's Fig. 2b claim is per access category: "La consistently
+        // demonstrates higher activation access count, while Lb consistently
+        // exhibits higher weight access count". (Per-case *totals* can go
+        // either way for small Tk, where La's intermediate re-reads blow up —
+        // one more reason the optimum sits at Tk = 16.)
+        let rows = full_sweep(&mobilenet_v1_cifar10());
+        for case in crate::tiling::table1_cases() {
+            for tn in [1usize, 2] {
+                let get = |order: LoopOrder| {
+                    rows.iter()
+                        .find(|r| r.group.order == order && r.group.tn == tn && r.case == case)
+                        .unwrap()
+                        .access
+                };
+                let la = get(LoopOrder::La);
+                let lb = get(LoopOrder::Lb);
+                assert!(la.act_total() > lb.act_total(), "{} Tn={tn}", case.name);
+                assert!(lb.weight_total() > la.weight_total(), "{} Tn={tn}", case.name);
+            }
+        }
+    }
+
+    #[test]
+    fn la_wins_totals_at_wide_kernel_tiles() {
+        // For the Tk = 16 cases the weight-stationary order also wins on
+        // totals — the regime the hardware operates in.
+        let rows = full_sweep(&mobilenet_v1_cifar10());
+        for name in ["Case3", "Case6"] {
+            for tn in [1usize, 2] {
+                let total = |order: LoopOrder| {
+                    rows.iter()
+                        .find(|r| {
+                            r.group.order == order && r.group.tn == tn && r.case.name == name
+                        })
+                        .unwrap()
+                        .access
+                        .total()
+                };
+                assert!(total(LoopOrder::La) < total(LoopOrder::Lb), "{name} Tn={tn}");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_tk_reduces_la_access() {
+        // Within La, Tk=16 strictly beats Tk=4 (fewer intermediate
+        // re-reads), which is why Case 3/6 beat Case 1/4.
+        let rows = full_sweep(&mobilenet_v1_cifar10());
+        let case = |name: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.group.order == LoopOrder::La && r.group.tn == 2 && r.case.name == name
+                })
+                .unwrap()
+        };
+        assert!(case("Case6").access.total() < case("Case4").access.total());
+        assert!(case("Case3").access.total() < case("Case1").access.total());
+        // Case 3 and Case 6 tie on access (Td does not enter the model) —
+        // the PE tie-break selects Case 6.
+        assert_eq!(case("Case3").access.total(), case("Case6").access.total());
+        assert!(case("Case6").pe_macs > case("Case3").pe_macs);
+    }
+
+    #[test]
+    fn select_optimal_empty_is_none() {
+        assert!(select_optimal(&[]).is_none());
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let layers = mobilenet_v1_cifar10();
+        assert_eq!(full_sweep(&layers), full_sweep(&layers));
+    }
+}

@@ -1,0 +1,192 @@
+//! Tiling configurations (paper Table I).
+
+use std::fmt;
+
+use crate::LoopOrder;
+
+/// A complete tiling configuration: spatial output tile `Tn×Tm`, channel
+/// tile `Td`, kernel tile `Tk`, plus the DWC kernel size needed to derive
+/// the input tile (`Tr×Tc`).
+///
+/// # Example
+///
+/// ```
+/// use edea_dse::TileConfig;
+///
+/// let cfg = TileConfig::edea(); // the hardware configuration of Sec. III
+/// assert_eq!((cfg.tn, cfg.tm, cfg.td, cfg.tk), (2, 2, 8, 16));
+/// assert_eq!(cfg.input_tile(1), (4, 4)); // 4×4 window at stride 1
+/// assert_eq!(cfg.input_tile(2), (5, 5)); // 5×5 window at stride 2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileConfig {
+    /// Output tile height `Tn`.
+    pub tn: usize,
+    /// Output tile width `Tm`.
+    pub tm: usize,
+    /// Channel tile depth `Td`.
+    pub td: usize,
+    /// Kernel tile count `Tk`.
+    pub tk: usize,
+    /// DWC kernel size (`H = W`), 3 for MobileNetV1.
+    pub kernel: usize,
+}
+
+impl TileConfig {
+    /// Builds a configuration; all parameters must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    #[must_use]
+    pub fn new(tn: usize, tm: usize, td: usize, tk: usize, kernel: usize) -> Self {
+        assert!(
+            tn > 0 && tm > 0 && td > 0 && tk > 0 && kernel > 0,
+            "tile parameters must be non-zero"
+        );
+        Self { tn, tm, td, tk, kernel }
+    }
+
+    /// The configuration chosen by the paper for the hardware:
+    /// `Tn = Tm = 2`, `Td = 8`, `Tk = 16`, 3×3 kernels.
+    #[must_use]
+    pub fn edea() -> Self {
+        Self::new(2, 2, 8, 16, 3)
+    }
+
+    /// The DWC input tile (`Tr`, `Tc`) for a given stride:
+    /// `Tr = (Tn−1)·stride + H`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    #[must_use]
+    pub fn input_tile(&self, stride: usize) -> (usize, usize) {
+        assert!(stride > 0, "stride must be positive");
+        ((self.tn - 1) * stride + self.kernel, (self.tm - 1) * stride + self.kernel)
+    }
+
+    /// Output tile element count `Tn·Tm`.
+    #[must_use]
+    pub fn out_tile_elems(&self) -> usize {
+        self.tn * self.tm
+    }
+}
+
+impl fmt::Display for TileConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tn={} Tm={} Td={} Tk={} ({}x{} kernel)",
+            self.tn, self.tm, self.td, self.tk, self.kernel, self.kernel
+        )
+    }
+}
+
+/// One of the six `(Td, Tk)` cases of paper Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TilingCase {
+    /// Case name as in the paper ("Case1" … "Case6").
+    pub name: &'static str,
+    /// Channel tile `Td`.
+    pub td: usize,
+    /// Kernel tile `Tk`.
+    pub tk: usize,
+}
+
+/// The six cases of Table I.
+#[must_use]
+pub fn table1_cases() -> [TilingCase; 6] {
+    [
+        TilingCase { name: "Case1", td: 4, tk: 4 },
+        TilingCase { name: "Case2", td: 4, tk: 8 },
+        TilingCase { name: "Case3", td: 4, tk: 16 },
+        TilingCase { name: "Case4", td: 8, tk: 4 },
+        TilingCase { name: "Case5", td: 8, tk: 8 },
+        TilingCase { name: "Case6", td: 8, tk: 16 },
+    ]
+}
+
+/// One exploration group: a loop order with a spatial tile size. The paper
+/// explores `{La, Lb} × {Tn=Tm=1, Tn=Tm=2}` = 4 groups, "constrained … to
+/// Tn=Tm=1 or 2" so the 2×2-ofmap late layers stay fully utilized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExplorationGroup {
+    /// Loop order.
+    pub order: LoopOrder,
+    /// Spatial tile (`Tn = Tm`).
+    pub tn: usize,
+}
+
+/// The four exploration groups of Fig. 2.
+#[must_use]
+pub fn exploration_groups() -> [ExplorationGroup; 4] {
+    [
+        ExplorationGroup { order: LoopOrder::La, tn: 1 },
+        ExplorationGroup { order: LoopOrder::Lb, tn: 1 },
+        ExplorationGroup { order: LoopOrder::La, tn: 2 },
+        ExplorationGroup { order: LoopOrder::Lb, tn: 2 },
+    ]
+}
+
+impl ExplorationGroup {
+    /// Expands the group with a Table I case into a full [`TileConfig`].
+    #[must_use]
+    pub fn config(&self, case: TilingCase) -> TileConfig {
+        TileConfig::new(self.tn, self.tn, case.td, case.tk, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let cases = table1_cases();
+        assert_eq!(cases.len(), 6);
+        assert_eq!((cases[0].td, cases[0].tk), (4, 4));
+        assert_eq!((cases[1].td, cases[1].tk), (4, 8));
+        assert_eq!((cases[2].td, cases[2].tk), (4, 16));
+        assert_eq!((cases[3].td, cases[3].tk), (8, 4));
+        assert_eq!((cases[4].td, cases[4].tk), (8, 8));
+        assert_eq!((cases[5].td, cases[5].tk), (8, 16));
+    }
+
+    #[test]
+    fn edea_config_is_case6_la_tn2() {
+        let cfg = TileConfig::edea();
+        let case6 = table1_cases()[5];
+        assert_eq!(cfg, ExplorationGroup { order: LoopOrder::La, tn: 2 }.config(case6));
+    }
+
+    #[test]
+    fn input_tile_matches_fig5() {
+        // Fig. 5a: 4×4×8 ifmap at stride 1, 5×5×8 at stride 2.
+        let cfg = TileConfig::edea();
+        assert_eq!(cfg.input_tile(1), (4, 4));
+        assert_eq!(cfg.input_tile(2), (5, 5));
+    }
+
+    #[test]
+    fn four_groups() {
+        let groups = exploration_groups();
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().filter(|g| g.tn == 1).count() == 2);
+        assert!(groups.iter().filter(|g| g.order == LoopOrder::La).count() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_tile_rejected() {
+        let _ = TileConfig::new(0, 2, 8, 16, 3);
+    }
+
+    #[test]
+    fn display_mentions_all_parameters() {
+        let s = TileConfig::edea().to_string();
+        for part in ["Tn=2", "Tm=2", "Td=8", "Tk=16"] {
+            assert!(s.contains(part), "missing {part} in {s}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # EDEA — Efficient Dual-Engine Accelerator for Depthwise Separable Convolution
+//!
+//! Facade crate for the full reproduction of *"EDEA: Efficient Dual-Engine
+//! Accelerator for Depthwise Separable Convolution with Direct Data
+//! Transfer"* (Chen et al., SOCC 2024). Re-exports the workspace crates
+//! under one roof:
+//!
+//! * [`fixed`] — fixed-point arithmetic (Q8.16 Non-Conv constants).
+//! * [`tensor`] — tensors, int8 quantization, reference convolutions.
+//! * [`nn`] — MobileNetV1-CIFAR10, LSQ-style quantization, BN folding,
+//!   sparsity shaping, golden int8 executor.
+//! * [`dse`] — the design-space exploration of the paper's Sec. II.
+//! * [`core`] — the accelerator itself: engines, Non-Conv unit, buffers,
+//!   cycle-accurate pipeline, power/area models, scaling, baselines.
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! # Example
+//!
+//! ```
+//! use edea::{Edea, EdeaConfig};
+//! use edea::nn::mobilenet::MobileNetV1;
+//! use edea::nn::quantize::{QuantStrategy, QuantizedDscNetwork};
+//! use edea::nn::sparsity::SparsityProfile;
+//! use edea::tensor::rng;
+//!
+//! let mut model = MobileNetV1::synthetic(0.25, 1);
+//! let calib = rng::synthetic_batch(2, 3, 32, 32, 2);
+//! let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
+//!     &mut model, &calib, &SparsityProfile::paper(), QuantStrategy::paper())?;
+//! let edea = Edea::new(EdeaConfig::paper());
+//! let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
+//! let run = edea.run_network(&qnet, &input)?;
+//! println!("total cycles: {}", run.stats.total_cycles());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use edea_core as core;
+pub use edea_dse as dse;
+pub use edea_fixed as fixed;
+pub use edea_nn as nn;
+pub use edea_tensor as tensor;
+
+pub use edea_core::{Edea, EdeaConfig};
+pub use edea_nn::workload::mobilenet_v1_cifar10;

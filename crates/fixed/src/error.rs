@@ -1,0 +1,92 @@
+//! Error type for fixed-point construction and conversion.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or converting fixed-point values.
+///
+/// # Example
+///
+/// ```
+/// use edea_fixed::{QFormat, FixedError};
+///
+/// let err = QFormat::new(70, 10).unwrap_err();
+/// assert!(matches!(err, FixedError::InvalidFormat { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FixedError {
+    /// The requested Q-format is not representable (zero total bits, more
+    /// fractional than total bits, or more than 63 total bits).
+    InvalidFormat {
+        /// Requested total bit width (including sign).
+        total_bits: u8,
+        /// Requested fractional bit count.
+        frac_bits: u8,
+    },
+    /// A value did not fit in the target format and checked conversion was
+    /// requested.
+    Overflow {
+        /// The value that did not fit, expressed in raw target-format LSBs.
+        raw: i128,
+    },
+    /// The input was NaN or infinite.
+    NotFinite,
+    /// Two operands had different formats where identical formats are
+    /// required.
+    FormatMismatch {
+        /// Format of the left operand.
+        lhs: crate::QFormat,
+        /// Format of the right operand.
+        rhs: crate::QFormat,
+    },
+}
+
+impl fmt::Display for FixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedError::InvalidFormat { total_bits, frac_bits } => write!(
+                f,
+                "invalid fixed-point format: total_bits={total_bits}, frac_bits={frac_bits}"
+            ),
+            FixedError::Overflow { raw } => {
+                write!(f, "value with raw magnitude {raw} overflows the target format")
+            }
+            FixedError::NotFinite => write!(f, "floating-point input was NaN or infinite"),
+            FixedError::FormatMismatch { lhs, rhs } => {
+                write!(f, "operand formats differ: {lhs} vs {rhs}")
+            }
+        }
+    }
+}
+
+impl Error for FixedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QFormat;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = FixedError::NotFinite;
+        let s = e.to_string();
+        assert!(s.starts_with("floating"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FixedError>();
+    }
+
+    #[test]
+    fn format_mismatch_mentions_both_formats() {
+        let a = QFormat::new(16, 8).unwrap();
+        let b = QFormat::new(24, 16).unwrap();
+        let s = FixedError::FormatMismatch { lhs: a, rhs: b }.to_string();
+        assert!(s.contains("Q8.8"));
+        assert!(s.contains("Q8.16"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Runtime Q-format descriptions.
+
+use std::fmt;
+
+use crate::FixedError;
+
+/// A signed two's-complement fixed-point format: `total_bits` bits in all
+/// (including the sign bit), of which `frac_bits` are fractional.
+///
+/// The conventional name is `Q<i>.<f>` where `i = total_bits - frac_bits -
+/// 1`… conventions differ on whether the sign bit is counted; this crate
+/// follows the EDEA paper, which calls its 24-bit constant with 8 integer and
+/// 16 fractional bits "Q8.16" — i.e. **the integer-bit count includes the
+/// sign bit** (`total_bits = int_bits + frac_bits`).
+///
+/// # Example
+///
+/// ```
+/// use edea_fixed::QFormat;
+///
+/// let q = QFormat::new(24, 16)?;
+/// assert_eq!(q.int_bits(), 8);
+/// assert_eq!(q.resolution(), 1.0 / 65536.0);
+/// assert_eq!(q.max_value(), 128.0 - 1.0 / 65536.0);
+/// assert_eq!(q.min_value(), -128.0);
+/// # Ok::<(), edea_fixed::FixedError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    total_bits: u8,
+    frac_bits: u8,
+}
+
+impl QFormat {
+    /// Creates a format with `total_bits` total (2..=63) and `frac_bits`
+    /// fractional bits (`frac_bits < total_bits`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::InvalidFormat`] if the widths are out of range.
+    pub fn new(total_bits: u8, frac_bits: u8) -> Result<Self, FixedError> {
+        if !(2..=63).contains(&total_bits) || frac_bits >= total_bits {
+            return Err(FixedError::InvalidFormat { total_bits, frac_bits });
+        }
+        Ok(Self { total_bits, frac_bits })
+    }
+
+    /// The Q8.16 format of the EDEA Non-Conv constants `k` and `b`.
+    #[must_use]
+    pub fn q8_16() -> Self {
+        Self { total_bits: 24, frac_bits: 16 }
+    }
+
+    /// An 8-bit integer format (the activation/weight precision of EDEA).
+    #[must_use]
+    pub fn int8() -> Self {
+        Self { total_bits: 8, frac_bits: 0 }
+    }
+
+    /// Total bit width, including the sign bit.
+    #[must_use]
+    pub fn total_bits(&self) -> u8 {
+        self.total_bits
+    }
+
+    /// Number of fractional bits.
+    #[must_use]
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Number of integer bits (including the sign bit, paper convention).
+    #[must_use]
+    pub fn int_bits(&self) -> u8 {
+        self.total_bits - self.frac_bits
+    }
+
+    /// Smallest representable increment, `2^-frac_bits`.
+    #[must_use]
+    pub fn resolution(&self) -> f64 {
+        (self.frac_bits as i32).checked_neg().map(|e| 2f64.powi(e)).unwrap_or(1.0)
+    }
+
+    /// Largest representable raw integer, `2^(total_bits-1) - 1`.
+    #[must_use]
+    pub fn max_raw(&self) -> i64 {
+        (1i64 << (self.total_bits - 1)) - 1
+    }
+
+    /// Smallest representable raw integer, `-2^(total_bits-1)`.
+    #[must_use]
+    pub fn min_raw(&self) -> i64 {
+        -(1i64 << (self.total_bits - 1))
+    }
+
+    /// Largest representable real value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.max_raw() as f64 * self.resolution()
+    }
+
+    /// Smallest representable real value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.min_raw() as f64 * self.resolution()
+    }
+
+    /// Whether `raw` is representable in this format.
+    #[must_use]
+    pub fn contains_raw(&self, raw: i64) -> bool {
+        raw >= self.min_raw() && raw <= self.max_raw()
+    }
+
+    /// Clamps `raw` into the representable range (saturation).
+    #[must_use]
+    pub fn saturate_raw(&self, raw: i128) -> i64 {
+        raw.clamp(self.min_raw() as i128, self.max_raw() as i128) as i64
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits(), self.frac_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q8_16_matches_paper() {
+        let q = QFormat::q8_16();
+        assert_eq!(q.total_bits(), 24);
+        assert_eq!(q.int_bits(), 8);
+        assert_eq!(q.frac_bits(), 16);
+        assert_eq!(q.to_string(), "Q8.16");
+    }
+
+    #[test]
+    fn int8_range() {
+        let q = QFormat::int8();
+        assert_eq!(q.max_raw(), 127);
+        assert_eq!(q.min_raw(), -128);
+        assert_eq!(q.resolution(), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(QFormat::new(1, 0).is_err());
+        assert!(QFormat::new(64, 0).is_err());
+        assert!(QFormat::new(8, 8).is_err());
+        assert!(QFormat::new(0, 0).is_err());
+        assert!(QFormat::new(63, 62).is_ok());
+    }
+
+    #[test]
+    fn saturate_clamps_both_ends() {
+        let q = QFormat::int8();
+        assert_eq!(q.saturate_raw(1000), 127);
+        assert_eq!(q.saturate_raw(-1000), -128);
+        assert_eq!(q.saturate_raw(5), 5);
+    }
+
+    #[test]
+    fn range_is_symmetric_up_to_one_lsb() {
+        let q = QFormat::q8_16();
+        assert_eq!(q.min_value(), -128.0);
+        assert!((q.max_value() - (128.0 - q.resolution())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_raw_boundaries() {
+        let q = QFormat::new(16, 8).unwrap();
+        assert!(q.contains_raw(q.max_raw()));
+        assert!(q.contains_raw(q.min_raw()));
+        assert!(!q.contains_raw(q.max_raw() + 1));
+        assert!(!q.contains_raw(q.min_raw() - 1));
+    }
+}

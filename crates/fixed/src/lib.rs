@@ -1,0 +1,51 @@
+//! Fixed-point arithmetic substrate for the EDEA accelerator simulator.
+//!
+//! The EDEA paper's Non-Convolutional unit (Fig. 6) folds dequantization,
+//! batch normalization, ReLU and requantization between the depthwise (DWC)
+//! and pointwise (PWC) convolution engines into a single fixed-point affine
+//! transform `y = k·x + b`, with `k` and `b` represented as **24-bit
+//! fixed-point numbers with 8 integer bits and 16 fractional bits** (Q8.16).
+//!
+//! This crate provides the bit-exact arithmetic that the hardware would
+//! perform:
+//!
+//! * [`QFormat`] — a runtime description of a signed fixed-point format
+//!   (total bits, fractional bits).
+//! * [`Fx`] — a value paired with its format, with checked/saturating
+//!   conversions and arithmetic. Used by tests and model-exploration code.
+//! * [`Q8x16`] — the compile-time-fixed Q8.16 type used by the Non-Conv unit
+//!   datapath; cheap, `Copy`, and bit-exact.
+//! * [`Round`] — rounding modes (the hardware uses round-half-away-from-zero,
+//!   the usual "add half then shift" circuit).
+//! * Saturating helper functions in [`sat`].
+//!
+//! # Example
+//!
+//! ```
+//! use edea_fixed::{Q8x16, Round};
+//!
+//! // Fold BN parameters into k = 0.40625, b = -3.25 exactly:
+//! let k = Q8x16::from_f64(0.40625);
+//! let b = Q8x16::from_f64(-3.25);
+//! // Apply y = k*x + b to an integer accumulator value x = 100,
+//! // rounding to the nearest integer exactly as the RTL would:
+//! let y = k.mul_int_add(100, b).round_to_int(Round::HalfAwayFromZero);
+//! assert_eq!(y, 37); // 0.40625*100 - 3.25 = 37.375 -> 37
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod format;
+mod q8_16;
+mod round;
+pub mod sat;
+mod value;
+
+pub use error::FixedError;
+pub use format::QFormat;
+pub use q8_16::{Q8x16, WideQ16, Q8X16_FRAC_BITS, Q8X16_INT_BITS, Q8X16_TOTAL_BITS};
+pub use round::Round;
+pub use value::Fx;

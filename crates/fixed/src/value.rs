@@ -1,0 +1,293 @@
+//! Runtime-formatted fixed-point values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{FixedError, QFormat, Round};
+
+/// A fixed-point value: a raw two's-complement integer interpreted under a
+/// [`QFormat`].
+///
+/// `Fx` is the flexible, runtime-checked companion of the datapath type
+/// [`crate::Q8x16`]; it is used for exploring alternative Non-Conv constant
+/// widths (one of the paper's design decisions is that Q8.16 "covers all
+/// possible ranges of the values for k and b without losing precision") and
+/// in tests that sweep formats.
+///
+/// # Example
+///
+/// ```
+/// use edea_fixed::{Fx, QFormat, Round};
+///
+/// let q = QFormat::new(16, 8)?;
+/// let a = Fx::from_f64(1.5, q, Round::HalfAwayFromZero)?;
+/// let b = Fx::from_f64(2.25, q, Round::HalfAwayFromZero)?;
+/// let sum = a.checked_add(b)?;
+/// assert_eq!(sum.to_f64(), 3.75);
+/// # Ok::<(), edea_fixed::FixedError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fx {
+    raw: i64,
+    format: QFormat,
+}
+
+impl Fx {
+    /// Creates a value from its raw representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::Overflow`] if `raw` is outside the format range.
+    pub fn from_raw(raw: i64, format: QFormat) -> Result<Self, FixedError> {
+        if !format.contains_raw(raw) {
+            return Err(FixedError::Overflow { raw: raw as i128 });
+        }
+        Ok(Self { raw, format })
+    }
+
+    /// Creates a value from raw representation, saturating to the format
+    /// range.
+    #[must_use]
+    pub fn from_raw_saturating(raw: i128, format: QFormat) -> Self {
+        Self { raw: format.saturate_raw(raw), format }
+    }
+
+    /// Converts a finite `f64` into this format with the given rounding mode.
+    ///
+    /// # Errors
+    ///
+    /// * [`FixedError::NotFinite`] for NaN/infinite inputs.
+    /// * [`FixedError::Overflow`] if the rounded value exceeds the range.
+    pub fn from_f64(x: f64, format: QFormat, round: Round) -> Result<Self, FixedError> {
+        if !x.is_finite() {
+            return Err(FixedError::NotFinite);
+        }
+        let scaled = x * (1u64 << format.frac_bits()) as f64;
+        if scaled.abs() >= 2f64.powi(100) {
+            return Err(FixedError::Overflow { raw: i128::MAX });
+        }
+        let raw = round.round_f64(scaled);
+        if raw < format.min_raw() as i128 || raw > format.max_raw() as i128 {
+            return Err(FixedError::Overflow { raw });
+        }
+        Ok(Self { raw: raw as i64, format })
+    }
+
+    /// Converts a finite `f64`, saturating on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN (saturation direction would be meaningless).
+    #[must_use]
+    pub fn from_f64_saturating(x: f64, format: QFormat, round: Round) -> Self {
+        assert!(!x.is_nan(), "cannot saturate a NaN");
+        if x.is_infinite() {
+            let raw = if x > 0.0 { format.max_raw() } else { format.min_raw() };
+            return Self { raw, format };
+        }
+        let scaled = x * (1u64 << format.frac_bits()) as f64;
+        let raw = if scaled >= format.max_raw() as f64 {
+            format.max_raw() as i128
+        } else if scaled <= format.min_raw() as f64 {
+            format.min_raw() as i128
+        } else {
+            round.round_f64(scaled)
+        };
+        Self::from_raw_saturating(raw, format)
+    }
+
+    /// The raw two's-complement representation.
+    #[must_use]
+    pub fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// The format of this value.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// The real value represented, exactly (every `Fx` is a dyadic rational
+    /// representable in `f64` for total widths ≤ 53 bits).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 * self.format.resolution()
+    }
+
+    /// Checked addition; both operands must share a format.
+    ///
+    /// # Errors
+    ///
+    /// [`FixedError::FormatMismatch`] or [`FixedError::Overflow`].
+    pub fn checked_add(self, other: Self) -> Result<Self, FixedError> {
+        self.require_same_format(other)?;
+        let raw = self.raw as i128 + other.raw as i128;
+        if !self.format.contains_raw(raw.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+            || raw > i64::MAX as i128
+            || raw < i64::MIN as i128
+        {
+            return Err(FixedError::Overflow { raw });
+        }
+        Ok(Self { raw: raw as i64, format: self.format })
+    }
+
+    /// Saturating addition; both operands must share a format.
+    ///
+    /// # Errors
+    ///
+    /// [`FixedError::FormatMismatch`].
+    pub fn saturating_add(self, other: Self) -> Result<Self, FixedError> {
+        self.require_same_format(other)?;
+        let raw = self.raw as i128 + other.raw as i128;
+        Ok(Self::from_raw_saturating(raw, self.format))
+    }
+
+    /// Multiplies two fixed-point values; the exact product (format
+    /// `Qa.(fa+fb)`) is rounded back into `self`'s format with `round`,
+    /// saturating on overflow.
+    ///
+    /// # Errors
+    ///
+    /// [`FixedError::FormatMismatch`] if formats differ.
+    pub fn saturating_mul(self, other: Self, round: Round) -> Result<Self, FixedError> {
+        self.require_same_format(other)?;
+        let prod = self.raw as i128 * other.raw as i128;
+        let raw = round.shift_right(prod, u32::from(self.format.frac_bits()));
+        Ok(Self::from_raw_saturating(raw, self.format))
+    }
+
+    /// Converts into another format, rounding (when narrowing the fraction)
+    /// and saturating (when the integer part shrinks).
+    #[must_use]
+    pub fn convert(self, target: QFormat, round: Round) -> Self {
+        let ff = i32::from(self.format.frac_bits());
+        let tf = i32::from(target.frac_bits());
+        let raw = if tf >= ff {
+            (self.raw as i128) << (tf - ff)
+        } else {
+            round.shift_right(self.raw as i128, (ff - tf) as u32)
+        };
+        Self::from_raw_saturating(raw, target)
+    }
+
+    fn require_same_format(self, other: Self) -> Result<(), FixedError> {
+        if self.format != other.format {
+            return Err(FixedError::FormatMismatch { lhs: self.format, rhs: other.format });
+        }
+        Ok(())
+    }
+}
+
+impl PartialEq for Fx {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare the represented real value, independent of format.
+        self.raw as i128 * (1i128 << other.format.frac_bits())
+            == other.raw as i128 * (1i128 << self.format.frac_bits())
+    }
+}
+
+impl Eq for Fx {}
+
+impl PartialOrd for Fx {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Fx {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let a = self.raw as i128 * (1i128 << other.format.frac_bits());
+        let b = other.raw as i128 * (1i128 << self.format.frac_bits());
+        a.cmp(&b)
+    }
+}
+
+impl fmt::Display for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(t: u8, fr: u8) -> QFormat {
+        QFormat::new(t, fr).unwrap()
+    }
+
+    #[test]
+    fn from_f64_exact_dyadics_round_trip() {
+        let fmt = q(24, 16);
+        for x in [0.0, 1.0, -1.0, 0.5, -0.25, 127.5, -128.0, 0.0000152587890625] {
+            let v = Fx::from_f64(x, fmt, Round::HalfAwayFromZero).unwrap();
+            assert_eq!(v.to_f64(), x, "x={x}");
+        }
+    }
+
+    #[test]
+    fn from_f64_overflow_detected() {
+        let fmt = q(8, 0);
+        assert!(Fx::from_f64(127.0, fmt, Round::HalfAwayFromZero).is_ok());
+        assert!(Fx::from_f64(128.0, fmt, Round::HalfAwayFromZero).is_err());
+        assert!(Fx::from_f64(-128.0, fmt, Round::HalfAwayFromZero).is_ok());
+        assert!(Fx::from_f64(-129.0, fmt, Round::HalfAwayFromZero).is_err());
+    }
+
+    #[test]
+    fn saturating_from_f64_clamps() {
+        let fmt = q(8, 0);
+        assert_eq!(Fx::from_f64_saturating(1e9, fmt, Round::Floor).raw(), 127);
+        assert_eq!(Fx::from_f64_saturating(-1e9, fmt, Round::Floor).raw(), -128);
+        assert_eq!(Fx::from_f64_saturating(f64::INFINITY, fmt, Round::Floor).raw(), 127);
+    }
+
+    #[test]
+    fn add_and_mul_match_reals() {
+        let fmt = q(32, 16);
+        let a = Fx::from_f64(3.25, fmt, Round::HalfAwayFromZero).unwrap();
+        let b = Fx::from_f64(-1.75, fmt, Round::HalfAwayFromZero).unwrap();
+        assert_eq!(a.checked_add(b).unwrap().to_f64(), 1.5);
+        assert_eq!(a.saturating_mul(b, Round::HalfAwayFromZero).unwrap().to_f64(), -5.6875);
+    }
+
+    #[test]
+    fn mismatched_formats_rejected() {
+        let a = Fx::from_f64(1.0, q(16, 8), Round::Floor).unwrap();
+        let b = Fx::from_f64(1.0, q(24, 16), Round::Floor).unwrap();
+        assert!(matches!(a.checked_add(b), Err(FixedError::FormatMismatch { .. })));
+    }
+
+    #[test]
+    fn eq_and_ord_compare_real_values_across_formats() {
+        let a = Fx::from_f64(1.5, q(16, 8), Round::Floor).unwrap();
+        let b = Fx::from_f64(1.5, q(24, 16), Round::Floor).unwrap();
+        let c = Fx::from_f64(2.0, q(24, 16), Round::Floor).unwrap();
+        assert_eq!(a, b);
+        assert!(a < c);
+        assert!(c > b);
+    }
+
+    #[test]
+    fn convert_widens_exactly_and_narrows_with_rounding() {
+        let a = Fx::from_f64(1.625, q(16, 8), Round::Floor).unwrap();
+        let wide = a.convert(q(32, 24), Round::Floor);
+        assert_eq!(wide.to_f64(), 1.625);
+        let narrow = wide.convert(q(8, 1), Round::HalfAwayFromZero);
+        assert_eq!(narrow.to_f64(), 1.5); // 1.625 -> nearest half
+    }
+
+    #[test]
+    fn convert_saturates_when_integer_part_shrinks() {
+        let a = Fx::from_f64(100.0, q(16, 4), Round::Floor).unwrap();
+        let small = a.convert(q(8, 4), Round::Floor);
+        assert_eq!(small.raw(), small.format().max_raw());
+    }
+
+    #[test]
+    fn display_includes_format() {
+        let a = Fx::from_f64(1.5, q(16, 8), Round::Floor).unwrap();
+        assert_eq!(a.to_string(), "1.5 (Q8.8)");
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the fixed-point substrate.
+
+use edea_fixed::sat::{accumulator_bits, clamp_to_bits, fits_in_bits, min_signed_bits};
+use edea_fixed::{Fx, Q8x16, QFormat, Round};
+use proptest::prelude::*;
+
+const ALL_MODES: [Round; 4] =
+    [Round::Truncate, Round::Floor, Round::HalfAwayFromZero, Round::HalfToEven];
+
+proptest! {
+    /// Converting any in-range f64 to Q8.16 commits at most half an LSB of error.
+    #[test]
+    fn q8_16_from_f64_error_bounded(x in -127.9f64..127.9) {
+        let err = Q8x16::quantization_error(x);
+        prop_assert!(err <= 0.5 / 65536.0 + 1e-12, "x={x} err={err}");
+    }
+
+    /// Q8.16 raw round-trip: from_raw(raw()).raw() == raw().
+    #[test]
+    fn q8_16_raw_round_trip(raw in -(1i32 << 23)..(1i32 << 23)) {
+        let v = Q8x16::from_raw(raw);
+        prop_assert_eq!(Q8x16::from_raw(v.raw()).raw(), raw);
+    }
+
+    /// to_f64 then from_f64 is the identity on representable values.
+    #[test]
+    fn q8_16_f64_round_trip(raw in -(1i32 << 23)..(1i32 << 23)) {
+        let v = Q8x16::from_raw(raw);
+        prop_assert_eq!(Q8x16::from_f64(v.to_f64()), v);
+    }
+
+    /// mul_int_add is exact: matches wide integer reference arithmetic.
+    #[test]
+    fn mul_int_add_exact(k in -(1i32 << 23)..(1i32 << 23),
+                         x in -1_000_000i32..1_000_000,
+                         b in -(1i32 << 23)..(1i32 << 23)) {
+        let w = Q8x16::from_raw(k).mul_int_add(x, Q8x16::from_raw(b));
+        prop_assert_eq!(w.raw(), i64::from(k) * i64::from(x) + i64::from(b));
+    }
+
+    /// Rounding a wide value to int differs from the f64 reference by at most
+    /// one LSB caused by f64 representation — for exact inputs it is equal.
+    #[test]
+    fn wide_round_matches_f64(k in -(1i32 << 20)..(1i32 << 20), x in -10_000i32..10_000) {
+        let w = Q8x16::from_raw(k).mul_int_add(x, Q8x16::ZERO);
+        let f = w.to_f64();
+        for mode in ALL_MODES {
+            prop_assert_eq!(w.round_to_int(mode) as i128, mode.round_f64(f), "mode={:?}", mode);
+        }
+    }
+
+    /// round_clip_i8 always lands inside the clip range.
+    #[test]
+    fn clip_stays_in_range(k in -(1i32 << 23)..(1i32 << 23),
+                           x in i32::MIN/65536..i32::MAX/65536,
+                           lo in -128i8..0, hi in 0i8..=127) {
+        let w = Q8x16::from_raw(k).mul_int_add(x, Q8x16::ZERO);
+        let y = w.round_clip_i8(Round::HalfAwayFromZero, lo, hi);
+        prop_assert!(y >= lo && y <= hi);
+    }
+
+    /// All rounding modes agree within one unit, and exactly when the value
+    /// is already an integer.
+    #[test]
+    fn rounding_modes_within_one_unit(v in any::<i64>(), bits in 1u32..40) {
+        let results: Vec<i128> =
+            ALL_MODES.iter().map(|m| m.shift_right(v as i128, bits)).collect();
+        let min = results.iter().min().unwrap();
+        let max = results.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "v={v} bits={bits} results={results:?}");
+        if v % (1i64 << bits.min(62)) == 0 {
+            prop_assert_eq!(max, min);
+        }
+    }
+
+    /// shift_right never differs from the true quotient by more than 1,
+    /// and HalfAwayFromZero minimizes |error| among integers.
+    #[test]
+    fn half_away_is_nearest(v in -(1i64 << 40)..(1i64 << 40), bits in 1u32..20) {
+        let r = Round::HalfAwayFromZero.shift_right(v as i128, bits);
+        let scale = 1i128 << bits;
+        let err = (v as i128 - r * scale).abs();
+        prop_assert!(err * 2 <= scale, "not nearest: v={v} bits={bits} r={r}");
+    }
+
+    /// Fx: f64 -> Fx -> f64 commits at most half a resolution step.
+    #[test]
+    fn fx_from_f64_error_bounded(x in -100.0f64..100.0, frac in 0u8..20) {
+        let fmt = QFormat::new(32, frac).unwrap();
+        let v = Fx::from_f64(x, fmt, Round::HalfAwayFromZero).unwrap();
+        prop_assert!((v.to_f64() - x).abs() <= fmt.resolution() / 2.0 + 1e-12);
+    }
+
+    /// Fx addition matches rational arithmetic when in range.
+    #[test]
+    fn fx_add_matches_reference(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let fmt = QFormat::new(32, 8).unwrap();
+        let x = Fx::from_raw(a, fmt).unwrap();
+        let y = Fx::from_raw(b, fmt).unwrap();
+        prop_assert_eq!(x.checked_add(y).unwrap().raw(), a + b);
+    }
+
+    /// Saturating conversion is monotone: x <= y implies sat(x) <= sat(y).
+    #[test]
+    fn fx_saturating_monotone(x in -1e6f64..1e6, d in 0.0f64..1e5) {
+        let fmt = QFormat::new(16, 4).unwrap();
+        let lo = Fx::from_f64_saturating(x, fmt, Round::HalfAwayFromZero);
+        let hi = Fx::from_f64_saturating(x + d, fmt, Round::HalfAwayFromZero);
+        prop_assert!(lo <= hi);
+    }
+
+    /// Format conversion: widening then narrowing returns the original value.
+    #[test]
+    fn fx_convert_round_trip(raw in -30_000i64..30_000) {
+        let narrow = QFormat::new(24, 8).unwrap();
+        let wide = QFormat::new(48, 24).unwrap();
+        let v = Fx::from_raw(raw, narrow).unwrap();
+        let back = v.convert(wide, Round::Floor).convert(narrow, Round::Floor);
+        prop_assert_eq!(back.raw(), raw);
+    }
+
+    /// clamp_to_bits output always fits; fits_in_bits consistent with clamp.
+    #[test]
+    fn clamp_fits(v in any::<i64>(), bits in 2u32..63) {
+        let c = clamp_to_bits(v, bits);
+        prop_assert!(fits_in_bits(c, bits));
+        prop_assert_eq!(fits_in_bits(v, bits), c == v);
+    }
+
+    /// min_signed_bits is exact: value fits in that width but not one less.
+    #[test]
+    fn min_signed_bits_tight(v in -(1i64 << 40)..(1i64 << 40)) {
+        let bits = min_signed_bits(v).max(2);
+        prop_assert!(fits_in_bits(v, bits));
+        if bits > 2 {
+            prop_assert!(!fits_in_bits(v, bits - 1) || min_signed_bits(v) <= 2);
+        }
+    }
+
+    /// The accumulator sizing bound is safe for random operand sets.
+    #[test]
+    fn accumulator_bound_safe(values in prop::collection::vec(-128i64..=127, 1..64)) {
+        let n = values.len() as u64;
+        let bits = accumulator_bits(8, 8, n);
+        let worst: i64 = values.iter().map(|v| v * 127).sum::<i64>().abs();
+        prop_assert!(fits_in_bits(worst, bits));
+    }
+}

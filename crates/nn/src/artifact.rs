@@ -1,0 +1,342 @@
+//! Deployment artifact: the binary blob the accelerator consumes.
+//!
+//! The paper's flow ends with pre-computed int8 weights and Q8.16 Non-Conv
+//! constants being loaded into the accelerator's buffers from external
+//! memory. This module defines that artifact: a deterministic, versioned,
+//! checksummed binary serialization of a [`QuantizedDscNetwork`] — what a
+//! driver would DMA to the device — with a strict round-trip guarantee.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic "EDEA"  | u32 version | u32 layer count | f32 input scale
+//! per layer:
+//!   u32×5 shape (in_spatial, d_in, k_out, stride, kernel)
+//!   f32×3 scales (s_in, s_mid, s_out)
+//!   f32 dw weight scale, i8[9·D] dw weights
+//!   f32 pw weight scale, i8[D·K] pw weights
+//!   i32[2·D] nonconv1 (k, b) raw Q8.16 words
+//!   i32[2·K] nonconv2 (k, b) raw Q8.16 words
+//! u32 FNV-1a checksum of everything above
+//! ```
+
+use edea_fixed::Q8x16;
+use edea_tensor::{QTensor4, QuantParams, Tensor4};
+
+use crate::fold::FoldedAffine;
+use crate::quantize::{QuantizedDscLayer, QuantizedDscNetwork};
+use crate::workload::LayerShape;
+use crate::NnError;
+
+const MAGIC: &[u8; 4] = b"EDEA";
+/// Artifact format version.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// FNV-1a, the checksum of the artifact body.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i8s(&mut self, vs: &[i8]) {
+        self.buf.extend(vs.iter().map(|&v| v as u8));
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NnError> {
+        if self.pos + n > self.buf.len() {
+            return Err(NnError::InvalidConfig {
+                detail: format!("artifact truncated at byte {}", self.pos),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, NnError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn i32(&mut self) -> Result<i32, NnError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn f32(&mut self) -> Result<f32, NnError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn i8s(&mut self, n: usize) -> Result<Vec<i8>, NnError> {
+        Ok(self.take(n)?.iter().map(|&b| b as i8).collect())
+    }
+}
+
+/// Serializes a quantized network into the deployment blob.
+#[must_use]
+pub fn serialize(net: &QuantizedDscNetwork) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(ARTIFACT_VERSION);
+    w.u32(net.layers().len() as u32);
+    w.f32(net.input_params().scale());
+    for l in net.layers() {
+        let s = l.shape();
+        for v in [s.in_spatial, s.d_in, s.k_out, s.stride, s.kernel] {
+            w.u32(v as u32);
+        }
+        w.f32(l.s_in());
+        w.f32(l.s_mid());
+        w.f32(l.s_out());
+        w.f32(l.dw_weights().params().scale());
+        w.i8s(l.dw_weights().values().as_slice());
+        w.f32(l.pw_weights().params().scale());
+        w.i8s(l.pw_weights().values().as_slice());
+        for f in l.nonconv1() {
+            w.i32(f.k.raw());
+            w.i32(f.b.raw());
+        }
+        for f in l.nonconv2() {
+            w.i32(f.k.raw());
+            w.i32(f.b.raw());
+        }
+    }
+    let checksum = fnv1a(&w.buf);
+    w.u32(checksum);
+    w.buf
+}
+
+fn affine_from_raw(k_raw: i32, b_raw: i32) -> FoldedAffine {
+    let k = Q8x16::from_raw(k_raw);
+    let b = Q8x16::from_raw(b_raw);
+    FoldedAffine { k_exact: k.to_f64(), b_exact: b.to_f64(), k, b }
+}
+
+/// Deserializes a deployment blob.
+///
+/// # Errors
+///
+/// [`NnError::InvalidConfig`] on bad magic, unsupported version, truncation,
+/// or checksum mismatch.
+pub fn deserialize(bytes: &[u8]) -> Result<QuantizedDscNetwork, NnError> {
+    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+        return Err(NnError::InvalidConfig { detail: "not an EDEA artifact".into() });
+    }
+    if bytes.len() < 4 {
+        return Err(NnError::InvalidConfig { detail: "artifact too short".into() });
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored =
+        u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if fnv1a(body) != stored {
+        return Err(NnError::InvalidConfig { detail: "artifact checksum mismatch".into() });
+    }
+    let mut r = Reader { buf: body, pos: 4 };
+    let version = r.u32()?;
+    if version != ARTIFACT_VERSION {
+        return Err(NnError::InvalidConfig {
+            detail: format!("unsupported artifact version {version}"),
+        });
+    }
+    let n_layers = r.u32()? as usize;
+    if n_layers > 1024 {
+        return Err(NnError::InvalidConfig { detail: "implausible layer count".into() });
+    }
+    let input_scale = r.f32()?;
+    let input_params = QuantParams::new(input_scale)
+        .map_err(|e| NnError::InvalidConfig { detail: e.to_string() })?;
+    let mut layers = Vec::with_capacity(n_layers);
+    for index in 0..n_layers {
+        let in_spatial = r.u32()? as usize;
+        let d_in = r.u32()? as usize;
+        let k_out = r.u32()? as usize;
+        let stride = r.u32()? as usize;
+        let kernel = r.u32()? as usize;
+        if d_in == 0 || k_out == 0 || stride == 0 || kernel == 0 || in_spatial == 0 {
+            return Err(NnError::InvalidConfig {
+                detail: format!("layer {index}: zero dimension"),
+            });
+        }
+        let shape = LayerShape { index, in_spatial, d_in, k_out, stride, kernel };
+        let s_in = r.f32()?;
+        let s_mid = r.f32()?;
+        let s_out = r.f32()?;
+        let dw_scale = r.f32()?;
+        let dw = r.i8s(kernel * kernel * d_in)?;
+        let pw_scale = r.f32()?;
+        let pw = r.i8s(d_in * k_out)?;
+        let mut nonconv1 = Vec::with_capacity(d_in);
+        for _ in 0..d_in {
+            let k = r.i32()?;
+            let b = r.i32()?;
+            nonconv1.push(affine_from_raw(k, b));
+        }
+        let mut nonconv2 = Vec::with_capacity(k_out);
+        for _ in 0..k_out {
+            let k = r.i32()?;
+            let b = r.i32()?;
+            nonconv2.push(affine_from_raw(k, b));
+        }
+        let dw_t = Tensor4::from_vec(dw, d_in, 1, kernel, kernel)
+            .map_err(|e| NnError::InvalidConfig { detail: e.to_string() })?;
+        let pw_t = Tensor4::from_vec(pw, k_out, d_in, 1, 1)
+            .map_err(|e| NnError::InvalidConfig { detail: e.to_string() })?;
+        let dw_params = QuantParams::new(dw_scale)
+            .map_err(|e| NnError::InvalidConfig { detail: e.to_string() })?;
+        let pw_params = QuantParams::new(pw_scale)
+            .map_err(|e| NnError::InvalidConfig { detail: e.to_string() })?;
+        layers.push(QuantizedDscLayer::from_parts(
+            shape,
+            QTensor4::new(dw_t, dw_params),
+            QTensor4::new(pw_t, pw_params),
+            nonconv1,
+            nonconv2,
+            s_in,
+            s_mid,
+            s_out,
+        ));
+    }
+    if r.pos != body.len() {
+        return Err(NnError::InvalidConfig {
+            detail: format!("{} trailing bytes in artifact", body.len() - r.pos),
+        });
+    }
+    Ok(QuantizedDscNetwork::from_parts(input_params, layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor;
+    use crate::mobilenet::MobileNetV1;
+    use crate::quantize::QuantStrategy;
+    use crate::sparsity::SparsityProfile;
+    use edea_tensor::rng;
+
+    fn network() -> (MobileNetV1, QuantizedDscNetwork) {
+        let mut model = MobileNetV1::synthetic(0.25, 91);
+        let calib = rng::synthetic_batch(1, 3, 32, 32, 92);
+        let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
+            &mut model,
+            &calib,
+            &SparsityProfile::paper(),
+            QuantStrategy::paper(),
+        )
+        .unwrap();
+        (model, qnet)
+    }
+
+    #[test]
+    fn round_trip_preserves_execution_bit_exactly() {
+        let (model, qnet) = network();
+        let blob = serialize(&qnet);
+        let restored = deserialize(&blob).expect("valid artifact");
+        // The restored network must execute identically.
+        let img = rng::synthetic_image(3, 32, 32, 93);
+        let input = qnet.quantize_input(&model.forward_stem(&img));
+        let a = executor::run_network(&qnet, &input);
+        let b = executor::run_network(&restored, &input);
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn round_trip_preserves_all_parameters() {
+        let (_, qnet) = network();
+        let restored = deserialize(&serialize(&qnet)).unwrap();
+        assert_eq!(restored.layers().len(), qnet.layers().len());
+        for (a, b) in qnet.layers().iter().zip(restored.layers()) {
+            assert_eq!(a.shape(), b.shape());
+            assert_eq!(a.dw_weights().values(), b.dw_weights().values());
+            assert_eq!(a.pw_weights().values(), b.pw_weights().values());
+            assert_eq!(a.s_in(), b.s_in());
+            assert_eq!(a.s_mid(), b.s_mid());
+            assert_eq!(a.s_out(), b.s_out());
+            for (fa, fb) in a.nonconv1().iter().zip(b.nonconv1()) {
+                assert_eq!(fa.k, fb.k);
+                assert_eq!(fa.b, fb.b);
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let (_, qnet) = network();
+        assert_eq!(serialize(&qnet), serialize(&qnet));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let (_, qnet) = network();
+        let mut blob = serialize(&qnet);
+        blob[0] = b'X';
+        assert!(deserialize(&blob).is_err());
+    }
+
+    #[test]
+    fn rejects_corruption_anywhere() {
+        let (_, qnet) = network();
+        let blob = serialize(&qnet);
+        // Flip one byte in several places spread over the blob.
+        for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let mut bad = blob.clone();
+            let idx = (blob.len() as f64 * frac) as usize;
+            bad[idx] ^= 0x55;
+            assert!(deserialize(&bad).is_err(), "corruption at {idx} not caught");
+        }
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let (_, qnet) = network();
+        let blob = serialize(&qnet);
+        assert!(deserialize(&blob[..blob.len() / 2]).is_err());
+        assert!(deserialize(&blob[..3]).is_err());
+        assert!(deserialize(&[]).is_err());
+    }
+
+    #[test]
+    fn artifact_size_tracks_parameter_count() {
+        let (_, qnet) = network();
+        let blob = serialize(&qnet);
+        let params: usize = qnet
+            .layers()
+            .iter()
+            .map(|l| l.dw_weights().values().len() + l.pw_weights().values().len())
+            .sum();
+        // Weights dominate; overhead is scales + nonconv words + header.
+        assert!(blob.len() > params);
+        assert!(blob.len() < params + 64 * params.max(4096), "{}", blob.len());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let (_, qnet) = network();
+        let mut blob = serialize(&qnet);
+        // Bump the version field (bytes 4..8) and fix up the checksum.
+        blob[4] = 99;
+        let body_len = blob.len() - 4;
+        let sum = super::fnv1a(&blob[..body_len]);
+        blob[body_len..].copy_from_slice(&sum.to_le_bytes());
+        let err = deserialize(&blob).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by network construction, calibration, or execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A layer received an input whose shape does not match its definition.
+    ShapeMismatch {
+        /// Which layer complained.
+        layer: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Calibration was attempted with no calibration images.
+    EmptyCalibrationSet,
+    /// A configuration value was out of its valid range.
+    InvalidConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { layer, detail } => {
+                write!(f, "shape mismatch at layer {layer}: {detail}")
+            }
+            NnError::EmptyCalibrationSet => write!(f, "calibration set must not be empty"),
+            NnError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NnError::ShapeMismatch { layer: 3, detail: "bad channels".into() };
+        assert!(e.to_string().contains("layer 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NnError>();
+    }
+}

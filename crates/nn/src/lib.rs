@@ -1,0 +1,56 @@
+//! Neural-network substrate for the EDEA accelerator simulator.
+//!
+//! The EDEA paper (SOCC 2024) evaluates its dual-engine depthwise-separable
+//! convolution (DSC) accelerator on **MobileNetV1 trained on CIFAR-10 and
+//! quantized to 8 bits with LSQ**. This crate supplies everything the
+//! accelerator simulator needs from that software stack, built from scratch:
+//!
+//! * [`workload`] — the 13 DSC layer shapes of MobileNetV1-CIFAR10 and their
+//!   MAC/parameter counts (the workload database every experiment iterates
+//!   over).
+//! * [`mobilenet`] — a full float MobileNetV1 model (stem + 13 DSC blocks +
+//!   classifier) with deterministic synthetic parameters.
+//! * [`observer`] / [`lsq`] — activation-range observers and an LSQ-style
+//!   learned-step-size quantizer (gradient descent on the quantization
+//!   objective, the inference-time essence of paper ref \[14\]).
+//! * [`fold`] — the Non-Conv fold: dequantization + batch norm + ReLU +
+//!   requantization collapsed into `y = k·x + b` with Q8.16 constants
+//!   (paper Fig. 6).
+//! * [`sparsity`] — shapes per-layer BN parameters so the post-ReLU zero
+//!   fraction matches the trained-network profile of paper Fig. 11 (the
+//!   substitution for the unavailable trained checkpoint).
+//! * [`quantize`] — assembles a fully-quantized DSC network from the float
+//!   model plus a calibration batch.
+//! * [`executor`] — the bit-exact int8 golden executor the accelerator
+//!   simulator is verified against, with per-layer activity statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use edea_nn::mobilenet::MobileNetV1;
+//! use edea_nn::quantize::QuantizedDscNetwork;
+//! use edea_tensor::rng;
+//!
+//! // A width-0.25 model keeps doc tests fast; the experiments use 1.0.
+//! let model = MobileNetV1::synthetic(0.25, 42);
+//! let calib = rng::synthetic_batch(2, 3, 32, 32, 7);
+//! let qnet = QuantizedDscNetwork::calibrate(&model, &calib);
+//! assert_eq!(qnet.layers().len(), 13);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod artifact;
+mod error;
+pub mod executor;
+pub mod fold;
+pub mod lsq;
+pub mod mobilenet;
+pub mod observer;
+pub mod quantize;
+pub mod sparsity;
+pub mod workload;
+
+pub use error::NnError;

@@ -1,0 +1,229 @@
+//! LSQ-style learned step size quantization.
+//!
+//! The paper quantizes weights and activations to 8 bits "using the LSQ
+//! technique" (Esser et al., paper ref \[14\]). Full LSQ learns each step size
+//! jointly with the network weights during training; what survives to
+//! inference — and all the accelerator ever sees — is one learned positive
+//! step per tensor. We reproduce the *learning rule* faithfully on the
+//! quantization objective itself: gradient descent on the reconstruction
+//! error using LSQ's straight-through step-size gradient, including its
+//! gradient scaling factor `1/sqrt(N·Qp)`.
+
+use crate::NnError;
+
+/// Configuration for step-size learning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LsqConfig {
+    /// Lower quantization bound (e.g. `-128` for signed int8, `0` for
+    /// post-ReLU activations).
+    pub qn: i32,
+    /// Upper quantization bound (e.g. `127`).
+    pub qp: i32,
+    /// Gradient-descent iterations.
+    pub iters: usize,
+    /// Learning rate on the step size.
+    pub lr: f64,
+}
+
+impl LsqConfig {
+    /// Signed int8 weights: `[-128, 127]`.
+    #[must_use]
+    pub fn weight_int8() -> Self {
+        Self { qn: -128, qp: 127, iters: 60, lr: 0.02 }
+    }
+
+    /// Unsigned-range int8 activations (post-ReLU): `[0, 127]`.
+    #[must_use]
+    pub fn activation_int8() -> Self {
+        Self { qn: 0, qp: 127, iters: 60, lr: 0.02 }
+    }
+
+    /// Validates bounds and hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::InvalidConfig`] when `qn >= qp`, `lr <= 0`, or `iters == 0`.
+    pub fn validate(&self) -> Result<(), NnError> {
+        if self.qn >= self.qp {
+            return Err(NnError::InvalidConfig {
+                detail: format!("qn {} must be below qp {}", self.qn, self.qp),
+            });
+        }
+        if !(self.lr > 0.0 && self.lr.is_finite()) {
+            return Err(NnError::InvalidConfig { detail: "lr must be positive".into() });
+        }
+        if self.iters == 0 {
+            return Err(NnError::InvalidConfig { detail: "iters must be positive".into() });
+        }
+        Ok(())
+    }
+}
+
+/// Quantize-dequantize one value with step `s`:
+/// `clip(round(v/s), qn, qp) * s`.
+#[must_use]
+pub fn fake_quantize(v: f64, s: f64, qn: i32, qp: i32) -> f64 {
+    let q = (v / s).round().clamp(f64::from(qn), f64::from(qp));
+    q * s
+}
+
+/// LSQ gradient of the quantize-dequantize output with respect to the step
+/// size, for one value (Esser et al., Eq. 3):
+///
+/// * inside the range: `-v/s + round(v/s)`
+/// * clipped low: `qn`
+/// * clipped high: `qp`
+#[must_use]
+pub fn step_gradient(v: f64, s: f64, qn: i32, qp: i32) -> f64 {
+    let ratio = v / s;
+    if ratio <= f64::from(qn) {
+        f64::from(qn)
+    } else if ratio >= f64::from(qp) {
+        f64::from(qp)
+    } else {
+        -ratio + ratio.round()
+    }
+}
+
+/// Learns a step size minimizing `Σ (fake_quantize(v) − v)²` by gradient
+/// descent with LSQ's gradient scale `g = 1/sqrt(N·Qp)`.
+///
+/// Returns the learned positive step.
+///
+/// # Panics
+///
+/// Panics if `values` is empty, `init` is not positive, or `cfg` is invalid.
+#[must_use]
+pub fn learn_step(values: &[f32], init: f32, cfg: &LsqConfig) -> f32 {
+    assert!(!values.is_empty(), "cannot learn a step from no values");
+    assert!(init > 0.0 && init.is_finite(), "initial step must be positive");
+    cfg.validate().expect("invalid LSQ config");
+    let n = values.len() as f64;
+    let grad_scale = 1.0 / (n * f64::from(cfg.qp.max(1))).sqrt();
+    let mut s = f64::from(init);
+    for _ in 0..cfg.iters {
+        let mut grad = 0.0f64;
+        for &v in values {
+            let v = f64::from(v);
+            let vq = fake_quantize(v, s, cfg.qn, cfg.qp);
+            // dL/ds = 2(v̂ - v) * dv̂/ds, with LSQ gradient scaling.
+            grad += 2.0 * (vq - v) * step_gradient(v, s, cfg.qn, cfg.qp);
+        }
+        grad *= grad_scale / n;
+        s -= cfg.lr * grad;
+        // Step sizes must stay positive; LSQ clamps implicitly via its
+        // parameterization, we clamp explicitly.
+        if s < 1e-12 {
+            s = 1e-12;
+        }
+    }
+    s as f32
+}
+
+/// Mean squared reconstruction error of quantizing `values` with step `s`.
+#[must_use]
+pub fn reconstruction_mse(values: &[f32], s: f32, qn: i32, qp: i32) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let e = fake_quantize(f64::from(v), f64::from(s), qn, qp) - f64::from(v);
+            e * e
+        })
+        .sum::<f64>()
+        / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_tensor::rng::Normal;
+
+    fn normal_pool(n: usize, seed: u64, scale: f32) -> Vec<f32> {
+        let mut g = Normal::new(seed);
+        (0..n).map(|_| g.sample() as f32 * scale).collect()
+    }
+
+    #[test]
+    fn gradient_zero_for_exactly_representable() {
+        // v = 3*s inside range: round(v/s) == v/s, gradient 0.
+        assert_eq!(step_gradient(3.0, 1.0, -128, 127), 0.0);
+    }
+
+    #[test]
+    fn gradient_is_clip_bound_outside_range() {
+        assert_eq!(step_gradient(1e6, 1.0, -128, 127), 127.0);
+        assert_eq!(step_gradient(-1e6, 1.0, -128, 127), -128.0);
+    }
+
+    #[test]
+    fn fake_quantize_clamps() {
+        assert_eq!(fake_quantize(1000.0, 1.0, -128, 127), 127.0);
+        assert_eq!(fake_quantize(-1000.0, 1.0, -128, 127), -128.0);
+        assert_eq!(fake_quantize(2.4, 1.0, -128, 127), 2.0);
+    }
+
+    #[test]
+    fn learning_reduces_mse() {
+        let vals = normal_pool(4000, 5, 1.0);
+        let cfg = LsqConfig::weight_int8();
+        // Deliberately bad init: 4x too large.
+        let init = 4.0 * 1.0 / 127.0 * 3.0;
+        let before = reconstruction_mse(&vals, init, cfg.qn, cfg.qp);
+        let s = learn_step(&vals, init, &cfg);
+        let after = reconstruction_mse(&vals, s, cfg.qn, cfg.qp);
+        assert!(after < before, "LSQ must improve: {before} -> {after}");
+    }
+
+    #[test]
+    fn learned_step_is_near_grid_optimum() {
+        let vals = normal_pool(3000, 6, 0.5);
+        let cfg = LsqConfig { iters: 300, lr: 0.05, ..LsqConfig::weight_int8() };
+        let init = vals.iter().fold(0.0f32, |m, v| m.max(v.abs())) / 127.0;
+        let s = learn_step(&vals, init, &cfg);
+        // Dense grid search for the reference optimum:
+        let mut best = f64::INFINITY;
+        for i in 1..400 {
+            let cand = init * (0.2 + i as f32 * 0.005);
+            best = best.min(reconstruction_mse(&vals, cand, cfg.qn, cfg.qp));
+        }
+        let got = reconstruction_mse(&vals, s, cfg.qn, cfg.qp);
+        assert!(got <= best * 1.10, "LSQ {got} vs grid {best}");
+    }
+
+    #[test]
+    fn activation_range_ignores_negative_tail() {
+        // Post-ReLU pools are non-negative; qn = 0 config must handle them.
+        let vals: Vec<f32> = normal_pool(2000, 7, 1.0).iter().map(|v| v.abs()).collect();
+        let cfg = LsqConfig::activation_int8();
+        let s = learn_step(&vals, 0.05, &cfg);
+        assert!(s > 0.0);
+        let mse = reconstruction_mse(&vals, s, cfg.qn, cfg.qp);
+        assert!(mse < 1e-3);
+    }
+
+    #[test]
+    fn step_stays_positive_under_adversarial_lr() {
+        let vals = vec![0.001f32; 100];
+        let cfg = LsqConfig { qn: -128, qp: 127, iters: 500, lr: 10.0 };
+        let s = learn_step(&vals, 1.0, &cfg);
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(LsqConfig::weight_int8().validate().is_ok());
+        assert!(LsqConfig { qn: 5, qp: 5, iters: 1, lr: 0.1 }.validate().is_err());
+        assert!(LsqConfig { qn: 0, qp: 127, iters: 0, lr: 0.1 }.validate().is_err());
+        assert!(LsqConfig { qn: 0, qp: 127, iters: 1, lr: -0.1 }.validate().is_err());
+    }
+
+    #[test]
+    fn learning_is_deterministic() {
+        let vals = normal_pool(500, 9, 1.0);
+        let cfg = LsqConfig::weight_int8();
+        assert_eq!(learn_step(&vals, 0.02, &cfg), learn_step(&vals, 0.02, &cfg));
+    }
+}

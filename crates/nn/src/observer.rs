@@ -1,0 +1,145 @@
+//! Activation-range observers for post-training quantization.
+//!
+//! An observer watches a pool of calibration values and proposes the int8
+//! step size (scale). The paper uses LSQ (learned step size); observers
+//! provide the initialization LSQ starts from, and are useful baselines when
+//! comparing quantization strategies (the "appropriate quantization
+//! strategies" design-space axis of the paper's introduction).
+
+use edea_tensor::ops::{quantile, Stats};
+use edea_tensor::QuantParams;
+
+/// Strategy for deriving a quantization scale from calibration values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Observer {
+    /// Scale from the absolute maximum (no clipping, widest step).
+    MinMax,
+    /// Scale from the given quantile of |x| (clips outliers), e.g. `0.999`.
+    Percentile(f64),
+    /// Grid search over candidate scales minimizing quantization MSE.
+    MseSearch {
+        /// Number of grid points between 0.2× and 1.2× the max-abs scale.
+        steps: usize,
+    },
+}
+
+impl Observer {
+    /// Derives quantization parameters from a pool of calibration values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or all-zero (no range to calibrate).
+    #[must_use]
+    pub fn scale_for(&self, values: &[f32]) -> QuantParams {
+        assert!(!values.is_empty(), "observer needs calibration values");
+        let stats = Stats::compute(values);
+        let max_abs = stats.max_abs();
+        assert!(max_abs > 0.0, "observer needs at least one non-zero value");
+        match *self {
+            Observer::MinMax => QuantParams::from_max_abs(max_abs),
+            Observer::Percentile(q) => {
+                assert!((0.0..=1.0).contains(&q), "percentile out of range");
+                let abs: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+                let clip = quantile(&abs, q).max(max_abs * 1e-3);
+                QuantParams::from_max_abs(clip)
+            }
+            Observer::MseSearch { steps } => {
+                assert!(steps >= 2, "mse search needs at least 2 steps");
+                let base = max_abs / 127.0;
+                let mut best = QuantParams::from_max_abs(max_abs);
+                let mut best_mse = best.mse(values);
+                for i in 0..steps {
+                    let factor = 0.2 + i as f32 / (steps - 1) as f32;
+                    let cand = QuantParams::new(base * factor).expect("positive scale");
+                    let mse = cand.mse(values);
+                    if mse < best_mse {
+                        best_mse = mse;
+                        best = cand;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_tensor::rng::Normal;
+
+    fn normal_pool(n: usize, seed: u64) -> Vec<f32> {
+        let mut g = Normal::new(seed);
+        (0..n).map(|_| g.sample() as f32).collect()
+    }
+
+    #[test]
+    fn minmax_maps_extreme_to_127() {
+        let vals = vec![-3.0f32, 1.0, 2.0];
+        let q = Observer::MinMax.scale_for(&vals);
+        assert_eq!(q.quantize(-3.0), -127);
+    }
+
+    #[test]
+    fn percentile_clips_outliers() {
+        let mut vals = normal_pool(10_000, 1);
+        vals.push(1000.0); // a wild outlier
+        let minmax = Observer::MinMax.scale_for(&vals);
+        let pct = Observer::Percentile(0.999).scale_for(&vals);
+        assert!(pct.scale() < minmax.scale() / 50.0, "outlier should be clipped");
+    }
+
+    #[test]
+    fn mse_search_never_worse_than_minmax() {
+        // Note: with 127 int8 levels, the max-abs scale is already close to
+        // MSE-optimal for unimodal data (clipping an outlier costs more than
+        // the finer step saves) — the search must simply never do worse, and
+        // must pick a slightly tighter scale when the data allows it.
+        let mut vals = normal_pool(5_000, 2);
+        vals.push(100.0);
+        let minmax = Observer::MinMax.scale_for(&vals);
+        let mse = Observer::MseSearch { steps: 64 }.scale_for(&vals);
+        assert!(mse.mse(&vals) <= minmax.mse(&vals));
+    }
+
+    #[test]
+    fn mse_search_tightens_scale_on_clean_gaussian() {
+        // For a pure Gaussian the optimum is at or just below max-abs; the
+        // search must return a scale ≤ the max-abs scale.
+        let vals = normal_pool(5_000, 8);
+        let minmax = Observer::MinMax.scale_for(&vals);
+        let mse = Observer::MseSearch { steps: 101 }.scale_for(&vals);
+        assert!(mse.scale() <= minmax.scale() * 1.0 + 1e-9);
+        assert!(mse.mse(&vals) <= minmax.mse(&vals));
+    }
+
+    #[test]
+    fn mse_search_matches_minmax_on_uniform_grid() {
+        // Values exactly on a 127-step grid: max-abs scale is optimal (zero
+        // error); the search must not do worse.
+        let vals: Vec<f32> = (-127..=127).map(|i| i as f32 * 0.5).collect();
+        let q = Observer::MseSearch { steps: 101 }.scale_for(&vals);
+        assert!(q.mse(&vals) <= 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration values")]
+    fn empty_pool_rejected() {
+        let _ = Observer::MinMax.scale_for(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn all_zero_pool_rejected() {
+        let _ = Observer::MinMax.scale_for(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scales_are_positive_and_finite() {
+        for obs in [Observer::MinMax, Observer::Percentile(0.99), Observer::MseSearch { steps: 16 }]
+        {
+            let q = obs.scale_for(&normal_pool(1000, 3));
+            assert!(q.scale().is_finite() && q.scale() > 0.0, "{obs:?}");
+        }
+    }
+}

@@ -1,0 +1,633 @@
+//! Assembling a fully-quantized DSC network from the float model.
+//!
+//! The deployment flow of the paper: train (PyTorch) → quantize weights and
+//! activations to 8 bits with LSQ → pre-compute per-channel Non-Conv
+//! constants (k, b) offline → load onto the accelerator. This module is that
+//! offline step, in two variants:
+//!
+//! * [`QuantizedDscNetwork::calibrate_with`] — classic post-training
+//!   calibration on the float forward pass.
+//! * [`QuantizedDscNetwork::calibrate_shaped`] — **joint** sparsity shaping
+//!   and calibration performed layer-by-layer *on the int8 path*, so the
+//!   quantized network realizes the target zero-percentage profile exactly
+//!   where the accelerator measures it (paper Fig. 11). This is the variant
+//!   the experiments use.
+//!
+//! Both variants fit activation step sizes to the **Q8.16 fold envelope**:
+//! the folded offset `b` is the ReLU dead-zone width measured in output
+//! LSBs, so a layer with 97 % zeros needs a step size large enough that
+//! `|b| ≤ 127` — the same constraint the paper's trained network satisfies
+//! by construction ("to cover all possible ranges of the values for k and
+//! b"). Without this fit, extreme layers would need per-channel slope
+//! compression (handled as a fallback in [`crate::fold::fold_boundary`]).
+
+use edea_tensor::conv::{depthwise_conv2d_i8, pointwise_conv2d_i8};
+use edea_tensor::ops::BatchNorm;
+use edea_tensor::{QTensor4, QuantParams, Tensor3};
+
+use crate::fold::{fold_boundary, FoldedAffine};
+use crate::lsq::{learn_step, LsqConfig};
+use crate::mobilenet::MobileNetV1;
+use crate::observer::Observer;
+use crate::sparsity::{shape_bn_from_pools, ShapingReport, SparsityProfile};
+use crate::workload::LayerShape;
+use crate::NnError;
+
+/// How step sizes are chosen during calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantStrategy {
+    /// Pure observer (no learning).
+    Observer(Observer),
+    /// Observer initialization refined by LSQ gradient descent — the paper's
+    /// configuration.
+    Lsq {
+        /// Observer supplying the initial step.
+        init: Observer,
+        /// LSQ hyper-parameters for weights.
+        weights: LsqConfig,
+        /// LSQ hyper-parameters for activations.
+        activations: LsqConfig,
+    },
+}
+
+impl QuantStrategy {
+    /// The paper's configuration: max-abs init + LSQ refinement.
+    #[must_use]
+    pub fn paper() -> Self {
+        QuantStrategy::Lsq {
+            init: Observer::MinMax,
+            weights: LsqConfig::weight_int8(),
+            activations: LsqConfig::activation_int8(),
+        }
+    }
+
+    fn scale_for(&self, values: &[f32], is_weight: bool) -> QuantParams {
+        match self {
+            QuantStrategy::Observer(obs) => obs.scale_for(values),
+            QuantStrategy::Lsq { init, weights, activations } => {
+                let cfg = if is_weight { weights } else { activations };
+                let start = init.scale_for(values).scale();
+                let s = learn_step(values, start, cfg);
+                QuantParams::new(s).expect("LSQ step is positive")
+            }
+        }
+    }
+}
+
+/// One quantized DSC layer, ready for the accelerator.
+#[derive(Debug, Clone)]
+pub struct QuantizedDscLayer {
+    shape: LayerShape,
+    dw_weights: QTensor4,
+    pw_weights: QTensor4,
+    nonconv1: Vec<FoldedAffine>,
+    nonconv2: Vec<FoldedAffine>,
+    s_in: f32,
+    s_mid: f32,
+    s_out: f32,
+}
+
+impl QuantizedDscLayer {
+    /// Reassembles a layer from its parts (used by the deployment-artifact
+    /// loader in [`crate::artifact`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor shapes or Non-Conv parameter counts do not match
+    /// `shape`.
+    #[allow(clippy::too_many_arguments)] // mirrors the artifact layout 1:1
+    #[must_use]
+    pub fn from_parts(
+        shape: LayerShape,
+        dw_weights: QTensor4,
+        pw_weights: QTensor4,
+        nonconv1: Vec<FoldedAffine>,
+        nonconv2: Vec<FoldedAffine>,
+        s_in: f32,
+        s_mid: f32,
+        s_out: f32,
+    ) -> Self {
+        assert_eq!(
+            dw_weights.values().shape(),
+            (shape.d_in, 1, shape.kernel, shape.kernel),
+            "dw weight shape"
+        );
+        assert_eq!(pw_weights.values().shape(), (shape.k_out, shape.d_in, 1, 1), "pw weight shape");
+        assert_eq!(nonconv1.len(), shape.d_in, "nonconv1 channel count");
+        assert_eq!(nonconv2.len(), shape.k_out, "nonconv2 channel count");
+        Self { shape, dw_weights, pw_weights, nonconv1, nonconv2, s_in, s_mid, s_out }
+    }
+
+    /// Layer shape.
+    #[must_use]
+    pub fn shape(&self) -> LayerShape {
+        self.shape
+    }
+
+    /// Quantized depthwise weights (`D×1×3×3`).
+    #[must_use]
+    pub fn dw_weights(&self) -> &QTensor4 {
+        &self.dw_weights
+    }
+
+    /// Quantized pointwise weights (`K×D×1×1`).
+    #[must_use]
+    pub fn pw_weights(&self) -> &QTensor4 {
+        &self.pw_weights
+    }
+
+    /// Per-channel Non-Conv constants between DWC and PWC (`D` entries).
+    #[must_use]
+    pub fn nonconv1(&self) -> &[FoldedAffine] {
+        &self.nonconv1
+    }
+
+    /// Per-channel Non-Conv constants after the PWC (`K` entries).
+    #[must_use]
+    pub fn nonconv2(&self) -> &[FoldedAffine] {
+        &self.nonconv2
+    }
+
+    /// Input activation step size.
+    #[must_use]
+    pub fn s_in(&self) -> f32 {
+        self.s_in
+    }
+
+    /// Intermediate (PWC input) activation step size.
+    #[must_use]
+    pub fn s_mid(&self) -> f32 {
+        self.s_mid
+    }
+
+    /// Output activation step size.
+    #[must_use]
+    pub fn s_out(&self) -> f32 {
+        self.s_out
+    }
+}
+
+/// The quantized 13-layer DSC stack plus the input quantizer.
+#[derive(Debug, Clone)]
+pub struct QuantizedDscNetwork {
+    input_params: QuantParams,
+    layers: Vec<QuantizedDscLayer>,
+}
+
+/// Cap on per-pool calibration samples fed to LSQ / MSE search (full pools
+/// are used for min/max). Subsampling is deterministic (fixed stride).
+const MAX_POOL_SAMPLES: usize = 16_384;
+
+fn subsample(pool: &[f32]) -> Vec<f32> {
+    if pool.len() <= MAX_POOL_SAMPLES {
+        return pool.to_vec();
+    }
+    let stride = pool.len() / MAX_POOL_SAMPLES + 1;
+    pool.iter().step_by(stride).copied().collect()
+}
+
+/// Widens an activation step until the folded constants of `bn` fit the
+/// Q8.16 envelope with one LSB of headroom. Returns the adjusted step.
+fn fit_scale_to_fold(bn: &BatchNorm, s_in: f64, s_w: f64, s_out: f64) -> f64 {
+    let limit = 127.0;
+    let mut required = s_out;
+    for (bn_k, bn_b) in bn.affine_coefficients() {
+        // |k| = |bn_k|·s_in·s_w/s_out ≤ limit  and  |b| = |bn_b|/s_out ≤ limit
+        required = required.max(f64::from(bn_k.abs()) * s_in * s_w / limit);
+        required = required.max(f64::from(bn_b.abs()) / limit);
+    }
+    required
+}
+
+/// Per-channel pools (in real units) of an int accumulator tensor set.
+fn acc_pools(accs: &[Tensor3<i32>], unit: f64) -> Vec<Vec<f32>> {
+    let c = accs[0].channels();
+    let mut pools = vec![Vec::new(); c];
+    for t in accs {
+        let (tc, h, w) = t.shape();
+        debug_assert_eq!(tc, c);
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    pools[ci].push((f64::from(t[(ci, hi, wi)]) * unit) as f32);
+                }
+            }
+        }
+    }
+    pools
+}
+
+fn zero_fraction_i8(tensors: &[Tensor3<i8>]) -> f64 {
+    let zeros: usize = tensors
+        .iter()
+        .map(|t| t.as_slice().iter().filter(|&&v| v == 0).count())
+        .sum();
+    let total: usize = tensors.iter().map(Tensor3::len).sum();
+    zeros as f64 / total as f64
+}
+
+impl QuantizedDscNetwork {
+    /// Reassembles a network from its parts (used by the deployment-artifact
+    /// loader in [`crate::artifact`]).
+    #[must_use]
+    pub fn from_parts(input_params: QuantParams, layers: Vec<QuantizedDscLayer>) -> Self {
+        Self { input_params, layers }
+    }
+
+    /// Calibrates with the paper's strategy (max-abs init + LSQ) on the
+    /// float path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib` is empty (use [`QuantizedDscNetwork::calibrate_with`]
+    /// for a fallible API).
+    #[must_use]
+    pub fn calibrate(model: &MobileNetV1, calib: &[Tensor3<f32>]) -> Self {
+        Self::calibrate_with(model, calib, QuantStrategy::paper()).expect("valid calibration")
+    }
+
+    /// Calibrates on the float forward pass with an explicit strategy.
+    ///
+    /// # Errors
+    ///
+    /// * [`NnError::EmptyCalibrationSet`] if `calib` is empty.
+    /// * [`NnError::InvalidConfig`] if BN parameters are non-finite.
+    pub fn calibrate_with(
+        model: &MobileNetV1,
+        calib: &[Tensor3<f32>],
+        strategy: QuantStrategy,
+    ) -> Result<Self, NnError> {
+        if calib.is_empty() {
+            return Err(NnError::EmptyCalibrationSet);
+        }
+        // One float forward pass per calibration image, recording all
+        // intermediate activations.
+        let traces: Vec<_> = calib.iter().map(|img| model.forward(img)).collect();
+
+        let input_pool: Vec<f32> =
+            traces.iter().flat_map(|t| t.stem_act.as_slice().iter().copied()).collect();
+        let input_params = strategy.scale_for(&subsample(&input_pool), false);
+
+        let n_layers = model.blocks().len();
+        let mut layers = Vec::with_capacity(n_layers);
+        let mut s_in = f64::from(input_params.scale());
+        for (i, block) in model.blocks().iter().enumerate() {
+            let mid_pool: Vec<f32> = traces
+                .iter()
+                .flat_map(|t| t.blocks[i].dwc_act.as_slice().iter().copied())
+                .collect();
+            let out_pool: Vec<f32> = traces
+                .iter()
+                .flat_map(|t| t.blocks[i].pwc_act.as_slice().iter().copied())
+                .collect();
+
+            let dw_params = strategy.scale_for(&subsample(block.dw_weights.as_slice()), true);
+            let pw_params = strategy.scale_for(&subsample(block.pw_weights.as_slice()), true);
+            let s_dw = f64::from(dw_params.scale());
+            let s_pw = f64::from(pw_params.scale());
+
+            let s_mid_raw =
+                f64::from(strategy.scale_for(&subsample(&mid_pool), false).scale());
+            let s_mid = fit_scale_to_fold(&block.bn1, s_in, s_dw, s_mid_raw);
+            let s_out_raw =
+                f64::from(strategy.scale_for(&subsample(&out_pool), false).scale());
+            let s_out = fit_scale_to_fold(&block.bn2, s_mid, s_pw, s_out_raw);
+
+            let nonconv1 = fold_boundary(&block.bn1, s_in, s_dw, s_mid)?;
+            let nonconv2 = fold_boundary(&block.bn2, s_mid, s_pw, s_out)?;
+            layers.push(QuantizedDscLayer {
+                shape: block.shape,
+                dw_weights: dw_params.quantize_tensor4(&block.dw_weights),
+                pw_weights: pw_params.quantize_tensor4(&block.pw_weights),
+                nonconv1,
+                nonconv2,
+                s_in: s_in as f32,
+                s_mid: s_mid as f32,
+                s_out: s_out as f32,
+            });
+            s_in = s_out;
+        }
+        Ok(Self { input_params, layers })
+    }
+
+    /// Joint sparsity shaping + calibration **on the int8 path** — the
+    /// variant the paper-reproduction experiments use.
+    ///
+    /// Proceeds layer by layer: quantize weights, run the int8 DWC on the
+    /// current int8 calibration activations, shape `bn1` on the resulting
+    /// (real-unit) accumulator pools to hit `profile.dwc_zero[i]`, choose and
+    /// envelope-fit `s_mid`, fold, apply the Non-Conv to produce the int8
+    /// intermediates; same again for the PWC. The model's BN parameters are
+    /// updated in place, and the achieved int8 zero fractions are returned.
+    ///
+    /// # Errors
+    ///
+    /// * [`NnError::EmptyCalibrationSet`] if `calib` is empty.
+    /// * [`NnError::InvalidConfig`] if `profile` does not match the model.
+    pub fn calibrate_shaped(
+        model: &mut MobileNetV1,
+        calib: &[Tensor3<f32>],
+        profile: &SparsityProfile,
+        strategy: QuantStrategy,
+    ) -> Result<(Self, ShapingReport), NnError> {
+        if calib.is_empty() {
+            return Err(NnError::EmptyCalibrationSet);
+        }
+        profile.validate(model.blocks().len())?;
+
+        let stem_acts: Vec<Tensor3<f32>> =
+            calib.iter().map(|img| model.forward_stem(img)).collect();
+        let input_pool: Vec<f32> =
+            stem_acts.iter().flat_map(|t| t.as_slice().iter().copied()).collect();
+        let input_params = strategy.scale_for(&subsample(&input_pool), false);
+        let mut xs: Vec<Tensor3<i8>> =
+            stem_acts.iter().map(|t| t.map(|&v| input_params.quantize(v))).collect();
+
+        let mut layers = Vec::with_capacity(model.blocks().len());
+        let mut report = ShapingReport { dwc_zero: Vec::new(), pwc_zero: Vec::new() };
+        let mut s_in = f64::from(input_params.scale());
+        for i in 0..model.blocks().len() {
+            let (shape, dw_params, pw_params, dw_q, pw_q) = {
+                let block = &model.blocks()[i];
+                let dw_params =
+                    strategy.scale_for(&subsample(block.dw_weights.as_slice()), true);
+                let pw_params =
+                    strategy.scale_for(&subsample(block.pw_weights.as_slice()), true);
+                (
+                    block.shape,
+                    dw_params,
+                    pw_params,
+                    dw_params.quantize_tensor4(&block.dw_weights),
+                    pw_params.quantize_tensor4(&block.pw_weights),
+                )
+            };
+            let s_dw = f64::from(dw_params.scale());
+            let s_pw = f64::from(pw_params.scale());
+
+            // --- DWC + Non-Conv #1 ---
+            let dwc_accs: Vec<Tensor3<i32>> = xs
+                .iter()
+                .map(|x| depthwise_conv2d_i8(x, dw_q.values(), shape.stride, shape.pad()))
+                .collect();
+            let pools = acc_pools(&dwc_accs, s_in * s_dw);
+            shape_bn_from_pools(&mut model.blocks_mut()[i].bn1, &pools, profile.dwc_zero[i]);
+            let bn1 = model.blocks()[i].bn1.clone();
+            // Post-BN+ReLU values for the step-size pool:
+            let mid_pool: Vec<f32> = {
+                let coeffs = bn1.affine_coefficients();
+                pools
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(c, pool)| {
+                        let (k, b) = coeffs[c];
+                        pool.iter().map(move |&v| (k * v + b).max(0.0))
+                    })
+                    .filter(|&v| v > 0.0)
+                    .collect()
+            };
+            let s_mid_raw = f64::from(strategy.scale_for(&subsample(&mid_pool), false).scale());
+            let s_mid = fit_scale_to_fold(&bn1, s_in, s_dw, s_mid_raw);
+            let nonconv1 = fold_boundary(&bn1, s_in, s_dw, s_mid)?;
+            let mids: Vec<Tensor3<i8>> = dwc_accs
+                .iter()
+                .map(|acc| {
+                    let (c, h, w) = acc.shape();
+                    Tensor3::from_fn(c, h, w, |ci, hi, wi| {
+                        nonconv1[ci].apply_fixed(acc[(ci, hi, wi)], 0)
+                    })
+                })
+                .collect();
+            report.dwc_zero.push(zero_fraction_i8(&mids));
+
+            // --- PWC + Non-Conv #2 ---
+            let pwc_accs: Vec<Tensor3<i32>> =
+                mids.iter().map(|m| pointwise_conv2d_i8(m, pw_q.values())).collect();
+            let pools2 = acc_pools(&pwc_accs, s_mid * s_pw);
+            shape_bn_from_pools(&mut model.blocks_mut()[i].bn2, &pools2, profile.pwc_zero[i]);
+            let bn2 = model.blocks()[i].bn2.clone();
+            let out_pool: Vec<f32> = {
+                let coeffs = bn2.affine_coefficients();
+                pools2
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(c, pool)| {
+                        let (k, b) = coeffs[c];
+                        pool.iter().map(move |&v| (k * v + b).max(0.0))
+                    })
+                    .filter(|&v| v > 0.0)
+                    .collect()
+            };
+            let s_out_raw = f64::from(strategy.scale_for(&subsample(&out_pool), false).scale());
+            let s_out = fit_scale_to_fold(&bn2, s_mid, s_pw, s_out_raw);
+            let nonconv2 = fold_boundary(&bn2, s_mid, s_pw, s_out)?;
+            let outs: Vec<Tensor3<i8>> = pwc_accs
+                .iter()
+                .map(|acc| {
+                    let (c, h, w) = acc.shape();
+                    Tensor3::from_fn(c, h, w, |ci, hi, wi| {
+                        nonconv2[ci].apply_fixed(acc[(ci, hi, wi)], 0)
+                    })
+                })
+                .collect();
+            report.pwc_zero.push(zero_fraction_i8(&outs));
+
+            layers.push(QuantizedDscLayer {
+                shape,
+                dw_weights: dw_q,
+                pw_weights: pw_q,
+                nonconv1,
+                nonconv2,
+                s_in: s_in as f32,
+                s_mid: s_mid as f32,
+                s_out: s_out as f32,
+            });
+            xs = outs;
+            s_in = s_out;
+        }
+        Ok((Self { input_params, layers }, report))
+    }
+
+    /// Quantization parameters for the network input (the stem activation).
+    #[must_use]
+    pub fn input_params(&self) -> QuantParams {
+        self.input_params
+    }
+
+    /// The quantized layers.
+    #[must_use]
+    pub fn layers(&self) -> &[QuantizedDscLayer] {
+        &self.layers
+    }
+
+    /// Quantizes a float stem activation into the layer-0 input tensor.
+    #[must_use]
+    pub fn quantize_input(&self, stem_act: &Tensor3<f32>) -> Tensor3<i8> {
+        stem_act.map(|&v| self.input_params.quantize(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparsity::SparsityProfile;
+    use edea_tensor::rng;
+
+    fn calibrated_tiny() -> (MobileNetV1, QuantizedDscNetwork, ShapingReport) {
+        let mut model = MobileNetV1::synthetic(0.25, 11);
+        let calib = rng::synthetic_batch(4, 3, 32, 32, 12);
+        let (qnet, report) = QuantizedDscNetwork::calibrate_shaped(
+            &mut model,
+            &calib,
+            &SparsityProfile::paper(),
+            QuantStrategy::paper(),
+        )
+        .unwrap();
+        (model, qnet, report)
+    }
+
+    #[test]
+    fn calibration_produces_thirteen_layers() {
+        let (_, qnet, _) = calibrated_tiny();
+        assert_eq!(qnet.layers().len(), 13);
+    }
+
+    #[test]
+    fn scales_chain_between_layers() {
+        let (_, qnet, _) = calibrated_tiny();
+        for pair in qnet.layers().windows(2) {
+            assert_eq!(pair[0].s_out(), pair[1].s_in());
+        }
+        assert_eq!(qnet.input_params().scale(), qnet.layers()[0].s_in());
+    }
+
+    #[test]
+    fn shaped_calibration_hits_sparsity_targets_on_int_path() {
+        let (_, _, report) = calibrated_tiny();
+        let profile = SparsityProfile::paper();
+        for i in 0..13 {
+            // Int8 rounding can only add zeros (small positives round to 0),
+            // so achieved ≥ target − ε and within a few percent above.
+            assert!(
+                report.dwc_zero[i] >= profile.dwc_zero[i] - 0.02,
+                "dwc layer {i}: {} vs {}",
+                report.dwc_zero[i],
+                profile.dwc_zero[i]
+            );
+            assert!(
+                report.dwc_zero[i] <= profile.dwc_zero[i] + 0.12,
+                "dwc layer {i} oversparse: {}",
+                report.dwc_zero[i]
+            );
+            assert!(report.pwc_zero[i] >= profile.pwc_zero[i] - 0.02, "pwc layer {i}");
+        }
+        // Layer-12 anchors from the paper: 97.4 % / 95.3 %.
+        assert!(report.dwc_zero[12] >= 0.954);
+        assert!(report.pwc_zero[12] >= 0.933);
+    }
+
+    #[test]
+    fn nonconv_channel_counts_match_shapes() {
+        let (_, qnet, _) = calibrated_tiny();
+        for l in qnet.layers() {
+            assert_eq!(l.nonconv1().len(), l.shape().d_in);
+            assert_eq!(l.nonconv2().len(), l.shape().k_out);
+            assert_eq!(l.dw_weights().values().shape(), (l.shape().d_in, 1, 3, 3));
+            assert_eq!(l.pw_weights().values().shape(), (l.shape().k_out, l.shape().d_in, 1, 1));
+        }
+    }
+
+    #[test]
+    fn folded_constants_inside_q8_16_range_without_rescaling() {
+        // The envelope fit must place every folded constant inside Q8.16 so
+        // the rescale fallback never fires.
+        let (model, qnet, _) = calibrated_tiny();
+        for (l, b) in qnet.layers().iter().zip(model.blocks()) {
+            let coeffs = b.bn1.affine_coefficients();
+            for (c, f) in l.nonconv1().iter().enumerate() {
+                assert!(f.k_exact.abs() < 128.0 && f.b_exact.abs() < 128.0);
+                let unscaled_k = f64::from(coeffs[c].0)
+                    * f64::from(l.s_in())
+                    * f64::from(l.dw_weights().params().scale())
+                    / f64::from(l.s_mid());
+                // Tolerance covers f32 round-trips of the stored scales; an
+                // actual rescale changes k by ≥ ~0.1 %.
+                assert!(
+                    (f.k_exact - unscaled_k).abs() <= 1e-4 * unscaled_k.abs().max(1e-6),
+                    "layer {} channel {c} was rescaled: {} vs {}",
+                    l.shape().index,
+                    f.k_exact,
+                    unscaled_k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_calibration_is_an_error() {
+        let model = MobileNetV1::synthetic(0.25, 1);
+        let r = QuantizedDscNetwork::calibrate_with(&model, &[], QuantStrategy::paper());
+        assert_eq!(r.unwrap_err(), NnError::EmptyCalibrationSet);
+        let mut m2 = MobileNetV1::synthetic(0.25, 1);
+        let r2 = QuantizedDscNetwork::calibrate_shaped(
+            &mut m2,
+            &[],
+            &SparsityProfile::paper(),
+            QuantStrategy::paper(),
+        );
+        assert!(r2.is_err());
+    }
+
+    #[test]
+    fn observer_only_strategy_works() {
+        let mut model = MobileNetV1::synthetic(0.25, 2);
+        let calib = rng::synthetic_batch(2, 3, 32, 32, 3);
+        let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
+            &mut model,
+            &calib,
+            &SparsityProfile::paper(),
+            QuantStrategy::Observer(Observer::MinMax),
+        )
+        .unwrap();
+        assert_eq!(qnet.layers().len(), 13);
+    }
+
+    #[test]
+    fn float_path_calibration_also_works() {
+        let (model, _, _) = calibrated_tiny();
+        let calib = rng::synthetic_batch(2, 3, 32, 32, 3);
+        let qnet = QuantizedDscNetwork::calibrate(&model, &calib);
+        assert_eq!(qnet.layers().len(), 13);
+        for l in qnet.layers() {
+            for f in l.nonconv1().iter().chain(l.nonconv2()) {
+                assert!(f.k_exact.abs() < 128.0 && f.b_exact.abs() < 128.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_input_respects_scale() {
+        let (model, qnet, _) = calibrated_tiny();
+        let img = rng::synthetic_image(3, 32, 32, 77);
+        let stem = model.forward_stem(&img);
+        let q = qnet.quantize_input(&stem);
+        // Post-ReLU stem activations are non-negative, so int8 codes are too.
+        assert!(q.as_slice().iter().all(|&v| v >= 0));
+    }
+
+    #[test]
+    fn fit_scale_widens_until_envelope_holds() {
+        let bn = BatchNorm {
+            gamma: vec![1.0],
+            beta: vec![-5.0],
+            mean: vec![0.0],
+            var: vec![1.0],
+            eps: 0.0,
+        };
+        // |b̂| = 5 ⇒ s_out must be at least 5/127.
+        let s = fit_scale_to_fold(&bn, 0.01, 0.01, 0.001);
+        assert!(s >= 5.0 / 127.0 - 1e-12);
+        // Already-wide scales are untouched:
+        let s2 = fit_scale_to_fold(&bn, 0.01, 0.01, 1.0);
+        assert_eq!(s2, 1.0);
+    }
+}

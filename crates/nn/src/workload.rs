@@ -1,0 +1,316 @@
+//! The MobileNetV1-CIFAR10 workload database.
+//!
+//! Every experiment in the paper iterates over "all DSC layers of
+//! MobileNetV1" on CIFAR-10 (32×32 inputs, stem convolution with stride 1).
+//! That yields the 13 depthwise-separable layers below, with stride-2
+//! down-sampling at layers 1, 3, 5 and 11 — exactly the layers the paper
+//! singles out in Fig. 10 ("layers 1, 3, 5 and 11 exhibit a reduced number
+//! of MAC operations due to the stride of 2") — and 2×2 feature maps in the
+//! last two layers ("later layers such as layers 11 and 12 with an ifmap
+//! size of 2").
+
+use edea_tensor::conv::out_dim;
+
+/// Shape of one depthwise-separable layer: DWC (3×3, per-channel) followed
+/// by PWC (1×1, `d_in → k_out`).
+///
+/// # Example
+///
+/// ```
+/// use edea_nn::workload::mobilenet_v1_cifar10;
+///
+/// let layers = mobilenet_v1_cifar10();
+/// assert_eq!(layers.len(), 13);
+/// assert_eq!(layers[12].d_in, 1024);
+/// assert_eq!(layers[12].out_spatial(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerShape {
+    /// Layer index within the DSC stack (0-based, as in the paper's plots).
+    pub index: usize,
+    /// Input feature-map spatial size (`R = C`, square maps).
+    pub in_spatial: usize,
+    /// Input channels `D`.
+    pub d_in: usize,
+    /// Output channels `K` (PWC kernel count).
+    pub k_out: usize,
+    /// DWC stride (1 or 2).
+    pub stride: usize,
+    /// DWC kernel height/width (`H = W = 3` for MobileNetV1).
+    pub kernel: usize,
+}
+
+impl LayerShape {
+    /// Spatial padding used by the DWC (same-padding: `kernel / 2`).
+    #[must_use]
+    pub fn pad(&self) -> usize {
+        self.kernel / 2
+    }
+
+    /// Output spatial size (`N = M`).
+    #[must_use]
+    pub fn out_spatial(&self) -> usize {
+        out_dim(self.in_spatial, self.kernel, self.stride, self.pad())
+    }
+
+    /// MAC operations in the DWC: `N·M·D·H·W`.
+    #[must_use]
+    pub fn dwc_macs(&self) -> u64 {
+        let n = self.out_spatial() as u64;
+        n * n * self.d_in as u64 * (self.kernel * self.kernel) as u64
+    }
+
+    /// MAC operations in the PWC: `N·M·D·K`.
+    #[must_use]
+    pub fn pwc_macs(&self) -> u64 {
+        let n = self.out_spatial() as u64;
+        n * n * self.d_in as u64 * self.k_out as u64
+    }
+
+    /// Total DSC MACs (`dwc_macs + pwc_macs`).
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.dwc_macs() + self.pwc_macs()
+    }
+
+    /// Total operations, counting each MAC as 2 ops (multiply + add), the
+    /// convention behind the paper's GOPS numbers.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        2 * self.total_macs()
+    }
+
+    /// DWC weight parameter count: `H·W·D`.
+    #[must_use]
+    pub fn dwc_params(&self) -> u64 {
+        (self.kernel * self.kernel * self.d_in) as u64
+    }
+
+    /// PWC weight parameter count: `D·K`.
+    #[must_use]
+    pub fn pwc_params(&self) -> u64 {
+        (self.d_in * self.k_out) as u64
+    }
+
+    /// Elements in the DWC input feature map: `R·C·D`.
+    #[must_use]
+    pub fn ifmap_elems(&self) -> u64 {
+        (self.in_spatial * self.in_spatial * self.d_in) as u64
+    }
+
+    /// Elements in the intermediate (DWC output = PWC input) map: `N·M·D`.
+    #[must_use]
+    pub fn intermediate_elems(&self) -> u64 {
+        let n = self.out_spatial() as u64;
+        n * n * self.d_in as u64
+    }
+
+    /// Elements in the PWC output feature map: `N·M·K`.
+    #[must_use]
+    pub fn ofmap_elems(&self) -> u64 {
+        let n = self.out_spatial() as u64;
+        n * n * self.k_out as u64
+    }
+}
+
+/// The 13 DSC layers of MobileNetV1 adapted to CIFAR-10 (stem stride 1, so
+/// DSC layer 0 sees 32×32×32).
+#[must_use]
+pub fn mobilenet_v1_cifar10() -> Vec<LayerShape> {
+    // (in_spatial, d_in, k_out, stride)
+    const SPEC: [(usize, usize, usize, usize); 13] = [
+        (32, 32, 64, 1),
+        (32, 64, 128, 2),
+        (16, 128, 128, 1),
+        (16, 128, 256, 2),
+        (8, 256, 256, 1),
+        (8, 256, 512, 2),
+        (4, 512, 512, 1),
+        (4, 512, 512, 1),
+        (4, 512, 512, 1),
+        (4, 512, 512, 1),
+        (4, 512, 512, 1),
+        (4, 512, 1024, 2),
+        (2, 1024, 1024, 1),
+    ];
+    SPEC.iter()
+        .enumerate()
+        .map(|(index, &(in_spatial, d_in, k_out, stride))| LayerShape {
+            index,
+            in_spatial,
+            d_in,
+            k_out,
+            stride,
+            kernel: 3,
+        })
+        .collect()
+}
+
+/// Scales a layer stack by a MobileNet width multiplier (channel counts are
+/// multiplied and rounded up to a multiple of `round_to`). Used to build
+/// small models for fast tests while preserving the layer structure.
+///
+/// # Panics
+///
+/// Panics if `width <= 0` or `round_to == 0`.
+#[must_use]
+pub fn scale_width(layers: &[LayerShape], width: f64, round_to: usize) -> Vec<LayerShape> {
+    assert!(width > 0.0, "width multiplier must be positive");
+    assert!(round_to > 0, "round_to must be positive");
+    let scale = |c: usize| -> usize {
+        let scaled = (c as f64 * width).round().max(1.0) as usize;
+        scaled.div_ceil(round_to) * round_to
+    };
+    layers
+        .iter()
+        .map(|l| LayerShape { d_in: scale(l.d_in), k_out: scale(l.k_out), ..*l })
+        .collect()
+}
+
+/// Stem (first) layer of MobileNetV1-CIFAR10: a standard 3×3 convolution,
+/// 3 → 32 channels, stride 1 — run on the host, not on the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StemShape {
+    /// Input spatial size (CIFAR-10: 32).
+    pub in_spatial: usize,
+    /// Input channels (RGB: 3).
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl StemShape {
+    /// The CIFAR-10 stem: 32×32×3 → 32×32×32.
+    #[must_use]
+    pub fn cifar10() -> Self {
+        Self { in_spatial: 32, c_in: 3, c_out: 32, stride: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_layers_with_strides_at_1_3_5_11() {
+        let layers = mobilenet_v1_cifar10();
+        assert_eq!(layers.len(), 13);
+        let strided: Vec<usize> =
+            layers.iter().filter(|l| l.stride == 2).map(|l| l.index).collect();
+        assert_eq!(strided, vec![1, 3, 5, 11]);
+    }
+
+    #[test]
+    fn spatial_chain_is_consistent() {
+        // Each layer's output spatial size must equal the next layer's input.
+        let layers = mobilenet_v1_cifar10();
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_spatial(),
+                pair[1].in_spatial,
+                "layer {} -> {}",
+                pair[0].index,
+                pair[1].index
+            );
+        }
+        assert_eq!(layers[12].out_spatial(), 2);
+    }
+
+    #[test]
+    fn channel_chain_is_consistent() {
+        let layers = mobilenet_v1_cifar10();
+        for pair in layers.windows(2) {
+            assert_eq!(pair[0].k_out, pair[1].d_in);
+        }
+    }
+
+    #[test]
+    fn mac_counts_match_paper_fig10_scale() {
+        // Derived analytically from the layer shapes; Fig. 10's MAC axis
+        // tops out just below 5e6 with layer 2 the largest.
+        let layers = mobilenet_v1_cifar10();
+        let macs: Vec<u64> = layers.iter().map(LayerShape::total_macs).collect();
+        assert_eq!(macs[0], 2_392_064);
+        assert_eq!(macs[1], 2_244_608);
+        assert_eq!(macs[2], 4_489_216);
+        assert_eq!(macs[3], 2_170_880);
+        assert_eq!(macs[4], 4_341_760);
+        assert_eq!(macs[5], 2_134_016);
+        assert_eq!(macs[6], 4_268_032);
+        assert_eq!(macs[11], 2_115_584);
+        assert_eq!(macs[12], 4_231_168);
+        let max = *macs.iter().max().unwrap();
+        assert_eq!(max, 4_489_216); // layer 2
+        assert!(max < 5_000_000);
+    }
+
+    #[test]
+    fn strided_layers_have_reduced_macs() {
+        // Paper Fig. 10: layers 1, 3, 5, 11 have ~half the MACs of their
+        // dense neighbours.
+        let layers = mobilenet_v1_cifar10();
+        for &i in &[1usize, 3, 5, 11] {
+            assert!(
+                (layers[i].total_macs() as f64) < 0.6 * layers[i + 1].total_macs() as f64,
+                "layer {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_total_matches_mobilenet_conv_body() {
+        // Sum of DSC parameters (without stem/classifier) for CIFAR
+        // MobileNetV1 is about 3.2M, dominated by PWC.
+        let layers = mobilenet_v1_cifar10();
+        let dwc: u64 = layers.iter().map(LayerShape::dwc_params).sum();
+        let pwc: u64 = layers.iter().map(LayerShape::pwc_params).sum();
+        assert_eq!(dwc, 9 * (32 + 64 + 128 + 128 + 256 + 256 + 512 * 5 + 512 + 1024));
+        assert_eq!(pwc, 3_139_584);
+        assert!(pwc > 50 * dwc, "PWC parameters must dominate");
+    }
+
+    #[test]
+    fn ops_are_twice_macs() {
+        for l in mobilenet_v1_cifar10() {
+            assert_eq!(l.total_ops(), 2 * l.total_macs());
+        }
+    }
+
+    #[test]
+    fn scale_width_preserves_structure() {
+        let layers = mobilenet_v1_cifar10();
+        let small = scale_width(&layers, 0.25, 8);
+        assert_eq!(small.len(), 13);
+        assert_eq!(small[0].d_in, 8);
+        assert_eq!(small[0].k_out, 16);
+        assert_eq!(small[12].d_in, 256);
+        for (a, b) in layers.iter().zip(&small) {
+            assert_eq!(a.stride, b.stride);
+            assert_eq!(a.in_spatial, b.in_spatial);
+            assert_eq!(b.d_in % 8, 0);
+        }
+    }
+
+    #[test]
+    fn scale_width_rounds_up_to_multiple() {
+        let layers = mobilenet_v1_cifar10();
+        let odd = scale_width(&layers, 0.1, 16);
+        assert!(odd.iter().all(|l| l.d_in % 16 == 0 && l.k_out % 16 == 0));
+    }
+
+    #[test]
+    fn intermediate_elems_match_dwc_output() {
+        let l = mobilenet_v1_cifar10()[1]; // stride 2: 32 -> 16
+        assert_eq!(l.intermediate_elems(), 16 * 16 * 64);
+        assert_eq!(l.ofmap_elems(), 16 * 16 * 128);
+        assert_eq!(l.ifmap_elems(), 32 * 32 * 64);
+    }
+
+    #[test]
+    fn stem_is_cifar_shaped() {
+        let s = StemShape::cifar10();
+        assert_eq!((s.in_spatial, s.c_in, s.c_out, s.stride), (32, 3, 32, 1));
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for tensor construction and shape checking.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by tensor constructors and shape-checked operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The data length does not match the product of the dimensions.
+    LengthMismatch {
+        /// Expected element count (product of dims).
+        expected: usize,
+        /// Actual data length supplied.
+        actual: usize,
+    },
+    /// A dimension was zero where a non-empty tensor is required.
+    EmptyDimension,
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the conflict.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::EmptyDimension => write!(f, "tensor dimensions must be non-zero"),
+            TensorError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_lengths() {
+        let e = TensorError::LengthMismatch { expected: 12, actual: 7 };
+        let s = e.to_string();
+        assert!(s.contains("12") && s.contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<TensorError>();
+    }
+}

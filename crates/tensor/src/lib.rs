@@ -1,0 +1,42 @@
+//! Tensor containers, symmetric int8 quantization, and reference
+//! convolution/normalization kernels for the EDEA accelerator simulator.
+//!
+//! The EDEA paper evaluates on MobileNetV1/CIFAR-10 feature maps, which are
+//! small, dense, channel-major tensors. This crate provides:
+//!
+//! * [`Tensor3`] — a `C×H×W` feature-map container (one image), and
+//!   [`Tensor4`] — a `K×C×H×W` weight container.
+//! * [`QuantParams`]/[`QTensor3`]/[`QTensor4`] — symmetric int8 quantization,
+//!   matching the paper's 8-bit LSQ deployment precision.
+//! * [`conv`] — *reference* floating-point and integer convolutions
+//!   (standard, depthwise, pointwise), in both direct and im2col forms. These
+//!   are the golden models the accelerator simulator is verified against.
+//! * [`ops`] — batch normalization, ReLU, pooling, statistics.
+//! * [`rng`] — deterministic synthetic data generators (weights and
+//!   CIFAR-like images) used in place of the proprietary training pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use edea_tensor::{rng, conv, Tensor3, Tensor4};
+//!
+//! let image = rng::synthetic_image(3, 32, 32, 7);
+//! let weights = rng::kaiming_weights(8, 3, 3, 3, 11);
+//! let out = conv::conv2d_f32(&image, &weights, 1, 1);
+//! assert_eq!(out.shape(), (8, 32, 32));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conv;
+mod error;
+pub mod ops;
+pub mod quant;
+pub mod rng;
+mod tensor;
+
+pub use error::TensorError;
+pub use quant::{QTensor3, QTensor4, QuantParams};
+pub use tensor::{Tensor3, Tensor4};

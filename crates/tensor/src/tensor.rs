@@ -1,0 +1,551 @@
+//! Fixed-rank tensor containers.
+
+use std::fmt;
+
+use crate::TensorError;
+
+/// A dense channel-major (`C×H×W`) rank-3 tensor — one feature map.
+///
+/// Element `(c, h, w)` lives at linear index `(c*H + h)*W + w`, the layout
+/// the accelerator's external memory uses (channel planes, then rows).
+///
+/// # Example
+///
+/// ```
+/// use edea_tensor::Tensor3;
+///
+/// let mut t = Tensor3::<f32>::zeros(2, 3, 3);
+/// t[(1, 2, 0)] = 5.0;
+/// assert_eq!(t[(1, 2, 0)], 5.0);
+/// assert_eq!(t.shape(), (2, 3, 3));
+/// assert_eq!(t.len(), 18);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3<T> {
+    data: Vec<T>,
+    c: usize,
+    h: usize,
+    w: usize,
+}
+
+impl<T: Copy + Default> Tensor3<T> {
+    /// Creates a tensor filled with `T::default()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        assert!(c > 0 && h > 0 && w > 0, "tensor dimensions must be non-zero");
+        Self { data: vec![T::default(); c * h * w], c, h, w }
+    }
+
+    /// Creates a tensor by evaluating `f(c, h, w)` for every element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn from_fn(c: usize, h: usize, w: usize, mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
+        let mut t = Self::zeros(c, h, w);
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    t[(ci, hi, wi)] = f(ci, hi, wi);
+                }
+            }
+        }
+        t
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::LengthMismatch`] if `data.len() != c*h*w`;
+    /// [`TensorError::EmptyDimension`] if any dimension is zero.
+    pub fn from_vec(data: Vec<T>, c: usize, h: usize, w: usize) -> Result<Self, TensorError> {
+        if c == 0 || h == 0 || w == 0 {
+            return Err(TensorError::EmptyDimension);
+        }
+        if data.len() != c * h * w {
+            return Err(TensorError::LengthMismatch { expected: c * h * w, actual: data.len() });
+        }
+        Ok(Self { data, c, h, w })
+    }
+
+    /// Returns a spatially zero-padded copy (`pad` rows/cols on every side).
+    #[must_use]
+    pub fn zero_padded(&self, pad: usize) -> Self {
+        if pad == 0 {
+            return self.clone();
+        }
+        let mut out = Self::zeros(self.c, self.h + 2 * pad, self.w + 2 * pad);
+        for c in 0..self.c {
+            for h in 0..self.h {
+                for w in 0..self.w {
+                    out[(c, h + pad, w + pad)] = self[(c, h, w)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts channels `[c0, c0+n)` into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the channel count.
+    #[must_use]
+    pub fn channel_slice(&self, c0: usize, n: usize) -> Self {
+        assert!(c0 + n <= self.c, "channel range {c0}..{} out of 0..{}", c0 + n, self.c);
+        let plane = self.h * self.w;
+        let data = self.data[c0 * plane..(c0 + n) * plane].to_vec();
+        Self { data, c: n, h: self.h, w: self.w }
+    }
+}
+
+impl<T> Tensor3<T> {
+    /// `(C, H, W)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h, self.w)
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Spatial height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Spatial width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true: dims are non-zero).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing storage (CHW order).
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage (CHW order).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing storage.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterates over `((c, h, w), &value)` in storage order.
+    pub fn indexed_iter(&self) -> impl Iterator<Item = ((usize, usize, usize), &T)> {
+        let (h, w) = (self.h, self.w);
+        self.data.iter().enumerate().map(move |(i, v)| {
+            let c = i / (h * w);
+            let r = i % (h * w);
+            ((c, r / w, r % w), v)
+        })
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    #[must_use]
+    pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Tensor3<U> {
+        Tensor3 { data: self.data.iter().map(f).collect(), c: self.c, h: self.h, w: self.w }
+    }
+
+    #[inline]
+    fn offset(&self, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(c < self.c && h < self.h && w < self.w, "index out of bounds");
+        (c * self.h + h) * self.w + w
+    }
+
+    /// Bounds-checked element access.
+    #[must_use]
+    pub fn get(&self, c: usize, h: usize, w: usize) -> Option<&T> {
+        if c < self.c && h < self.h && w < self.w {
+            self.data.get(self.offset(c, h, w))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize, usize)> for Tensor3<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (c, h, w): (usize, usize, usize)) -> &T {
+        let i = self.offset(c, h, w);
+        &self.data[i]
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize, usize)> for Tensor3<T> {
+    #[inline]
+    fn index_mut(&mut self, (c, h, w): (usize, usize, usize)) -> &mut T {
+        let i = self.offset(c, h, w);
+        &mut self.data[i]
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Tensor3<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor3 {}x{}x{}:", self.c, self.h, self.w)?;
+        for c in 0..self.c.min(4) {
+            writeln!(f, " channel {c}:")?;
+            for h in 0..self.h.min(8) {
+                write!(f, "  ")?;
+                for w in 0..self.w.min(8) {
+                    write!(f, "{} ", self[(c, h, w)])?;
+                }
+                writeln!(f)?;
+            }
+        }
+        if self.c > 4 || self.h > 8 || self.w > 8 {
+            writeln!(f, " …")?;
+        }
+        Ok(())
+    }
+}
+
+/// A dense rank-4 tensor (`K×C×H×W`) — a stack of convolution kernels.
+///
+/// For depthwise weights `C == 1` (one 2-D filter per output channel); for
+/// pointwise weights `H == W == 1`.
+///
+/// # Example
+///
+/// ```
+/// use edea_tensor::Tensor4;
+///
+/// let w = Tensor4::<i8>::zeros(16, 8, 1, 1); // a PWC kernel tile
+/// assert_eq!(w.shape(), (16, 8, 1, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4<T> {
+    data: Vec<T>,
+    k: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+}
+
+impl<T: Copy + Default> Tensor4<T> {
+    /// Creates a tensor filled with `T::default()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn zeros(k: usize, c: usize, h: usize, w: usize) -> Self {
+        assert!(k > 0 && c > 0 && h > 0 && w > 0, "tensor dimensions must be non-zero");
+        Self { data: vec![T::default(); k * c * h * w], k, c, h, w }
+    }
+
+    /// Creates a tensor by evaluating `f(k, c, h, w)` for every element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn from_fn(
+        k: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> T,
+    ) -> Self {
+        let mut t = Self::zeros(k, c, h, w);
+        for ki in 0..k {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        t[(ki, ci, hi, wi)] = f(ki, ci, hi, wi);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::LengthMismatch`] / [`TensorError::EmptyDimension`] as
+    /// for [`Tensor3::from_vec`].
+    pub fn from_vec(
+        data: Vec<T>,
+        k: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> Result<Self, TensorError> {
+        if k == 0 || c == 0 || h == 0 || w == 0 {
+            return Err(TensorError::EmptyDimension);
+        }
+        if data.len() != k * c * h * w {
+            return Err(TensorError::LengthMismatch {
+                expected: k * c * h * w,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { data, k, c, h, w })
+    }
+
+    /// Extracts kernels `[k0, k0+n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the kernel count.
+    #[must_use]
+    pub fn kernel_slice(&self, k0: usize, n: usize) -> Self {
+        assert!(k0 + n <= self.k, "kernel range {k0}..{} out of 0..{}", k0 + n, self.k);
+        let vol = self.c * self.h * self.w;
+        let data = self.data[k0 * vol..(k0 + n) * vol].to_vec();
+        Self { data, k: n, c: self.c, h: self.h, w: self.w }
+    }
+
+    /// Extracts input channels `[c0, c0+n)` from every kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the channel count.
+    #[must_use]
+    pub fn channel_slice(&self, c0: usize, n: usize) -> Self {
+        assert!(c0 + n <= self.c, "channel range {c0}..{} out of 0..{}", c0 + n, self.c);
+        let mut out = Self::zeros(self.k, n, self.h, self.w);
+        for k in 0..self.k {
+            for c in 0..n {
+                for h in 0..self.h {
+                    for w in 0..self.w {
+                        out[(k, c, h, w)] = self[(k, c0 + c, h, w)];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<T> Tensor4<T> {
+    /// `(K, C, H, W)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.k, self.c, self.h, self.w)
+    }
+
+    /// Number of kernels (output channels).
+    #[must_use]
+    pub fn kernels(&self) -> usize {
+        self.k
+    }
+
+    /// Number of input channels per kernel.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Kernel height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Kernel width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true: dims are non-zero).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing storage (KCHW order).
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage (KCHW order).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    #[must_use]
+    pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Tensor4<U> {
+        Tensor4 {
+            data: self.data.iter().map(f).collect(),
+            k: self.k,
+            c: self.c,
+            h: self.h,
+            w: self.w,
+        }
+    }
+
+    #[inline]
+    fn offset(&self, k: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(
+            k < self.k && c < self.c && h < self.h && w < self.w,
+            "index out of bounds"
+        );
+        ((k * self.c + c) * self.h + h) * self.w + w
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize, usize, usize)> for Tensor4<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (k, c, h, w): (usize, usize, usize, usize)) -> &T {
+        let i = self.offset(k, c, h, w);
+        &self.data[i]
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize, usize, usize)> for Tensor4<T> {
+    #[inline]
+    fn index_mut(&mut self, (k, c, h, w): (usize, usize, usize, usize)) -> &mut T {
+        let i = self.offset(k, c, h, w);
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_chw() {
+        let t = Tensor3::<i32>::from_fn(2, 2, 3, |c, h, w| (c * 100 + h * 10 + w) as i32);
+        assert_eq!(t.as_slice(), &[0, 1, 2, 10, 11, 12, 100, 101, 102, 110, 111, 112]);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor3::from_vec(vec![0u8; 5], 1, 2, 3).is_err());
+        assert!(Tensor3::from_vec(vec![0u8; 6], 1, 2, 3).is_ok());
+        assert!(Tensor3::from_vec(Vec::<u8>::new(), 0, 2, 3).is_err());
+        assert!(Tensor4::from_vec(vec![0u8; 24], 2, 2, 2, 3).is_ok());
+        assert!(Tensor4::from_vec(vec![0u8; 23], 2, 2, 2, 3).is_err());
+    }
+
+    #[test]
+    fn zero_padding_places_values_centrally() {
+        let t = Tensor3::<f32>::from_fn(1, 2, 2, |_, h, w| (h * 2 + w) as f32 + 1.0);
+        let p = t.zero_padded(1);
+        assert_eq!(p.shape(), (1, 4, 4));
+        assert_eq!(p[(0, 0, 0)], 0.0);
+        assert_eq!(p[(0, 1, 1)], 1.0);
+        assert_eq!(p[(0, 2, 2)], 4.0);
+        assert_eq!(p[(0, 3, 3)], 0.0);
+        let total: f32 = p.as_slice().iter().sum();
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn zero_padding_zero_is_clone() {
+        let t = Tensor3::<i8>::from_fn(2, 3, 3, |c, h, w| (c + h + w) as i8);
+        assert_eq!(t.zero_padded(0), t);
+    }
+
+    #[test]
+    fn channel_slice_extracts_planes() {
+        let t = Tensor3::<i32>::from_fn(4, 2, 2, |c, _, _| c as i32);
+        let s = t.channel_slice(1, 2);
+        assert_eq!(s.shape(), (2, 2, 2));
+        assert!(s.as_slice()[..4].iter().all(|&v| v == 1));
+        assert!(s.as_slice()[4..].iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel range")]
+    fn channel_slice_out_of_range_panics() {
+        let t = Tensor3::<i32>::zeros(4, 2, 2);
+        let _ = t.channel_slice(3, 2);
+    }
+
+    #[test]
+    fn indexed_iter_covers_every_element_once() {
+        let t = Tensor3::<i32>::from_fn(3, 4, 5, |c, h, w| (c * 20 + h * 5 + w) as i32);
+        let mut count = 0;
+        for ((c, h, w), &v) in t.indexed_iter() {
+            assert_eq!(v, (c * 20 + h * 5 + w) as i32);
+            count += 1;
+        }
+        assert_eq!(count, 60);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let t = Tensor3::<i8>::from_fn(2, 2, 2, |c, _, _| c as i8);
+        let m: Tensor3<f32> = t.map(|&v| f32::from(v) * 2.0);
+        assert_eq!(m.shape(), t.shape());
+        assert_eq!(m[(1, 0, 0)], 2.0);
+    }
+
+    #[test]
+    fn tensor4_kernel_and_channel_slices() {
+        let t = Tensor4::<i32>::from_fn(4, 6, 1, 1, |k, c, _, _| (k * 10 + c) as i32);
+        let ks = t.kernel_slice(2, 2);
+        assert_eq!(ks.shape(), (2, 6, 1, 1));
+        assert_eq!(ks[(0, 0, 0, 0)], 20);
+        let cs = t.channel_slice(4, 2);
+        assert_eq!(cs.shape(), (4, 2, 1, 1));
+        assert_eq!(cs[(3, 1, 0, 0)], 35);
+    }
+
+    #[test]
+    fn get_is_bounds_checked() {
+        let t = Tensor3::<u8>::zeros(1, 1, 1);
+        assert!(t.get(0, 0, 0).is_some());
+        assert!(t.get(1, 0, 0).is_none());
+        assert!(t.get(0, 1, 0).is_none());
+        assert!(t.get(0, 0, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zeros_rejects_empty() {
+        let _ = Tensor3::<u8>::zeros(0, 1, 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = Tensor3::<i32>::zeros(1, 2, 2);
+        assert!(!format!("{t}").is_empty());
+    }
+}

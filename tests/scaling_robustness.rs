@@ -1,0 +1,123 @@
+//! Property-based robustness tests across architecture variants — the
+//! paper's "PE arrays are friendly to scaling … without reducing
+//! utilization" claim, exercised over random scaled configurations and
+//! workloads.
+
+use edea::core::{pipeline, timing};
+use edea::dse::TileConfig;
+use edea::nn::workload::LayerShape;
+use edea::EdeaConfig;
+use proptest::prelude::*;
+
+fn scaled_config(td_mult: usize, tk_mult: usize) -> EdeaConfig {
+    let mut cfg = EdeaConfig::paper();
+    let td = 8 * td_mult;
+    let tk = 16 * tk_mult;
+    cfg.tile = TileConfig::new(2, 2, td, tk, 3);
+    cfg.intermediate_buf_bytes = 2 * 4 * td;
+    cfg
+}
+
+fn arbitrary_layer() -> impl Strategy<Value = LayerShape> {
+    // Spatial sizes and channels that map onto the engines (multiples of
+    // tiles, even outputs).
+    (1usize..5, 1usize..8, 1usize..8, 1usize..3).prop_map(|(sp, d, k, stride)| {
+        let out = 2 * sp; // even output
+        let in_spatial = out * stride;
+        LayerShape {
+            index: 0,
+            in_spatial,
+            d_in: 8 * d * 2, // multiples of 16 so td up to 16 divides
+            k_out: 32 * k,   // multiples of 32 so tk up to 32 divides
+            stride,
+            kernel: 3,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The clocked pipeline and Eq. 1/Eq. 2 agree whenever Kt ≥ 3
+    /// (MobileNet's regime), across random layers and scaled engines.
+    #[test]
+    fn pipeline_equals_analytic_across_scaled_configs(
+        l in arbitrary_layer(), td_mult in 1usize..3, tk_mult in 1usize..3,
+    ) {
+        let cfg = scaled_config(td_mult, tk_mult);
+        prop_assume!(l.d_in % cfg.tile.td == 0);
+        prop_assume!(l.k_out % cfg.tile.tk == 0);
+        prop_assume!(l.k_out / cfg.tile.tk >= 3);
+        let analytic = timing::layer_cycles(&l, &cfg);
+        let clocked = pipeline::simulate_layer(&l, &cfg, 0);
+        prop_assert_eq!(clocked.total_cycles, analytic.total());
+        prop_assert_eq!(clocked.dwc_busy, analytic.dwc_busy);
+        prop_assert_eq!(clocked.pwc_busy, analytic.pwc_busy);
+    }
+
+    /// Scaling Td halves the channel passes: cycles never increase, and
+    /// throughput never decreases (the "friendly to scaling" claim).
+    #[test]
+    fn scaling_td_never_slows_a_layer(l in arbitrary_layer()) {
+        let base = scaled_config(1, 1);
+        let wide = scaled_config(2, 1);
+        prop_assume!(l.d_in % wide.tile.td == 0 && l.k_out % wide.tile.tk == 0);
+        let c1 = timing::layer_cycles(&l, &base).total();
+        let c2 = timing::layer_cycles(&l, &wide).total();
+        prop_assert!(c2 <= c1, "Td scaling slowed {c1} -> {c2}");
+    }
+
+    /// Scaling Tk divides the PWC busy cycles proportionally.
+    #[test]
+    fn scaling_tk_divides_pwc_work(l in arbitrary_layer()) {
+        let base = scaled_config(1, 1);
+        let wide = scaled_config(1, 2);
+        prop_assume!(l.k_out % wide.tile.tk == 0);
+        let b1 = timing::layer_cycles(&l, &base);
+        let b2 = timing::layer_cycles(&l, &wide);
+        prop_assert_eq!(b1.pwc_busy, 2 * b2.pwc_busy);
+        prop_assert_eq!(b1.dwc_busy, b2.dwc_busy);
+    }
+
+    /// Latency in ns is inversely proportional to clock frequency.
+    #[test]
+    fn latency_scales_with_clock(l in arbitrary_layer(), mhz in 100u64..2000) {
+        let mut cfg = EdeaConfig::paper();
+        prop_assume!(l.d_in % 8 == 0 && l.k_out % 16 == 0);
+        cfg.clock_mhz = mhz;
+        let base = EdeaConfig::paper();
+        let t1 = timing::layer_latency_ns(&l, &base);
+        let t2 = timing::layer_latency_ns(&l, &cfg);
+        let expect = t1 * 1000.0 / mhz as f64;
+        prop_assert!((t2 - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+
+    /// Throughput never exceeds the configured peak.
+    #[test]
+    fn throughput_bounded_by_peak(l in arbitrary_layer()) {
+        let cfg = EdeaConfig::paper();
+        prop_assume!(l.d_in % 8 == 0 && l.k_out % 16 == 0);
+        let tp = timing::layer_throughput_gops(&l, &cfg);
+        prop_assert!(tp <= cfg.peak_gops() + 1e-9, "{tp}");
+        prop_assert!(tp > 0.0);
+    }
+
+    /// Technology scaling round-trips: scaling A→B→A is the identity.
+    #[test]
+    fn scaling_round_trip(ee in 0.1f64..100.0, tech in 10.0f64..90.0, v in 0.5f64..1.3) {
+        use edea::core::scaling::{scale_energy_efficiency, OperatingPoint};
+        let a = OperatingPoint { tech_nm: tech, voltage: v, precision_bits: 8 };
+        let b = OperatingPoint::edea();
+        let there = scale_energy_efficiency(ee, &a, &b);
+        let back = scale_energy_efficiency(there, &b, &a);
+        prop_assert!((back - ee).abs() < 1e-9 * ee);
+    }
+
+    /// Portion decomposition always covers the ofmap exactly, for any size.
+    #[test]
+    fn portions_cover_any_ofmap(out in 1usize..64, limit in 1usize..16) {
+        let edges = timing::portion_edges(out, limit);
+        prop_assert_eq!(edges.iter().sum::<usize>(), out);
+        prop_assert!(edges.iter().all(|&e| e <= limit && e > 0));
+    }
+}
