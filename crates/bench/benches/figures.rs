@@ -24,7 +24,9 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("table3", |b| b.iter(|| black_box(e::table3())));
     g.bench_function("ablation", |b| b.iter(|| black_box(e::ablation())));
     g.bench_function("scale_study", |b| b.iter(|| black_box(e::scale_study())));
-    g.bench_function("portion_study", |b| b.iter(|| black_box(e::portion_study())));
+    g.bench_function("portion_study", |b| {
+        b.iter(|| black_box(e::portion_study()))
+    });
     g.finish();
 }
 

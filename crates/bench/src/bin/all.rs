@@ -4,9 +4,22 @@
 fn main() {
     use edea_bench::experiments as e;
     for section in [
-        e::table1(), e::table2(), e::fig2a(), e::fig2b(), e::fig3(), e::fig7(),
-        e::fig8().0, e::fig9(), e::fig10(), e::fig11(), e::fig12(), e::fig13(),
-        e::table3(), e::ablation(), e::scale_study(), e::portion_study(),
+        e::table1(),
+        e::table2(),
+        e::fig2a(),
+        e::fig2b(),
+        e::fig3(),
+        e::fig7(),
+        e::fig8().0,
+        e::fig9(),
+        e::fig10(),
+        e::fig11(),
+        e::fig12(),
+        e::fig13(),
+        e::table3(),
+        e::ablation(),
+        e::scale_study(),
+        e::portion_study(),
     ] {
         println!("{section}");
     }

@@ -5,7 +5,9 @@
 fn main() {
     let (report, svg) = edea_bench::experiments::fig8();
     print!("{report}");
-    let path = std::env::args().nth(1).unwrap_or_else(|| "fig8_layout.svg".to_owned());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fig8_layout.svg".to_owned());
     match std::fs::write(&path, svg) {
         Ok(()) => println!("\nSVG written to {path}"),
         Err(e) => eprintln!("\ncould not write {path}: {e}"),

@@ -7,8 +7,13 @@ use edea::core::{pipeline, trace};
 use edea::{mobilenet_v1_cifar10, EdeaConfig};
 
 fn main() {
-    let layer: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0);
-    let path = std::env::args().nth(2).unwrap_or_else(|| format!("edea_layer{layer}.vcd"));
+    let layer: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
+    let path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| format!("edea_layer{layer}.vcd"));
     let layers = mobilenet_v1_cifar10();
     assert!(layer < layers.len(), "layer must be 0..13");
     let cfg = EdeaConfig::paper();

@@ -67,7 +67,9 @@ pub fn table2() -> String {
 /// Fig. 2a: PE array size per exploration group and case.
 #[must_use]
 pub fn fig2a() -> String {
-    let mut t = Table::new(vec!["group", "Case1", "Case2", "Case3", "Case4", "Case5", "Case6"]);
+    let mut t = Table::new(vec![
+        "group", "Case1", "Case2", "Case3", "Case4", "Case5", "Case6",
+    ]);
     for g in exploration_groups() {
         let mut row = vec![format!("{} Tn=Tm={}", g.order, g.tn)];
         for c in table1_cases() {
@@ -254,7 +256,11 @@ pub fn fig11() -> String {
     let (stats, model) = calibrated_energy();
     let targets = paperdata::power_mw();
     let mut t = Table::new(vec![
-        "layer", "DWC zero %", "PWC zero %", "power mW", "paper mW",
+        "layer",
+        "DWC zero %",
+        "PWC zero %",
+        "power mW",
+        "paper mW",
     ]);
     for (s, &want) in stats.iter().zip(&targets) {
         t.row(vec![
@@ -305,7 +311,10 @@ pub fn fig12() -> String {
 #[must_use]
 pub fn fig13() -> String {
     let mut t = Table::new(vec!["layer", "GOPS", "paper GOPS"]);
-    for (l, &want) in mobilenet_v1_cifar10().iter().zip(&paperdata::THROUGHPUT_GOPS) {
+    for (l, &want) in mobilenet_v1_cifar10()
+        .iter()
+        .zip(&paperdata::THROUGHPUT_GOPS)
+    {
         t.row(vec![
             l.index.to_string(),
             fmt(timing::layer_throughput_gops(l, &cfg()), 1),
@@ -331,8 +340,19 @@ pub fn table3() -> String {
     let tp = timing::layer_throughput_gops(&mobilenet_v1_cifar10()[10], &cfg());
     let ours = compare::this_work(power, tp, AreaBreakdown::paper().total_mm2());
     let mut t = Table::new(vec![
-        "design", "tech", "V", "bits", "PEs", "mW", "GOPS", "TOPS/W", "GOPS/mm2",
-        "norm EE (ours)", "norm EE (paper)", "norm AE (ours)", "norm AE (paper)",
+        "design",
+        "tech",
+        "V",
+        "bits",
+        "PEs",
+        "mW",
+        "GOPS",
+        "TOPS/W",
+        "GOPS/mm2",
+        "norm EE (ours)",
+        "norm EE (paper)",
+        "norm AE (ours)",
+        "norm AE (paper)",
     ]);
     for e in compare::sota_entries() {
         t.row(vec![
@@ -367,8 +387,10 @@ pub fn table3() -> String {
         fmt(paperdata::headline::AREA_EFF_GOPS_MM2, 1),
     ]);
     let advantages = compare::ee_advantages(&ours, &compare::sota_entries());
-    let adv: Vec<String> =
-        advantages.iter().map(|(n, f)| format!("{n}: {f:.2}x")).collect();
+    let adv: Vec<String> = advantages
+        .iter()
+        .map(|(n, f)| format!("{n}: {f:.2}x"))
+        .collect();
     format!(
         "== Table III: comparison with state-of-the-art ==\n{}\n\
          normalized-EE advantage of this work: {}\n\
@@ -384,7 +406,11 @@ pub fn ablation() -> String {
     let layers = mobilenet_v1_cifar10();
     let (_, model) = calibrated_energy();
     let mut t = Table::new(vec![
-        "layer", "EDEA cyc", "serial cyc", "speedup", "roundtrip bytes",
+        "layer",
+        "EDEA cyc",
+        "serial cyc",
+        "speedup",
+        "roundtrip bytes",
     ]);
     let mut edea_c = 0u64;
     let mut serial_c = 0u64;
@@ -436,8 +462,15 @@ pub fn scale_study() -> String {
     let layers = mobilenet_v1_cifar10();
     let unit = UnitAreas::calibrated_22nm();
     let mut t = Table::new(vec![
-        "Td", "Tk", "PEs", "area mm2", "analytic cyc", "clocked cyc", "stalls",
-        "avg GOPS", "GOPS/mm2",
+        "Td",
+        "Tk",
+        "PEs",
+        "area mm2",
+        "analytic cyc",
+        "clocked cyc",
+        "stalls",
+        "avg GOPS",
+        "GOPS/mm2",
     ]);
     for (td, tk) in [(8, 16), (8, 32), (16, 16), (16, 32), (8, 64), (16, 64)] {
         let mut c = cfg();
@@ -487,7 +520,11 @@ pub fn scale_study() -> String {
 pub fn portion_study() -> String {
     let layers = mobilenet_v1_cifar10();
     let mut t = Table::new(vec![
-        "portion", "init cycles", "total cycles", "avg GOPS", "max psum KiB",
+        "portion",
+        "init cycles",
+        "total cycles",
+        "avg GOPS",
+        "max psum KiB",
     ]);
     for limit in [2usize, 4, 8, 16, 32] {
         let mut c = cfg();
@@ -545,7 +582,14 @@ pub fn verify_sim() -> String {
     let run = edea.run_network(&qnet, &input).expect("run");
     let golden = edea::nn::executor::run_network(&qnet, &input);
     assert_eq!(run.output, golden.output, "bit-exactness at width 1.0");
-    let mut t = Table::new(vec!["layer", "cycles", "analytic", "GOPS", "DWC zero %", "target %"]);
+    let mut t = Table::new(vec![
+        "layer",
+        "cycles",
+        "analytic",
+        "GOPS",
+        "DWC zero %",
+        "target %",
+    ]);
     let profile = SparsityProfile::paper();
     for s in &run.stats.layers {
         t.row(vec![

@@ -21,7 +21,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(headers: Vec<&'static str>) -> Self {
-        Self { headers, rows: Vec::new() }
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -52,22 +55,22 @@ impl Table {
         let cols = self.headers.len();
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
-            for c in 0..cols {
-                widths[c] = widths[c].max(row[c].len());
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
             }
         }
         let mut out = String::new();
-        for c in 0..cols {
-            out.push_str(&format!("{:<w$}", self.headers[c], w = widths[c]));
+        for (c, (h, w)) in self.headers.iter().zip(&widths).enumerate() {
+            out.push_str(&format!("{h:<w$}"));
             out.push_str(if c + 1 == cols { "\n" } else { " | " });
         }
-        for c in 0..cols {
-            out.push_str(&"-".repeat(widths[c]));
+        for (c, w) in widths.iter().enumerate() {
+            out.push_str(&"-".repeat(*w));
             out.push_str(if c + 1 == cols { "\n" } else { "-+-" });
         }
         for row in &self.rows {
-            for c in 0..cols {
-                out.push_str(&format!("{:<w$}", row[c], w = widths[c]));
+            for (c, (cell, w)) in row.iter().zip(&widths).enumerate() {
+                out.push_str(&format!("{cell:<w$}"));
                 out.push_str(if c + 1 == cols { "\n" } else { " | " });
             }
         }

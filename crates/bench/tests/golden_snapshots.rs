@@ -1,0 +1,79 @@
+//! Golden snapshot regression tests for every rendered paper artifact
+//! (Tables I–III, Figs. 2, 3, 7–13, and the three studies).
+//!
+//! The paper-number tests in `tests/paper_numbers.rs` pin a handful of
+//! headline values; these snapshots pin **every character** of every
+//! rendered artifact, so any drift in the timing, power, area, DSE or
+//! comparison models is caught immediately and reviewed as a fixture diff.
+//!
+//! To regenerate after an intentional model change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p edea-bench --test golden_snapshots
+//! git diff crates/bench/tests/golden/   # review the drift, then commit
+//! ```
+
+use edea_bench::experiments as e;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden fixture {}; run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, want,
+        "artifact `{name}` drifted from its golden fixture.\n\
+         If the change is intentional, regenerate with:\n\
+         UPDATE_GOLDEN=1 cargo test -p edea-bench --test golden_snapshots"
+    );
+}
+
+macro_rules! golden {
+    ($($name:ident),* $(,)?) => {$(
+        #[test]
+        fn $name() {
+            check(stringify!($name), &e::$name());
+        }
+    )*};
+}
+
+golden!(
+    table1,
+    table2,
+    table3,
+    fig2a,
+    fig2b,
+    fig3,
+    fig7,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    ablation,
+    scale_study,
+    portion_study,
+);
+
+#[test]
+fn fig8() {
+    let (layout, dims) = e::fig8();
+    check("fig8_layout", &layout);
+    check("fig8_dims", &dims);
+}

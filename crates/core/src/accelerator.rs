@@ -73,7 +73,12 @@ impl Edea {
         let dwc = DwcEngine::new(&cfg);
         let pwc = PwcEngine::new(&cfg);
         let nonconv = NonConvUnit::new(&cfg);
-        Ok(Self { cfg, dwc, pwc, nonconv })
+        Ok(Self {
+            cfg,
+            dwc,
+            pwc,
+            nonconv,
+        })
     }
 
     /// The configuration.
@@ -89,7 +94,10 @@ impl Edea {
             return Err(CoreError::UnsupportedShape {
                 detail: format!(
                     "layer {} expects input ({}, {}, {}), got {:?}",
-                    s.index, s.d_in, s.in_spatial, s.in_spatial,
+                    s.index,
+                    s.d_in,
+                    s.in_spatial,
+                    s.in_spatial,
                     input.shape()
                 ),
             });
@@ -163,7 +171,9 @@ impl Edea {
         let pw_slices: Vec<Vec<Tensor4<i8>>> = (0..channel_passes)
             .map(|ct| {
                 let chan = layer.pw_weights().values().channel_slice(ct * td, td);
-                (0..kernel_tiles).map(|kt| chan.kernel_slice(kt * tk, tk)).collect()
+                (0..kernel_tiles)
+                    .map(|kt| chan.kernel_slice(kt * tk, tk))
+                    .collect()
             })
             .collect();
 
@@ -214,8 +224,9 @@ impl Edea {
 
                     // Non-Conv: fold to int8 and stream to the intermediate
                     // buffer (direct data transfer — no external round trip).
-                    let (mid_tile, nc) =
-                        self.nonconv.apply_tile(&dwc_out.acc, &layer.nonconv1()[ct * td..])?;
+                    let (mid_tile, nc) = self
+                        .nonconv
+                        .apply_tile(&dwc_out.acc, &layer.nonconv1()[ct * td..])?;
                     nonconv_ops += nc.ops;
                     buffers.intermediate.fill(tn * tm * td)?;
                     for c in 0..td {
@@ -263,8 +274,7 @@ impl Edea {
             for k in 0..s.k_out {
                 for r in 0..portion.rows {
                     for c in 0..portion.cols {
-                        out_map[(k, portion.row0 + r, portion.col0 + c)] =
-                            portion_out[(k, r, c)];
+                        out_map[(k, portion.row0 + r, portion.col0 + c)] = portion_out[(k, r, c)];
                     }
                 }
             }
@@ -305,9 +315,16 @@ impl Edea {
                 reads: buffers.intermediate.reads(),
                 writes: buffers.intermediate.writes(),
             },
-            psum: BufferTraffic { reads: buffers.psum.reads(), writes: psum_write_bytes },
+            psum: BufferTraffic {
+                reads: buffers.psum.reads(),
+                writes: psum_write_bytes,
+            },
         };
-        Ok(LayerRun { output: out_map, pwc_input: mid_map, stats })
+        Ok(LayerRun {
+            output: out_map,
+            pwc_input: mid_map,
+            stats,
+        })
     }
 
     /// Runs the whole quantized DSC stack.
@@ -327,7 +344,10 @@ impl Edea {
             x = run.output;
             layers.push(run.stats);
         }
-        Ok(NetworkRun { output: x, stats: NetworkStats { layers } })
+        Ok(NetworkRun {
+            output: x,
+            stats: NetworkStats { layers },
+        })
     }
 }
 
@@ -385,7 +405,12 @@ mod tests {
         let run = edea.run_network(&qnet, &input).unwrap();
         for stats in &run.stats.layers {
             let analytic = timing::layer_cycles(&stats.shape, edea.config());
-            assert_eq!(stats.cycles, analytic.total(), "layer {}", stats.shape.index);
+            assert_eq!(
+                stats.cycles,
+                analytic.total(),
+                "layer {}",
+                stats.shape.index
+            );
         }
     }
 
@@ -448,11 +473,23 @@ mod tests {
                 stats.out_zero,
             );
             assert_eq!(stats.cycles, synth.cycles, "layer {}", stats.shape.index);
-            assert_eq!(stats.external, synth.external, "layer {}", stats.shape.index);
+            assert_eq!(
+                stats.external, synth.external,
+                "layer {}",
+                stats.shape.index
+            );
             assert_eq!(stats.onchip, synth.onchip, "layer {}", stats.shape.index);
-            assert_eq!(stats.intermediate, synth.intermediate, "layer {}", stats.shape.index);
+            assert_eq!(
+                stats.intermediate, synth.intermediate,
+                "layer {}",
+                stats.shape.index
+            );
             assert_eq!(stats.psum, synth.psum, "layer {}", stats.shape.index);
-            assert_eq!(stats.nonconv_ops, synth.nonconv_ops, "layer {}", stats.shape.index);
+            assert_eq!(
+                stats.nonconv_ops, synth.nonconv_ops,
+                "layer {}",
+                stats.shape.index
+            );
             assert_eq!(
                 stats.dwc_activity.mac_slots, synth.dwc_activity.mac_slots,
                 "layer {}",

@@ -182,7 +182,11 @@ mod tests {
     fn pwc_to_dwc_ratio_matches_paper() {
         // "The area ratio of PWC to DWC is approximately 1.7X."
         let a = AreaBreakdown::paper();
-        assert!((a.pwc_to_dwc_ratio() - 1.69).abs() < 0.02, "{}", a.pwc_to_dwc_ratio());
+        assert!(
+            (a.pwc_to_dwc_ratio() - 1.69).abs() < 0.02,
+            "{}",
+            a.pwc_to_dwc_ratio()
+        );
     }
 
     #[test]
@@ -192,7 +196,10 @@ mod tests {
         assert!((ae - paperdata::headline::AREA_EFF_GOPS_MM2).abs() < 1.0);
         let a = AreaBreakdown::paper();
         let got = a.area_efficiency(paperdata::headline::PEAK_EE_GOPS);
-        assert!((got - 1687.0).abs() < 5.0, "{got} (paper rounds area up to 0.58)");
+        assert!(
+            (got - 1687.0).abs() < 5.0,
+            "{got} (paper rounds area up to 0.58)"
+        );
     }
 
     #[test]
@@ -225,8 +232,17 @@ mod tests {
         // An int8 MAC in 22 nm is a few hundred µm²; SRAM well under 1 µm²/b
         // would be implausible, above 5 µm²/B generous. These bounds catch
         // transcription errors rather than assert precision.
-        assert!(unit.mac_dwc_um2 > 100.0 && unit.mac_dwc_um2 < 1000.0, "{unit:?}");
-        assert!(unit.mac_pwc_um2 > 100.0 && unit.mac_pwc_um2 < 1000.0, "{unit:?}");
-        assert!(unit.sram_um2_byte > 0.05 && unit.sram_um2_byte < 5.0, "{unit:?}");
+        assert!(
+            unit.mac_dwc_um2 > 100.0 && unit.mac_dwc_um2 < 1000.0,
+            "{unit:?}"
+        );
+        assert!(
+            unit.mac_pwc_um2 > 100.0 && unit.mac_pwc_um2 < 1000.0,
+            "{unit:?}"
+        );
+        assert!(
+            unit.sram_um2_byte > 0.05 && unit.sram_um2_byte < 5.0,
+            "{unit:?}"
+        );
     }
 }

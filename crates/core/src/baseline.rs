@@ -41,7 +41,10 @@ pub fn serial_dual(shape: &LayerShape, cfg: &EdeaConfig) -> BaselineLayer {
     // Each portion-pass pays both initiations and the un-hidden DWC compute.
     let passes = b.portions * b.channel_passes;
     let cycles = 2 * cfg.init_cycles * passes + b.dwc_busy + b.pwc_busy;
-    BaselineLayer { cycles, extra_external_bytes: roundtrip_external_traffic(shape) }
+    BaselineLayer {
+        cycles,
+        extra_external_bytes: roundtrip_external_traffic(shape),
+    }
 }
 
 /// The external-traffic penalty of dropping the intermediate buffer: the
@@ -103,7 +106,10 @@ mod tests {
         // Across the network the parallel overlap buys a modest but real
         // latency reduction (the headline EDEA wins are energy/streaming).
         let layers = mobilenet_v1_cifar10();
-        let edea: u64 = layers.iter().map(|l| timing::layer_cycles(l, &cfg()).total()).sum();
+        let edea: u64 = layers
+            .iter()
+            .map(|l| timing::layer_cycles(l, &cfg()).total())
+            .sum();
         let serial: u64 = layers.iter().map(|l| serial_dual(l, &cfg()).cycles).sum();
         let speedup = serial as f64 / edea as f64;
         assert!(speedup > 1.05 && speedup < 1.30, "speedup {speedup}");
@@ -121,7 +127,10 @@ mod tests {
     fn fig3_traffic_sums_to_paper_scale() {
         // Σ 2·N·M·D over the network = 315 392 eliminated accesses (the
         // Fig. 3 delta between baseline and direct transfer).
-        let total: u64 = mobilenet_v1_cifar10().iter().map(fig3_roundtrip_traffic).sum();
+        let total: u64 = mobilenet_v1_cifar10()
+            .iter()
+            .map(fig3_roundtrip_traffic)
+            .sum();
         assert_eq!(total, 2 * 157_696);
     }
 

@@ -25,7 +25,14 @@ impl TrackedBuffer {
     /// Creates an empty buffer.
     #[must_use]
     pub fn new(name: &'static str, capacity: usize) -> Self {
-        Self { name, capacity, reads: 0, writes: 0, occupancy: 0, peak: 0 }
+        Self {
+            name,
+            capacity,
+            reads: 0,
+            writes: 0,
+            occupancy: 0,
+            peak: 0,
+        }
     }
 
     /// Buffer name.
@@ -224,7 +231,10 @@ mod tests {
         b.fill(100).unwrap();
         assert_eq!(b.peak(), 100);
         let err = b.fill(101).unwrap_err();
-        assert!(matches!(err, CoreError::BufferOverflow { buffer: "test", .. }));
+        assert!(matches!(
+            err,
+            CoreError::BufferOverflow { buffer: "test", .. }
+        ));
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub fn sota_entries() -> Vec<SotaEntry> {
         SotaEntry {
             name: "[16]",
             venue: "ISVLSI'19",
-            point: OperatingPoint { tech_nm: 65.0, voltage: 1.08, precision_bits: 8 },
+            point: OperatingPoint {
+                tech_nm: 65.0,
+                voltage: 1.08,
+                precision_bits: 8,
+            },
             pe_count: 256,
             benchmark: "MobileNetV1",
             conv_type: "DWC+PWC",
@@ -85,7 +89,11 @@ pub fn sota_entries() -> Vec<SotaEntry> {
         SotaEntry {
             name: "[17]",
             venue: "ICCE-TW'21",
-            point: OperatingPoint { tech_nm: 40.0, voltage: 0.9, precision_bits: 16 },
+            point: OperatingPoint {
+                tech_nm: 40.0,
+                voltage: 0.9,
+                precision_bits: 16,
+            },
             pe_count: 128,
             benchmark: "MobileNetV1",
             conv_type: "DWC+PWC",
@@ -102,7 +110,11 @@ pub fn sota_entries() -> Vec<SotaEntry> {
         SotaEntry {
             name: "[18]",
             venue: "TCASI'24",
-            point: OperatingPoint { tech_nm: 28.0, voltage: 0.9, precision_bits: 8 },
+            point: OperatingPoint {
+                tech_nm: 28.0,
+                voltage: 0.9,
+                precision_bits: 8,
+            },
             pe_count: 288,
             benchmark: "DTN",
             conv_type: "SC+DSC",
@@ -118,7 +130,11 @@ pub fn sota_entries() -> Vec<SotaEntry> {
         SotaEntry {
             name: "[4] DWC",
             venue: "VLSI-SoC'23",
-            point: OperatingPoint { tech_nm: 22.0, voltage: 0.8, precision_bits: 8 },
+            point: OperatingPoint {
+                tech_nm: 22.0,
+                voltage: 0.8,
+                precision_bits: 8,
+            },
             pe_count: 72,
             benchmark: "MobileNetV1",
             conv_type: "DWC",
@@ -134,7 +150,11 @@ pub fn sota_entries() -> Vec<SotaEntry> {
         SotaEntry {
             name: "[4] PWC",
             venue: "VLSI-SoC'23",
-            point: OperatingPoint { tech_nm: 22.0, voltage: 0.8, precision_bits: 8 },
+            point: OperatingPoint {
+                tech_nm: 22.0,
+                voltage: 0.8,
+                precision_bits: 8,
+            },
             pe_count: 72,
             benchmark: "MobileNetV1",
             conv_type: "PWC",
@@ -177,7 +197,10 @@ pub fn this_work(power_mw: f64, throughput_gops: f64, area_mm2: f64) -> SotaEntr
 /// as quoted in the paper's Sec. IV-C.
 #[must_use]
 pub fn ee_advantages(ours: &SotaEntry, entries: &[SotaEntry]) -> Vec<(&'static str, f64)> {
-    entries.iter().map(|e| (e.name, ours.energy_eff / e.our_norm_ee())).collect()
+    entries
+        .iter()
+        .map(|e| (e.name, ours.energy_eff / e.our_norm_ee()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -244,9 +267,21 @@ mod tests {
         // numbers to ≈12 % / 20 %.
         for e in sota_entries() {
             let err = (e.our_norm_ee() - e.paper_norm_ee).abs() / e.paper_norm_ee;
-            assert!(err < 0.12, "{}: our {} vs paper {}", e.name, e.our_norm_ee(), e.paper_norm_ee);
+            assert!(
+                err < 0.12,
+                "{}: our {} vs paper {}",
+                e.name,
+                e.our_norm_ee(),
+                e.paper_norm_ee
+            );
             let err_ae = (e.our_norm_ae() - e.paper_norm_ae).abs() / e.paper_norm_ae;
-            assert!(err_ae < 0.20, "{}: ae our {} vs paper {}", e.name, e.our_norm_ae(), e.paper_norm_ae);
+            assert!(
+                err_ae < 0.20,
+                "{}: ae our {} vs paper {}",
+                e.name,
+                e.our_norm_ae(),
+                e.paper_norm_ae
+            );
         }
     }
 

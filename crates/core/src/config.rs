@@ -117,7 +117,9 @@ impl EdeaConfig {
     /// [`CoreError::InvalidConfig`] describing the first violation.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.tile.tn == 0 || self.tile.tm == 0 || self.tile.td == 0 || self.tile.tk == 0 {
-            return Err(CoreError::InvalidConfig { detail: "tile dims must be non-zero".into() });
+            return Err(CoreError::InvalidConfig {
+                detail: "tile dims must be non-zero".into(),
+            });
         }
         if self.portion_limit < self.tile.tn || self.portion_limit < self.tile.tm {
             return Err(CoreError::InvalidConfig {
@@ -130,7 +132,9 @@ impl EdeaConfig {
             });
         }
         if self.clock_mhz == 0 {
-            return Err(CoreError::InvalidConfig { detail: "clock must be non-zero".into() });
+            return Err(CoreError::InvalidConfig {
+                detail: "clock must be non-zero".into(),
+            });
         }
         if !(self.voltage > 0.0 && self.tech_nm > 0.0) {
             return Err(CoreError::InvalidConfig {

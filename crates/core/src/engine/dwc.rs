@@ -40,7 +40,12 @@ impl DwcEngine {
     /// Builds the engine from the architecture configuration.
     #[must_use]
     pub fn new(cfg: &EdeaConfig) -> Self {
-        Self { td: cfg.tile.td, tn: cfg.tile.tn, tm: cfg.tile.tm, kernel: cfg.tile.kernel }
+        Self {
+            td: cfg.tile.td,
+            tn: cfg.tile.tn,
+            tm: cfg.tile.tm,
+            kernel: cfg.tile.kernel,
+        }
     }
 
     /// MAC slots exercised per invocation (288 for the paper config).

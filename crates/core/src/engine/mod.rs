@@ -51,8 +51,16 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = EngineActivity { mac_slots: 10, zero_act_slots: 3, zero_weight_slots: 1 };
-        a.merge(&EngineActivity { mac_slots: 5, zero_act_slots: 2, zero_weight_slots: 0 });
+        let mut a = EngineActivity {
+            mac_slots: 10,
+            zero_act_slots: 3,
+            zero_weight_slots: 1,
+        };
+        a.merge(&EngineActivity {
+            mac_slots: 5,
+            zero_act_slots: 2,
+            zero_weight_slots: 0,
+        });
         assert_eq!(a.mac_slots, 15);
         assert_eq!(a.zero_act_slots, 5);
         assert_eq!(a.zero_weight_slots, 1);
@@ -61,7 +69,11 @@ mod tests {
     #[test]
     fn gating_fraction_handles_empty() {
         assert_eq!(EngineActivity::default().gating_fraction(), 0.0);
-        let a = EngineActivity { mac_slots: 4, zero_act_slots: 1, zero_weight_slots: 0 };
+        let a = EngineActivity {
+            mac_slots: 4,
+            zero_act_slots: 1,
+            zero_weight_slots: 0,
+        };
         assert_eq!(a.gating_fraction(), 0.25);
     }
 }

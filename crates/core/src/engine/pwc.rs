@@ -38,7 +38,12 @@ impl PwcEngine {
     /// Builds the engine from the architecture configuration.
     #[must_use]
     pub fn new(cfg: &EdeaConfig) -> Self {
-        Self { td: cfg.tile.td, tk: cfg.tile.tk, tn: cfg.tile.tn, tm: cfg.tile.tm }
+        Self {
+            td: cfg.tile.td,
+            tk: cfg.tile.tk,
+            tn: cfg.tile.tn,
+            tm: cfg.tile.tm,
+        }
     }
 
     /// MAC slots exercised per invocation (512 for the paper config).

@@ -33,7 +33,11 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::UnsupportedShape { detail } => write!(f, "unsupported shape: {detail}"),
-            CoreError::BufferOverflow { buffer, required, capacity } => write!(
+            CoreError::BufferOverflow {
+                buffer,
+                required,
+                capacity,
+            } => write!(
                 f,
                 "buffer {buffer} overflow: {required} bytes required, {capacity} available"
             ),
@@ -50,7 +54,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CoreError::BufferOverflow { buffer: "psum", required: 10, capacity: 5 };
+        let e = CoreError::BufferOverflow {
+            buffer: "psum",
+            required: 10,
+            capacity: 5,
+        };
         let s = e.to_string();
         assert!(s.contains("psum") && s.contains("10") && s.contains('5'));
     }

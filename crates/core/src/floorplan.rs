@@ -56,12 +56,24 @@ pub fn floorplan(area: &AreaBreakdown) -> Floorplan {
 
     // Right vertical slice: PWC engine.
     let pwc_w = area.pwc_um2 * scale / height;
-    blocks.push(Block { name: "pwc_engine", x: width - pwc_w, y: 0.0, w: pwc_w, h: height });
+    blocks.push(Block {
+        name: "pwc_engine",
+        x: width - pwc_w,
+        y: 0.0,
+        w: pwc_w,
+        h: height,
+    });
     let left_w = width - pwc_w;
 
     // Upper-left: DWC engine.
     let dwc_h = area.dwc_um2 * scale / left_w;
-    blocks.push(Block { name: "dwc_engine", x: 0.0, y: height - dwc_h, w: left_w, h: dwc_h });
+    blocks.push(Block {
+        name: "dwc_engine",
+        x: 0.0,
+        y: height - dwc_h,
+        w: left_w,
+        h: dwc_h,
+    });
 
     // Middle-left: Non-Conv units.
     let nc_h = area.nonconv_um2 * scale / left_w;
@@ -76,13 +88,35 @@ pub fn floorplan(area: &AreaBreakdown) -> Floorplan {
     // Bottom-left strip: buffers, intermediate buffer, control.
     let strip_h = height - dwc_h - nc_h;
     let buf_w = area.buffers_um2 * scale / strip_h;
-    blocks.push(Block { name: "buffers", x: 0.0, y: 0.0, w: buf_w, h: strip_h });
+    blocks.push(Block {
+        name: "buffers",
+        x: 0.0,
+        y: 0.0,
+        w: buf_w,
+        h: strip_h,
+    });
     let int_w = area.intermediate_um2 * scale / strip_h;
-    blocks.push(Block { name: "intermediate", x: buf_w, y: 0.0, w: int_w, h: strip_h });
+    blocks.push(Block {
+        name: "intermediate",
+        x: buf_w,
+        y: 0.0,
+        w: int_w,
+        h: strip_h,
+    });
     let ctl_w = left_w - buf_w - int_w;
-    blocks.push(Block { name: "control", x: buf_w + int_w, y: 0.0, w: ctl_w, h: strip_h });
+    blocks.push(Block {
+        name: "control",
+        x: buf_w + int_w,
+        y: 0.0,
+        w: ctl_w,
+        h: strip_h,
+    });
 
-    Floorplan { width_um: width, height_um: height, blocks }
+    Floorplan {
+        width_um: width,
+        height_um: height,
+        blocks,
+    }
 }
 
 /// Renders a floorplan to a standalone SVG document.

@@ -15,8 +15,7 @@ pub const ENERGY_EFFICIENCY_TOPS_W: [f64; NUM_LAYERS] = [
 
 /// Fig. 13: per-layer throughput in GOPS.
 pub const THROUGHPUT_GOPS: [f64; NUM_LAYERS] = [
-    1024.0, 1024.0, 1024.0, 1024.0, 1024.0, 973.5, 973.5, 973.5, 973.5, 973.5, 973.5, 905.6,
-    905.6,
+    1024.0, 1024.0, 1024.0, 1024.0, 1024.0, 973.5, 973.5, 973.5, 973.5, 973.5, 973.5, 905.6, 905.6,
 ];
 
 /// Per-layer power in mW, implied by Figs. 12 & 13 (`P = TP / EE`); the

@@ -133,7 +133,12 @@ pub fn simulate_layer(shape: &LayerShape, cfg: &EdeaConfig, trace_limit: usize) 
             // --- initiation (fill) ---
             for c in 0..LOAD_CYCLES {
                 push(
-                    TraceEvent { cycle: base + c, stage: Stage::DwcLoad, tile: 0, kernel_tile: 0 },
+                    TraceEvent {
+                        cycle: base + c,
+                        stage: Stage::DwcLoad,
+                        tile: 0,
+                        kernel_tile: 0,
+                    },
                     &mut events,
                 );
             }
@@ -200,7 +205,11 @@ pub fn simulate_layer(shape: &LayerShape, cfg: &EdeaConfig, trace_limit: usize) 
                     },
                     &mut events,
                 );
-                let ready = if t == 0 { base + cfg.init_cycles } else { wr_cycle + 1 };
+                let ready = if t == 0 {
+                    base + cfg.init_cycles
+                } else {
+                    wr_cycle + 1
+                };
                 let consume_start = pwc_cursor.max(ready);
                 prev_consume_start = consume_start;
                 pwc_cursor = consume_start;
@@ -223,11 +232,21 @@ pub fn simulate_layer(shape: &LayerShape, cfg: &EdeaConfig, trace_limit: usize) 
         // Output drain of the portion overlaps the next pass (Fig. 7's
         // bottom row); record it at the last cycle.
         push(
-            TraceEvent { cycle: clock - 1, stage: Stage::Output, tile: 0, kernel_tile: 0 },
+            TraceEvent {
+                cycle: clock - 1,
+                stage: Stage::Output,
+                tile: 0,
+                kernel_tile: 0,
+            },
             &mut events,
         );
     }
-    PipelineResult { total_cycles: clock, dwc_busy, pwc_busy, events }
+    PipelineResult {
+        total_cycles: clock,
+        dwc_busy,
+        pwc_busy,
+        events,
+    }
 }
 
 /// Renders the first `upto` cycles of a trace as a Fig. 7-style text Gantt
@@ -360,10 +379,22 @@ mod tests {
         // closed-form Eq. 1 does not model. (MobileNetV1 never enters this
         // regime — its smallest K is 64, i.e. Kt = 4.)
         use edea_nn::workload::LayerShape;
-        let l = LayerShape { index: 0, in_spatial: 8, d_in: 8, k_out: 16, stride: 1, kernel: 3 };
+        let l = LayerShape {
+            index: 0,
+            in_spatial: 8,
+            d_in: 8,
+            k_out: 16,
+            stride: 1,
+            kernel: 3,
+        };
         let sim = simulate_layer(&l, &cfg(), 0);
         let analytic = timing::layer_cycles(&l, &cfg());
-        assert!(sim.total_cycles > analytic.total(), "{} vs {}", sim.total_cycles, analytic.total());
+        assert!(
+            sim.total_cycles > analytic.total(),
+            "{} vs {}",
+            sim.total_cycles,
+            analytic.total()
+        );
     }
 
     #[test]

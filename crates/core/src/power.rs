@@ -147,8 +147,7 @@ impl EnergyModel {
             pwc_mw: self.e_mac_pwc_pj * self.active_macs(&stats.pwc_activity) / lat_ns,
             nonconv_mw: self.e_nonconv_pj * stats.nonconv_ops as f64 / lat_ns,
             buffers_mw: self.e_sram_pj_byte * sram_bytes as f64 / lat_ns,
-            rf_mw: self.e_rf_pj_byte
-                * (stats.psum.total() + stats.intermediate.total()) as f64
+            rf_mw: self.e_rf_pj_byte * (stats.psum.total() + stats.intermediate.total()) as f64
                 / lat_ns,
             io_mw: self.e_ext_pj_byte * stats.external.total() as f64 / lat_ns,
             clock_mw: self.p_clock_mw,
@@ -283,8 +282,10 @@ fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
         }
         for r in col + 1..n {
             let f = a[r][col] / diag;
+            let (head, tail) = a.split_at_mut(r);
+            let (pivot_row, row) = (&head[col], &mut tail[0]);
             for c in col..n {
-                a[r][c] -= f * a[col][c];
+                row[c] -= f * pivot_row[c];
             }
             b[r] -= f * b[col];
         }
@@ -295,7 +296,11 @@ fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
         for c in col + 1..n {
             acc -= a[col][c] * x[c];
         }
-        x[col] = if a[col][col].abs() < 1e-30 { 0.0 } else { acc / a[col][col] };
+        x[col] = if a[col][col].abs() < 1e-30 {
+            0.0
+        } else {
+            acc / a[col][col]
+        };
     }
     x
 }
@@ -389,8 +394,10 @@ mod tests {
     fn peak_efficiency_layer_and_value() {
         // Fig. 12: peak at layer 10, 13.43 TOPS/W.
         let (stats, m) = calibrated();
-        let effs: Vec<f64> =
-            stats.iter().map(|s| m.layer_efficiency_tops_w(s, &cfg())).collect();
+        let effs: Vec<f64> = stats
+            .iter()
+            .map(|s| m.layer_efficiency_tops_w(s, &cfg()))
+            .collect();
         let (peak_layer, peak) = effs
             .iter()
             .enumerate()
@@ -411,7 +418,10 @@ mod tests {
             .map(|s| m.layer_efficiency_tops_w(s, &cfg()))
             .sum::<f64>()
             / stats.len() as f64;
-        assert!((mean - paperdata::headline::AVG_TOPS_W).abs() < 1.0, "{mean}");
+        assert!(
+            (mean - paperdata::headline::AVG_TOPS_W).abs() < 1.0,
+            "{mean}"
+        );
     }
 
     #[test]
@@ -441,7 +451,11 @@ mod tests {
         // The calibrated fit attributes ≥30 % to the PWC array at the peak
         // point (the paper's 66 % folds clocking/register overhead into the
         // engine blocks; our model carries those in the constant term).
-        assert!(b.pwc_mw / b.total_mw() > 0.30, "PWC share {}", b.pwc_mw / b.total_mw());
+        assert!(
+            b.pwc_mw / b.total_mw() > 0.30,
+            "PWC share {}",
+            b.pwc_mw / b.total_mw()
+        );
         let sum: f64 = b.shares().iter().map(|(_, v)| v).sum();
         assert!((sum - 100.0).abs() < 1e-6);
     }
@@ -478,8 +492,9 @@ mod tests {
     fn nnls_clamps_negative_components() {
         // Target anti-correlates with feature 0: the fit must zero it, not
         // go negative.
-        let rows: Vec<[f64; 6]> =
-            (0..8).map(|i| [f64::from(i), 0.0, 0.0, 0.0, 0.0, 1.0]).collect();
+        let rows: Vec<[f64; 6]> = (0..8)
+            .map(|i| [f64::from(i), 0.0, 0.0, 0.0, 0.0, 1.0])
+            .collect();
         let targets: Vec<f64> = (0..8).map(|i| 10.0 - f64::from(i)).collect();
         let c = nnls(&rows, &targets);
         assert_eq!(c[0], 0.0);

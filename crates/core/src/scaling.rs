@@ -29,7 +29,11 @@ impl OperatingPoint {
     /// The EDEA reference point: 22 nm, 0.8 V, 8 bit.
     #[must_use]
     pub fn edea() -> Self {
-        Self { tech_nm: 22.0, voltage: 0.8, precision_bits: 8 }
+        Self {
+            tech_nm: 22.0,
+            voltage: 0.8,
+            precision_bits: 8,
+        }
     }
 }
 
@@ -69,7 +73,11 @@ mod tests {
     use super::*;
 
     fn pt(tech: f64, v: f64, bits: u32) -> OperatingPoint {
-        OperatingPoint { tech_nm: tech, voltage: v, precision_bits: bits }
+        OperatingPoint {
+            tech_nm: tech,
+            voltage: v,
+            precision_bits: bits,
+        }
     }
 
     #[test]
@@ -103,7 +111,10 @@ mod tests {
         for (raw, from, paper) in cases {
             let got = scale_energy_efficiency(raw, &from, &to);
             let err = (got - paper).abs() / paper;
-            assert!(err < 0.12, "{raw} @ {from:?}: got {got}, paper {paper} ({err:.1}%)");
+            assert!(
+                err < 0.12,
+                "{raw} @ {from:?}: got {got}, paper {paper} ({err:.1}%)"
+            );
         }
     }
 
@@ -120,7 +131,10 @@ mod tests {
         for (raw, from, paper) in cases {
             let got = scale_area_efficiency(raw, &from, &to);
             let err = (got - paper).abs() / paper;
-            assert!(err < 0.20, "{raw} @ {from:?}: got {got}, paper {paper} ({err:.1}%)");
+            assert!(
+                err < 0.20,
+                "{raw} @ {from:?}: got {got}, paper {paper} ({err:.1}%)"
+            );
         }
     }
 

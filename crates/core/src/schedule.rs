@@ -43,7 +43,13 @@ impl Portion {
     /// coordinates, clipped to the map): returns
     /// `(row0, col0, rows, cols)` of the input window including halo.
     #[must_use]
-    pub fn input_region(&self, stride: usize, kernel: usize, pad: usize, in_spatial: usize) -> (usize, usize, usize, usize) {
+    pub fn input_region(
+        &self,
+        stride: usize,
+        kernel: usize,
+        pad: usize,
+        in_spatial: usize,
+    ) -> (usize, usize, usize, usize) {
         // Padded-coordinate window: [row0*stride, row0*stride + (rows-1)*stride + kernel)
         let r0p = self.row0 * stride;
         let c0p = self.col0 * stride;
@@ -77,7 +83,12 @@ pub fn portions(out_spatial: usize, limit: usize) -> Vec<Portion> {
     for &rows in &edges {
         let mut col0 = 0;
         for &cols in &edges {
-            out.push(Portion { row0, col0, rows, cols });
+            out.push(Portion {
+                row0,
+                col0,
+                rows,
+                cols,
+            });
             col0 += cols;
         }
         row0 += rows;
@@ -94,7 +105,10 @@ pub fn spatial_tiles(p: &Portion, cfg: &EdeaConfig) -> Vec<SpatialTile> {
     while r < p.rows {
         let mut c = 0;
         while c < p.cols {
-            tiles.push(SpatialTile { row0: p.row0 + r, col0: p.col0 + c });
+            tiles.push(SpatialTile {
+                row0: p.row0 + r,
+                col0: p.col0 + c,
+            });
             c += cfg.tile.tm;
         }
         r += cfg.tile.tn;
@@ -134,15 +148,22 @@ mod tests {
             let ps = portions(l.out_spatial(), cfg().portion_limit);
             let breakdown = crate::timing::layer_cycles(&l, &cfg());
             assert_eq!(ps.len() as u64, breakdown.portions, "layer {}", l.index);
-            let tiles: u64 =
-                ps.iter().map(|p| spatial_tiles(p, &cfg()).len() as u64).sum();
+            let tiles: u64 = ps
+                .iter()
+                .map(|p| spatial_tiles(p, &cfg()).len() as u64)
+                .sum();
             assert_eq!(tiles, breakdown.spatial_tiles, "layer {}", l.index);
         }
     }
 
     #[test]
     fn spatial_tiles_are_2x2_anchored() {
-        let p = Portion { row0: 8, col0: 0, rows: 8, cols: 8 };
+        let p = Portion {
+            row0: 8,
+            col0: 0,
+            rows: 8,
+            cols: 8,
+        };
         let tiles = spatial_tiles(&p, &cfg());
         assert_eq!(tiles.len(), 16);
         assert_eq!(tiles[0], SpatialTile { row0: 8, col0: 0 });
@@ -154,12 +175,22 @@ mod tests {
     fn input_region_stride1_includes_halo() {
         // 8×8 ofmap portion at origin, stride 1, 3×3 kernel, pad 1 on a
         // 32×32 map: reads rows −1..9 clipped to 0..9.
-        let p = Portion { row0: 0, col0: 0, rows: 8, cols: 8 };
+        let p = Portion {
+            row0: 0,
+            col0: 0,
+            rows: 8,
+            cols: 8,
+        };
         let (r0, c0, rows, cols) = p.input_region(1, 3, 1, 32);
         assert_eq!((r0, c0), (0, 0));
         assert_eq!((rows, cols), (9, 9));
         // An interior portion sees the full 10×10 halo window.
-        let p = Portion { row0: 8, col0: 8, rows: 8, cols: 8 };
+        let p = Portion {
+            row0: 8,
+            col0: 8,
+            rows: 8,
+            cols: 8,
+        };
         let (r0, c0, rows, cols) = p.input_region(1, 3, 1, 32);
         assert_eq!((r0, c0), (7, 7));
         assert_eq!((rows, cols), (10, 10));
@@ -169,10 +200,20 @@ mod tests {
     fn input_region_stride2() {
         // 8×8 ofmap portion, stride 2: input window 17×17 (clipped at map
         // edges).
-        let p = Portion { row0: 0, col0: 0, rows: 8, cols: 8 };
+        let p = Portion {
+            row0: 0,
+            col0: 0,
+            rows: 8,
+            cols: 8,
+        };
         let (_, _, rows, cols) = p.input_region(2, 3, 1, 32);
         assert_eq!((rows, cols), (16, 16)); // left/top clipped by pad
-        let p = Portion { row0: 8, col0: 8, rows: 8, cols: 8 };
+        let p = Portion {
+            row0: 8,
+            col0: 8,
+            rows: 8,
+            cols: 8,
+        };
         let (r0, c0, rows, cols) = p.input_region(2, 3, 1, 32);
         assert_eq!((r0, c0), (15, 15));
         assert_eq!((rows, cols), (17, 17));

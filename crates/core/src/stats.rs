@@ -194,14 +194,22 @@ pub fn synthetic_layer_stats(
         input_zero,
         mid_zero,
         out_zero,
-        external: BufferTraffic { reads: ext_reads, writes: ext_writes },
+        external: BufferTraffic {
+            reads: ext_reads,
+            writes: ext_writes,
+        },
         onchip: BufferTraffic {
-            reads: ifmap_reads + dwcw_reads + offline_reads + inter_reads + pwcw_reads
-                + psum_reads,
+            reads: ifmap_reads + dwcw_reads + offline_reads + inter_reads + pwcw_reads + psum_reads,
             writes: onchip_fills + inter_writes + psum_writes,
         },
-        intermediate: BufferTraffic { reads: inter_reads, writes: inter_writes },
-        psum: BufferTraffic { reads: psum_reads, writes: psum_writes },
+        intermediate: BufferTraffic {
+            reads: inter_reads,
+            writes: inter_writes,
+        },
+        psum: BufferTraffic {
+            reads: psum_reads,
+            writes: psum_writes,
+        },
     }
 }
 
@@ -211,7 +219,10 @@ mod tests {
 
     #[test]
     fn buffer_traffic_totals() {
-        let t = BufferTraffic { reads: 3, writes: 4 };
+        let t = BufferTraffic {
+            reads: 3,
+            writes: 4,
+        };
         assert_eq!(t.total(), 7);
     }
 }

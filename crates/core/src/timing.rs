@@ -99,8 +99,7 @@ pub fn layer_cycles(shape: &LayerShape, cfg: &EdeaConfig) -> CycleBreakdown {
     for &rows in &edges {
         for &cols in &edges {
             portions += 1;
-            spatial_tiles +=
-                (rows.div_ceil(cfg.tile.tn) * cols.div_ceil(cfg.tile.tm)) as u64;
+            spatial_tiles += (rows.div_ceil(cfg.tile.tn) * cols.div_ceil(cfg.tile.tm)) as u64;
         }
     }
     CycleBreakdown {
@@ -314,7 +313,10 @@ mod tests {
         let l0 = mobilenet_v1_cifar10()[0];
         let mut half = cfg();
         half.clock_mhz = 500;
-        assert_eq!(layer_cycles(&l0, &half).total(), layer_cycles(&l0, &cfg()).total());
+        assert_eq!(
+            layer_cycles(&l0, &half).total(),
+            layer_cycles(&l0, &cfg()).total()
+        );
         assert!((layer_latency_ns(&l0, &half) - 2.0 * layer_latency_ns(&l0, &cfg())).abs() < 1e-9);
     }
 }

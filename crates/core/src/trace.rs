@@ -27,7 +27,13 @@ fn stage_code(stage: Stage) -> char {
 fn sanitize(label: &str) -> String {
     label
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -108,7 +114,11 @@ mod tests {
     #[test]
     fn vcd_has_required_sections() {
         let vcd = to_vcd(&trace(), 1000);
-        for section in ["$timescale 1ns $end", "$enddefinitions $end", "$scope module edea"] {
+        for section in [
+            "$timescale 1ns $end",
+            "$enddefinitions $end",
+            "$scope module edea",
+        ] {
             assert!(vcd.contains(section), "missing {section}");
         }
     }

@@ -1,0 +1,114 @@
+//! Property and exhaustive tests of the DWC→PWC direct-transfer buffer
+//! accounting: the intermediate buffer is the paper's headline structural
+//! feature, so its byte counters must follow exactly from the schedule
+//! arithmetic, and no intermediate activation may ever touch external
+//! memory.
+
+use edea_core::baseline::roundtrip_external_traffic;
+use edea_nn::executor;
+use edea_testutil::{deploy, paper_edea, Deployment};
+use proptest::prelude::*;
+
+/// Every invariant the direct-transfer accounting must satisfy for one
+/// deployed network, checked layer by layer.
+fn check_network_accounting(width: f64, seed: u64) {
+    let Deployment { qnet, input, .. } = deploy(width, seed);
+    let edea = paper_edea();
+    let t = edea.config().tile;
+    let tile_bytes = (t.tn * t.tm * t.td) as u64;
+
+    let mut x = input;
+    for layer in qnet.layers() {
+        let s = layer.shape();
+        let run = edea.run_layer(layer, &x).expect("layer runs");
+        let stats = &run.stats;
+
+        // 1. The intermediate buffer is written exactly once per DWC engine
+        //    invocation (one Tn×Tm×Td tile per busy cycle), and read exactly
+        //    once per PWC invocation.
+        assert_eq!(
+            stats.intermediate.writes,
+            stats.breakdown.dwc_busy * tile_bytes,
+            "layer {}: intermediate writes != dwc_busy × tile",
+            s.index
+        );
+        assert_eq!(
+            stats.intermediate.reads,
+            stats.breakdown.pwc_busy * tile_bytes,
+            "layer {}: intermediate reads != pwc_busy × tile",
+            s.index
+        );
+
+        // 2. The La dataflow re-reads each written tile once per kernel
+        //    tile: reads = Kt × writes.
+        let kernel_tiles = (s.k_out / t.tk) as u64;
+        assert_eq!(
+            stats.intermediate.reads,
+            kernel_tiles * stats.intermediate.writes,
+            "layer {}: reads != Kt × writes",
+            s.index
+        );
+
+        // 3. The spatial tiles partition the output exactly, so the bytes
+        //    written equal the intermediate map size (D × out²) — nothing is
+        //    double-buffered or recomputed on the DWC side.
+        let mid_bytes = (s.d_in * s.out_spatial() * s.out_spatial()) as u64;
+        assert_eq!(
+            stats.intermediate.writes, mid_bytes,
+            "layer {}: writes != |mid|",
+            s.index
+        );
+
+        // 4. Direct data transfer: the ONLY external writes are the final
+        //    layer outputs. The intermediate map never leaves the chip.
+        let out_bytes = (s.k_out * s.out_spatial() * s.out_spatial()) as u64;
+        assert_eq!(
+            stats.external.writes, out_bytes,
+            "layer {}: external writes must be the ofmap alone",
+            s.index
+        );
+
+        // 5. Removing the buffer would cost `roundtrip_external_traffic`
+        //    extra external bytes — and that figure is exactly the traffic
+        //    the buffer absorbed on-chip.
+        let roundtrip = roundtrip_external_traffic(&s);
+        assert_eq!(
+            roundtrip,
+            stats.intermediate.writes + stats.intermediate.reads,
+            "layer {}: baseline round-trip must equal absorbed traffic",
+            s.index
+        );
+
+        // 6. The simulator's intermediate map is bit-exact with the golden
+        //    executor's (the data the accounting describes is also correct).
+        let golden = executor::run_layer(layer, &x);
+        assert_eq!(
+            run.pwc_input, golden.pwc_input,
+            "layer {}: mid map mismatch",
+            s.index
+        );
+        assert_eq!(
+            run.output, golden.output,
+            "layer {}: output mismatch",
+            s.index
+        );
+
+        x = run.output;
+    }
+}
+
+#[test]
+fn intermediate_accounting_exact_over_all_13_layers() {
+    check_network_accounting(0.25, 11);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The accounting identities are properties of the schedule, not of one
+    /// particular network: they must hold for any deployed network.
+    #[test]
+    fn intermediate_accounting_holds_for_random_deployments(seed in 0u64..10_000) {
+        check_network_accounting(0.25, seed);
+    }
+}

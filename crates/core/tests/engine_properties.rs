@@ -3,7 +3,7 @@
 
 use edea_core::engine::{DwcEngine, PwcEngine};
 use edea_core::nonconv::NonConvUnit;
-use edea_core::{EdeaConfig, timing};
+use edea_core::{timing, EdeaConfig};
 use edea_nn::fold::FoldedAffine;
 use edea_tensor::conv::{depthwise_conv2d_i8, pointwise_conv2d_i8};
 use edea_tensor::{Tensor3, Tensor4};

@@ -108,9 +108,9 @@ pub fn layer_access(layer: &LayerShape, cfg: &TileConfig, order: LoopOrder) -> A
 /// Sums [`layer_access`] over a layer stack.
 #[must_use]
 pub fn network_access(layers: &[LayerShape], cfg: &TileConfig, order: LoopOrder) -> AccessCounts {
-    layers
-        .iter()
-        .fold(AccessCounts::default(), |acc, l| acc.add(&layer_access(l, cfg, order)))
+    layers.iter().fold(AccessCounts::default(), |acc, l| {
+        acc.add(&layer_access(l, cfg, order))
+    })
 }
 
 #[cfg(test)]
@@ -194,7 +194,14 @@ mod tests {
     fn ceilings_cover_ragged_dimensions() {
         // A layer whose dims are not multiples of the tiles still counts
         // whole tiles (hardware pads).
-        let l = LayerShape { index: 0, in_spatial: 5, d_in: 10, k_out: 20, stride: 1, kernel: 3 };
+        let l = LayerShape {
+            index: 0,
+            in_spatial: 5,
+            d_in: 10,
+            k_out: 20,
+            stride: 1,
+            kernel: 3,
+        };
         let cfg = TileConfig::new(2, 2, 8, 16, 3);
         let a = layer_access(&l, &cfg, LoopOrder::La);
         // spatial tiles = ceil(5/2)^2 = 9, channel tiles = ceil(10/8) = 2
@@ -205,7 +212,12 @@ mod tests {
 
     #[test]
     fn add_is_componentwise() {
-        let x = AccessCounts { dwc_act: 1, dwc_weight: 2, pwc_act: 3, pwc_weight: 4 };
+        let x = AccessCounts {
+            dwc_act: 1,
+            dwc_weight: 2,
+            pwc_act: 3,
+            pwc_weight: 4,
+        };
         let y = x.add(&x);
         assert_eq!(y.total(), 20);
         assert_eq!(y.act_total(), 8);

@@ -135,7 +135,11 @@ mod tests {
         for policy in [AccessPolicy::Simple, AccessPolicy::TiledHalo] {
             let a = IntermediateAnalysis::run(&mobilenet_v1_cifar10(), policy);
             for l in &a.layers {
-                assert!(l.optimized < l.baseline, "layer {} policy {policy:?}", l.index);
+                assert!(
+                    l.optimized < l.baseline,
+                    "layer {} policy {policy:?}",
+                    l.index
+                );
             }
         }
     }
@@ -156,10 +160,14 @@ mod tests {
     #[test]
     fn stride2_layers_benefit_least() {
         let a = IntermediateAnalysis::run(&mobilenet_v1_cifar10(), AccessPolicy::Simple);
-        let strided: Vec<f64> =
-            [1usize, 3, 5, 11].iter().map(|&i| a.layers[i].reduction_pct()).collect();
-        let dense: Vec<f64> =
-            [2usize, 4, 6, 12].iter().map(|&i| a.layers[i].reduction_pct()).collect();
+        let strided: Vec<f64> = [1usize, 3, 5, 11]
+            .iter()
+            .map(|&i| a.layers[i].reduction_pct())
+            .collect();
+        let dense: Vec<f64> = [2usize, 4, 6, 12]
+            .iter()
+            .map(|&i| a.layers[i].reduction_pct())
+            .collect();
         for (s, d) in strided.iter().zip(&dense) {
             assert!(s < d, "strided {s} should be below dense {d}");
         }

@@ -99,7 +99,11 @@ mod tests {
                 let la = get(LoopOrder::La);
                 let lb = get(LoopOrder::Lb);
                 assert!(la.act_total() > lb.act_total(), "{} Tn={tn}", case.name);
-                assert!(lb.weight_total() > la.weight_total(), "{} Tn={tn}", case.name);
+                assert!(
+                    lb.weight_total() > la.weight_total(),
+                    "{} Tn={tn}",
+                    case.name
+                );
             }
         }
     }
@@ -113,14 +117,15 @@ mod tests {
             for tn in [1usize, 2] {
                 let total = |order: LoopOrder| {
                     rows.iter()
-                        .find(|r| {
-                            r.group.order == order && r.group.tn == tn && r.case.name == name
-                        })
+                        .find(|r| r.group.order == order && r.group.tn == tn && r.case.name == name)
                         .unwrap()
                         .access
                         .total()
                 };
-                assert!(total(LoopOrder::La) < total(LoopOrder::Lb), "{name} Tn={tn}");
+                assert!(
+                    total(LoopOrder::La) < total(LoopOrder::Lb),
+                    "{name} Tn={tn}"
+                );
             }
         }
     }
@@ -132,9 +137,7 @@ mod tests {
         let rows = full_sweep(&mobilenet_v1_cifar10());
         let case = |name: &str| {
             rows.iter()
-                .find(|r| {
-                    r.group.order == LoopOrder::La && r.group.tn == 2 && r.case.name == name
-                })
+                .find(|r| r.group.order == LoopOrder::La && r.group.tn == 2 && r.case.name == name)
                 .unwrap()
         };
         assert!(case("Case6").access.total() < case("Case4").access.total());

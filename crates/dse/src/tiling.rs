@@ -44,7 +44,13 @@ impl TileConfig {
             tn > 0 && tm > 0 && td > 0 && tk > 0 && kernel > 0,
             "tile parameters must be non-zero"
         );
-        Self { tn, tm, td, tk, kernel }
+        Self {
+            tn,
+            tm,
+            td,
+            tk,
+            kernel,
+        }
     }
 
     /// The configuration chosen by the paper for the hardware:
@@ -63,7 +69,10 @@ impl TileConfig {
     #[must_use]
     pub fn input_tile(&self, stride: usize) -> (usize, usize) {
         assert!(stride > 0, "stride must be positive");
-        ((self.tn - 1) * stride + self.kernel, (self.tm - 1) * stride + self.kernel)
+        (
+            (self.tn - 1) * stride + self.kernel,
+            (self.tm - 1) * stride + self.kernel,
+        )
     }
 
     /// Output tile element count `Tn·Tm`.
@@ -98,12 +107,36 @@ pub struct TilingCase {
 #[must_use]
 pub fn table1_cases() -> [TilingCase; 6] {
     [
-        TilingCase { name: "Case1", td: 4, tk: 4 },
-        TilingCase { name: "Case2", td: 4, tk: 8 },
-        TilingCase { name: "Case3", td: 4, tk: 16 },
-        TilingCase { name: "Case4", td: 8, tk: 4 },
-        TilingCase { name: "Case5", td: 8, tk: 8 },
-        TilingCase { name: "Case6", td: 8, tk: 16 },
+        TilingCase {
+            name: "Case1",
+            td: 4,
+            tk: 4,
+        },
+        TilingCase {
+            name: "Case2",
+            td: 4,
+            tk: 8,
+        },
+        TilingCase {
+            name: "Case3",
+            td: 4,
+            tk: 16,
+        },
+        TilingCase {
+            name: "Case4",
+            td: 8,
+            tk: 4,
+        },
+        TilingCase {
+            name: "Case5",
+            td: 8,
+            tk: 8,
+        },
+        TilingCase {
+            name: "Case6",
+            td: 8,
+            tk: 16,
+        },
     ]
 }
 
@@ -122,10 +155,22 @@ pub struct ExplorationGroup {
 #[must_use]
 pub fn exploration_groups() -> [ExplorationGroup; 4] {
     [
-        ExplorationGroup { order: LoopOrder::La, tn: 1 },
-        ExplorationGroup { order: LoopOrder::Lb, tn: 1 },
-        ExplorationGroup { order: LoopOrder::La, tn: 2 },
-        ExplorationGroup { order: LoopOrder::Lb, tn: 2 },
+        ExplorationGroup {
+            order: LoopOrder::La,
+            tn: 1,
+        },
+        ExplorationGroup {
+            order: LoopOrder::Lb,
+            tn: 1,
+        },
+        ExplorationGroup {
+            order: LoopOrder::La,
+            tn: 2,
+        },
+        ExplorationGroup {
+            order: LoopOrder::Lb,
+            tn: 2,
+        },
     ]
 }
 
@@ -157,7 +202,14 @@ mod tests {
     fn edea_config_is_case6_la_tn2() {
         let cfg = TileConfig::edea();
         let case6 = table1_cases()[5];
-        assert_eq!(cfg, ExplorationGroup { order: LoopOrder::La, tn: 2 }.config(case6));
+        assert_eq!(
+            cfg,
+            ExplorationGroup {
+                order: LoopOrder::La,
+                tn: 2
+            }
+            .config(case6)
+        );
     }
 
     #[test]

@@ -45,12 +45,18 @@ pub enum FixedError {
 impl fmt::Display for FixedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FixedError::InvalidFormat { total_bits, frac_bits } => write!(
+            FixedError::InvalidFormat {
+                total_bits,
+                frac_bits,
+            } => write!(
                 f,
                 "invalid fixed-point format: total_bits={total_bits}, frac_bits={frac_bits}"
             ),
             FixedError::Overflow { raw } => {
-                write!(f, "value with raw magnitude {raw} overflows the target format")
+                write!(
+                    f,
+                    "value with raw magnitude {raw} overflows the target format"
+                )
             }
             FixedError::NotFinite => write!(f, "floating-point input was NaN or infinite"),
             FixedError::FormatMismatch { lhs, rhs } => {

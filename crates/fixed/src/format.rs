@@ -40,21 +40,33 @@ impl QFormat {
     /// Returns [`FixedError::InvalidFormat`] if the widths are out of range.
     pub fn new(total_bits: u8, frac_bits: u8) -> Result<Self, FixedError> {
         if !(2..=63).contains(&total_bits) || frac_bits >= total_bits {
-            return Err(FixedError::InvalidFormat { total_bits, frac_bits });
+            return Err(FixedError::InvalidFormat {
+                total_bits,
+                frac_bits,
+            });
         }
-        Ok(Self { total_bits, frac_bits })
+        Ok(Self {
+            total_bits,
+            frac_bits,
+        })
     }
 
     /// The Q8.16 format of the EDEA Non-Conv constants `k` and `b`.
     #[must_use]
     pub fn q8_16() -> Self {
-        Self { total_bits: 24, frac_bits: 16 }
+        Self {
+            total_bits: 24,
+            frac_bits: 16,
+        }
     }
 
     /// An 8-bit integer format (the activation/weight precision of EDEA).
     #[must_use]
     pub fn int8() -> Self {
-        Self { total_bits: 8, frac_bits: 0 }
+        Self {
+            total_bits: 8,
+            frac_bits: 0,
+        }
     }
 
     /// Total bit width, including the sign bit.
@@ -78,7 +90,10 @@ impl QFormat {
     /// Smallest representable increment, `2^-frac_bits`.
     #[must_use]
     pub fn resolution(&self) -> f64 {
-        (self.frac_bits as i32).checked_neg().map(|e| 2f64.powi(e)).unwrap_or(1.0)
+        (self.frac_bits as i32)
+            .checked_neg()
+            .map(|e| 2f64.powi(e))
+            .unwrap_or(1.0)
     }
 
     /// Largest representable raw integer, `2^(total_bits-1) - 1`.

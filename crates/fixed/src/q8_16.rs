@@ -296,7 +296,10 @@ mod tests {
         assert_eq!(Q8x16::MIN.saturating_add(Q8x16::MIN), Q8x16::MIN);
         assert_eq!(Q8x16::MIN.saturating_neg(), Q8x16::MAX); // |-128| saturates
         let two = Q8x16::from_f64(2.0);
-        assert_eq!(two.saturating_mul(two, Round::HalfAwayFromZero).to_f64(), 4.0);
+        assert_eq!(
+            two.saturating_mul(two, Round::HalfAwayFromZero).to_f64(),
+            4.0
+        );
         assert_eq!(
             Q8x16::from_f64(100.0).saturating_mul(two, Round::HalfAwayFromZero),
             Q8x16::MAX

@@ -49,7 +49,10 @@ impl Fx {
     /// range.
     #[must_use]
     pub fn from_raw_saturating(raw: i128, format: QFormat) -> Self {
-        Self { raw: format.saturate_raw(raw), format }
+        Self {
+            raw: format.saturate_raw(raw),
+            format,
+        }
     }
 
     /// Converts a finite `f64` into this format with the given rounding mode.
@@ -70,7 +73,10 @@ impl Fx {
         if raw < format.min_raw() as i128 || raw > format.max_raw() as i128 {
             return Err(FixedError::Overflow { raw });
         }
-        Ok(Self { raw: raw as i64, format })
+        Ok(Self {
+            raw: raw as i64,
+            format,
+        })
     }
 
     /// Converts a finite `f64`, saturating on overflow.
@@ -82,7 +88,11 @@ impl Fx {
     pub fn from_f64_saturating(x: f64, format: QFormat, round: Round) -> Self {
         assert!(!x.is_nan(), "cannot saturate a NaN");
         if x.is_infinite() {
-            let raw = if x > 0.0 { format.max_raw() } else { format.min_raw() };
+            let raw = if x > 0.0 {
+                format.max_raw()
+            } else {
+                format.min_raw()
+            };
             return Self { raw, format };
         }
         let scaled = x * (1u64 << format.frac_bits()) as f64;
@@ -123,13 +133,18 @@ impl Fx {
     pub fn checked_add(self, other: Self) -> Result<Self, FixedError> {
         self.require_same_format(other)?;
         let raw = self.raw as i128 + other.raw as i128;
-        if !self.format.contains_raw(raw.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+        if !self
+            .format
+            .contains_raw(raw.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
             || raw > i64::MAX as i128
             || raw < i64::MIN as i128
         {
             return Err(FixedError::Overflow { raw });
         }
-        Ok(Self { raw: raw as i64, format: self.format })
+        Ok(Self {
+            raw: raw as i64,
+            format: self.format,
+        })
     }
 
     /// Saturating addition; both operands must share a format.
@@ -173,7 +188,10 @@ impl Fx {
 
     fn require_same_format(self, other: Self) -> Result<(), FixedError> {
         if self.format != other.format {
-            return Err(FixedError::FormatMismatch { lhs: self.format, rhs: other.format });
+            return Err(FixedError::FormatMismatch {
+                lhs: self.format,
+                rhs: other.format,
+            });
         }
         Ok(())
     }
@@ -220,7 +238,16 @@ mod tests {
     #[test]
     fn from_f64_exact_dyadics_round_trip() {
         let fmt = q(24, 16);
-        for x in [0.0, 1.0, -1.0, 0.5, -0.25, 127.5, -128.0, 0.0000152587890625] {
+        for x in [
+            0.0,
+            1.0,
+            -1.0,
+            0.5,
+            -0.25,
+            127.5,
+            -128.0,
+            0.0000152587890625,
+        ] {
             let v = Fx::from_f64(x, fmt, Round::HalfAwayFromZero).unwrap();
             assert_eq!(v.to_f64(), x, "x={x}");
         }
@@ -240,7 +267,10 @@ mod tests {
         let fmt = q(8, 0);
         assert_eq!(Fx::from_f64_saturating(1e9, fmt, Round::Floor).raw(), 127);
         assert_eq!(Fx::from_f64_saturating(-1e9, fmt, Round::Floor).raw(), -128);
-        assert_eq!(Fx::from_f64_saturating(f64::INFINITY, fmt, Round::Floor).raw(), 127);
+        assert_eq!(
+            Fx::from_f64_saturating(f64::INFINITY, fmt, Round::Floor).raw(),
+            127
+        );
     }
 
     #[test]
@@ -249,14 +279,22 @@ mod tests {
         let a = Fx::from_f64(3.25, fmt, Round::HalfAwayFromZero).unwrap();
         let b = Fx::from_f64(-1.75, fmt, Round::HalfAwayFromZero).unwrap();
         assert_eq!(a.checked_add(b).unwrap().to_f64(), 1.5);
-        assert_eq!(a.saturating_mul(b, Round::HalfAwayFromZero).unwrap().to_f64(), -5.6875);
+        assert_eq!(
+            a.saturating_mul(b, Round::HalfAwayFromZero)
+                .unwrap()
+                .to_f64(),
+            -5.6875
+        );
     }
 
     #[test]
     fn mismatched_formats_rejected() {
         let a = Fx::from_f64(1.0, q(16, 8), Round::Floor).unwrap();
         let b = Fx::from_f64(1.0, q(24, 16), Round::Floor).unwrap();
-        assert!(matches!(a.checked_add(b), Err(FixedError::FormatMismatch { .. })));
+        assert!(matches!(
+            a.checked_add(b),
+            Err(FixedError::FormatMismatch { .. })
+        ));
     }
 
     #[test]

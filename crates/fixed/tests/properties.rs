@@ -4,8 +4,12 @@ use edea_fixed::sat::{accumulator_bits, clamp_to_bits, fits_in_bits, min_signed_
 use edea_fixed::{Fx, Q8x16, QFormat, Round};
 use proptest::prelude::*;
 
-const ALL_MODES: [Round; 4] =
-    [Round::Truncate, Round::Floor, Round::HalfAwayFromZero, Round::HalfToEven];
+const ALL_MODES: [Round; 4] = [
+    Round::Truncate,
+    Round::Floor,
+    Round::HalfAwayFromZero,
+    Round::HalfToEven,
+];
 
 proptest! {
     /// Converting any in-range f64 to Q8.16 commits at most half an LSB of error.

@@ -78,13 +78,19 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
     fn u32(&mut self) -> Result<u32, NnError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn i32(&mut self) -> Result<i32, NnError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(i32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn f32(&mut self) -> Result<f32, NnError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn i8s(&mut self, n: usize) -> Result<Vec<i8>, NnError> {
         Ok(self.take(n)?.iter().map(|&b| b as i8).collect())
@@ -128,7 +134,12 @@ pub fn serialize(net: &QuantizedDscNetwork) -> Vec<u8> {
 fn affine_from_raw(k_raw: i32, b_raw: i32) -> FoldedAffine {
     let k = Q8x16::from_raw(k_raw);
     let b = Q8x16::from_raw(b_raw);
-    FoldedAffine { k_exact: k.to_f64(), b_exact: b.to_f64(), k, b }
+    FoldedAffine {
+        k_exact: k.to_f64(),
+        b_exact: b.to_f64(),
+        k,
+        b,
+    }
 }
 
 /// Deserializes a deployment blob.
@@ -139,16 +150,16 @@ fn affine_from_raw(k_raw: i32, b_raw: i32) -> FoldedAffine {
 /// or checksum mismatch.
 pub fn deserialize(bytes: &[u8]) -> Result<QuantizedDscNetwork, NnError> {
     if bytes.len() < 8 || &bytes[..4] != MAGIC {
-        return Err(NnError::InvalidConfig { detail: "not an EDEA artifact".into() });
-    }
-    if bytes.len() < 4 {
-        return Err(NnError::InvalidConfig { detail: "artifact too short".into() });
+        return Err(NnError::InvalidConfig {
+            detail: "not an EDEA artifact".into(),
+        });
     }
     let body = &bytes[..bytes.len() - 4];
-    let stored =
-        u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
     if fnv1a(body) != stored {
-        return Err(NnError::InvalidConfig { detail: "artifact checksum mismatch".into() });
+        return Err(NnError::InvalidConfig {
+            detail: "artifact checksum mismatch".into(),
+        });
     }
     let mut r = Reader { buf: body, pos: 4 };
     let version = r.u32()?;
@@ -159,11 +170,14 @@ pub fn deserialize(bytes: &[u8]) -> Result<QuantizedDscNetwork, NnError> {
     }
     let n_layers = r.u32()? as usize;
     if n_layers > 1024 {
-        return Err(NnError::InvalidConfig { detail: "implausible layer count".into() });
+        return Err(NnError::InvalidConfig {
+            detail: "implausible layer count".into(),
+        });
     }
     let input_scale = r.f32()?;
-    let input_params = QuantParams::new(input_scale)
-        .map_err(|e| NnError::InvalidConfig { detail: e.to_string() })?;
+    let input_params = QuantParams::new(input_scale).map_err(|e| NnError::InvalidConfig {
+        detail: e.to_string(),
+    })?;
     let mut layers = Vec::with_capacity(n_layers);
     for index in 0..n_layers {
         let in_spatial = r.u32()? as usize;
@@ -176,7 +190,14 @@ pub fn deserialize(bytes: &[u8]) -> Result<QuantizedDscNetwork, NnError> {
                 detail: format!("layer {index}: zero dimension"),
             });
         }
-        let shape = LayerShape { index, in_spatial, d_in, k_out, stride, kernel };
+        let shape = LayerShape {
+            index,
+            in_spatial,
+            d_in,
+            k_out,
+            stride,
+            kernel,
+        };
         let s_in = r.f32()?;
         let s_mid = r.f32()?;
         let s_out = r.f32()?;
@@ -196,14 +217,20 @@ pub fn deserialize(bytes: &[u8]) -> Result<QuantizedDscNetwork, NnError> {
             let b = r.i32()?;
             nonconv2.push(affine_from_raw(k, b));
         }
-        let dw_t = Tensor4::from_vec(dw, d_in, 1, kernel, kernel)
-            .map_err(|e| NnError::InvalidConfig { detail: e.to_string() })?;
-        let pw_t = Tensor4::from_vec(pw, k_out, d_in, 1, 1)
-            .map_err(|e| NnError::InvalidConfig { detail: e.to_string() })?;
-        let dw_params = QuantParams::new(dw_scale)
-            .map_err(|e| NnError::InvalidConfig { detail: e.to_string() })?;
-        let pw_params = QuantParams::new(pw_scale)
-            .map_err(|e| NnError::InvalidConfig { detail: e.to_string() })?;
+        let dw_t =
+            Tensor4::from_vec(dw, d_in, 1, kernel, kernel).map_err(|e| NnError::InvalidConfig {
+                detail: e.to_string(),
+            })?;
+        let pw_t =
+            Tensor4::from_vec(pw, k_out, d_in, 1, 1).map_err(|e| NnError::InvalidConfig {
+                detail: e.to_string(),
+            })?;
+        let dw_params = QuantParams::new(dw_scale).map_err(|e| NnError::InvalidConfig {
+            detail: e.to_string(),
+        })?;
+        let pw_params = QuantParams::new(pw_scale).map_err(|e| NnError::InvalidConfig {
+            detail: e.to_string(),
+        })?;
         layers.push(QuantizedDscLayer::from_parts(
             shape,
             QTensor4::new(dw_t, dw_params),
@@ -324,7 +351,11 @@ mod tests {
             .sum();
         // Weights dominate; overhead is scales + nonconv words + header.
         assert!(blob.len() > params);
-        assert!(blob.len() < params + 64 * params.max(4096), "{}", blob.len());
+        assert!(
+            blob.len() < params + 64 * params.max(4096),
+            "{}",
+            blob.len()
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = NnError::ShapeMismatch { layer: 3, detail: "bad channels".into() };
+        let e = NnError::ShapeMismatch {
+            layer: 3,
+            detail: "bad channels".into(),
+        };
         assert!(e.to_string().contains("layer 3"));
     }
 

@@ -91,7 +91,11 @@ pub fn run_layer(layer: &QuantizedDscLayer, input: &Tensor3<i8>) -> LayerExecuti
         dwc_acc_range: acc_range(&dwc_acc),
         pwc_acc_range: acc_range(&pwc_acc),
     };
-    LayerExecution { pwc_input, output, activity }
+    LayerExecution {
+        pwc_input,
+        output,
+        activity,
+    }
 }
 
 /// Result of executing the full quantized DSC stack.
@@ -113,7 +117,10 @@ pub fn run_network(net: &QuantizedDscNetwork, input: &Tensor3<i8>) -> NetworkExe
         activities.push(exec.activity);
         x = exec.output;
     }
-    NetworkExecution { activities, output: x }
+    NetworkExecution {
+        activities,
+        output: x,
+    }
 }
 
 /// Classification-level agreement between the float model and the int8
@@ -149,10 +156,10 @@ pub fn classification_agreement(
         // does not change the argmax).
         let (c, h, w) = exec.output.shape();
         let mut pooled = vec![0.0f32; c];
-        for ci in 0..c {
+        for (ci, p) in pooled.iter_mut().enumerate() {
             for hi in 0..h {
                 for wi in 0..w {
-                    pooled[ci] += f32::from(exec.output[(ci, hi, wi)]);
+                    *p += f32::from(exec.output[(ci, hi, wi)]);
                 }
             }
         }
@@ -212,7 +219,10 @@ mod tests {
         let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
         let exec = run_network(&qnet, &input);
         assert_eq!(exec.activities.len(), 13);
-        assert!(exec.output.as_slice().iter().all(|&v| v >= 0), "post-ReLU codes");
+        assert!(
+            exec.output.as_slice().iter().all(|&v| v >= 0),
+            "post-ReLU codes"
+        );
         let s12 = qnet.layers()[12].shape();
         assert_eq!(exec.output.shape(), (s12.k_out, 2, 2));
     }
@@ -241,13 +251,8 @@ mod tests {
                 dwc_zeros[i] += a.dwc_out_zero / calib.len() as f64;
             }
         }
-        for i in 0..13 {
-            assert!(
-                dwc_zeros[i] >= profile.dwc_zero[i] - 0.03,
-                "layer {i}: {} vs target {}",
-                dwc_zeros[i],
-                profile.dwc_zero[i]
-            );
+        for (i, (&got, &target)) in dwc_zeros.iter().zip(&profile.dwc_zero).enumerate() {
+            assert!(got >= target - 0.03, "layer {i}: {got} vs target {target}");
             assert!(
                 dwc_zeros[i] <= profile.dwc_zero[i] + 0.15,
                 "layer {i} oversparse: {}",

@@ -52,17 +52,27 @@ impl FoldedAffine {
     /// Panics if any step size is not finite-positive.
     #[must_use]
     pub fn fold(bn_k: f64, bn_b: f64, s_in: f64, s_w: f64, s_out: f64) -> Self {
-        assert!(s_in > 0.0 && s_w > 0.0 && s_out > 0.0, "step sizes must be positive");
+        assert!(
+            s_in > 0.0 && s_w > 0.0 && s_out > 0.0,
+            "step sizes must be positive"
+        );
         let k_exact = bn_k * s_in * s_w / s_out;
         let b_exact = bn_b / s_out;
-        Self { k_exact, b_exact, k: Q8x16::from_f64(k_exact), b: Q8x16::from_f64(b_exact) }
+        Self {
+            k_exact,
+            b_exact,
+            k: Q8x16::from_f64(k_exact),
+            b: Q8x16::from_f64(b_exact),
+        }
     }
 
     /// Applies the *hardware* path: Q8.16 multiply-add, round, clip.
     /// `lo` is `0` when ReLU is folded in (the DSC case) or `-128` otherwise.
     #[must_use]
     pub fn apply_fixed(&self, acc: i32, lo: i8) -> i8 {
-        self.k.mul_int_add(acc, self.b).round_clip_i8(Round::HalfAwayFromZero, lo, 127)
+        self.k
+            .mul_int_add(acc, self.b)
+            .round_clip_i8(Round::HalfAwayFromZero, lo, 127)
     }
 
     /// Applies the *reference* path in f64: `clip(round(k·x + b))` with the
@@ -96,10 +106,18 @@ impl FoldedAffine {
     /// Panics if `factor` is not in `(0, 1]`.
     #[must_use]
     pub fn rescaled(&self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "rescale factor must be in (0,1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "rescale factor must be in (0,1]"
+        );
         let k_exact = self.k_exact * factor;
         let b_exact = self.b_exact * factor;
-        Self { k_exact, b_exact, k: Q8x16::from_f64(k_exact), b: Q8x16::from_f64(b_exact) }
+        Self {
+            k_exact,
+            b_exact,
+            k: Q8x16::from_f64(k_exact),
+            b: Q8x16::from_f64(b_exact),
+        }
     }
 }
 
@@ -166,7 +184,12 @@ impl FoldOpCounts {
     /// The counts for the EDEA Non-Conv unit.
     #[must_use]
     pub fn edea() -> Self {
-        Self { unfused_ops: 7, fused_ops: 4, unfused_params: 6, fused_params: 2 }
+        Self {
+            unfused_ops: 7,
+            fused_ops: 4,
+            unfused_params: 6,
+            fused_params: 2,
+        }
     }
 
     /// Multiplicative reduction in per-channel parameter storage.
@@ -230,7 +253,11 @@ mod tests {
         // practice (well under 2^15 for real layers).
         let folded = fold_boundary(&example_bn(), 0.01, 0.005, 0.02).unwrap();
         for f in &folded {
-            assert!(f.q8_16_error_bound(30_000) < 0.5, "bound {}", f.q8_16_error_bound(30_000));
+            assert!(
+                f.q8_16_error_bound(30_000) < 0.5,
+                "bound {}",
+                f.q8_16_error_bound(30_000)
+            );
             for acc in [-30_000, -1, 0, 1, 12_345, 29_999] {
                 let d = (i32::from(f.apply_fixed(acc, 0)) - i32::from(f.apply_exact(acc, 0))).abs();
                 assert!(d <= 1, "acc={acc}");
@@ -287,7 +314,11 @@ mod tests {
         // stay below half an LSB of the int8 output in that domain.
         for &k in &[0.001f64, 0.01, 0.1, 1.0, 5.0] {
             let f = FoldedAffine::fold(k, 0.3, 0.02, 0.01, 0.02);
-            assert!(f.q8_16_error_bound(1 << 15) < 0.5, "k={k}: {}", f.q8_16_error_bound(1 << 15));
+            assert!(
+                f.q8_16_error_bound(1 << 15) < 0.5,
+                "k={k}: {}",
+                f.q8_16_error_bound(1 << 15)
+            );
         }
     }
 

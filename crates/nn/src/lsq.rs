@@ -29,13 +29,23 @@ impl LsqConfig {
     /// Signed int8 weights: `[-128, 127]`.
     #[must_use]
     pub fn weight_int8() -> Self {
-        Self { qn: -128, qp: 127, iters: 60, lr: 0.02 }
+        Self {
+            qn: -128,
+            qp: 127,
+            iters: 60,
+            lr: 0.02,
+        }
     }
 
     /// Unsigned-range int8 activations (post-ReLU): `[0, 127]`.
     #[must_use]
     pub fn activation_int8() -> Self {
-        Self { qn: 0, qp: 127, iters: 60, lr: 0.02 }
+        Self {
+            qn: 0,
+            qp: 127,
+            iters: 60,
+            lr: 0.02,
+        }
     }
 
     /// Validates bounds and hyper-parameters.
@@ -50,10 +60,14 @@ impl LsqConfig {
             });
         }
         if !(self.lr > 0.0 && self.lr.is_finite()) {
-            return Err(NnError::InvalidConfig { detail: "lr must be positive".into() });
+            return Err(NnError::InvalidConfig {
+                detail: "lr must be positive".into(),
+            });
         }
         if self.iters == 0 {
-            return Err(NnError::InvalidConfig { detail: "iters must be positive".into() });
+            return Err(NnError::InvalidConfig {
+                detail: "iters must be positive".into(),
+            });
         }
         Ok(())
     }
@@ -96,7 +110,10 @@ pub fn step_gradient(v: f64, s: f64, qn: i32, qp: i32) -> f64 {
 #[must_use]
 pub fn learn_step(values: &[f32], init: f32, cfg: &LsqConfig) -> f32 {
     assert!(!values.is_empty(), "cannot learn a step from no values");
-    assert!(init > 0.0 && init.is_finite(), "initial step must be positive");
+    assert!(
+        init > 0.0 && init.is_finite(),
+        "initial step must be positive"
+    );
     cfg.validate().expect("invalid LSQ config");
     let n = values.len() as f64;
     let grad_scale = 1.0 / (n * f64::from(cfg.qp.max(1))).sqrt();
@@ -180,7 +197,11 @@ mod tests {
     #[test]
     fn learned_step_is_near_grid_optimum() {
         let vals = normal_pool(3000, 6, 0.5);
-        let cfg = LsqConfig { iters: 300, lr: 0.05, ..LsqConfig::weight_int8() };
+        let cfg = LsqConfig {
+            iters: 300,
+            lr: 0.05,
+            ..LsqConfig::weight_int8()
+        };
         let init = vals.iter().fold(0.0f32, |m, v| m.max(v.abs())) / 127.0;
         let s = learn_step(&vals, init, &cfg);
         // Dense grid search for the reference optimum:
@@ -207,7 +228,12 @@ mod tests {
     #[test]
     fn step_stays_positive_under_adversarial_lr() {
         let vals = vec![0.001f32; 100];
-        let cfg = LsqConfig { qn: -128, qp: 127, iters: 500, lr: 10.0 };
+        let cfg = LsqConfig {
+            qn: -128,
+            qp: 127,
+            iters: 500,
+            lr: 10.0,
+        };
         let s = learn_step(&vals, 1.0, &cfg);
         assert!(s > 0.0);
     }
@@ -215,9 +241,30 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(LsqConfig::weight_int8().validate().is_ok());
-        assert!(LsqConfig { qn: 5, qp: 5, iters: 1, lr: 0.1 }.validate().is_err());
-        assert!(LsqConfig { qn: 0, qp: 127, iters: 0, lr: 0.1 }.validate().is_err());
-        assert!(LsqConfig { qn: 0, qp: 127, iters: 1, lr: -0.1 }.validate().is_err());
+        assert!(LsqConfig {
+            qn: 5,
+            qp: 5,
+            iters: 1,
+            lr: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(LsqConfig {
+            qn: 0,
+            qp: 127,
+            iters: 0,
+            lr: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(LsqConfig {
+            qn: 0,
+            qp: 127,
+            iters: 1,
+            lr: -0.1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

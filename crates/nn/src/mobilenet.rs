@@ -42,7 +42,10 @@ impl DscBlockParams {
     /// [`NnError::ShapeMismatch`] naming the offending tensor.
     pub fn validate(&self) -> Result<(), NnError> {
         let s = &self.shape;
-        let err = |detail: String| NnError::ShapeMismatch { layer: s.index, detail };
+        let err = |detail: String| NnError::ShapeMismatch {
+            layer: s.index,
+            detail,
+        };
         if self.dw_weights.shape() != (s.d_in, 1, s.kernel, s.kernel) {
             return Err(err(format!(
                 "dw weights {:?}, expected ({}, 1, {}, {})",
@@ -128,7 +131,10 @@ impl MobileNetV1 {
     pub fn synthetic(width: f64, seed: u64) -> Self {
         assert!(width > 0.0, "width multiplier must be positive");
         let shapes = scale_width(&mobilenet_v1_cifar10(), width, 8);
-        let stem = StemShape { c_out: shapes[0].d_in, ..StemShape::cifar10() };
+        let stem = StemShape {
+            c_out: shapes[0].d_in,
+            ..StemShape::cifar10()
+        };
         let stem_weights = rng::kaiming_weights(stem.c_out, stem.c_in, 3, 3, seed ^ 0xa11ce);
         let stem_bn = BatchNorm::identity(stem.c_out);
         let blocks = shapes
@@ -158,7 +164,14 @@ impl MobileNetV1 {
         let fc = rng::kaiming_weights(NUM_CLASSES, c_last, 1, 1, seed ^ 0xfc);
         let fc_weights = fc.as_slice().to_vec();
         let fc_bias = vec![0.0; NUM_CLASSES];
-        Self { stem, stem_weights, stem_bn, blocks, fc_weights, fc_bias }
+        Self {
+            stem,
+            stem_weights,
+            stem_bn,
+            blocks,
+            fc_weights,
+            fc_bias,
+        }
     }
 
     /// The stem shape.
@@ -218,7 +231,12 @@ impl MobileNetV1 {
         let dwc_act = relu(&block.bn1.apply(&dwc_raw));
         let pwc_raw = pointwise_conv2d_f32(&dwc_act, &block.pw_weights);
         let pwc_act = relu(&block.bn2.apply(&pwc_raw));
-        DscTrace { dwc_raw, dwc_act, pwc_raw, pwc_act }
+        DscTrace {
+            dwc_raw,
+            dwc_act,
+            pwc_raw,
+            pwc_act,
+        }
     }
 
     /// Full forward pass with all intermediates recorded.
@@ -238,7 +256,12 @@ impl MobileNetV1 {
         }
         let pooled = global_avg_pool(&x);
         let logits = linear(&pooled, &self.fc_weights, &self.fc_bias, NUM_CLASSES);
-        ForwardTrace { stem_act, blocks, pooled, logits }
+        ForwardTrace {
+            stem_act,
+            blocks,
+            pooled,
+            logits,
+        }
     }
 
     /// Validates every block's parameter shapes.
@@ -279,8 +302,16 @@ mod tests {
         assert_eq!(t.stem_act.shape(), (s0.d_in, 32, 32));
         for (i, b) in m.blocks().iter().enumerate() {
             let o = b.shape.out_spatial();
-            assert_eq!(t.blocks[i].dwc_act.shape(), (b.shape.d_in, o, o), "layer {i}");
-            assert_eq!(t.blocks[i].pwc_act.shape(), (b.shape.k_out, o, o), "layer {i}");
+            assert_eq!(
+                t.blocks[i].dwc_act.shape(),
+                (b.shape.d_in, o, o),
+                "layer {i}"
+            );
+            assert_eq!(
+                t.blocks[i].pwc_act.shape(),
+                (b.shape.k_out, o, o),
+                "layer {i}"
+            );
         }
         assert_eq!(t.pooled.len(), m.blocks().last().unwrap().shape.k_out);
         assert_eq!(t.logits.len(), NUM_CLASSES);

@@ -86,7 +86,10 @@ mod tests {
         vals.push(1000.0); // a wild outlier
         let minmax = Observer::MinMax.scale_for(&vals);
         let pct = Observer::Percentile(0.999).scale_for(&vals);
-        assert!(pct.scale() < minmax.scale() / 50.0, "outlier should be clipped");
+        assert!(
+            pct.scale() < minmax.scale() / 50.0,
+            "outlier should be clipped"
+        );
     }
 
     #[test]
@@ -136,8 +139,11 @@ mod tests {
 
     #[test]
     fn scales_are_positive_and_finite() {
-        for obs in [Observer::MinMax, Observer::Percentile(0.99), Observer::MseSearch { steps: 16 }]
-        {
+        for obs in [
+            Observer::MinMax,
+            Observer::Percentile(0.99),
+            Observer::MseSearch { steps: 16 },
+        ] {
             let q = obs.scale_for(&normal_pool(1000, 3));
             assert!(q.scale().is_finite() && q.scale() > 0.0, "{obs:?}");
         }

@@ -64,7 +64,11 @@ impl QuantStrategy {
     fn scale_for(&self, values: &[f32], is_weight: bool) -> QuantParams {
         match self {
             QuantStrategy::Observer(obs) => obs.scale_for(values),
-            QuantStrategy::Lsq { init, weights, activations } => {
+            QuantStrategy::Lsq {
+                init,
+                weights,
+                activations,
+            } => {
                 let cfg = if is_weight { weights } else { activations };
                 let start = init.scale_for(values).scale();
                 let s = learn_step(values, start, cfg);
@@ -112,10 +116,23 @@ impl QuantizedDscLayer {
             (shape.d_in, 1, shape.kernel, shape.kernel),
             "dw weight shape"
         );
-        assert_eq!(pw_weights.values().shape(), (shape.k_out, shape.d_in, 1, 1), "pw weight shape");
+        assert_eq!(
+            pw_weights.values().shape(),
+            (shape.k_out, shape.d_in, 1, 1),
+            "pw weight shape"
+        );
         assert_eq!(nonconv1.len(), shape.d_in, "nonconv1 channel count");
         assert_eq!(nonconv2.len(), shape.k_out, "nonconv2 channel count");
-        Self { shape, dw_weights, pw_weights, nonconv1, nonconv2, s_in, s_mid, s_out }
+        Self {
+            shape,
+            dw_weights,
+            pw_weights,
+            nonconv1,
+            nonconv2,
+            s_in,
+            s_mid,
+            s_out,
+        }
     }
 
     /// Layer shape.
@@ -231,7 +248,10 @@ impl QuantizedDscNetwork {
     /// loader in [`crate::artifact`]).
     #[must_use]
     pub fn from_parts(input_params: QuantParams, layers: Vec<QuantizedDscLayer>) -> Self {
-        Self { input_params, layers }
+        Self {
+            input_params,
+            layers,
+        }
     }
 
     /// Calibrates with the paper's strategy (max-abs init + LSQ) on the
@@ -264,8 +284,10 @@ impl QuantizedDscNetwork {
         // intermediate activations.
         let traces: Vec<_> = calib.iter().map(|img| model.forward(img)).collect();
 
-        let input_pool: Vec<f32> =
-            traces.iter().flat_map(|t| t.stem_act.as_slice().iter().copied()).collect();
+        let input_pool: Vec<f32> = traces
+            .iter()
+            .flat_map(|t| t.stem_act.as_slice().iter().copied())
+            .collect();
         let input_params = strategy.scale_for(&subsample(&input_pool), false);
 
         let n_layers = model.blocks().len();
@@ -286,11 +308,9 @@ impl QuantizedDscNetwork {
             let s_dw = f64::from(dw_params.scale());
             let s_pw = f64::from(pw_params.scale());
 
-            let s_mid_raw =
-                f64::from(strategy.scale_for(&subsample(&mid_pool), false).scale());
+            let s_mid_raw = f64::from(strategy.scale_for(&subsample(&mid_pool), false).scale());
             let s_mid = fit_scale_to_fold(&block.bn1, s_in, s_dw, s_mid_raw);
-            let s_out_raw =
-                f64::from(strategy.scale_for(&subsample(&out_pool), false).scale());
+            let s_out_raw = f64::from(strategy.scale_for(&subsample(&out_pool), false).scale());
             let s_out = fit_scale_to_fold(&block.bn2, s_mid, s_pw, s_out_raw);
 
             let nonconv1 = fold_boundary(&block.bn1, s_in, s_dw, s_mid)?;
@@ -307,7 +327,10 @@ impl QuantizedDscNetwork {
             });
             s_in = s_out;
         }
-        Ok(Self { input_params, layers })
+        Ok(Self {
+            input_params,
+            layers,
+        })
     }
 
     /// Joint sparsity shaping + calibration **on the int8 path** — the
@@ -337,22 +360,27 @@ impl QuantizedDscNetwork {
 
         let stem_acts: Vec<Tensor3<f32>> =
             calib.iter().map(|img| model.forward_stem(img)).collect();
-        let input_pool: Vec<f32> =
-            stem_acts.iter().flat_map(|t| t.as_slice().iter().copied()).collect();
+        let input_pool: Vec<f32> = stem_acts
+            .iter()
+            .flat_map(|t| t.as_slice().iter().copied())
+            .collect();
         let input_params = strategy.scale_for(&subsample(&input_pool), false);
-        let mut xs: Vec<Tensor3<i8>> =
-            stem_acts.iter().map(|t| t.map(|&v| input_params.quantize(v))).collect();
+        let mut xs: Vec<Tensor3<i8>> = stem_acts
+            .iter()
+            .map(|t| t.map(|&v| input_params.quantize(v)))
+            .collect();
 
         let mut layers = Vec::with_capacity(model.blocks().len());
-        let mut report = ShapingReport { dwc_zero: Vec::new(), pwc_zero: Vec::new() };
+        let mut report = ShapingReport {
+            dwc_zero: Vec::new(),
+            pwc_zero: Vec::new(),
+        };
         let mut s_in = f64::from(input_params.scale());
         for i in 0..model.blocks().len() {
             let (shape, dw_params, pw_params, dw_q, pw_q) = {
                 let block = &model.blocks()[i];
-                let dw_params =
-                    strategy.scale_for(&subsample(block.dw_weights.as_slice()), true);
-                let pw_params =
-                    strategy.scale_for(&subsample(block.pw_weights.as_slice()), true);
+                let dw_params = strategy.scale_for(&subsample(block.dw_weights.as_slice()), true);
+                let pw_params = strategy.scale_for(&subsample(block.pw_weights.as_slice()), true);
                 (
                     block.shape,
                     dw_params,
@@ -400,8 +428,10 @@ impl QuantizedDscNetwork {
             report.dwc_zero.push(zero_fraction_i8(&mids));
 
             // --- PWC + Non-Conv #2 ---
-            let pwc_accs: Vec<Tensor3<i32>> =
-                mids.iter().map(|m| pointwise_conv2d_i8(m, pw_q.values())).collect();
+            let pwc_accs: Vec<Tensor3<i32>> = mids
+                .iter()
+                .map(|m| pointwise_conv2d_i8(m, pw_q.values()))
+                .collect();
             let pools2 = acc_pools(&pwc_accs, s_mid * s_pw);
             shape_bn_from_pools(&mut model.blocks_mut()[i].bn2, &pools2, profile.pwc_zero[i]);
             let bn2 = model.blocks()[i].bn2.clone();
@@ -444,7 +474,13 @@ impl QuantizedDscNetwork {
             xs = outs;
             s_in = s_out;
         }
-        Ok((Self { input_params, layers }, report))
+        Ok((
+            Self {
+                input_params,
+                layers,
+            },
+            report,
+        ))
     }
 
     /// Quantization parameters for the network input (the stem activation).
@@ -518,7 +554,10 @@ mod tests {
                 "dwc layer {i} oversparse: {}",
                 report.dwc_zero[i]
             );
-            assert!(report.pwc_zero[i] >= profile.pwc_zero[i] - 0.02, "pwc layer {i}");
+            assert!(
+                report.pwc_zero[i] >= profile.pwc_zero[i] - 0.02,
+                "pwc layer {i}"
+            );
         }
         // Layer-12 anchors from the paper: 97.4 % / 95.3 %.
         assert!(report.dwc_zero[12] >= 0.954);
@@ -532,7 +571,10 @@ mod tests {
             assert_eq!(l.nonconv1().len(), l.shape().d_in);
             assert_eq!(l.nonconv2().len(), l.shape().k_out);
             assert_eq!(l.dw_weights().values().shape(), (l.shape().d_in, 1, 3, 3));
-            assert_eq!(l.pw_weights().values().shape(), (l.shape().k_out, l.shape().d_in, 1, 1));
+            assert_eq!(
+                l.pw_weights().values().shape(),
+                (l.shape().k_out, l.shape().d_in, 1, 1)
+            );
         }
     }
 

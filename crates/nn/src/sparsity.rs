@@ -58,7 +58,10 @@ impl SparsityProfile {
     #[must_use]
     pub fn uniform(z: f64, layers: usize) -> Self {
         assert!(z > 0.0 && z < 1.0, "zero fraction must be in (0,1)");
-        Self { dwc_zero: vec![z; layers], pwc_zero: vec![z; layers] }
+        Self {
+            dwc_zero: vec![z; layers],
+            pwc_zero: vec![z; layers],
+        }
     }
 
     /// Number of layers covered.
@@ -127,11 +130,7 @@ fn per_channel_pools(maps: &[Tensor3<f32>]) -> Vec<Vec<f32>> {
 /// exactly what trained networks exhibit at the very sparse late layers —
 /// and the layer-wide fraction hits the target even when per-channel pools
 /// are tiny (layer 12 has only 2×2 pixels per channel).
-fn shape_bn(
-    bn: &mut edea_tensor::ops::BatchNorm,
-    pre_activation: &[Tensor3<f32>],
-    z: f64,
-) -> f64 {
+fn shape_bn(bn: &mut edea_tensor::ops::BatchNorm, pre_activation: &[Tensor3<f32>], z: f64) -> f64 {
     let pools = per_channel_pools(pre_activation);
     shape_bn_from_pools(bn, &pools, z)
 }
@@ -155,7 +154,10 @@ pub fn shape_bn_from_pools(
     let mut standardized: Vec<f32> = Vec::new();
     for (c, pool) in pools.iter().enumerate() {
         let mean = pool.iter().map(|&v| f64::from(v)).sum::<f64>() / pool.len() as f64;
-        let var = pool.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>()
+        let var = pool
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
             / pool.len() as f64;
         let var = if var > 1e-12 { var } else { 1.0 };
         bn.gamma[c] = 1.0;
@@ -167,7 +169,10 @@ pub fn shape_bn_from_pools(
     let mut tau = f64::from(quantile(&standardized, z));
     // Keep at least one value positive per layer: if the threshold reached
     // the maximum (degenerate distributions), back it off just below.
-    let max_u = standardized.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let max_u = standardized
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
     if tau >= f64::from(max_u) {
         let second = standardized
             .iter()
@@ -183,7 +188,10 @@ pub fn shape_bn_from_pools(
     for c in 0..c_total {
         bn.beta[c] = (-tau) as f32;
     }
-    let zeroed = standardized.iter().filter(|&&u| f64::from(u) <= tau).count();
+    let zeroed = standardized
+        .iter()
+        .filter(|&&u| f64::from(u) <= tau)
+        .count();
     zeroed as f64 / standardized.len() as f64
 }
 
@@ -214,7 +222,10 @@ pub fn shape_network_sparsity(
     }
     profile.validate(model.blocks().len())?;
     let mut inputs: Vec<Tensor3<f32>> = calib.iter().map(|img| model.forward_stem(img)).collect();
-    let mut report = ShapingReport { dwc_zero: Vec::new(), pwc_zero: Vec::new() };
+    let mut report = ShapingReport {
+        dwc_zero: Vec::new(),
+        pwc_zero: Vec::new(),
+    };
     for i in 0..model.blocks().len() {
         // DWC pre-activations with current weights:
         let dwc_raw: Vec<Tensor3<f32>> = inputs
@@ -229,7 +240,11 @@ pub fn shape_network_sparsity(
                 )
             })
             .collect();
-        let z1 = shape_bn(&mut model.blocks_mut()[i].bn1, &dwc_raw, profile.dwc_zero[i]);
+        let z1 = shape_bn(
+            &mut model.blocks_mut()[i].bn1,
+            &dwc_raw,
+            profile.dwc_zero[i],
+        );
         report.dwc_zero.push(z1);
         // PWC pre-activations with the freshly shaped bn1:
         let pwc_raw: Vec<Tensor3<f32>> = dwc_raw
@@ -240,10 +255,17 @@ pub fn shape_network_sparsity(
                 edea_tensor::conv::pointwise_conv2d_f32(&act, &b.pw_weights)
             })
             .collect();
-        let z2 = shape_bn(&mut model.blocks_mut()[i].bn2, &pwc_raw, profile.pwc_zero[i]);
+        let z2 = shape_bn(
+            &mut model.blocks_mut()[i].bn2,
+            &pwc_raw,
+            profile.pwc_zero[i],
+        );
         report.pwc_zero.push(z2);
         // Advance the calibration activations to this block's output:
-        inputs = inputs.iter().map(|x| model.forward_block(i, x).pwc_act).collect();
+        inputs = inputs
+            .iter()
+            .map(|x| model.forward_block(i, x).pwc_act)
+            .collect();
     }
     Ok(report)
 }
@@ -322,17 +344,20 @@ mod tests {
         let t = model.forward(&img);
         // Mid-network layer: target 0.62, expect the same ballpark.
         let mid = &t.blocks[5].dwc_act;
-        let zeros_mid = mid.as_slice().iter().filter(|&&v| v == 0.0).count() as f64
-            / mid.len() as f64;
+        let zeros_mid =
+            mid.as_slice().iter().filter(|&&v| v == 0.0).count() as f64 / mid.len() as f64;
         assert!(
             zeros_mid > 0.40 && zeros_mid < 0.85,
             "layer 5 DWC sparsity {zeros_mid} out of band (target 0.62)"
         );
         // Late layer: must be clearly sparse.
         let last = &t.blocks[12].dwc_act;
-        let zeros = last.as_slice().iter().filter(|&&v| v == 0.0).count() as f64
-            / last.len() as f64;
-        assert!(zeros > 0.60, "layer 12 DWC sparsity {zeros} not clearly sparse");
+        let zeros =
+            last.as_slice().iter().filter(|&&v| v == 0.0).count() as f64 / last.len() as f64;
+        assert!(
+            zeros > 0.60,
+            "layer 12 DWC sparsity {zeros} not clearly sparse"
+        );
     }
 
     #[test]

@@ -163,7 +163,11 @@ pub fn scale_width(layers: &[LayerShape], width: f64, round_to: usize) -> Vec<La
     };
     layers
         .iter()
-        .map(|l| LayerShape { d_in: scale(l.d_in), k_out: scale(l.k_out), ..*l })
+        .map(|l| LayerShape {
+            d_in: scale(l.d_in),
+            k_out: scale(l.k_out),
+            ..*l
+        })
         .collect()
 }
 
@@ -185,7 +189,12 @@ impl StemShape {
     /// The CIFAR-10 stem: 32×32×3 → 32×32×32.
     #[must_use]
     pub fn cifar10() -> Self {
-        Self { in_spatial: 32, c_in: 3, c_out: 32, stride: 1 }
+        Self {
+            in_spatial: 32,
+            c_in: 3,
+            c_out: 32,
+            stride: 1,
+        }
     }
 }
 
@@ -197,8 +206,11 @@ mod tests {
     fn thirteen_layers_with_strides_at_1_3_5_11() {
         let layers = mobilenet_v1_cifar10();
         assert_eq!(layers.len(), 13);
-        let strided: Vec<usize> =
-            layers.iter().filter(|l| l.stride == 2).map(|l| l.index).collect();
+        let strided: Vec<usize> = layers
+            .iter()
+            .filter(|l| l.stride == 2)
+            .map(|l| l.index)
+            .collect();
         assert_eq!(strided, vec![1, 3, 5, 11]);
     }
 
@@ -266,7 +278,10 @@ mod tests {
         let layers = mobilenet_v1_cifar10();
         let dwc: u64 = layers.iter().map(LayerShape::dwc_params).sum();
         let pwc: u64 = layers.iter().map(LayerShape::pwc_params).sum();
-        assert_eq!(dwc, 9 * (32 + 64 + 128 + 128 + 256 + 256 + 512 * 5 + 512 + 1024));
+        assert_eq!(
+            dwc,
+            9 * (32 + 64 + 128 + 128 + 256 + 256 + 512 * 5 + 512 + 1024)
+        );
         assert_eq!(pwc, 3_139_584);
         assert!(pwc > 50 * dwc, "PWC parameters must dominate");
     }

@@ -28,7 +28,10 @@ use crate::{Tensor3, Tensor4};
 #[must_use]
 pub fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
     assert!(stride > 0, "stride must be positive");
-    assert!(input + 2 * pad >= kernel, "window {kernel} does not fit input {input} with pad {pad}");
+    assert!(
+        input + 2 * pad >= kernel,
+        "window {kernel} does not fit input {input} with pad {pad}"
+    );
     (input + 2 * pad - kernel) / stride + 1
 }
 
@@ -148,7 +151,10 @@ pub fn depthwise_conv2d_f32(
     let (c_in, h_in, w_in) = input.shape();
     let (k, wc, kh, kw) = weights.shape();
     assert_eq!(k, c_in, "depthwise kernel count {k} != channels {c_in}");
-    assert_eq!(wc, 1, "depthwise weights must have a single channel, got {wc}");
+    assert_eq!(
+        wc, 1,
+        "depthwise weights must have a single channel, got {wc}"
+    );
     let h_out = out_dim(h_in, kh, stride, pad);
     let w_out = out_dim(w_in, kw, stride, pad);
     let padded = input.zero_padded(pad);
@@ -214,7 +220,10 @@ pub fn depthwise_conv2d_i8(
     let (c_in, h_in, w_in) = input.shape();
     let (k, wc, kh, kw) = weights.shape();
     assert_eq!(k, c_in, "depthwise kernel count {k} != channels {c_in}");
-    assert_eq!(wc, 1, "depthwise weights must have a single channel, got {wc}");
+    assert_eq!(
+        wc, 1,
+        "depthwise weights must have a single channel, got {wc}"
+    );
     let h_out = out_dim(h_in, kh, stride, pad);
     let w_out = out_dim(w_in, kw, stride, pad);
     let padded = input.zero_padded(pad);
@@ -319,9 +328,14 @@ pub fn compose_dsc_weights(dw: &Tensor4<f32>, pw: &Tensor4<f32>) -> Tensor4<f32>
     let (c, one, kh, kw) = dw.shape();
     assert_eq!(one, 1, "depthwise weights must have a single channel");
     let (k, pc, ph, pww) = pw.shape();
-    assert_eq!(pc, c, "pointwise channels must match depthwise kernel count");
+    assert_eq!(
+        pc, c,
+        "pointwise channels must match depthwise kernel count"
+    );
     assert_eq!((ph, pww), (1, 1), "pointwise kernels must be 1x1");
-    Tensor4::from_fn(k, c, kh, kw, |ko, ci, dh, dwi| pw[(ko, ci, 0, 0)] * dw[(ci, 0, dh, dwi)])
+    Tensor4::from_fn(k, c, kh, kw, |ko, ci, dh, dwi| {
+        pw[(ko, ci, 0, 0)] * dw[(ci, 0, dh, dwi)]
+    })
 }
 
 #[cfg(test)]
@@ -373,13 +387,19 @@ mod tests {
         // are zero.
         let x = rng::synthetic_image(3, 6, 6, 5);
         let dw = rng::kaiming_weights(3, 1, 3, 3, 6);
-        let equivalent = Tensor4::from_fn(3, 3, 3, 3, |k, c, h, w| {
-            if k == c {
-                dw[(k, 0, h, w)]
-            } else {
-                0.0
-            }
-        });
+        let equivalent = Tensor4::from_fn(
+            3,
+            3,
+            3,
+            3,
+            |k, c, h, w| {
+                if k == c {
+                    dw[(k, 0, h, w)]
+                } else {
+                    0.0
+                }
+            },
+        );
         let a = depthwise_conv2d_f32(&x, &dw, 1, 1);
         let b = conv2d_f32(&x, &equivalent, 1, 1);
         for (av, bv) in a.as_slice().iter().zip(b.as_slice()) {
@@ -418,8 +438,11 @@ mod tests {
 
     #[test]
     fn integer_convs_match_float_on_integral_data() {
-        let xi = Tensor3::<i8>::from_fn(2, 6, 6, |c, h, w| ((c * 31 + h * 7 + w * 3) % 19) as i8 - 9);
-        let wi = Tensor4::<i8>::from_fn(2, 1, 3, 3, |k, _, h, w| ((k * 5 + h * 3 + w) % 11) as i8 - 5);
+        let xi =
+            Tensor3::<i8>::from_fn(2, 6, 6, |c, h, w| ((c * 31 + h * 7 + w * 3) % 19) as i8 - 9);
+        let wi = Tensor4::<i8>::from_fn(2, 1, 3, 3, |k, _, h, w| {
+            ((k * 5 + h * 3 + w) % 11) as i8 - 5
+        });
         let xf = xi.map(|&v| f32::from(v));
         let wf = wi.map(|&v| f32::from(v));
         let yi = depthwise_conv2d_i8(&xi, &wi, 2, 1);

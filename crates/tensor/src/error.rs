@@ -27,7 +27,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::EmptyDimension => write!(f, "tensor dimensions must be non-zero"),
             TensorError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
@@ -43,7 +46,10 @@ mod tests {
 
     #[test]
     fn display_mentions_both_lengths() {
-        let e = TensorError::LengthMismatch { expected: 12, actual: 7 };
+        let e = TensorError::LengthMismatch {
+            expected: 12,
+            actual: 7,
+        };
         let s = e.to_string();
         assert!(s.contains("12") && s.contains('7'));
     }

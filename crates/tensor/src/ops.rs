@@ -178,9 +178,17 @@ impl Stats {
             sum += f64::from(v);
         }
         let mean = sum / values.len() as f64;
-        let var = values.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>()
+        let var = values
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
             / values.len() as f64;
-        Self { min, max, mean, std: var.sqrt() }
+        Self {
+            min,
+            max,
+            mean,
+            std: var.sqrt(),
+        }
     }
 
     /// Largest absolute value.
@@ -289,7 +297,12 @@ mod tests {
 
     #[test]
     fn linear_reference() {
-        let y = linear(&[1.0, 2.0], &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[0.0, 0.0, 0.5], 3);
+        let y = linear(
+            &[1.0, 2.0],
+            &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+            &[0.0, 0.0, 0.5],
+            3,
+        );
         assert_eq!(y, vec![1.0, 2.0, 3.5]);
     }
 

@@ -58,8 +58,13 @@ impl QuantParams {
     /// Panics if `max_abs` is not finite-positive.
     #[must_use]
     pub fn from_max_abs(max_abs: f32) -> Self {
-        assert!(max_abs.is_finite() && max_abs > 0.0, "max_abs must be positive");
-        Self { scale: max_abs / 127.0 }
+        assert!(
+            max_abs.is_finite() && max_abs > 0.0,
+            "max_abs must be positive"
+        );
+        Self {
+            scale: max_abs / 127.0,
+        }
     }
 
     /// Quantizes one value: `round(x / scale)` clamped to `[-128, 127]`
@@ -80,13 +85,19 @@ impl QuantParams {
     /// Quantizes a feature map.
     #[must_use]
     pub fn quantize_tensor3(&self, t: &Tensor3<f32>) -> QTensor3 {
-        QTensor3 { values: t.map(|&x| self.quantize(x)), params: *self }
+        QTensor3 {
+            values: t.map(|&x| self.quantize(x)),
+            params: *self,
+        }
     }
 
     /// Quantizes a weight tensor.
     #[must_use]
     pub fn quantize_tensor4(&self, t: &Tensor4<f32>) -> QTensor4 {
-        QTensor4 { values: t.map(|&x| self.quantize(x)), params: *self }
+        QTensor4 {
+            values: t.map(|&x| self.quantize(x)),
+            params: *self,
+        }
     }
 
     /// Mean squared quantization error of representing `values` with this

@@ -35,7 +35,10 @@ impl Normal {
     /// Creates a sampler seeded with `seed`.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), cached: None }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            cached: None,
+        }
     }
 
     /// Draws one standard-normal sample.
@@ -102,7 +105,9 @@ pub fn synthetic_image(c: usize, h: usize, w: usize, seed: u64) -> Tensor3<f32> 
 /// A batch of synthetic images (distinct seeds derived from `seed`).
 #[must_use]
 pub fn synthetic_batch(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Vec<Tensor3<f32>> {
-    (0..n).map(|i| synthetic_image(c, h, w, seed.wrapping_add(i as u64 * 7919))).collect()
+    (0..n)
+        .map(|i| synthetic_image(c, h, w, seed.wrapping_add(i as u64 * 7919)))
+        .collect()
 }
 
 /// Deterministic int8 tensor with entries uniform in `[lo, hi]`, for
@@ -158,8 +163,14 @@ mod tests {
 
     #[test]
     fn normal_is_deterministic() {
-        let a: Vec<f64> = { let mut n = Normal::new(7); (0..10).map(|_| n.sample()).collect() };
-        let b: Vec<f64> = { let mut n = Normal::new(7); (0..10).map(|_| n.sample()).collect() };
+        let a: Vec<f64> = {
+            let mut n = Normal::new(7);
+            (0..10).map(|_| n.sample()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut n = Normal::new(7);
+            (0..10).map(|_| n.sample()).collect()
+        };
         assert_eq!(a, b);
     }
 
@@ -219,6 +230,9 @@ mod tests {
         let t = uniform_i8_tensor3(8, 32, 32, -128, 127, 3);
         let min = t.as_slice().iter().min().unwrap();
         let max = t.as_slice().iter().max().unwrap();
-        assert!(*min <= -120 && *max >= 120, "range not exercised: {min} {max}");
+        assert!(
+            *min <= -120 && *max >= 120,
+            "range not exercised: {min} {max}"
+        );
     }
 }

@@ -36,8 +36,16 @@ impl<T: Copy + Default> Tensor3<T> {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn zeros(c: usize, h: usize, w: usize) -> Self {
-        assert!(c > 0 && h > 0 && w > 0, "tensor dimensions must be non-zero");
-        Self { data: vec![T::default(); c * h * w], c, h, w }
+        assert!(
+            c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be non-zero"
+        );
+        Self {
+            data: vec![T::default(); c * h * w],
+            c,
+            h,
+            w,
+        }
     }
 
     /// Creates a tensor by evaluating `f(c, h, w)` for every element.
@@ -46,7 +54,12 @@ impl<T: Copy + Default> Tensor3<T> {
     ///
     /// Panics if any dimension is zero.
     #[must_use]
-    pub fn from_fn(c: usize, h: usize, w: usize, mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
+    pub fn from_fn(
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
         let mut t = Self::zeros(c, h, w);
         for ci in 0..c {
             for hi in 0..h {
@@ -69,7 +82,10 @@ impl<T: Copy + Default> Tensor3<T> {
             return Err(TensorError::EmptyDimension);
         }
         if data.len() != c * h * w {
-            return Err(TensorError::LengthMismatch { expected: c * h * w, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: c * h * w,
+                actual: data.len(),
+            });
         }
         Ok(Self { data, c, h, w })
     }
@@ -98,10 +114,20 @@ impl<T: Copy + Default> Tensor3<T> {
     /// Panics if the range exceeds the channel count.
     #[must_use]
     pub fn channel_slice(&self, c0: usize, n: usize) -> Self {
-        assert!(c0 + n <= self.c, "channel range {c0}..{} out of 0..{}", c0 + n, self.c);
+        assert!(
+            c0 + n <= self.c,
+            "channel range {c0}..{} out of 0..{}",
+            c0 + n,
+            self.c
+        );
         let plane = self.h * self.w;
         let data = self.data[c0 * plane..(c0 + n) * plane].to_vec();
-        Self { data, c: n, h: self.h, w: self.w }
+        Self {
+            data,
+            c: n,
+            h: self.h,
+            w: self.w,
+        }
     }
 }
 
@@ -172,12 +198,20 @@ impl<T> Tensor3<T> {
     /// Applies `f` elementwise, producing a new tensor.
     #[must_use]
     pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Tensor3<U> {
-        Tensor3 { data: self.data.iter().map(f).collect(), c: self.c, h: self.h, w: self.w }
+        Tensor3 {
+            data: self.data.iter().map(f).collect(),
+            c: self.c,
+            h: self.h,
+            w: self.w,
+        }
     }
 
     #[inline]
     fn offset(&self, c: usize, h: usize, w: usize) -> usize {
-        debug_assert!(c < self.c && h < self.h && w < self.w, "index out of bounds");
+        debug_assert!(
+            c < self.c && h < self.h && w < self.w,
+            "index out of bounds"
+        );
         (c * self.h + h) * self.w + w
     }
 
@@ -260,8 +294,17 @@ impl<T: Copy + Default> Tensor4<T> {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn zeros(k: usize, c: usize, h: usize, w: usize) -> Self {
-        assert!(k > 0 && c > 0 && h > 0 && w > 0, "tensor dimensions must be non-zero");
-        Self { data: vec![T::default(); k * c * h * w], k, c, h, w }
+        assert!(
+            k > 0 && c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be non-zero"
+        );
+        Self {
+            data: vec![T::default(); k * c * h * w],
+            k,
+            c,
+            h,
+            w,
+        }
     }
 
     /// Creates a tensor by evaluating `f(k, c, h, w)` for every element.
@@ -322,10 +365,21 @@ impl<T: Copy + Default> Tensor4<T> {
     /// Panics if the range exceeds the kernel count.
     #[must_use]
     pub fn kernel_slice(&self, k0: usize, n: usize) -> Self {
-        assert!(k0 + n <= self.k, "kernel range {k0}..{} out of 0..{}", k0 + n, self.k);
+        assert!(
+            k0 + n <= self.k,
+            "kernel range {k0}..{} out of 0..{}",
+            k0 + n,
+            self.k
+        );
         let vol = self.c * self.h * self.w;
         let data = self.data[k0 * vol..(k0 + n) * vol].to_vec();
-        Self { data, k: n, c: self.c, h: self.h, w: self.w }
+        Self {
+            data,
+            k: n,
+            c: self.c,
+            h: self.h,
+            w: self.w,
+        }
     }
 
     /// Extracts input channels `[c0, c0+n)` from every kernel.
@@ -335,7 +389,12 @@ impl<T: Copy + Default> Tensor4<T> {
     /// Panics if the range exceeds the channel count.
     #[must_use]
     pub fn channel_slice(&self, c0: usize, n: usize) -> Self {
-        assert!(c0 + n <= self.c, "channel range {c0}..{} out of 0..{}", c0 + n, self.c);
+        assert!(
+            c0 + n <= self.c,
+            "channel range {c0}..{} out of 0..{}",
+            c0 + n,
+            self.c
+        );
         let mut out = Self::zeros(self.k, n, self.h, self.w);
         for k in 0..self.k {
             for c in 0..n {
@@ -451,7 +510,10 @@ mod tests {
     #[test]
     fn layout_is_chw() {
         let t = Tensor3::<i32>::from_fn(2, 2, 3, |c, h, w| (c * 100 + h * 10 + w) as i32);
-        assert_eq!(t.as_slice(), &[0, 1, 2, 10, 11, 12, 100, 101, 102, 110, 111, 112]);
+        assert_eq!(
+            t.as_slice(),
+            &[0, 1, 2, 10, 11, 12, 100, 101, 102, 110, 111, 112]
+        );
     }
 
     #[test]

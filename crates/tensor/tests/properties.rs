@@ -1,8 +1,8 @@
 //! Property-based tests for tensors, quantization and reference kernels.
 
 use edea_tensor::conv::{
-    compose_dsc_weights, conv2d_f32, conv2d_im2col_f32, depthwise_conv2d_f32,
-    depthwise_conv2d_i8, out_dim, pointwise_conv2d_f32, pointwise_conv2d_i8,
+    compose_dsc_weights, conv2d_f32, conv2d_im2col_f32, depthwise_conv2d_f32, depthwise_conv2d_i8,
+    out_dim, pointwise_conv2d_f32, pointwise_conv2d_i8,
 };
 use edea_tensor::ops::{quantile, BatchNorm};
 use edea_tensor::{rng, QuantParams, Tensor3, Tensor4};
@@ -13,7 +13,12 @@ fn small_i8_tensor3(c: usize, h: usize, w: usize) -> impl Strategy<Value = Tenso
         .prop_map(move |v| Tensor3::from_vec(v, c, h, w).expect("sized correctly"))
 }
 
-fn small_i8_tensor4(k: usize, c: usize, kh: usize, kw: usize) -> impl Strategy<Value = Tensor4<i8>> {
+fn small_i8_tensor4(
+    k: usize,
+    c: usize,
+    kh: usize,
+    kw: usize,
+) -> impl Strategy<Value = Tensor4<i8>> {
     prop::collection::vec(-128i8..=127, k * c * kh * kw)
         .prop_map(move |v| Tensor4::from_vec(v, k, c, kh, kw).expect("sized correctly"))
 }

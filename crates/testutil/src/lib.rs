@@ -1,0 +1,176 @@
+//! Shared test support for the EDEA workspace.
+//!
+//! Integration tests across the workspace repeat the same deploy-time
+//! choreography: build a synthetic MobileNetV1, calibrate a quantized DSC
+//! network against a deterministic batch, quantize the stem output, and run
+//! the accelerator. This crate centralizes that choreography behind seeded,
+//! deterministic builders, plus the tolerance assertion macros the
+//! paper-number tests use.
+//!
+//! Everything here is deterministic: the same `(width, seed)` pair always
+//! yields bit-identical networks, inputs and accelerator traces, on every
+//! platform. The determinism guard in `tests/determinism.rs` enforces this.
+//!
+//! # Example
+//!
+//! ```
+//! use edea_testutil::{deploy, Deployment};
+//!
+//! let Deployment { qnet, input, .. } = deploy(0.25, 42);
+//! assert_eq!(qnet.layers().len(), 13);
+//! assert!(input.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use edea_core::accelerator::{Edea, NetworkRun};
+use edea_core::config::EdeaConfig;
+use edea_nn::mobilenet::MobileNetV1;
+use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
+use edea_nn::sparsity::SparsityProfile;
+use edea_tensor::{rng, Tensor3};
+
+/// A fully deployed network ready to run on the accelerator: the float
+/// model, its quantization, and the quantized stem activation for the first
+/// calibration image.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The float MobileNetV1 the quantization was derived from.
+    pub model: MobileNetV1,
+    /// The quantized DSC network.
+    pub qnet: QuantizedDscNetwork,
+    /// Quantized input to DSC layer 0 (the stem output of the first
+    /// calibration image).
+    pub input: Tensor3<i8>,
+}
+
+/// Runs the paper's deploy-time flow deterministically: synthetic
+/// MobileNetV1 at `width`, a two-image calibration batch, sparsity-shaped
+/// calibration with the paper's quantization strategy.
+///
+/// The RNG streams are derived from `seed` exactly as the integration tests
+/// have always done (`seed` for the model, `seed + 1` for the batch), so
+/// existing tests can migrate without changing their data.
+///
+/// # Panics
+///
+/// Panics if calibration fails — synthetic networks at the widths used in
+/// tests always calibrate.
+#[must_use]
+pub fn deploy(width: f64, seed: u64) -> Deployment {
+    let mut model = MobileNetV1::synthetic(width, seed);
+    let calib = rng::synthetic_batch(2, 3, 32, 32, seed + 1);
+    let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
+        &mut model,
+        &calib,
+        &SparsityProfile::paper(),
+        QuantStrategy::paper(),
+    )
+    .expect("synthetic calibration succeeds");
+    let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
+    Deployment { model, qnet, input }
+}
+
+/// A paper-configuration accelerator.
+#[must_use]
+pub fn paper_edea() -> Edea {
+    Edea::new(EdeaConfig::paper())
+}
+
+/// Deploys at `(width, seed)` and runs the whole network on the paper
+/// configuration, returning the deployment and the run.
+///
+/// # Panics
+///
+/// Panics if the run fails; the paper configuration accepts every layer of
+/// the synthetic MobileNetV1 at the widths used in tests.
+#[must_use]
+pub fn deploy_and_run(width: f64, seed: u64) -> (Deployment, NetworkRun) {
+    let d = deploy(width, seed);
+    let run = paper_edea()
+        .run_network(&d.qnet, &d.input)
+        .expect("network runs");
+    (d, run)
+}
+
+/// Asserts two floats are within an absolute tolerance.
+///
+/// ```
+/// edea_testutil::assert_close!(1.0, 1.004, 0.01);
+/// ```
+#[macro_export]
+macro_rules! assert_close {
+    ($left:expr, $right:expr, $tol:expr $(,)?) => {{
+        let (l, r, tol) = (f64::from($left), f64::from($right), f64::from($tol));
+        assert!(
+            (l - r).abs() <= tol,
+            "assert_close failed: |{} - {}| = {} > {} (left: `{}`, right: `{}`)",
+            l,
+            r,
+            (l - r).abs(),
+            tol,
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+}
+
+/// Asserts two floats agree to a relative tolerance (scaled by the larger
+/// magnitude, so it is symmetric in its arguments).
+///
+/// ```
+/// edea_testutil::assert_rel_close!(973.5, 973.6, 1e-3);
+/// ```
+#[macro_export]
+macro_rules! assert_rel_close {
+    ($left:expr, $right:expr, $rel:expr $(,)?) => {{
+        let (l, r, rel) = (f64::from($left), f64::from($right), f64::from($rel));
+        let scale = l.abs().max(r.abs()).max(f64::MIN_POSITIVE);
+        assert!(
+            (l - r).abs() <= rel * scale,
+            "assert_rel_close failed: |{} - {}| = {} > {} × {} (left: `{}`, right: `{}`)",
+            l,
+            r,
+            (l - r).abs(),
+            rel,
+            scale,
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_is_deterministic() {
+        let a = deploy(0.25, 7);
+        let b = deploy(0.25, 7);
+        assert_eq!(a.input, b.input);
+        assert_eq!(a.qnet.layers().len(), b.qnet.layers().len());
+        for (x, y) in a.qnet.layers().iter().zip(b.qnet.layers()) {
+            assert_eq!(x.dw_weights().values(), y.dw_weights().values());
+            assert_eq!(x.pw_weights().values(), y.pw_weights().values());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = deploy(0.25, 1);
+        let b = deploy(0.25, 2);
+        assert_ne!(a.input, b.input);
+    }
+
+    #[test]
+    fn close_macros_accept_and_reject() {
+        assert_close!(1.0, 1.0009, 0.001);
+        assert_rel_close!(1000.0, 1000.9, 1e-3);
+        let caught = std::panic::catch_unwind(|| assert_close!(1.0, 1.1, 0.01));
+        assert!(caught.is_err());
+        let caught = std::panic::catch_unwind(|| assert_rel_close!(1.0, 1.1, 1e-3));
+        assert!(caught.is_err());
+    }
+}

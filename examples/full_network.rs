@@ -58,9 +58,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
-    println!("network total: {:.1} µs, average {:.1} GOPS", total_ns / 1000.0, total_ops as f64 / total_ns);
+    println!(
+        "network total: {:.1} µs, average {:.1} GOPS",
+        total_ns / 1000.0,
+        total_ops as f64 / total_ns
+    );
     let t = timing::network_timing(&edea::mobilenet_v1_cifar10(), &cfg);
-    println!("analytic model: {:.1} µs, average {:.1} GOPS (paper: avg 981.42 GOPS)", t.total_latency_ns / 1000.0, t.average_gops);
+    println!(
+        "analytic model: {:.1} µs, average {:.1} GOPS (paper: avg 981.42 GOPS)",
+        t.total_latency_ns / 1000.0,
+        t.average_gops
+    );
     println!("peak throughput: {:.1} GOPS (paper: 1024)", t.peak_gops);
     Ok(())
 }

@@ -41,10 +41,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s = &run.stats;
     println!("\n== layer 0 on EDEA ==");
     println!("cycles            : {}", s.cycles);
-    println!("latency           : {:.2} µs @ 1 GHz", s.latency_ns(edea.config()) / 1000.0);
-    println!("throughput        : {:.1} GOPS", s.throughput_gops(edea.config()));
-    println!("DWC engine busy   : {:.1}%", 100.0 * s.breakdown.dwc_utilization());
-    println!("PWC engine busy   : {:.1}%", 100.0 * s.breakdown.pwc_utilization());
+    println!(
+        "latency           : {:.2} µs @ 1 GHz",
+        s.latency_ns(edea.config()) / 1000.0
+    );
+    println!(
+        "throughput        : {:.1} GOPS",
+        s.throughput_gops(edea.config())
+    );
+    println!(
+        "DWC engine busy   : {:.1}%",
+        100.0 * s.breakdown.dwc_utilization()
+    );
+    println!(
+        "PWC engine busy   : {:.1}%",
+        100.0 * s.breakdown.pwc_utilization()
+    );
     println!("external traffic  : {} B", s.external.total());
     println!(
         "intermediate kept on chip: {} B written, {} B re-read (direct data transfer)",

@@ -52,7 +52,5 @@ fn main() {
         100.0 * (serial_total - edea_total) as f64 / serial_total as f64
     );
     let roundtrip: u64 = layers.iter().map(roundtrip_external_traffic).sum();
-    println!(
-        "direct data transfer keeps {roundtrip} intermediate accesses on chip per inference"
-    );
+    println!("direct data transfer keeps {roundtrip} intermediate accesses on chip per inference");
 }

@@ -1,0 +1,42 @@
+//! Determinism guard: the whole deploy flow — synthetic model, calibration,
+//! quantization, accelerator simulation — must be a pure function of
+//! `(width, seed)`. Every golden snapshot and paper-number regression in
+//! this repo depends on that, and future batching/async/caching refactors
+//! must not break it.
+
+use edea_testutil::deploy_and_run;
+
+#[test]
+fn deploy_flow_is_bit_identical_across_runs() {
+    let (da, ra) = deploy_and_run(0.25, 2024);
+    let (db, rb) = deploy_and_run(0.25, 2024);
+
+    // Deployment artifacts: identical quantized networks and inputs.
+    assert_eq!(da.input, db.input, "quantized stem inputs diverged");
+    assert_eq!(da.qnet.layers().len(), db.qnet.layers().len());
+    for (la, lb) in da.qnet.layers().iter().zip(db.qnet.layers()) {
+        assert_eq!(la.dw_weights().values(), lb.dw_weights().values());
+        assert_eq!(la.pw_weights().values(), lb.pw_weights().values());
+        assert_eq!(la.nonconv1(), lb.nonconv1());
+        assert_eq!(la.nonconv2(), lb.nonconv2());
+    }
+
+    // Accelerator results: identical outputs and cycle statistics.
+    assert_eq!(ra.output, rb.output, "network outputs diverged");
+    assert_eq!(ra.stats.total_cycles(), rb.stats.total_cycles());
+    assert_eq!(ra.stats.total_macs(), rb.stats.total_macs());
+    assert_eq!(ra.stats.layers.len(), rb.stats.layers.len());
+    for (sa, sb) in ra.stats.layers.iter().zip(&rb.stats.layers) {
+        assert_eq!(sa, sb, "layer {} stats diverged", sa.shape.index);
+    }
+}
+
+#[test]
+fn distinct_seeds_produce_distinct_flows() {
+    // Guards against a refactor accidentally ignoring the seed (which would
+    // make the determinism test above pass vacuously).
+    let (da, ra) = deploy_and_run(0.25, 1);
+    let (db, rb) = deploy_and_run(0.25, 2);
+    assert_ne!(da.input, db.input);
+    assert_ne!(ra.output, rb.output);
+}

@@ -2,37 +2,32 @@
 //! golden-model equivalence, across the crate boundaries.
 
 use edea::nn::executor;
-use edea::nn::mobilenet::MobileNetV1;
-use edea::nn::quantize::{QuantStrategy, QuantizedDscNetwork};
-use edea::nn::sparsity::SparsityProfile;
-use edea::tensor::rng;
+use edea::nn::quantize::QuantizedDscNetwork;
 use edea::tensor::Tensor3;
 use edea::{Edea, EdeaConfig};
+use edea_testutil::Deployment;
 
-fn deploy(width: f64, seed: u64) -> (MobileNetV1, QuantizedDscNetwork, Tensor3<i8>) {
-    let mut model = MobileNetV1::synthetic(width, seed);
-    let calib = rng::synthetic_batch(2, 3, 32, 32, seed + 1);
-    let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
-        &mut model,
-        &calib,
-        &SparsityProfile::paper(),
-        QuantStrategy::paper(),
-    )
-    .expect("calibration succeeds");
-    let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
-    (model, qnet, input)
+fn deploy(width: f64, seed: u64) -> (QuantizedDscNetwork, Tensor3<i8>) {
+    let Deployment { qnet, input, .. } = edea_testutil::deploy(width, seed);
+    (qnet, input)
 }
 
 #[test]
 fn accelerator_is_bit_exact_over_whole_network() {
-    let (_, qnet, input) = deploy(0.25, 100);
+    let (qnet, input) = deploy(0.25, 100);
     let edea = Edea::new(EdeaConfig::paper());
     let run = edea.run_network(&qnet, &input).expect("run");
     let golden = executor::run_network(&qnet, &input);
     assert_eq!(run.output, golden.output, "final feature maps differ");
     for (i, (a, b)) in run.stats.layers.iter().zip(&golden.activities).enumerate() {
-        assert!((a.mid_zero - b.dwc_out_zero).abs() < 1e-12, "layer {i} mid zeros");
-        assert!((a.out_zero - b.pwc_out_zero).abs() < 1e-12, "layer {i} out zeros");
+        assert!(
+            (a.mid_zero - b.dwc_out_zero).abs() < 1e-12,
+            "layer {i} mid zeros"
+        );
+        assert!(
+            (a.out_zero - b.pwc_out_zero).abs() < 1e-12,
+            "layer {i} out zeros"
+        );
     }
 }
 
@@ -40,7 +35,7 @@ fn accelerator_is_bit_exact_over_whole_network() {
 fn accelerator_is_bit_exact_on_every_single_layer() {
     // Feed each layer an independently generated (executor-produced) input
     // so a cancellation in one layer cannot mask a bug in another.
-    let (_, qnet, input) = deploy(0.25, 200);
+    let (qnet, input) = deploy(0.25, 200);
     let edea = Edea::new(EdeaConfig::paper());
     let mut x = input;
     for (i, layer) in qnet.layers().iter().enumerate() {
@@ -55,7 +50,7 @@ fn accelerator_is_bit_exact_on_every_single_layer() {
 #[test]
 fn different_seeds_and_widths_stay_bit_exact() {
     for (width, seed) in [(0.25, 7), (0.5, 8)] {
-        let (_, qnet, input) = deploy(width, seed);
+        let (qnet, input) = deploy(width, seed);
         let edea = Edea::new(EdeaConfig::paper());
         let run = edea.run_layer(&qnet.layers()[0], &input).expect("run");
         let golden = executor::run_layer(&qnet.layers()[0], &input);
@@ -68,14 +63,19 @@ fn cycle_counts_are_identical_across_models() {
     // Three independent models of time — the analytic Eq. 1/Eq. 2, the
     // clocked pipeline, and the functional scheduler — must agree cycle-
     // for-cycle on every layer.
-    let (_, qnet, input) = deploy(0.25, 300);
+    let (qnet, input) = deploy(0.25, 300);
     let cfg = EdeaConfig::paper();
     let edea = Edea::new(cfg.clone());
     let run = edea.run_network(&qnet, &input).expect("run");
     for s in &run.stats.layers {
         let analytic = edea::core::timing::layer_cycles(&s.shape, &cfg);
         let clocked = edea::core::pipeline::simulate_layer(&s.shape, &cfg, 0);
-        assert_eq!(s.cycles, analytic.total(), "functional vs analytic, layer {}", s.shape.index);
+        assert_eq!(
+            s.cycles,
+            analytic.total(),
+            "functional vs analytic, layer {}",
+            s.shape.index
+        );
         if analytic.kernel_tiles >= 3 {
             // Bubble-free regime (every real MobileNetV1 layer): all three
             // models agree exactly.
@@ -89,7 +89,11 @@ fn cycle_counts_are_identical_across_models() {
             // Narrow-K layers (this width-0.25 test model only): the clocked
             // pipeline exposes intermediate-buffer stalls that Eq. 1 does
             // not model.
-            assert!(clocked.total_cycles >= analytic.total(), "layer {}", s.shape.index);
+            assert!(
+                clocked.total_cycles >= analytic.total(),
+                "layer {}",
+                s.shape.index
+            );
         }
     }
 }
@@ -98,12 +102,17 @@ fn cycle_counts_are_identical_across_models() {
 fn external_traffic_excludes_intermediate_map() {
     // The architectural point of the paper: the intermediate map never
     // crosses the external interface.
-    let (_, qnet, input) = deploy(0.25, 400);
+    let (qnet, input) = deploy(0.25, 400);
     let edea = Edea::new(EdeaConfig::paper());
     let run = edea.run_network(&qnet, &input).expect("run");
     for s in &run.stats.layers {
         // External writes are exactly the ofmap.
-        assert_eq!(s.external.writes, s.shape.ofmap_elems(), "layer {}", s.shape.index);
+        assert_eq!(
+            s.external.writes,
+            s.shape.ofmap_elems(),
+            "layer {}",
+            s.shape.index
+        );
         // And the intermediate traffic lives entirely on chip.
         assert_eq!(
             s.intermediate.writes,
@@ -119,7 +128,7 @@ fn q8_16_nonconv_matches_float_reference_within_one_lsb() {
     // Cross-crate property: the fixed-point Non-Conv path (edea-fixed ->
     // edea-nn fold) agrees with an f64 reference on every intermediate
     // element of a real layer.
-    let (_, qnet, input) = deploy(0.25, 500);
+    let (qnet, input) = deploy(0.25, 500);
     let layer = &qnet.layers()[0];
     let acc = edea::tensor::conv::depthwise_conv2d_i8(
         &input,
@@ -139,7 +148,7 @@ fn q8_16_nonconv_matches_float_reference_within_one_lsb() {
 
 #[test]
 fn network_statistics_aggregate_consistently() {
-    let (_, qnet, input) = deploy(0.25, 600);
+    let (qnet, input) = deploy(0.25, 600);
     let edea = Edea::new(EdeaConfig::paper());
     let run = edea.run_network(&qnet, &input).expect("run");
     let sum: u64 = run.stats.layers.iter().map(|l| l.cycles).sum();

@@ -24,9 +24,16 @@ fn fig10_latency_series() {
 
 #[test]
 fn fig13_throughput_series_exact() {
-    for (l, w) in mobilenet_v1_cifar10().iter().zip(paperdata::THROUGHPUT_GOPS) {
+    for (l, w) in mobilenet_v1_cifar10()
+        .iter()
+        .zip(paperdata::THROUGHPUT_GOPS)
+    {
         let got = timing::layer_throughput_gops(l, &cfg());
-        assert!((got - w).abs() < 0.06, "layer {}: {got} vs paper {w}", l.index);
+        assert!(
+            (got - w).abs() < 0.06,
+            "layer {}: {got} vs paper {w}",
+            l.index
+        );
     }
 }
 
@@ -46,7 +53,12 @@ fn fig12_energy_efficiency_series() {
     for (s, want) in stats.iter().zip(paperdata::ENERGY_EFFICIENCY_TOPS_W) {
         let got = model.layer_efficiency_tops_w(s, &cfg());
         let err = (got - want).abs() / want;
-        assert!(err < 0.12, "layer {}: {got:.2} vs paper {want} ({:.0}%)", s.shape.index, 100.0 * err);
+        assert!(
+            err < 0.12,
+            "layer {}: {got:.2} vs paper {want} ({:.0}%)",
+            s.shape.index,
+            100.0 * err
+        );
     }
 }
 
@@ -61,13 +73,31 @@ fn fig11_power_series() {
     assert!((p1 - 117.7).abs() < 8.0, "layer 1 power {p1}");
     assert!((p12 - 67.7).abs() < 5.0, "layer 12 power {p12}");
     // Layer 1 is the maximum, layer 12 the minimum:
-    let powers: Vec<f64> = stats.iter().map(|s| model.layer_power_mw(s, &cfg())).collect();
-    let imax = powers.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
-    let imin = powers.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+    let powers: Vec<f64> = stats
+        .iter()
+        .map(|s| model.layer_power_mw(s, &cfg()))
+        .collect();
+    let imax = powers
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    let imin = powers
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
     assert_eq!(imax, 1);
     assert_eq!(imin, 12);
     // Mean absolute error across all 13 layers:
-    let mae: f64 = powers.iter().zip(&targets).map(|(p, t)| (p - t).abs()).sum::<f64>() / 13.0;
+    let mae: f64 = powers
+        .iter()
+        .zip(&targets)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / 13.0;
     assert!(mae < 5.0, "mean absolute power error {mae} mW");
 }
 
@@ -105,7 +135,11 @@ fn table3_this_work_column() {
     // EDEA dominates every competitor after normalization, whichever
     // scaling rule is used:
     for e in compare::sota_entries() {
-        assert!(w.energy_eff > e.paper_norm_ee && w.energy_eff > e.our_norm_ee(), "{}", e.name);
+        assert!(
+            w.energy_eff > e.paper_norm_ee && w.energy_eff > e.our_norm_ee(),
+            "{}",
+            e.name
+        );
     }
 }
 
@@ -121,7 +155,10 @@ fn fig3_reduction_band() {
     // documented in EXPERIMENTS.md).
     assert!(lo >= plo && lo <= plo + 15.0, "lo {lo} vs paper {plo}");
     assert!(hi >= phi - 5.0 && hi <= phi + 5.0, "hi {hi} vs paper {phi}");
-    assert!((total - ptotal).abs() < 6.0, "total {total} vs paper {ptotal}");
+    assert!(
+        (total - ptotal).abs() < 6.0,
+        "total {total} vs paper {ptotal}"
+    );
 }
 
 #[test]

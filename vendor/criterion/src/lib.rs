@@ -1,0 +1,166 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a small benchmark harness exposing the same surface the benches were
+//! written against: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`/`finish`),
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Methodology is deliberately simple: per benchmark it auto-calibrates an
+//! iteration count targeting ~20 ms per sample, collects `sample_size`
+//! samples, and prints the median, min and max ns/iteration. No HTML
+//! reports, no statistical regression analysis.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark timing state handed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    /// Collected sample durations, in ns per iteration.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample of `self.iters` iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+        self.samples.push(ns);
+    }
+}
+
+/// Entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Calibration pass: find an iteration count giving ~20 ms per sample.
+    let mut probe = Bencher {
+        iters: 1,
+        samples: Vec::new(),
+    };
+    f(&mut probe);
+    let per_iter_ns = probe.samples.last().copied().unwrap_or(1.0).max(1.0);
+    let iters = ((20e6 / per_iter_ns) as u64).clamp(1, 1_000_000);
+
+    let mut b = Bencher {
+        iters,
+        samples: Vec::with_capacity(sample_size),
+    };
+    while b.samples.len() < sample_size {
+        f(&mut b);
+        if b.samples.is_empty() {
+            // The closure never called iter(); avoid an infinite loop.
+            println!("{id:<40} (no measurement: bencher unused)");
+            return;
+        }
+    }
+    let mut s = b.samples;
+    s.sort_by(f64::total_cmp);
+    let median = s[s.len() / 2];
+    println!(
+        "{id:<40} median {:>12}/iter   (min {}, max {}, {} samples × {} iters)",
+        fmt_ns(median),
+        fmt_ns(s[0]),
+        fmt_ns(s[s.len() - 1]),
+        s.len(),
+        iters,
+    );
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
