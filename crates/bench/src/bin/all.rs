@@ -20,6 +20,7 @@ fn main() {
         e::ablation(),
         e::scale_study(),
         e::portion_study(),
+        e::batch_sweep(),
     ] {
         println!("{section}");
     }

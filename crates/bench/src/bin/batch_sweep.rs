@@ -1,0 +1,6 @@
+//! Prints the batched-inference weight-residency sweep (N = 1, 2, 4, 8, 16).
+//! Run with: `cargo run -p edea-bench --bin batch_sweep --release`
+
+fn main() {
+    println!("{}", edea_bench::experiments::batch_sweep());
+}

@@ -1,10 +1,15 @@
 //! Benchmark harness for the EDEA reproduction.
 //!
-//! One function per table/figure of the paper's evaluation; each returns the
-//! rendered rows/series the paper reports (plus the paper's published values
-//! side by side). The binaries in `src/bin` print them; the Criterion
-//! benches in `benches/` time their regeneration; EXPERIMENTS.md records the
-//! paper-vs-measured comparison.
+//! One function per table/figure of the paper's evaluation plus the
+//! extension studies (ablation, PE scaling, portion sensitivity, and the
+//! batched-inference weight-residency sweep); each returns the rendered
+//! rows/series the paper reports (plus the paper's published values side by
+//! side). The binaries in `src/bin` print them; the Criterion benches in
+//! `benches/` time their regeneration; EXPERIMENTS.md records the
+//! paper-vs-measured comparison. Every rendered artifact is pinned
+//! character-for-character under `tests/golden/` — see this crate's
+//! README.md for the `UPDATE_GOLDEN=1` workflow and why the vendored RNG
+//! streams are load-bearing.
 //!
 //! ```
 //! let out = edea_bench::experiments::fig13();

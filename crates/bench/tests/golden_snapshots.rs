@@ -69,6 +69,7 @@ golden!(
     ablation,
     scale_study,
     portion_study,
+    batch_sweep,
 );
 
 #[test]

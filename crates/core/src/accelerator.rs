@@ -8,16 +8,22 @@
 //! executor (checked in tests and again in the integration suite), and its
 //! cycle accounting is cross-checked against the analytic model of
 //! [`crate::timing`].
+//!
+//! [`Edea::run_batch`] runs a whole batch of images through the batched
+//! loop nest of [`crate::schedule`]: weight tiles are fetched from
+//! external memory once per batch instead of once per image, so the
+//! external weight traffic per image falls as `1/N` while outputs stay
+//! bit-identical to the per-image path.
 
 use edea_nn::quantize::{QuantizedDscLayer, QuantizedDscNetwork};
-use edea_tensor::{Tensor3, Tensor4};
+use edea_tensor::{Batch, Tensor3, Tensor4};
 
 use crate::buffer::BufferSet;
 use crate::config::EdeaConfig;
 use crate::engine::{DwcEngine, EngineActivity, PwcEngine};
 use crate::nonconv::NonConvUnit;
-use crate::schedule::{portions, spatial_tiles};
-use crate::stats::{BufferTraffic, LayerStats, NetworkStats};
+use crate::schedule::{portions, spatial_tiles, WeightResidency};
+use crate::stats::{BatchLayerStats, BatchNetworkStats, BufferTraffic, LayerStats, NetworkStats};
 use crate::timing;
 use crate::CoreError;
 
@@ -40,6 +46,26 @@ pub struct NetworkRun {
     pub output: Tensor3<i8>,
     /// Per-layer statistics.
     pub stats: NetworkStats,
+}
+
+/// Result of running one layer over a batch.
+#[derive(Debug, Clone)]
+pub struct BatchLayerRun {
+    /// Per-image int8 layer outputs, in batch order.
+    pub outputs: Vec<Tensor3<i8>>,
+    /// Per-image intermediate maps (PWC inputs), for verification.
+    pub pwc_inputs: Vec<Tensor3<i8>>,
+    /// Whole-batch execution statistics.
+    pub stats: BatchLayerStats,
+}
+
+/// Result of running a full network over a batch.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Final feature maps, one per image.
+    pub outputs: Batch<i8>,
+    /// Per-layer whole-batch statistics.
+    pub stats: BatchNetworkStats,
 }
 
 /// The EDEA accelerator.
@@ -142,25 +168,84 @@ impl Edea {
         layer: &QuantizedDscLayer,
         input: &Tensor3<i8>,
     ) -> Result<LayerRun, CoreError> {
-        self.check_layer(layer, input)?;
+        let mut run = self.execute_layer(
+            layer,
+            std::slice::from_ref(input),
+            WeightResidency::PerImage,
+        )?;
+        Ok(LayerRun {
+            output: run.outputs.pop().expect("one image in, one image out"),
+            pwc_input: run.pwc_inputs.pop().expect("one image in, one image out"),
+            stats: run.stats.into_layer_stats(),
+        })
+    }
+
+    /// Runs one quantized DSC layer over a batch of images with weight
+    /// tiles held resident across the batch (the batched loop nest of
+    /// [`crate::schedule`]): external weight and offline-parameter fetches
+    /// are paid once, ifmap reads and ofmap writes once per image, and the
+    /// psum SRAM holds one residency per in-flight image.
+    ///
+    /// Per-image outputs are **bit-identical** to [`Edea::run_layer`] —
+    /// batching changes when weights are fetched, never what is computed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Edea::run_layer`], checked per image; additionally
+    /// [`CoreError::BufferOverflow`] if the `batch×`-provisioned psum SRAM
+    /// cannot hold every in-flight image's portion psums.
+    pub fn run_layer_batch(
+        &self,
+        layer: &QuantizedDscLayer,
+        inputs: &[Tensor3<i8>],
+    ) -> Result<BatchLayerRun, CoreError> {
+        self.execute_layer(layer, inputs, WeightResidency::PerBatch)
+    }
+
+    /// The functional schedule, generalized over a batch of images and a
+    /// weight-residency policy. `PerImage` reproduces the per-image
+    /// baseline accounting exactly (every image re-fetches all weights);
+    /// `PerBatch` fetches each weight tile once for the whole batch.
+    fn execute_layer(
+        &self,
+        layer: &QuantizedDscLayer,
+        inputs: &[Tensor3<i8>],
+        residency: WeightResidency,
+    ) -> Result<BatchLayerRun, CoreError> {
+        if inputs.is_empty() {
+            return Err(CoreError::UnsupportedShape {
+                detail: "batch must contain at least one image".into(),
+            });
+        }
+        for input in inputs {
+            self.check_layer(layer, input)?;
+        }
         let s = layer.shape();
         let t = self.cfg.tile;
         let (td, tk, tn, tm) = (t.td, t.tk, t.tn, t.tm);
         let out = s.out_spatial();
         let pad = s.pad();
-        let padded = input.zero_padded(pad);
+        let n_images = inputs.len();
+        let padded: Vec<Tensor3<i8>> = inputs.iter().map(|i| i.zero_padded(pad)).collect();
         let channel_passes = s.d_in / td;
         let kernel_tiles = s.k_out / tk;
 
-        let mut buffers = BufferSet::new(&self.cfg);
-        // Layer-setup transfers (once per layer): all DWC weights, both
-        // Non-Conv parameter sets.
+        let mut buffers = BufferSet::for_batch(&self.cfg, n_images);
+        // Layer-setup transfers: all DWC weights, both Non-Conv parameter
+        // sets — once per batch with resident weights, once per image in
+        // the baseline.
+        let weight_loads = match residency {
+            WeightResidency::PerImage => n_images,
+            WeightResidency::PerBatch => 1,
+        };
         let dwc_weight_bytes = s.kernel * s.kernel * s.d_in;
-        buffers.external.read(dwc_weight_bytes);
-        buffers.dwc_weight.fill(dwc_weight_bytes)?;
         let offline_bytes = 6 * (s.d_in + s.k_out); // 2×24-bit words per channel
-        buffers.external.read(offline_bytes);
-        buffers.offline.fill(offline_bytes)?;
+        for _ in 0..weight_loads {
+            buffers.external.read_weights(dwc_weight_bytes);
+            buffers.dwc_weight.fill(dwc_weight_bytes)?;
+            buffers.external.read_params(offline_bytes);
+            buffers.offline.fill(offline_bytes)?;
+        }
 
         // Pre-slice weights per channel pass / kernel tile.
         // Depthwise weights are (D, 1, K, K): the per-pass slice selects Td
@@ -177,8 +262,12 @@ impl Edea {
             })
             .collect();
 
-        let mut mid_map = Tensor3::<i8>::zeros(s.d_in, out, out);
-        let mut out_map = Tensor3::<i8>::zeros(s.k_out, out, out);
+        let mut mid_maps: Vec<Tensor3<i8>> = (0..n_images)
+            .map(|_| Tensor3::<i8>::zeros(s.d_in, out, out))
+            .collect();
+        let mut out_maps: Vec<Tensor3<i8>> = (0..n_images)
+            .map(|_| Tensor3::<i8>::zeros(s.k_out, out, out))
+            .collect();
         let mut dwc_activity = EngineActivity::default();
         let mut pwc_activity = EngineActivity::default();
         let mut nonconv_ops = 0u64;
@@ -189,76 +278,94 @@ impl Edea {
         let tc = (tm - 1) * s.stride + s.kernel;
 
         for portion in portions(out, self.cfg.portion_limit) {
-            // Per-portion psum SRAM residency (write traffic is counted per
-            // PWC invocation below).
+            // Per-portion psum SRAM residency, one bank per in-flight image
+            // (write traffic is counted per PWC invocation below).
             let psum_bytes = portion.pixels() * s.k_out * 4;
-            buffers.psum.reserve(psum_bytes)?;
-            let mut psum = Tensor3::<i32>::zeros(s.k_out, portion.rows, portion.cols);
+            buffers.psum.reserve(n_images * psum_bytes)?;
+            let mut psums: Vec<Tensor3<i32>> = (0..n_images)
+                .map(|_| Tensor3::<i32>::zeros(s.k_out, portion.rows, portion.cols))
+                .collect();
             let tiles = spatial_tiles(&portion, &self.cfg);
+            let (_, _, rows, cols) = portion.input_region(s.stride, s.kernel, pad, s.in_spatial);
+            let slice_bytes = rows * cols * td;
+            let pw_bytes = td * s.k_out;
 
             for ct in 0..channel_passes {
-                // Initiation: load the portion's ifmap slice for this
-                // channel window (with halo), the weight slice registers and
-                // the offline parameters.
-                let (_, _, rows, cols) =
-                    portion.input_region(s.stride, s.kernel, pad, s.in_spatial);
-                let slice_bytes = rows * cols * td;
-                buffers.external.read(slice_bytes);
-                buffers.ifmap.fill(slice_bytes)?;
-                buffers.dwc_weight.read(s.kernel * s.kernel * td);
-                buffers.offline.read(6 * td);
-                // PWC weight slice for this channel window × all kernels.
-                let pw_bytes = td * s.k_out;
-                buffers.external.read(pw_bytes);
-                buffers.pwc_weight.fill(pw_bytes)?;
+                // Weight-side initiation: the weight-slice registers, the
+                // offline parameters and the PWC weight slice for this
+                // channel window × all kernels. With resident weights this
+                // happens once and serves every image of the batch.
+                let load_weight_slices = |buffers: &mut BufferSet| -> Result<(), CoreError> {
+                    buffers.dwc_weight.read(s.kernel * s.kernel * td);
+                    buffers.offline.read(6 * td);
+                    buffers.external.read_weights(pw_bytes);
+                    buffers.pwc_weight.fill(pw_bytes)
+                };
+                if residency == WeightResidency::PerBatch {
+                    load_weight_slices(&mut buffers)?;
+                }
 
-                for st in &tiles {
-                    // DWC: one engine cycle.
-                    let window = Tensor3::from_fn(td, tr, tc, |c, h, w| {
-                        padded[(ct * td + c, st.row0 * s.stride + h, st.col0 * s.stride + w)]
-                    });
-                    buffers.ifmap.read(tr * tc * td);
-                    let dwc_out = self.dwc.compute_tile(&window, &dw_slices[ct], s.stride)?;
-                    dwc_activity.merge(&dwc_out.activity);
-                    dwc_invocations += 1;
-
-                    // Non-Conv: fold to int8 and stream to the intermediate
-                    // buffer (direct data transfer — no external round trip).
-                    let (mid_tile, nc) = self
-                        .nonconv
-                        .apply_tile(&dwc_out.acc, &layer.nonconv1()[ct * td..])?;
-                    nonconv_ops += nc.ops;
-                    buffers.intermediate.fill(tn * tm * td)?;
-                    for c in 0..td {
-                        for n in 0..tn {
-                            for m in 0..tm {
-                                mid_map[(ct * td + c, st.row0 + n, st.col0 + m)] =
-                                    mid_tile[(c, n, m)];
-                            }
-                        }
+                for (img, padded_img) in padded.iter().enumerate() {
+                    if residency == WeightResidency::PerImage {
+                        load_weight_slices(&mut buffers)?;
                     }
+                    // Ifmap-side initiation: this image's slice for the
+                    // portion's channel window (with halo) — inherently
+                    // per-image.
+                    buffers.external.read_ifmap(slice_bytes);
+                    buffers.ifmap.fill(slice_bytes)?;
 
-                    // PWC: one engine cycle per kernel tile, accumulating
-                    // into the psum SRAM.
-                    for kt in 0..kernel_tiles {
-                        buffers.intermediate.read(tn * tm * td);
-                        buffers.pwc_weight.read(td * tk);
-                        let p = self.pwc.compute_tile(&mid_tile, &pw_slices[ct][kt])?;
-                        pwc_activity.merge(&p.activity);
-                        pwc_invocations += 1;
-                        // Read-modify-write: the first pass writes fresh
-                        // values, later passes read the running sums first.
-                        if ct > 0 {
-                            buffers.psum.read(tk * tn * tm * 4);
-                        }
-                        for k in 0..tk {
+                    for st in &tiles {
+                        // DWC: one engine cycle.
+                        let window = Tensor3::from_fn(td, tr, tc, |c, h, w| {
+                            padded_img
+                                [(ct * td + c, st.row0 * s.stride + h, st.col0 * s.stride + w)]
+                        });
+                        buffers.ifmap.read(tr * tc * td);
+                        let dwc_out = self.dwc.compute_tile(&window, &dw_slices[ct], s.stride)?;
+                        dwc_activity.merge(&dwc_out.activity);
+                        dwc_invocations += 1;
+
+                        // Non-Conv: fold to int8 and stream to the
+                        // intermediate buffer (direct data transfer — no
+                        // external round trip).
+                        let (mid_tile, nc) = self
+                            .nonconv
+                            .apply_tile(&dwc_out.acc, &layer.nonconv1()[ct * td..])?;
+                        nonconv_ops += nc.ops;
+                        buffers.intermediate.fill(tn * tm * td)?;
+                        for c in 0..td {
                             for n in 0..tn {
                                 for m in 0..tm {
-                                    psum[(
-                                        kt * tk + k,
-                                        st.row0 - portion.row0 + n,
-                                        st.col0 - portion.col0 + m,
-                                    )] += p.partial[(k, n, m)];
+                                    mid_maps[img][(ct * td + c, st.row0 + n, st.col0 + m)] =
+                                        mid_tile[(c, n, m)];
+                                }
+                            }
+                        }
+
+                        // PWC: one engine cycle per kernel tile,
+                        // accumulating into this image's psum bank.
+                        for kt in 0..kernel_tiles {
+                            buffers.intermediate.read(tn * tm * td);
+                            buffers.pwc_weight.read(td * tk);
+                            let p = self.pwc.compute_tile(&mid_tile, &pw_slices[ct][kt])?;
+                            pwc_activity.merge(&p.activity);
+                            pwc_invocations += 1;
+                            // Read-modify-write: the first pass writes fresh
+                            // values, later passes read the running sums
+                            // first.
+                            if ct > 0 {
+                                buffers.psum.read(tk * tn * tm * 4);
+                            }
+                            for k in 0..tk {
+                                for n in 0..tn {
+                                    for m in 0..tm {
+                                        psums[img][(
+                                            kt * tk + k,
+                                            st.row0 - portion.row0 + n,
+                                            st.col0 - portion.col0 + m,
+                                        )] += p.partial[(k, n, m)];
+                                    }
                                 }
                             }
                         }
@@ -266,19 +373,22 @@ impl Edea {
                 }
             }
 
-            // Drain: output-side Non-Conv and external write-back
+            // Drain: output-side Non-Conv and external write-back per image
             // (overlapped with the next portion in hardware — no cycles).
-            buffers.psum.read(psum_bytes);
-            let (portion_out, nc) = self.nonconv.apply_tile(&psum, layer.nonconv2())?;
-            nonconv_ops += nc.ops;
-            for k in 0..s.k_out {
-                for r in 0..portion.rows {
-                    for c in 0..portion.cols {
-                        out_map[(k, portion.row0 + r, portion.col0 + c)] = portion_out[(k, r, c)];
+            for (img, psum) in psums.iter().enumerate() {
+                buffers.psum.read(psum_bytes);
+                let (portion_out, nc) = self.nonconv.apply_tile(psum, layer.nonconv2())?;
+                nonconv_ops += nc.ops;
+                for k in 0..s.k_out {
+                    for r in 0..portion.rows {
+                        for c in 0..portion.cols {
+                            out_maps[img][(k, portion.row0 + r, portion.col0 + c)] =
+                                portion_out[(k, r, c)];
+                        }
                     }
                 }
+                buffers.external.write(portion.pixels() * s.k_out);
             }
-            buffers.external.write(portion.pixels() * s.k_out);
             buffers.psum.clear();
         }
 
@@ -287,26 +397,36 @@ impl Edea {
         let psum_write_bytes = pwc_invocations * (tk * tn * tm * 4) as u64;
 
         let breakdown = timing::layer_cycles(&s, &self.cfg);
-        debug_assert_eq!(dwc_invocations, breakdown.dwc_busy, "DWC cycle accounting");
-        debug_assert_eq!(pwc_invocations, breakdown.pwc_busy, "PWC cycle accounting");
+        let nb = n_images as u64;
+        debug_assert_eq!(
+            dwc_invocations,
+            nb * breakdown.dwc_busy,
+            "DWC cycle accounting"
+        );
+        debug_assert_eq!(
+            pwc_invocations,
+            nb * breakdown.pwc_busy,
+            "PWC cycle accounting"
+        );
 
         let zero_frac = |t: &Tensor3<i8>| {
             t.as_slice().iter().filter(|&&v| v == 0).count() as f64 / t.len() as f64
         };
-        let stats = LayerStats {
+        let mean_zero =
+            |ts: &[Tensor3<i8>]| ts.iter().map(zero_frac).sum::<f64>() / ts.len() as f64;
+        let stats = BatchLayerStats {
             shape: s,
+            batch: n_images,
+            residency,
             breakdown,
-            cycles: breakdown.total(),
+            cycles: nb * breakdown.total(),
             dwc_activity,
             pwc_activity,
             nonconv_ops,
-            input_zero: zero_frac(input),
-            mid_zero: zero_frac(&mid_map),
-            out_zero: zero_frac(&out_map),
-            external: BufferTraffic {
-                reads: buffers.external.reads,
-                writes: buffers.external.writes,
-            },
+            input_zero: mean_zero(inputs),
+            mid_zero: mean_zero(&mid_maps),
+            out_zero: mean_zero(&out_maps),
+            external: buffers.external,
             onchip: BufferTraffic {
                 reads: buffers.onchip_reads(),
                 writes: buffers.onchip_writes() + psum_write_bytes,
@@ -320,9 +440,9 @@ impl Edea {
                 writes: psum_write_bytes,
             },
         };
-        Ok(LayerRun {
-            output: out_map,
-            pwc_input: mid_map,
+        Ok(BatchLayerRun {
+            outputs: out_maps,
+            pwc_inputs: mid_maps,
             stats,
         })
     }
@@ -347,6 +467,39 @@ impl Edea {
         Ok(NetworkRun {
             output: x,
             stats: NetworkStats { layers },
+        })
+    }
+
+    /// Runs the whole quantized DSC stack over a batch of images, holding
+    /// weight tiles resident across the batch at every layer.
+    ///
+    /// Per-image outputs are bit-identical to running each image through
+    /// [`Edea::run_network`]; what changes is the external-memory traffic
+    /// ([`BatchNetworkStats::weight_bytes_per_image`] falls as `1/N`) and
+    /// the psum SRAM provisioning (`N` banks, see
+    /// [`crate::buffer::BufferSet::for_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-layer error.
+    pub fn run_batch(
+        &self,
+        net: &QuantizedDscNetwork,
+        inputs: &Batch<i8>,
+    ) -> Result<BatchRun, CoreError> {
+        let mut xs: Vec<Tensor3<i8>> = inputs.images().to_vec();
+        let mut layers = Vec::with_capacity(net.layers().len());
+        for layer in net.layers() {
+            let run = self.run_layer_batch(layer, &xs)?;
+            xs = run.outputs;
+            layers.push(run.stats);
+        }
+        Ok(BatchRun {
+            outputs: Batch::new(xs).expect("uniform layer outputs"),
+            stats: BatchNetworkStats {
+                batch: inputs.len(),
+                layers,
+            },
         })
     }
 }
@@ -496,6 +649,140 @@ mod tests {
                 stats.shape.index
             );
         }
+    }
+
+    fn setup_batch(n: usize) -> (QuantizedDscNetwork, Batch<i8>) {
+        let mut model = MobileNetV1::synthetic(0.25, 31);
+        let calib = rng::synthetic_batch(2, 3, 32, 32, 32);
+        let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
+            &mut model,
+            &calib,
+            &SparsityProfile::paper(),
+            QuantStrategy::paper(),
+        )
+        .unwrap();
+        let images = rng::synthetic_batch(n, 3, 32, 32, 77);
+        let inputs = Batch::new(
+            images
+                .iter()
+                .map(|img| qnet.quantize_input(&model.forward_stem(img)))
+                .collect(),
+        )
+        .unwrap();
+        (qnet, inputs)
+    }
+
+    #[test]
+    fn batch_outputs_are_bit_identical_to_per_image_runs() {
+        let (qnet, inputs) = setup_batch(3);
+        let edea = Edea::new(EdeaConfig::paper());
+        let batch = edea.run_batch(&qnet, &inputs).unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            let single = edea.run_network(&qnet, input).unwrap();
+            assert_eq!(batch.outputs[i], single.output, "image {i}");
+            let golden = executor::run_network(&qnet, input);
+            assert_eq!(batch.outputs[i], golden.output, "image {i} vs golden");
+        }
+    }
+
+    #[test]
+    fn batch_of_one_matches_unbatched_stats_exactly() {
+        let (qnet, inputs) = setup_batch(1);
+        let edea = Edea::new(EdeaConfig::paper());
+        let batch = edea.run_batch(&qnet, &inputs).unwrap();
+        let single = edea.run_network(&qnet, &inputs[0]).unwrap();
+        assert_eq!(batch.outputs[0], single.output);
+        for (b, s) in batch.stats.layers.iter().zip(&single.stats.layers) {
+            assert_eq!(b.clone().into_layer_stats(), *s, "layer {}", s.shape.index);
+        }
+    }
+
+    #[test]
+    fn batched_weight_reads_equal_unbatched_reads() {
+        // The whole point: a batch of N fetches each external weight byte
+        // once — the same count as a single image, not N×.
+        let (qnet, inputs) = setup_batch(4);
+        let edea = Edea::new(EdeaConfig::paper());
+        let batch = edea.run_batch(&qnet, &inputs).unwrap();
+        let single = edea.run_network(&qnet, &inputs[0]).unwrap();
+        for (b, s) in batch.stats.layers.iter().zip(&single.stats.layers) {
+            assert_eq!(
+                b.external.weight_reads, s.external.weight_reads,
+                "layer {}",
+                s.shape.index
+            );
+            assert_eq!(
+                b.external.param_reads, s.external.param_reads,
+                "layer {}",
+                s.shape.index
+            );
+            // Per-image streams scale with N.
+            assert_eq!(b.external.ifmap_reads, 4 * s.external.ifmap_reads);
+            assert_eq!(b.external.writes, 4 * s.external.writes);
+            assert_eq!(b.cycles, 4 * s.cycles);
+        }
+    }
+
+    #[test]
+    fn synthetic_batch_stats_match_batched_simulator() {
+        let (qnet, inputs) = setup_batch(2);
+        let edea = Edea::new(EdeaConfig::paper());
+        let batch = edea.run_batch(&qnet, &inputs).unwrap();
+        for stats in &batch.stats.layers {
+            let synth = crate::stats::synthetic_batch_layer_stats(
+                &stats.shape,
+                edea.config(),
+                2,
+                WeightResidency::PerBatch,
+                stats.input_zero,
+                stats.mid_zero,
+                stats.out_zero,
+            );
+            assert_eq!(stats.cycles, synth.cycles, "layer {}", stats.shape.index);
+            assert_eq!(
+                stats.external, synth.external,
+                "layer {}",
+                stats.shape.index
+            );
+            assert_eq!(stats.onchip, synth.onchip, "layer {}", stats.shape.index);
+            assert_eq!(
+                stats.intermediate, synth.intermediate,
+                "layer {}",
+                stats.shape.index
+            );
+            assert_eq!(stats.psum, synth.psum, "layer {}", stats.shape.index);
+            assert_eq!(
+                stats.nonconv_ops, synth.nonconv_ops,
+                "layer {}",
+                stats.shape.index
+            );
+        }
+    }
+
+    #[test]
+    fn undersized_psum_banks_overflow_in_batch_mode_too() {
+        // The psum SRAM is provisioned batch× one bank; a bank smaller
+        // than a portion's psums must still be caught by the capacity
+        // check of the batched reservation.
+        let (qnet, inputs) = setup_batch(2);
+        let mut cfg = EdeaConfig::paper();
+        // Layer 0 at width 0.25: one portion's psums are 8×8×16×4 bytes.
+        cfg.psum_buf_bytes = 8 * 8 * 16 * 4 - 4; // one word short per bank
+        let edea = Edea::new(cfg);
+        let err = edea
+            .run_layer_batch(&qnet.layers()[0], inputs.images())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BufferOverflow { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let (qnet, _) = setup_batch(1);
+        let edea = Edea::new(EdeaConfig::paper());
+        assert!(matches!(
+            edea.run_layer_batch(&qnet.layers()[0], &[]),
+            Err(CoreError::UnsupportedShape { .. })
+        ));
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! Fig. 4's buffer set: DWC ifmap buffer, DWC weight buffer, offline
 //! (Non-Conv parameter) buffer, intermediate buffer, PWC weight buffer —
 //! plus the psum SRAM the portion-wise PWC accumulation requires (not
-//! detailed in the paper; see DESIGN.md). Every transfer in the functional
-//! simulator goes through these objects so the energy model and the
-//! DSE cross-checks read real counts, not estimates.
+//! detailed in the paper; see ARCHITECTURE.md). Every transfer in the
+//! functional simulator goes through these objects so the energy model and
+//! the DSE cross-checks read real counts, not estimates.
 
 use crate::CoreError;
 
@@ -136,19 +136,38 @@ impl TrackedBuffer {
     }
 }
 
-/// External (off-chip) memory interface counters, in bytes.
+/// External (off-chip) memory interface counters, in bytes, split by
+/// stream.
+///
+/// The split matters for batching: weight and offline-parameter fetches
+/// depend only on the layer, so a batched schedule pays them **once per
+/// batch**, while ifmap reads and ofmap writes are inherently per-image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExternalMemory {
-    /// Bytes read from external memory.
-    pub reads: u64,
-    /// Bytes written to external memory.
+    /// Weight bytes read (DWC kernels + PWC tile slices).
+    pub weight_reads: u64,
+    /// Offline Non-Conv parameter bytes read.
+    pub param_reads: u64,
+    /// Activation (ifmap slice) bytes read.
+    pub ifmap_reads: u64,
+    /// Bytes written to external memory (the ofmap).
     pub writes: u64,
 }
 
 impl ExternalMemory {
-    /// Records a read.
-    pub fn read(&mut self, bytes: usize) {
-        self.reads += bytes as u64;
+    /// Records a weight fetch.
+    pub fn read_weights(&mut self, bytes: usize) {
+        self.weight_reads += bytes as u64;
+    }
+
+    /// Records an offline-parameter fetch.
+    pub fn read_params(&mut self, bytes: usize) {
+        self.param_reads += bytes as u64;
+    }
+
+    /// Records an ifmap-slice fetch.
+    pub fn read_ifmap(&mut self, bytes: usize) {
+        self.ifmap_reads += bytes as u64;
     }
 
     /// Records a write.
@@ -156,10 +175,16 @@ impl ExternalMemory {
         self.writes += bytes as u64;
     }
 
+    /// Total bytes read, over all streams.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.weight_reads + self.param_reads + self.ifmap_reads
+    }
+
     /// Total traffic.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.reads + self.writes
+        self.reads() + self.writes
     }
 }
 
@@ -186,13 +211,32 @@ impl BufferSet {
     /// Builds the buffer set from an [`crate::EdeaConfig`].
     #[must_use]
     pub fn new(cfg: &crate::EdeaConfig) -> Self {
+        Self::for_batch(cfg, 1)
+    }
+
+    /// Builds the buffer set for a batched schedule keeping `batch` images
+    /// in flight per portion.
+    ///
+    /// The batched loop nest (portion → channel pass → image) holds one
+    /// psum residency *per in-flight image*, so the psum SRAM must be
+    /// provisioned `batch×` — that is the silicon cost of weight-residency
+    /// amortization, and the capacity check here is what surfaces it. All
+    /// other buffers hold one image's (or one layer's) working set at a
+    /// time regardless of batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn for_batch(cfg: &crate::EdeaConfig, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be non-empty");
         Self {
             ifmap: TrackedBuffer::new("dwc_ifmap", cfg.ifmap_buf_bytes),
             dwc_weight: TrackedBuffer::new("dwc_weight", cfg.dwc_weight_buf_bytes),
             offline: TrackedBuffer::new("offline", cfg.offline_buf_bytes),
             intermediate: TrackedBuffer::new("intermediate", cfg.intermediate_buf_bytes),
             pwc_weight: TrackedBuffer::new("pwc_weight", cfg.pwc_weight_buf_bytes),
-            psum: TrackedBuffer::new("psum", cfg.psum_buf_bytes),
+            psum: TrackedBuffer::new("psum", cfg.psum_buf_bytes * batch),
             external: ExternalMemory::default(),
         }
     }
@@ -262,9 +306,23 @@ mod tests {
     #[test]
     fn external_memory_totals() {
         let mut e = ExternalMemory::default();
-        e.read(100);
+        e.read_weights(60);
+        e.read_params(30);
+        e.read_ifmap(10);
         e.write(50);
+        assert_eq!(e.reads(), 100);
         assert_eq!(e.total(), 150);
+    }
+
+    #[test]
+    fn batched_set_scales_only_the_psum_banks() {
+        let cfg = EdeaConfig::paper();
+        let one = BufferSet::new(&cfg);
+        let four = BufferSet::for_batch(&cfg, 4);
+        assert_eq!(four.psum.capacity(), 4 * one.psum.capacity());
+        assert_eq!(four.ifmap.capacity(), one.ifmap.capacity());
+        assert_eq!(four.pwc_weight.capacity(), one.pwc_weight.capacity());
+        assert_eq!(four.intermediate.capacity(), one.intermediate.capacity());
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub struct EdeaConfig {
     /// Pipeline initiation cycles per portion-pass (Fig. 7: 9).
     pub init_cycles: u64,
     /// Maximum portion edge in *ofmap pixels* (8 → portions of ≤ 8×8
-    /// outputs; reverse-engineered from Eq. 2 + Fig. 13, see DESIGN.md).
+    /// outputs; reverse-engineered from Eq. 2 + Fig. 13, see
+    /// ARCHITECTURE.md).
     pub portion_limit: usize,
     /// Clock frequency in MHz (1000 = the paper's 1 GHz TT corner).
     pub clock_mhz: u64,

@@ -15,9 +15,14 @@
 //! * [`engine`] — bit-exact models of both PE arrays and their adder trees.
 //! * [`nonconv`] — the Non-Conv unit (Fig. 6).
 //! * [`buffer`] — the on-chip buffer set with access counting (Fig. 4).
-//! * [`schedule`] — the tile/portion iteration of the chosen `La` dataflow.
+//! * [`schedule`] — the tile/portion iteration of the chosen `La` dataflow,
+//!   including the batched loop nest and its
+//!   [`WeightResidency`](schedule::WeightResidency) accounting.
 //! * [`accelerator`] — the functional simulator ([`Edea`]); verified
-//!   bit-exact against `edea-nn`'s golden executor.
+//!   bit-exact against `edea-nn`'s golden executor. [`Edea::run_batch`]
+//!   holds weight tiles resident across a batch of images, cutting external
+//!   weight traffic per image to `1/N` at the cost of one psum bank per
+//!   in-flight image.
 //! * [`timing`] — the analytic latency model (Eq. 1/Eq. 2) reproducing the
 //!   paper's per-layer latency and throughput (Figs. 10, 13).
 //! * [`pipeline`] — a cycle-accurate pipeline simulation (Fig. 7),

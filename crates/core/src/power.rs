@@ -305,30 +305,59 @@ fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
     x
 }
 
+/// Per-layer zero fractions `(input, mid, out)` from the paper sparsity
+/// profile — shared by the analytic layer-stats builders.
+fn paper_zero_fractions(index: usize) -> (f64, f64, f64) {
+    let profile = edea_nn::sparsity::SparsityProfile::paper();
+    let input_zero = if index == 0 {
+        0.5 // stem activation sparsity
+    } else {
+        profile.pwc_zero[index - 1]
+    };
+    (input_zero, profile.dwc_zero[index], profile.pwc_zero[index])
+}
+
 /// Builds the 13 full-size MobileNetV1 layer statistics analytically from
 /// the paper sparsity profile — the inputs for calibrating and evaluating
 /// the power model without running a full-width simulation.
 #[must_use]
 pub fn paper_layer_stats(cfg: &EdeaConfig) -> Vec<LayerStats> {
-    let profile = edea_nn::sparsity::SparsityProfile::paper();
     let layers = edea_nn::workload::mobilenet_v1_cifar10();
     layers
         .iter()
         .map(|l| {
-            let input_zero = if l.index == 0 {
-                0.5 // stem activation sparsity
-            } else {
-                profile.pwc_zero[l.index - 1]
-            };
-            crate::stats::synthetic_layer_stats(
-                l,
-                cfg,
-                input_zero,
-                profile.dwc_zero[l.index],
-                profile.pwc_zero[l.index],
-            )
+            let (input_zero, mid_zero, out_zero) = paper_zero_fractions(l.index);
+            crate::stats::synthetic_layer_stats(l, cfg, input_zero, mid_zero, out_zero)
         })
         .collect()
+}
+
+/// Batched analogue of [`paper_layer_stats`]: the 13 full-size layer
+/// statistics for a batch of `n` images under the given weight residency,
+/// with the same paper-profile zero fractions applied to every image.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn paper_batch_layer_stats(
+    cfg: &EdeaConfig,
+    n: usize,
+    residency: crate::schedule::WeightResidency,
+) -> crate::stats::BatchNetworkStats {
+    let layers = edea_nn::workload::mobilenet_v1_cifar10();
+    crate::stats::BatchNetworkStats {
+        batch: n,
+        layers: layers
+            .iter()
+            .map(|l| {
+                let (input_zero, mid_zero, out_zero) = paper_zero_fractions(l.index);
+                crate::stats::synthetic_batch_layer_stats(
+                    l, cfg, n, residency, input_zero, mid_zero, out_zero,
+                )
+            })
+            .collect(),
+    }
 }
 
 #[cfg(test)]

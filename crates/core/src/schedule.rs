@@ -15,8 +15,80 @@
 //!         PWC tile → psum[st][kt] += …                (1 cycle each)
 //!   drain psums → Non-Conv → output                   (overlapped)
 //! ```
+//!
+//! # Batched schedule
+//!
+//! For multi-image inference the nest gains an image loop *inside* the
+//! channel pass, so every external weight fetch — the layer's DWC kernels
+//! and offline parameters, and the per-pass PWC weight slice — stays
+//! resident and serves the whole batch ([`WeightResidency::PerBatch`]):
+//!
+//! ```text
+//! for portion in portions(ofmap):
+//!   for ct in 0..⌈D/Td⌉:
+//!     load DWC weight slice + offline params + PWC weight slice   (once)
+//!     for img in 0..N:                     # batch loop
+//!       load img's ifmap slice (per-image initiation)
+//!       for st in spatial_tiles(portion):  # as in the per-image nest
+//!         …
+//!   drain each image's psums → Non-Conv → output
+//! ```
+//!
+//! Ifmap reads and ofmap writes remain per-image; weight traffic is paid
+//! once per batch. The cost is psum SRAM: each in-flight image holds its
+//! own psum residency per portion (see
+//! [`crate::buffer::BufferSet::for_batch`]).
 
 use crate::config::EdeaConfig;
+use edea_nn::workload::LayerShape;
+
+/// When external weight/parameter fetches are (re)paid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightResidency {
+    /// Every image re-fetches all weight tiles — the per-image baseline.
+    #[default]
+    PerImage,
+    /// Weight tiles are fetched once and stay resident across the batch.
+    PerBatch,
+}
+
+/// External weight bytes one image's layer execution fetches: the DWC
+/// kernels (once per layer) plus the PWC weight slice re-fetched for every
+/// portion × channel pass (`P·⌈D/Td⌉·Td·K`).
+#[must_use]
+pub fn layer_weight_fetch_bytes(shape: &LayerShape, cfg: &EdeaConfig) -> u64 {
+    let b = crate::timing::layer_cycles(shape, cfg);
+    shape.dwc_params() + b.portions * b.channel_passes * (cfg.tile.td * shape.k_out) as u64
+}
+
+/// External offline-parameter bytes one image's layer execution fetches:
+/// two 24-bit `(k, b)` words per channel at both Non-Conv boundaries.
+#[must_use]
+pub fn layer_param_fetch_bytes(shape: &LayerShape) -> u64 {
+    6 * (shape.d_in + shape.k_out) as u64
+}
+
+/// External weight + offline-parameter bytes a batch of `n` images fetches
+/// under the given residency: `n×` the per-image figure when every image
+/// reloads, `1×` when tiles stay resident.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn batch_weight_fetch_bytes(
+    shape: &LayerShape,
+    cfg: &EdeaConfig,
+    n: usize,
+    residency: WeightResidency,
+) -> u64 {
+    assert!(n > 0, "batch must be non-empty");
+    let per_image = layer_weight_fetch_bytes(shape, cfg) + layer_param_fetch_bytes(shape);
+    match residency {
+        WeightResidency::PerImage => n as u64 * per_image,
+        WeightResidency::PerBatch => per_image,
+    }
+}
 
 /// A spatial portion: a rectangle of ofmap pixels processed with one psum
 /// residency.
@@ -217,6 +289,30 @@ mod tests {
         let (r0, c0, rows, cols) = p.input_region(2, 3, 1, 32);
         assert_eq!((r0, c0), (15, 15));
         assert_eq!((rows, cols), (17, 17));
+    }
+
+    #[test]
+    fn batched_weight_fetches_amortize_exactly() {
+        use edea_nn::workload::mobilenet_v1_cifar10;
+        for l in mobilenet_v1_cifar10() {
+            let one = batch_weight_fetch_bytes(&l, &cfg(), 1, WeightResidency::PerBatch);
+            for n in [1usize, 2, 4, 8, 16] {
+                // Resident weights: independent of N.
+                assert_eq!(
+                    batch_weight_fetch_bytes(&l, &cfg(), n, WeightResidency::PerBatch),
+                    one,
+                    "layer {} n={n}",
+                    l.index
+                );
+                // Baseline: exactly N×.
+                assert_eq!(
+                    batch_weight_fetch_bytes(&l, &cfg(), n, WeightResidency::PerImage),
+                    n as u64 * one,
+                    "layer {} n={n}",
+                    l.index
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,19 @@
 //! Execution statistics collected by the functional simulator.
+//!
+//! [`LayerStats`] describes one image's layer execution; [`BatchLayerStats`]
+//! / [`BatchNetworkStats`] describe a whole batch run under a
+//! [`WeightResidency`] policy, where external weight traffic may be paid
+//! once per batch instead of once per image. External traffic is carried
+//! split by stream ([`crate::buffer::ExternalMemory`]) precisely so the
+//! amortizable part (weights + offline parameters) is visible separately
+//! from the inherently per-image part (ifmap reads, ofmap writes).
 
 use edea_nn::workload::LayerShape;
 
+use crate::buffer::ExternalMemory;
 use crate::config::EdeaConfig;
 use crate::engine::EngineActivity;
+use crate::schedule::WeightResidency;
 use crate::timing::CycleBreakdown;
 
 /// Per-buffer byte counters snapshot.
@@ -46,8 +56,8 @@ pub struct LayerStats {
     pub mid_zero: f64,
     /// Zero fraction of the output codes — Fig. 11's "PWC zero percentage".
     pub out_zero: f64,
-    /// External-memory traffic.
-    pub external: BufferTraffic,
+    /// External-memory traffic, split by stream.
+    pub external: ExternalMemory,
     /// On-chip SRAM traffic (all buffers).
     pub onchip: BufferTraffic,
     /// Intermediate-buffer traffic alone (the "direct data transfer").
@@ -108,6 +118,156 @@ impl NetworkStats {
     pub fn external_total(&self) -> u64 {
         self.layers.iter().map(|l| l.external.total()).sum()
     }
+
+    /// Total external weight + offline-parameter traffic in bytes — the
+    /// part a batched schedule amortizes.
+    #[must_use]
+    pub fn external_weight_total(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.external.weight_reads + l.external.param_reads)
+            .sum()
+    }
+}
+
+/// Statistics of one layer executed over a whole batch.
+///
+/// All counters are **batch totals**; the cycle [`CycleBreakdown`] is
+/// per-image (every image runs the identical schedule). Zero fractions are
+/// batch means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchLayerStats {
+    /// The layer executed.
+    pub shape: LayerShape,
+    /// Batch size `N ≥ 1`.
+    pub batch: usize,
+    /// The residency policy the schedule ran under.
+    pub residency: WeightResidency,
+    /// Per-image cycle breakdown (identical for every image in the batch).
+    pub breakdown: CycleBreakdown,
+    /// Whole-batch cycles (`batch × breakdown.total()`; the initiation is
+    /// bound by the per-image ifmap-slice fetch, so weight residency saves
+    /// traffic, not cycles).
+    pub cycles: u64,
+    /// DWC engine activity summed over the batch.
+    pub dwc_activity: EngineActivity,
+    /// PWC engine activity summed over the batch.
+    pub pwc_activity: EngineActivity,
+    /// Non-Conv operations over the batch.
+    pub nonconv_ops: u64,
+    /// Mean input zero fraction over the batch.
+    pub input_zero: f64,
+    /// Mean intermediate zero fraction over the batch.
+    pub mid_zero: f64,
+    /// Mean output zero fraction over the batch.
+    pub out_zero: f64,
+    /// External traffic over the whole batch, split by stream. Under
+    /// [`WeightResidency::PerBatch`] the weight/param components are the
+    /// single-image figures; ifmap/writes always scale with the batch.
+    pub external: ExternalMemory,
+    /// On-chip SRAM traffic over the batch.
+    pub onchip: BufferTraffic,
+    /// Intermediate-buffer traffic over the batch.
+    pub intermediate: BufferTraffic,
+    /// Psum traffic over the batch.
+    pub psum: BufferTraffic,
+}
+
+impl BatchLayerStats {
+    /// Cycles per image (exact: every image runs the same schedule).
+    #[must_use]
+    pub fn cycles_per_image(&self) -> u64 {
+        self.cycles / self.batch as u64
+    }
+
+    /// External bytes per image (fractional once weights amortize).
+    #[must_use]
+    pub fn external_per_image(&self) -> f64 {
+        self.external.total() as f64 / self.batch as f64
+    }
+
+    /// External weight + offline-parameter bytes per image.
+    #[must_use]
+    pub fn weight_bytes_per_image(&self) -> f64 {
+        (self.external.weight_reads + self.external.param_reads) as f64 / self.batch as f64
+    }
+
+    /// Converts a single-image batch back to plain [`LayerStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch != 1` — a multi-image batch has no per-image
+    /// external split.
+    #[must_use]
+    pub fn into_layer_stats(self) -> LayerStats {
+        assert_eq!(self.batch, 1, "into_layer_stats requires a batch of 1");
+        LayerStats {
+            shape: self.shape,
+            breakdown: self.breakdown,
+            cycles: self.cycles,
+            dwc_activity: self.dwc_activity,
+            pwc_activity: self.pwc_activity,
+            nonconv_ops: self.nonconv_ops,
+            input_zero: self.input_zero,
+            mid_zero: self.mid_zero,
+            out_zero: self.out_zero,
+            external: self.external,
+            onchip: self.onchip,
+            intermediate: self.intermediate,
+            psum: self.psum,
+        }
+    }
+}
+
+/// Statistics of a full network run over a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNetworkStats {
+    /// Batch size `N ≥ 1`.
+    pub batch: usize,
+    /// Per-layer batch statistics, in layer order.
+    pub layers: Vec<BatchLayerStats>,
+}
+
+impl BatchNetworkStats {
+    /// Total cycles over all layers and images.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Cycles per image.
+    #[must_use]
+    pub fn cycles_per_image(&self) -> u64 {
+        self.total_cycles() / self.batch as u64
+    }
+
+    /// Total external traffic over the batch, in bytes.
+    #[must_use]
+    pub fn external_total(&self) -> u64 {
+        self.layers.iter().map(|l| l.external.total()).sum()
+    }
+
+    /// Total external weight + offline-parameter traffic over the batch.
+    #[must_use]
+    pub fn external_weight_total(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.external.weight_reads + l.external.param_reads)
+            .sum()
+    }
+
+    /// External bytes per image.
+    #[must_use]
+    pub fn external_per_image(&self) -> f64 {
+        self.external_total() as f64 / self.batch as f64
+    }
+
+    /// External weight bytes per image — the figure the batch sweep plots,
+    /// strictly decreasing in `N` under [`WeightResidency::PerBatch`].
+    #[must_use]
+    pub fn weight_bytes_per_image(&self) -> f64 {
+        self.external_weight_total() as f64 / self.batch as f64
+    }
 }
 
 /// Builds a [`LayerStats`] analytically — same accounting as the functional
@@ -130,76 +290,132 @@ pub fn synthetic_layer_stats(
     mid_zero: f64,
     out_zero: f64,
 ) -> LayerStats {
+    synthetic_batch_layer_stats(
+        shape,
+        cfg,
+        1,
+        WeightResidency::PerImage,
+        input_zero,
+        mid_zero,
+        out_zero,
+    )
+    .into_layer_stats()
+}
+
+/// Builds a [`BatchLayerStats`] analytically for a batch of `n` images —
+/// the same accounting as [`crate::Edea::run_batch`]'s functional schedule
+/// (verified by equality tests) without executing anything.
+///
+/// Engine streaming traffic (ifmap reads, intermediate transfers, psum
+/// accumulation, ofmap writes) scales with `n`; external weight and
+/// offline-parameter fetches — and the register loads they fill — are paid
+/// once per batch under [`WeightResidency::PerBatch`].
+///
+/// # Panics
+///
+/// Panics if `n` is zero or the layer does not map onto the configuration.
+#[must_use]
+pub fn synthetic_batch_layer_stats(
+    shape: &LayerShape,
+    cfg: &EdeaConfig,
+    n: usize,
+    residency: WeightResidency,
+    input_zero: f64,
+    mid_zero: f64,
+    out_zero: f64,
+) -> BatchLayerStats {
+    assert!(n > 0, "batch must be non-empty");
     let t = cfg.tile;
     assert_eq!(shape.d_in % t.td, 0, "d_in must be a multiple of Td");
     assert_eq!(shape.k_out % t.tk, 0, "k_out must be a multiple of Tk");
     let breakdown = crate::timing::layer_cycles(shape, cfg);
     let out = shape.out_spatial();
+    let nb = n as u64;
+    // Weight fetches amortize; everything per-image scales with n.
+    let fetches = match residency {
+        WeightResidency::PerImage => nb,
+        WeightResidency::PerBatch => 1,
+    };
     let passes = (shape.d_in / t.td) as u64;
     let kernel_tiles = (shape.k_out / t.tk) as u64;
     let tr = (t.tn - 1) * shape.stride + shape.kernel;
     let tc = (t.tm - 1) * shape.stride + shape.kernel;
 
     // External traffic (mirrors accelerator.rs):
-    let mut ext_reads = (shape.kernel * shape.kernel * shape.d_in) as u64 // DWC weights
-        + 6 * (shape.d_in + shape.k_out) as u64; // offline parameters
+    let weight_reads = fetches * crate::schedule::layer_weight_fetch_bytes(shape, cfg);
+    let param_reads = fetches * crate::schedule::layer_param_fetch_bytes(shape);
+    let mut ifmap_reads = 0u64;
     let mut ifmap_slice_writes = 0u64;
     for portion in crate::schedule::portions(out, cfg.portion_limit) {
         let (_, _, rows, cols) =
             portion.input_region(shape.stride, shape.kernel, shape.pad(), shape.in_spatial);
         let slice = (rows * cols * t.td) as u64;
-        ext_reads += passes * (slice + (t.td * shape.k_out) as u64);
-        ifmap_slice_writes += passes * slice;
+        ifmap_reads += nb * passes * slice;
+        ifmap_slice_writes += nb * passes * slice;
     }
-    let ext_writes = shape.ofmap_elems();
+    let writes = nb * shape.ofmap_elems();
 
     // On-chip traffic:
-    let dwc_inv = breakdown.dwc_busy;
-    let pwc_inv = breakdown.pwc_busy;
+    let dwc_inv = nb * breakdown.dwc_busy;
+    let pwc_inv = nb * breakdown.pwc_busy;
     let tile_bytes = (t.tn * t.tm * t.td) as u64;
     let psum_word = (t.tk * t.tn * t.tm * 4) as u64;
-    let ifmap_reads = dwc_inv * (tr * tc * t.td) as u64;
-    let dwcw_reads = breakdown.portions * passes * (shape.kernel * shape.kernel * t.td) as u64;
-    let offline_reads = breakdown.portions * passes * 6 * t.td as u64;
+    let ifmap_buf_reads = dwc_inv * (tr * tc * t.td) as u64;
+    // Register loads at initiation follow the residency: resident weights
+    // skip the per-image reload of the weight/offline registers.
+    let dwcw_reads =
+        fetches * breakdown.portions * passes * (shape.kernel * shape.kernel * t.td) as u64;
+    let offline_reads = fetches * breakdown.portions * passes * 6 * t.td as u64;
     let inter_writes = dwc_inv * tile_bytes;
     let inter_reads = pwc_inv * tile_bytes;
     let pwcw_reads = pwc_inv * (t.td * t.tk) as u64;
     // psum: read-modify-write except the first pass; plus the drain read.
-    let psum_reads = pwc_inv.saturating_sub(breakdown.spatial_tiles * kernel_tiles) * psum_word
-        + shape.ofmap_elems() * 4;
+    let psum_reads = pwc_inv.saturating_sub(nb * breakdown.spatial_tiles * kernel_tiles)
+        * psum_word
+        + nb * shape.ofmap_elems() * 4;
     let psum_writes = pwc_inv * psum_word;
-    let onchip_fills = (shape.kernel * shape.kernel * shape.d_in) as u64 // dwc weight fill
-        + 6 * (shape.d_in + shape.k_out) as u64 // offline fill
-        + ifmap_slice_writes
-        + breakdown.portions * passes * (t.td * shape.k_out) as u64; // pwc weight fills
+    let onchip_fills = fetches
+        * ((shape.kernel * shape.kernel * shape.d_in) as u64 // dwc weight fill
+            + 6 * (shape.d_in + shape.k_out) as u64 // offline fill
+            + breakdown.portions * passes * (t.td * shape.k_out) as u64) // pwc weight fills
+        + ifmap_slice_writes;
 
     let est = |slots: u64, z: f64| (slots as f64 * z).round() as u64;
-    LayerStats {
+    BatchLayerStats {
         shape: *shape,
+        batch: n,
+        residency,
         breakdown,
-        cycles: breakdown.total(),
+        cycles: nb * breakdown.total(),
         dwc_activity: EngineActivity {
-            mac_slots: shape.dwc_macs(),
-            zero_act_slots: est(shape.dwc_macs(), input_zero),
+            mac_slots: nb * shape.dwc_macs(),
+            zero_act_slots: est(nb * shape.dwc_macs(), input_zero),
             zero_weight_slots: 0,
         },
         pwc_activity: EngineActivity {
-            mac_slots: shape.pwc_macs(),
-            zero_act_slots: est(shape.pwc_macs(), mid_zero),
+            mac_slots: nb * shape.pwc_macs(),
+            zero_act_slots: est(nb * shape.pwc_macs(), mid_zero),
             zero_weight_slots: 0,
         },
         // Every intermediate element passes the Non-Conv once, every output
         // element once at the drain.
-        nonconv_ops: shape.intermediate_elems() + shape.ofmap_elems(),
+        nonconv_ops: nb * (shape.intermediate_elems() + shape.ofmap_elems()),
         input_zero,
         mid_zero,
         out_zero,
-        external: BufferTraffic {
-            reads: ext_reads,
-            writes: ext_writes,
+        external: ExternalMemory {
+            weight_reads,
+            param_reads,
+            ifmap_reads,
+            writes,
         },
         onchip: BufferTraffic {
-            reads: ifmap_reads + dwcw_reads + offline_reads + inter_reads + pwcw_reads + psum_reads,
+            reads: ifmap_buf_reads
+                + dwcw_reads
+                + offline_reads
+                + inter_reads
+                + pwcw_reads
+                + psum_reads,
             writes: onchip_fills + inter_writes + psum_writes,
         },
         intermediate: BufferTraffic {
@@ -216,6 +432,7 @@ pub fn synthetic_layer_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use edea_nn::workload::mobilenet_v1_cifar10;
 
     #[test]
     fn buffer_traffic_totals() {
@@ -224,5 +441,75 @@ mod tests {
             writes: 4,
         };
         assert_eq!(t.total(), 7);
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_image_stats() {
+        let cfg = EdeaConfig::paper();
+        for l in mobilenet_v1_cifar10() {
+            let single = synthetic_layer_stats(&l, &cfg, 0.3, 0.5, 0.6);
+            for residency in [WeightResidency::PerImage, WeightResidency::PerBatch] {
+                let b = synthetic_batch_layer_stats(&l, &cfg, 1, residency, 0.3, 0.5, 0.6);
+                assert_eq!(b.clone().into_layer_stats(), single, "layer {}", l.index);
+                assert_eq!(b.cycles_per_image(), single.cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn per_image_residency_scales_everything_by_n() {
+        let cfg = EdeaConfig::paper();
+        let l = mobilenet_v1_cifar10()[3];
+        let one =
+            synthetic_batch_layer_stats(&l, &cfg, 1, WeightResidency::PerImage, 0.3, 0.5, 0.6);
+        let four =
+            synthetic_batch_layer_stats(&l, &cfg, 4, WeightResidency::PerImage, 0.3, 0.5, 0.6);
+        assert_eq!(four.cycles, 4 * one.cycles);
+        assert_eq!(four.external.weight_reads, 4 * one.external.weight_reads);
+        assert_eq!(four.external.ifmap_reads, 4 * one.external.ifmap_reads);
+        assert_eq!(four.external.writes, 4 * one.external.writes);
+        assert_eq!(four.onchip.reads, 4 * one.onchip.reads);
+        assert_eq!(four.psum.reads, 4 * one.psum.reads);
+    }
+
+    #[test]
+    fn resident_weights_amortize_only_weight_streams() {
+        let cfg = EdeaConfig::paper();
+        let l = mobilenet_v1_cifar10()[6];
+        let one =
+            synthetic_batch_layer_stats(&l, &cfg, 1, WeightResidency::PerBatch, 0.3, 0.5, 0.6);
+        let eight =
+            synthetic_batch_layer_stats(&l, &cfg, 8, WeightResidency::PerBatch, 0.3, 0.5, 0.6);
+        // Amortized: weight and parameter fetches identical to one image.
+        assert_eq!(eight.external.weight_reads, one.external.weight_reads);
+        assert_eq!(eight.external.param_reads, one.external.param_reads);
+        // Per-image streams still scale.
+        assert_eq!(eight.external.ifmap_reads, 8 * one.external.ifmap_reads);
+        assert_eq!(eight.external.writes, 8 * one.external.writes);
+        assert_eq!(eight.cycles, 8 * one.cycles);
+        // Per-image weight bytes strictly decrease.
+        assert!(eight.weight_bytes_per_image() < one.weight_bytes_per_image());
+    }
+
+    #[test]
+    fn network_weight_totals_sum_layers() {
+        let cfg = EdeaConfig::paper();
+        let layers: Vec<BatchLayerStats> = mobilenet_v1_cifar10()
+            .iter()
+            .map(|l| {
+                synthetic_batch_layer_stats(l, &cfg, 4, WeightResidency::PerBatch, 0.3, 0.5, 0.6)
+            })
+            .collect();
+        let net = BatchNetworkStats {
+            batch: 4,
+            layers: layers.clone(),
+        };
+        let want: u64 = layers
+            .iter()
+            .map(|l| l.external.weight_reads + l.external.param_reads)
+            .sum();
+        assert_eq!(net.external_weight_total(), want);
+        assert!((net.weight_bytes_per_image() - want as f64 / 4.0).abs() < 1e-9);
+        assert_eq!(net.cycles_per_image() * 4, net.total_cycles());
     }
 }

@@ -6,14 +6,21 @@
 //! under one roof:
 //!
 //! * [`fixed`] — fixed-point arithmetic (Q8.16 Non-Conv constants).
-//! * [`tensor`] — tensors, int8 quantization, reference convolutions.
+//! * [`tensor`] — tensors, batches, int8 quantization, reference
+//!   convolutions.
 //! * [`nn`] — MobileNetV1-CIFAR10, LSQ-style quantization, BN folding,
-//!   sparsity shaping, golden int8 executor.
+//!   sparsity shaping, golden int8 executor (per image and per batch).
 //! * [`dse`] — the design-space exploration of the paper's Sec. II.
 //! * [`core`] — the accelerator itself: engines, Non-Conv unit, buffers,
-//!   cycle-accurate pipeline, power/area models, scaling, baselines.
+//!   cycle-accurate pipeline, power/area models, scaling, baselines, and
+//!   batched multi-image inference with weight residency
+//!   ([`Edea::run_batch`]).
 //!
-//! The most common entry points are re-exported at the top level.
+//! The most common entry points are re-exported at the top level. See
+//! ARCHITECTURE.md for the crate/module → paper-section map. The workspace
+//! builds offline: `rand`, `proptest` and `criterion` are vendored
+//! API-subset stand-ins whose deterministic streams the golden fixtures
+//! depend on (see `vendor/*/src/lib.rs` for each one's caveats).
 //!
 //! # Example
 //!

@@ -10,7 +10,7 @@
 //! accumulator ranges) that drive the power model of paper Fig. 11.
 
 use edea_tensor::conv::{depthwise_conv2d_i8, pointwise_conv2d_i8};
-use edea_tensor::Tensor3;
+use edea_tensor::{Batch, Tensor3};
 
 use crate::quantize::{QuantizedDscLayer, QuantizedDscNetwork};
 
@@ -120,6 +120,80 @@ pub fn run_network(net: &QuantizedDscNetwork, input: &Tensor3<i8>) -> NetworkExe
     NetworkExecution {
         activities,
         output: x,
+    }
+}
+
+/// Result of executing the quantized DSC stack over a whole batch.
+#[derive(Debug, Clone)]
+pub struct BatchExecution {
+    /// Per-image executions, in batch order.
+    pub per_image: Vec<NetworkExecution>,
+}
+
+impl BatchExecution {
+    /// Batch size `N`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_image.len()
+    }
+
+    /// Whether the batch was empty (never true for a [`Batch`]-driven run).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_image.is_empty()
+    }
+
+    /// The final feature maps as a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was empty.
+    #[must_use]
+    pub fn outputs(&self) -> Batch<i8> {
+        Batch::new(self.per_image.iter().map(|e| e.output.clone()).collect())
+            .expect("uniform outputs from a uniform batch")
+    }
+
+    /// Mean activity over the batch for layer `layer`: the per-image zero
+    /// fractions averaged, the accumulator ranges widened to cover every
+    /// image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or `layer` is out of range.
+    #[must_use]
+    pub fn mean_activity(&self, layer: usize) -> LayerActivity {
+        assert!(!self.per_image.is_empty(), "empty batch");
+        let n = self.per_image.len() as f64;
+        let mut acc = self.per_image[0].activities[layer];
+        for e in &self.per_image[1..] {
+            let a = e.activities[layer];
+            acc.input_zero += a.input_zero;
+            acc.dwc_out_zero += a.dwc_out_zero;
+            acc.pwc_out_zero += a.pwc_out_zero;
+            acc.dwc_acc_range.0 = acc.dwc_acc_range.0.min(a.dwc_acc_range.0);
+            acc.dwc_acc_range.1 = acc.dwc_acc_range.1.max(a.dwc_acc_range.1);
+            acc.pwc_acc_range.0 = acc.pwc_acc_range.0.min(a.pwc_acc_range.0);
+            acc.pwc_acc_range.1 = acc.pwc_acc_range.1.max(a.pwc_acc_range.1);
+        }
+        acc.input_zero /= n;
+        acc.dwc_out_zero /= n;
+        acc.pwc_out_zero /= n;
+        acc
+    }
+}
+
+/// Executes all DSC layers over a batch of quantized layer-0 inputs.
+///
+/// The reference semantics of batched inference: each image runs through
+/// [`run_network`] independently, so batching can never change a single
+/// output bit. The accelerator's batched schedule (`edea-core`) is verified
+/// against this function; what batching changes there is only *when weight
+/// tiles are fetched*, never what is computed.
+#[must_use]
+pub fn run_batch(net: &QuantizedDscNetwork, inputs: &Batch<i8>) -> BatchExecution {
+    BatchExecution {
+        per_image: inputs.iter().map(|img| run_network(net, img)).collect(),
     }
 }
 
@@ -315,8 +389,9 @@ mod tests {
     fn classification_agreement_is_well_defined_and_deterministic() {
         // On the *synthetic random* network, 13 layers of trajectory
         // divergence make deep-feature argmax agreement near chance (see
-        // DESIGN.md — trained networks are well-conditioned, random ones are
-        // chaotic); the metric itself must be in range and reproducible.
+        // ARCHITECTURE.md — trained networks are well-conditioned, random
+        // ones are chaotic); the metric itself must be in range and
+        // reproducible.
         let (model, qnet, calib) = setup();
         let a = classification_agreement(&model, &qnet, &calib);
         assert!((0.0..=1.0).contains(&a), "{a}");
@@ -328,6 +403,44 @@ mod tests {
     fn classification_agreement_rejects_empty() {
         let (model, qnet, _) = setup();
         let _ = classification_agreement(&model, &qnet, &[]);
+    }
+
+    #[test]
+    fn batched_execution_is_per_image_identical() {
+        // The batched reference path must be a pure per-image map: running
+        // N seeded CIFAR-10 images as a batch gives bit-identical outputs
+        // to running each image alone.
+        let (model, qnet, calib) = setup();
+        let stems = Batch::new(calib.iter().map(|img| model.forward_stem(img)).collect()).unwrap();
+        let inputs = qnet.quantize_input_batch(&stems);
+        let batch = run_batch(&qnet, &inputs);
+        assert_eq!(batch.len(), calib.len());
+        assert!(!batch.is_empty());
+        for (i, img) in calib.iter().enumerate() {
+            let single = run_network(&qnet, &qnet.quantize_input(&model.forward_stem(img)));
+            assert_eq!(batch.per_image[i].output, single.output, "image {i}");
+            assert_eq!(batch.outputs()[i], single.output, "image {i}");
+        }
+    }
+
+    #[test]
+    fn mean_activity_averages_zero_fractions() {
+        let (model, qnet, calib) = setup();
+        let stems = Batch::new(calib.iter().map(|img| model.forward_stem(img)).collect()).unwrap();
+        let batch = run_batch(&qnet, &qnet.quantize_input_batch(&stems));
+        let mean = batch.mean_activity(0);
+        let by_hand: f64 = batch
+            .per_image
+            .iter()
+            .map(|e| e.activities[0].dwc_out_zero)
+            .sum::<f64>()
+            / batch.len() as f64;
+        assert!((mean.dwc_out_zero - by_hand).abs() < 1e-12);
+        // The widened range covers every per-image range.
+        for e in &batch.per_image {
+            assert!(mean.dwc_acc_range.0 <= e.activities[0].dwc_acc_range.0);
+            assert!(mean.pwc_acc_range.1 >= e.activities[0].pwc_acc_range.1);
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   model plus a calibration batch.
 //! * [`executor`] — the bit-exact int8 golden executor the accelerator
 //!   simulator is verified against, with per-layer activity statistics.
+//!   [`executor::run_batch`] defines the reference semantics of batched
+//!   inference: a pure per-image map, so the accelerator's weight-residency
+//!   batching can never change an output bit.
 //!
 //! # Example
 //!

@@ -500,6 +500,17 @@ impl QuantizedDscNetwork {
     pub fn quantize_input(&self, stem_act: &Tensor3<f32>) -> Tensor3<i8> {
         stem_act.map(|&v| self.input_params.quantize(v))
     }
+
+    /// Quantizes a batch of float stem activations into a layer-0 input
+    /// batch. Each image is quantized exactly as [`Self::quantize_input`]
+    /// would — batching never changes values.
+    #[must_use]
+    pub fn quantize_input_batch(
+        &self,
+        stem_acts: &edea_tensor::Batch<f32>,
+    ) -> edea_tensor::Batch<i8> {
+        stem_acts.map_images(|img| self.quantize_input(img))
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //!
 //! * [`Tensor3`] — a `C×H×W` feature-map container (one image), and
 //!   [`Tensor4`] — a `K×C×H×W` weight container.
+//! * [`Batch`] — a non-empty, uniformly-shaped batch of feature maps, the
+//!   unit of multi-image inference (weight tiles fetched once per batch).
 //! * [`QuantParams`]/[`QTensor3`]/[`QTensor4`] — symmetric int8 quantization,
 //!   matching the paper's 8-bit LSQ deployment precision.
 //! * [`conv`] — *reference* floating-point and integer convolutions
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 pub mod conv;
 mod error;
 pub mod ops;
@@ -37,6 +40,7 @@ pub mod quant;
 pub mod rng;
 mod tensor;
 
+pub use batch::Batch;
 pub use error::TensorError;
 pub use quant::{QTensor3, QTensor4, QuantParams};
 pub use tensor::{Tensor3, Tensor4};

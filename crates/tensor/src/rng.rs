@@ -1,8 +1,8 @@
 //! Deterministic synthetic data generation.
 //!
 //! The paper trains MobileNetV1 on CIFAR-10 in PyTorch; neither the trained
-//! checkpoint nor the dataset is part of this reproduction (see DESIGN.md
-//! substitution table). What the hardware experiments actually consume is
+//! checkpoint nor the dataset is part of this reproduction (see
+//! ARCHITECTURE.md's substitution notes). What the experiments consume is
 //! (a) weight tensors with realistic magnitude distributions and (b) input
 //! images with natural-image-like local correlation. This module generates
 //! both deterministically from explicit seeds so every experiment is exactly

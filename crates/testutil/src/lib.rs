@@ -9,7 +9,9 @@
 //!
 //! Everything here is deterministic: the same `(width, seed)` pair always
 //! yields bit-identical networks, inputs and accelerator traces, on every
-//! platform. The determinism guard in `tests/determinism.rs` enforces this.
+//! platform — and the same holds for the batched flow
+//! ([`batch_inputs`] / [`deploy_and_run_batch`]). The determinism guard in
+//! `tests/determinism.rs` enforces both.
 //!
 //! # Example
 //!
@@ -24,12 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use edea_core::accelerator::{Edea, NetworkRun};
+use edea_core::accelerator::{BatchRun, Edea, NetworkRun};
 use edea_core::config::EdeaConfig;
 use edea_nn::mobilenet::MobileNetV1;
 use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
 use edea_nn::sparsity::SparsityProfile;
-use edea_tensor::{rng, Tensor3};
+use edea_tensor::{rng, Batch, Tensor3};
 
 /// A fully deployed network ready to run on the accelerator: the float
 /// model, its quantization, and the quantized stem activation for the first
@@ -92,6 +94,44 @@ pub fn deploy_and_run(width: f64, seed: u64) -> (Deployment, NetworkRun) {
         .run_network(&d.qnet, &d.input)
         .expect("network runs");
     (d, run)
+}
+
+/// Builds a quantized layer-0 input batch of `n` deterministic images for
+/// an existing deployment: fresh synthetic images seeded from `seed`, run
+/// through the float stem and quantized exactly as [`deploy`]'s single
+/// input is.
+///
+/// # Panics
+///
+/// Panics if `n` is zero (a [`Batch`] is non-empty by construction).
+#[must_use]
+pub fn batch_inputs(d: &Deployment, n: usize, seed: u64) -> Batch<i8> {
+    let images = rng::synthetic_batch(n, 3, 32, 32, seed);
+    Batch::new(
+        images
+            .iter()
+            .map(|img| d.qnet.quantize_input(&d.model.forward_stem(img)))
+            .collect(),
+    )
+    .expect("stem outputs are uniformly shaped")
+}
+
+/// Deploys at `(width, seed)` and runs a batch of `n` images (seeded from
+/// `seed + 2`, continuing [`deploy`]'s stream layout) through the batched
+/// accelerator schedule on the paper configuration.
+///
+/// # Panics
+///
+/// Panics if the run fails; the paper configuration accepts every layer of
+/// the synthetic MobileNetV1 at the widths used in tests.
+#[must_use]
+pub fn deploy_and_run_batch(width: f64, seed: u64, n: usize) -> (Deployment, Batch<i8>, BatchRun) {
+    let d = deploy(width, seed);
+    let inputs = batch_inputs(&d, n, seed + 2);
+    let run = paper_edea()
+        .run_batch(&d.qnet, &inputs)
+        .expect("batched network runs");
+    (d, inputs, run)
 }
 
 /// Asserts two floats are within an absolute tolerance.

@@ -4,7 +4,7 @@
 //! this repo depends on that, and future batching/async/caching refactors
 //! must not break it.
 
-use edea_testutil::deploy_and_run;
+use edea_testutil::{deploy_and_run, deploy_and_run_batch};
 
 #[test]
 fn deploy_flow_is_bit_identical_across_runs() {
@@ -28,6 +28,22 @@ fn deploy_flow_is_bit_identical_across_runs() {
     assert_eq!(ra.stats.layers.len(), rb.stats.layers.len());
     for (sa, sb) in ra.stats.layers.iter().zip(&rb.stats.layers) {
         assert_eq!(sa, sb, "layer {} stats diverged", sa.shape.index);
+    }
+}
+
+#[test]
+fn batched_deploy_flow_is_bit_identical_across_runs() {
+    // The batched schedule must be as deterministic as the per-image one:
+    // identical inputs, outputs and whole-batch statistics (including the
+    // amortized external traffic split) on every run.
+    let (_, ia, ra) = deploy_and_run_batch(0.25, 2025, 3);
+    let (_, ib, rb) = deploy_and_run_batch(0.25, 2025, 3);
+    assert_eq!(ia, ib, "batched inputs diverged");
+    assert_eq!(ra.outputs, rb.outputs, "batched outputs diverged");
+    assert_eq!(ra.stats.batch, rb.stats.batch);
+    assert_eq!(ra.stats.layers.len(), rb.stats.layers.len());
+    for (sa, sb) in ra.stats.layers.iter().zip(&rb.stats.layers) {
+        assert_eq!(sa, sb, "layer {} batch stats diverged", sa.shape.index);
     }
 }
 

@@ -38,8 +38,15 @@ fn table2_equations_match_simulator_counters() {
         let i = s.shape.index;
         // Intermediate (PWC input) re-reads: N·M·D·K/Tk.
         assert_eq!(model.pwc_act, s.intermediate.reads, "layer {i} pwc act");
-        // DWC weights cross the external interface exactly once: H·W·D.
-        assert!(s.external.reads >= model.dwc_weight, "layer {i} dwc wgt");
+        // External weight traffic is exactly the DWC kernels (fetched once,
+        // H·W·D) plus the PWC slice re-fetched per portion × channel pass.
+        let pwc_slice_ext =
+            s.breakdown.portions * s.breakdown.channel_passes * (cfg.td * s.shape.k_out) as u64;
+        assert_eq!(
+            s.external.weight_reads,
+            model.dwc_weight + pwc_slice_ext,
+            "layer {i} weight stream"
+        );
         if s.breakdown.portions == 1 {
             // Single-portion layers: PWC weights also fetched exactly once
             // per channel slice → D·K external bytes.

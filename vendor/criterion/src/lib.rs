@@ -10,8 +10,15 @@
 //!
 //! Methodology is deliberately simple: per benchmark it auto-calibrates an
 //! iteration count targeting ~20 ms per sample, collects `sample_size`
-//! samples, and prints the median, min and max ns/iteration. No HTML
-//! reports, no statistical regression analysis.
+//! samples, and prints the median, min and max ns/iteration. **Caveat:**
+//! no HTML reports, no statistical regression analysis, no comparison
+//! against saved baselines — numbers from this harness are for relative,
+//! same-machine comparisons only.
+//!
+//! ```
+//! // The API surface the benches compile against:
+//! assert_eq!(criterion::black_box(2 + 2), 4);
+//! ```
 
 #![forbid(unsafe_code)]
 

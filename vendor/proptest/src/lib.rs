@@ -7,15 +7,28 @@
 //!
 //! * the [`proptest!`] macro (including `#![proptest_config(..)]`),
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
-//! * range strategies over primitives, [`any`], tuple strategies,
-//!   [`collection::vec`](strategy::collection::vec) and
+//! * range strategies over primitives, [`any`](strategy::any), tuple
+//!   strategies, [`collection::vec()`](strategy::collection::vec) and
 //!   [`Strategy::prop_map`](strategy::Strategy::prop_map),
 //! * [`ProptestConfig::with_cases`](test_runner::ProptestConfig::with_cases).
 //!
 //! Differences from upstream: no shrinking (a failing case reports its exact
 //! inputs instead), and the case stream is seeded deterministically from the
 //! test's module path + name so every run and every machine sees the same
-//! cases.
+//! cases — renaming a test module therefore reshuffles its generated inputs.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(8))]
+//!     // In a test module this would carry `#[test]`.
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -209,7 +222,7 @@ pub mod strategy {
         use rand::Rng;
         use std::ops::{Range, RangeInclusive};
 
-        /// Length specification for [`vec`]: an exact length or a range.
+        /// Length specification for [`vec()`]: an exact length or a range.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,
@@ -241,7 +254,7 @@ pub mod strategy {
             }
         }
 
-        /// Strategy for vectors; see [`vec`].
+        /// Strategy for vectors; see [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -11,6 +11,19 @@
 //!
 //! Streams are stable across platforms and releases of this workspace: the
 //! golden tests depend on that, so the generator here must never change.
+//! **Caveat:** this is *not* the upstream `rand` crate — identical seeds
+//! produce different streams than crates.io `rand`, and only the API subset
+//! above exists.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! let x: u32 = a.gen_range(0..1000);
+//! assert_eq!(x, b.gen_range(0..1000)); // same seed, same stream
+//! ```
 
 #![forbid(unsafe_code)]
 
