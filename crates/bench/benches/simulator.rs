@@ -42,7 +42,7 @@ fn bench_functional(c: &mut Criterion) {
         QuantStrategy::paper(),
     )
     .expect("calibration");
-    let edea = Edea::new(EdeaConfig::paper());
+    let edea = Edea::new(EdeaConfig::paper()).unwrap();
     let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
 
     let mut g = c.benchmark_group("functional_sim");

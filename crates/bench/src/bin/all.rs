@@ -21,6 +21,7 @@ fn main() {
         e::scale_study(),
         e::portion_study(),
         e::batch_sweep(),
+        e::serve_sweep(),
     ] {
         println!("{section}");
     }

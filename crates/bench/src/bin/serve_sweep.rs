@@ -1,0 +1,7 @@
+//! Extension: the serving layer under offered load — batch formation and
+//! weight-traffic amortization from Poisson arrival statistics.
+//! Run with: `cargo run -p edea-bench --bin serve_sweep --release`
+
+fn main() {
+    println!("{}", edea_bench::experiments::serve_sweep());
+}

@@ -641,6 +641,77 @@ pub fn batch_sweep() -> String {
     )
 }
 
+/// Extension study: the serving layer under offered load.
+///
+/// Drives seeded Poisson request streams through the batch-forming
+/// [`Scheduler`](edea::serve::Scheduler) on the analytic backend (same
+/// service/traffic accounting as the simulator, equality-tested in the
+/// serving suite) and sweeps the offered load from well under to well over
+/// capacity. As queues deepen, the scheduler forms larger batches and the
+/// per-image external weight traffic falls toward `1/max_batch` of the
+/// single-image figure — the batch-residency amortization of `batch_sweep`
+/// emerging *dynamically* from arrival statistics instead of a fixed `N`.
+/// Latency buys the batching: the p99 climbs with load while throughput
+/// approaches the initiation-bound service rate.
+#[must_use]
+pub fn serve_sweep() -> String {
+    use edea::serve::{arrivals, AnalyticBackend, Backend, Policy, Request, Scheduler};
+    use edea::tensor::Tensor3;
+
+    let c = cfg();
+    let backend = AnalyticBackend::new(&mobilenet_v1_cifar10(), &c).expect("paper workload maps");
+    let service = backend.cost().per_image_cycles();
+    let single_weights = backend.cost().weight_bytes();
+    let n = 64;
+    let policy = Policy::new(8, service).expect("policy");
+    let scheduler = Scheduler::new(policy);
+    let (d, h, w) = backend.input_shape();
+    let slo = 4 * service;
+
+    let mut t = Table::new(vec![
+        "load x",
+        "batches",
+        "mean N",
+        "wgt B/img",
+        "p50 lat",
+        "p99 lat",
+        "img/s",
+        "SLO %",
+    ]);
+    for (i, load) in [0.25, 0.5, 1.0, 2.0, 4.0].iter().enumerate() {
+        let ticks = arrivals::poisson(n, service as f64 / load, 7000 + i as u64);
+        let inputs = (0..n).map(|_| Tensor3::<i8>::zeros(d, h, w)).collect();
+        let report = scheduler
+            .serve(&backend, Request::stream(&ticks, inputs).expect("stream"))
+            .expect("serve");
+        t.row(vec![
+            fmt(*load, 2),
+            report.batches.len().to_string(),
+            fmt(report.mean_batch_size(), 2),
+            fmt(report.weight_bytes_per_image(), 1),
+            report.latency_percentile(50.0).to_string(),
+            report.latency_percentile(99.0).to_string(),
+            fmt(report.throughput_images_per_second(&c), 0),
+            fmt(100.0 * report.slo_attainment(slo), 1),
+        ]);
+    }
+    format!(
+        "== Extension: serving under offered load (scheduler over run_batch) ==\n\
+         {n} Poisson requests per load point; policy max_batch = {}, \
+         max_wait = {service} ticks; SLO = {slo} ticks; \
+         service = {service} cycles/img, {single_weights} weight B/img unbatched.\n{}\n\
+         under light load batches stay small and weight B/img sits near the\n\
+         unbatched figure; as load crosses capacity queues deepen, batches fill\n\
+         toward max_batch and weight B/img falls toward 1/{} of it — the\n\
+         run_batch amortization formed dynamically by arrival statistics.\n\
+         Outputs stay bit-identical to the per-image path (asserted against\n\
+         run_network and the golden executor in tests/serving.rs).\n",
+        policy.max_batch,
+        t.render(),
+        policy.max_batch,
+    )
+}
+
 /// Heavyweight verification: runs the real width-1.0 functional simulation
 /// and cross-checks analytic timing, golden-executor equivalence, and the
 /// sparsity anchors. Takes a few seconds in release mode.
@@ -661,7 +732,7 @@ pub fn verify_sim() -> String {
         QuantStrategy::paper(),
     )
     .expect("calibration");
-    let edea = Edea::new(cfg());
+    let edea = Edea::new(cfg()).unwrap();
     let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
     let run = edea.run_network(&qnet, &input).expect("run");
     let golden = edea::nn::executor::run_network(&qnet, &input);
@@ -795,5 +866,37 @@ mod tests {
         for n in [1, 2, 4, 8, 16] {
             assert!(s.contains(&format!("This Work (N={n})")), "missing N={n}");
         }
+    }
+
+    #[test]
+    fn serve_sweep_amortizes_under_load() {
+        let s = serve_sweep();
+        // Parse the table body: load → (mean batch size, weight B/img).
+        let mut rows = std::collections::BTreeMap::new();
+        for line in s.lines() {
+            let cols: Vec<&str> = line.split('|').map(str::trim).collect();
+            if cols.len() == 8 {
+                if let (Ok(load), Ok(mean_n), Ok(wgt)) = (
+                    cols[0].parse::<f64>(),
+                    cols[2].parse::<f64>(),
+                    cols[3].parse::<f64>(),
+                ) {
+                    rows.insert((load * 100.0).round() as u64, (mean_n, wgt));
+                }
+            }
+        }
+        let loads: Vec<u64> = rows.keys().copied().collect();
+        assert_eq!(loads, vec![25, 50, 100, 200, 400], "load points in:\n{s}");
+        // Over-capacity load must actually form batches, and weight bytes
+        // per image must fall from the light-load figure as they do.
+        let (light_n, light_wgt) = rows[&25];
+        let (heavy_n, heavy_wgt) = rows[&400];
+        assert!(light_n >= 1.0);
+        assert!(heavy_n > 2.0, "4x load should batch: mean N {heavy_n}");
+        assert!(
+            heavy_wgt < light_wgt / 2.0,
+            "weight B/img must fall with load: {heavy_wgt} vs {light_wgt}"
+        );
+        assert!(s.contains("max_batch = 8"));
     }
 }

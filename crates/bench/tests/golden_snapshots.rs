@@ -70,6 +70,7 @@ golden!(
     scale_study,
     portion_study,
     batch_sweep,
+    serve_sweep,
 );
 
 #[test]

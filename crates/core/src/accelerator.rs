@@ -78,23 +78,12 @@ pub struct Edea {
 }
 
 impl Edea {
-    /// Builds an accelerator.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg` is invalid; use [`Edea::try_new`] for a fallible
-    /// constructor.
-    #[must_use]
-    pub fn new(cfg: EdeaConfig) -> Self {
-        Self::try_new(cfg).expect("invalid EDEA configuration")
-    }
-
-    /// Fallible constructor.
+    /// Builds an accelerator, validating the configuration.
     ///
     /// # Errors
     ///
     /// [`CoreError::InvalidConfig`] from [`EdeaConfig::validate`].
-    pub fn try_new(cfg: EdeaConfig) -> Result<Self, CoreError> {
+    pub fn new(cfg: EdeaConfig) -> Result<Self, CoreError> {
         cfg.validate()?;
         let dwc = DwcEngine::new(&cfg);
         let pwc = PwcEngine::new(&cfg);
@@ -115,7 +104,6 @@ impl Edea {
 
     fn check_layer(&self, layer: &QuantizedDscLayer, input: &Tensor3<i8>) -> Result<(), CoreError> {
         let s = layer.shape();
-        let t = &self.cfg.tile;
         if input.shape() != (s.d_in, s.in_spatial, s.in_spatial) {
             return Err(CoreError::UnsupportedShape {
                 detail: format!(
@@ -128,31 +116,7 @@ impl Edea {
                 ),
             });
         }
-        if s.d_in % t.td != 0 {
-            return Err(CoreError::UnsupportedShape {
-                detail: format!("d_in {} not a multiple of Td {}", s.d_in, t.td),
-            });
-        }
-        if s.k_out % t.tk != 0 {
-            return Err(CoreError::UnsupportedShape {
-                detail: format!("k_out {} not a multiple of Tk {}", s.k_out, t.tk),
-            });
-        }
-        if s.out_spatial() % t.tn != 0 {
-            return Err(CoreError::UnsupportedShape {
-                detail: format!(
-                    "output size {} not a multiple of Tn {}",
-                    s.out_spatial(),
-                    t.tn
-                ),
-            });
-        }
-        if s.kernel != t.kernel {
-            return Err(CoreError::UnsupportedShape {
-                detail: format!("kernel {} != engine kernel {}", s.kernel, t.kernel),
-            });
-        }
-        Ok(())
+        crate::schedule::check_layer_geometry(&s, &self.cfg)
     }
 
     /// Runs one quantized DSC layer.
@@ -530,7 +494,7 @@ mod tests {
     #[test]
     fn layer_is_bit_exact_with_golden_executor() {
         let (_, qnet, input) = setup();
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let run = edea.run_layer(&qnet.layers()[0], &input).unwrap();
         let golden = executor::run_layer(&qnet.layers()[0], &input);
         assert_eq!(run.pwc_input, golden.pwc_input, "intermediate map differs");
@@ -540,7 +504,7 @@ mod tests {
     #[test]
     fn network_is_bit_exact_with_golden_executor() {
         let (_, qnet, input) = setup();
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let run = edea.run_network(&qnet, &input).unwrap();
         let golden = executor::run_network(&qnet, &input);
         assert_eq!(run.output, golden.output);
@@ -554,7 +518,7 @@ mod tests {
     #[test]
     fn cycle_counts_match_analytic_model() {
         let (_, qnet, input) = setup();
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let run = edea.run_network(&qnet, &input).unwrap();
         for stats in &run.stats.layers {
             let analytic = timing::layer_cycles(&stats.shape, edea.config());
@@ -570,7 +534,7 @@ mod tests {
     #[test]
     fn mac_counts_match_workload() {
         let (_, qnet, input) = setup();
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let run = edea.run_network(&qnet, &input).unwrap();
         for stats in &run.stats.layers {
             assert_eq!(stats.dwc_activity.mac_slots, stats.shape.dwc_macs());
@@ -584,7 +548,7 @@ mod tests {
         // intermediate map size × channel passes … and none of it appears
         // as external traffic beyond input/weights/output.
         let (_, qnet, input) = setup();
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let l0 = &qnet.layers()[0];
         let run = edea.run_layer(l0, &input).unwrap();
         let s = l0.shape();
@@ -602,7 +566,7 @@ mod tests {
     #[test]
     fn rejects_mismatched_input() {
         let (_, qnet, _) = setup();
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let bad = Tensor3::<i8>::zeros(3, 32, 32);
         assert!(matches!(
             edea.run_layer(&qnet.layers()[0], &bad),
@@ -615,7 +579,7 @@ mod tests {
         // The analytic stats constructor must reproduce the simulator's
         // accounting exactly (cycles, MAC slots, every traffic category).
         let (_, qnet, input) = setup();
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let run = edea.run_network(&qnet, &input).unwrap();
         for stats in &run.stats.layers {
             let synth = crate::stats::synthetic_layer_stats(
@@ -675,7 +639,7 @@ mod tests {
     #[test]
     fn batch_outputs_are_bit_identical_to_per_image_runs() {
         let (qnet, inputs) = setup_batch(3);
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let batch = edea.run_batch(&qnet, &inputs).unwrap();
         for (i, input) in inputs.iter().enumerate() {
             let single = edea.run_network(&qnet, input).unwrap();
@@ -688,7 +652,7 @@ mod tests {
     #[test]
     fn batch_of_one_matches_unbatched_stats_exactly() {
         let (qnet, inputs) = setup_batch(1);
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let batch = edea.run_batch(&qnet, &inputs).unwrap();
         let single = edea.run_network(&qnet, &inputs[0]).unwrap();
         assert_eq!(batch.outputs[0], single.output);
@@ -702,7 +666,7 @@ mod tests {
         // The whole point: a batch of N fetches each external weight byte
         // once — the same count as a single image, not N×.
         let (qnet, inputs) = setup_batch(4);
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let batch = edea.run_batch(&qnet, &inputs).unwrap();
         let single = edea.run_network(&qnet, &inputs[0]).unwrap();
         for (b, s) in batch.stats.layers.iter().zip(&single.stats.layers) {
@@ -726,7 +690,7 @@ mod tests {
     #[test]
     fn synthetic_batch_stats_match_batched_simulator() {
         let (qnet, inputs) = setup_batch(2);
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let batch = edea.run_batch(&qnet, &inputs).unwrap();
         for stats in &batch.stats.layers {
             let synth = crate::stats::synthetic_batch_layer_stats(
@@ -768,7 +732,7 @@ mod tests {
         let mut cfg = EdeaConfig::paper();
         // Layer 0 at width 0.25: one portion's psums are 8×8×16×4 bytes.
         cfg.psum_buf_bytes = 8 * 8 * 16 * 4 - 4; // one word short per bank
-        let edea = Edea::new(cfg);
+        let edea = Edea::new(cfg).unwrap();
         let err = edea
             .run_layer_batch(&qnet.layers()[0], inputs.images())
             .unwrap_err();
@@ -778,7 +742,7 @@ mod tests {
     #[test]
     fn empty_batch_is_rejected() {
         let (qnet, _) = setup_batch(1);
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         assert!(matches!(
             edea.run_layer_batch(&qnet.layers()[0], &[]),
             Err(CoreError::UnsupportedShape { .. })
@@ -790,7 +754,7 @@ mod tests {
         // "100% PE utilization": every DWC invocation uses all 288 slots,
         // every PWC invocation all 512.
         let (_, qnet, input) = setup();
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let run = edea.run_layer(&qnet.layers()[0], &input).unwrap();
         let b = &run.stats.breakdown;
         assert_eq!(run.stats.dwc_activity.mac_slots, b.dwc_busy * 288);

@@ -27,6 +27,12 @@ pub enum CoreError {
         /// Human-readable description.
         detail: String,
     },
+    /// A serving request is malformed (wrong input shape, duplicate id,
+    /// mismatched stream lengths).
+    InvalidRequest {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +48,7 @@ impl fmt::Display for CoreError {
                 "buffer {buffer} overflow: {required} bytes required, {capacity} available"
             ),
             CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            CoreError::InvalidRequest { detail } => write!(f, "invalid request: {detail}"),
         }
     }
 }

@@ -33,6 +33,12 @@
 //!   state-of-the-art comparison (Table III).
 //! * [`baseline`] — serial-dual and unified round-trip baselines for the
 //!   ablation study.
+//! * [`serve`] — the serving layer: a [`Backend`](serve::Backend) trait
+//!   over the simulator / golden-reference / analytic execution paths and
+//!   a deterministic batch-forming [`Scheduler`](serve::Scheduler)
+//!   (max-batch + max-wait policy, simulated clock) that drains a request
+//!   queue into [`Edea::run_batch`] and reports per-request latency and
+//!   aggregate throughput/SLO statistics.
 //!
 //! ## Quickstart
 //!
@@ -49,7 +55,7 @@
 //! let calib = rng::synthetic_batch(2, 3, 32, 32, 9);
 //! let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
 //!     &mut model, &calib, &SparsityProfile::paper(), QuantStrategy::paper()).unwrap();
-//! let edea = Edea::new(EdeaConfig::paper());
+//! let edea = Edea::new(EdeaConfig::paper()).unwrap();
 //! let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
 //! let run = edea.run_layer(&qnet.layers()[0], &input).unwrap();
 //! assert_eq!(run.stats.cycles, edea_core::timing::layer_cycles(
@@ -75,6 +81,7 @@ pub mod pipeline;
 pub mod power;
 pub mod scaling;
 pub mod schedule;
+pub mod serve;
 pub mod stats;
 pub mod timing;
 pub mod trace;

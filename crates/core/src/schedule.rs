@@ -40,7 +40,56 @@
 //! [`crate::buffer::BufferSet::for_batch`]).
 
 use crate::config::EdeaConfig;
+use crate::CoreError;
 use edea_nn::workload::LayerShape;
+
+/// Checks that one layer shape maps onto the engine geometry: channels a
+/// multiple of `Td`, kernels of `Tk`, output size of `Tn`, and the DWC
+/// kernel matching the engine's. The single source of this rule — the
+/// accelerator's per-layer check and the serving layer's network
+/// validation both delegate here.
+///
+/// # Errors
+///
+/// [`CoreError::UnsupportedShape`] naming the violated constraint.
+pub fn check_layer_geometry(s: &LayerShape, cfg: &EdeaConfig) -> Result<(), CoreError> {
+    let t = &cfg.tile;
+    if s.d_in % t.td != 0 {
+        return Err(CoreError::UnsupportedShape {
+            detail: format!(
+                "layer {}: d_in {} not a multiple of Td {}",
+                s.index, s.d_in, t.td
+            ),
+        });
+    }
+    if s.k_out % t.tk != 0 {
+        return Err(CoreError::UnsupportedShape {
+            detail: format!(
+                "layer {}: k_out {} not a multiple of Tk {}",
+                s.index, s.k_out, t.tk
+            ),
+        });
+    }
+    if s.out_spatial() % t.tn != 0 {
+        return Err(CoreError::UnsupportedShape {
+            detail: format!(
+                "layer {}: output size {} not a multiple of Tn {}",
+                s.index,
+                s.out_spatial(),
+                t.tn
+            ),
+        });
+    }
+    if s.kernel != t.kernel {
+        return Err(CoreError::UnsupportedShape {
+            detail: format!(
+                "layer {}: kernel {} != engine kernel {}",
+                s.index, s.kernel, t.kernel
+            ),
+        });
+    }
+    Ok(())
+}
 
 /// When external weight/parameter fetches are (re)paid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

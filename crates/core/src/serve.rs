@@ -1,0 +1,1131 @@
+//! The serving layer: long-lived backends and a deterministic batch-forming
+//! scheduler over [`Edea::run_batch`].
+//!
+//! The paper's direct-data-transfer argument pays off when the accelerator
+//! is kept busy with a *stream* of images, not one-shot calls. This module
+//! provides the session abstraction that turns the one-shot simulator into
+//! a serving substrate:
+//!
+//! * [`Backend`] — anything that can execute a formed batch and report its
+//!   service cost: the cycle-accurate [`SimulatorBackend`] over
+//!   [`Edea::run_batch`], the bit-exact reference [`GoldenBackend`] over
+//!   `edea-nn`'s executor, and the outputs-free [`AnalyticBackend`] for
+//!   capacity planning and load sweeps.
+//! * [`Request`] / [`Response`] — one image in, one image out, stamped with
+//!   arrival / dispatch / completion ticks of the simulated clock.
+//! * [`Scheduler`] — drains a request queue into batches under a
+//!   [`Policy`] (`max_batch` + `max_wait` ticks) and reports per-request
+//!   latency plus aggregate throughput/SLO statistics ([`ServeReport`]).
+//!
+//! Everything runs on a **simulated clock**: one tick is one accelerator
+//! cycle, service times come from the backend's cycle accounting, and no
+//! wall time is ever consulted — the whole serving simulation is a pure
+//! function of `(requests, policy, backend)`, so batch boundaries and
+//! statistics are bit-reproducible (the determinism guard enforces this).
+//!
+//! Batching changes *when weight tiles cross the external interface*, never
+//! what is computed: every [`Response::output`] is bit-identical to running
+//! the same input through [`Edea::run_network`], while
+//! [`ServeReport::weight_bytes_per_image`] falls as batches form.
+//!
+//! # Example
+//!
+//! ```
+//! use edea_core::serve::{arrivals, AnalyticBackend, Backend, Policy, Request, Scheduler};
+//! use edea_core::EdeaConfig;
+//! use edea_nn::workload::mobilenet_v1_cifar10;
+//! use edea_tensor::Tensor3;
+//!
+//! let cfg = EdeaConfig::paper();
+//! let backend = AnalyticBackend::new(&mobilenet_v1_cifar10(), &cfg)?;
+//! let (d, h, w) = backend.input_shape();
+//! let ticks = arrivals::poisson(8, 50_000.0, 7);
+//! let inputs = (0..8).map(|_| Tensor3::<i8>::zeros(d, h, w)).collect();
+//! let requests = Request::stream(&ticks, inputs)?;
+//! let report = Scheduler::new(Policy::new(4, 100_000)?).serve(&backend, requests)?;
+//! assert_eq!(report.responses.len(), 8);
+//! # Ok::<(), edea_core::CoreError>(())
+//! ```
+
+use std::collections::VecDeque;
+
+use edea_nn::executor;
+use edea_nn::quantize::QuantizedDscNetwork;
+use edea_nn::workload::LayerShape;
+use edea_tensor::{Batch, Tensor3};
+
+use crate::accelerator::Edea;
+use crate::config::EdeaConfig;
+use crate::schedule::WeightResidency;
+use crate::stats::synthetic_batch_layer_stats;
+use crate::CoreError;
+
+/// Checks that every layer of a network maps onto the engine geometry and
+/// that the layers chain (each output feeds the next input).
+fn validate_network(shapes: &[LayerShape], cfg: &EdeaConfig) -> Result<(), CoreError> {
+    if shapes.is_empty() {
+        return Err(CoreError::UnsupportedShape {
+            detail: "network must contain at least one layer".into(),
+        });
+    }
+    for s in shapes {
+        crate::schedule::check_layer_geometry(s, cfg)?;
+    }
+    for pair in shapes.windows(2) {
+        if pair[1].d_in != pair[0].k_out || pair[1].in_spatial != pair[0].out_spatial() {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "layer {} input ({}, {}) does not chain from layer {} output ({}, {})",
+                    pair[1].index,
+                    pair[1].d_in,
+                    pair[1].in_spatial,
+                    pair[0].index,
+                    pair[0].k_out,
+                    pair[0].out_spatial()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Analytic service-cost model of a network on a configuration, derived
+/// from the same accounting as the functional simulator
+/// ([`synthetic_batch_layer_stats`], equality-tested against it).
+///
+/// Under [`WeightResidency::PerBatch`] a dispatch of `N` images costs
+/// `N ×` the per-image cycles (the 9-cycle initiation is bound by the
+/// per-image ifmap fetch, so residency saves traffic, not cycles), one
+/// batch-wide weight + offline-parameter fetch, and `N ×` the per-image
+/// streaming bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    per_image_cycles: u64,
+    weight_bytes: u64,
+    stream_bytes: u64,
+}
+
+impl CostModel {
+    /// Builds the cost model for a layer chain on `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if a layer does not map onto the
+    /// engine geometry or the chain is inconsistent.
+    pub fn for_network(shapes: &[LayerShape], cfg: &EdeaConfig) -> Result<Self, CoreError> {
+        validate_network(shapes, cfg)?;
+        let mut per_image_cycles = 0u64;
+        let mut weight_bytes = 0u64;
+        let mut stream_bytes = 0u64;
+        for s in shapes {
+            let one =
+                synthetic_batch_layer_stats(s, cfg, 1, WeightResidency::PerBatch, 0.0, 0.0, 0.0);
+            per_image_cycles += one.cycles;
+            weight_bytes += one.external.weight_reads + one.external.param_reads;
+            stream_bytes += one.external.ifmap_reads + one.external.writes;
+        }
+        Ok(Self {
+            per_image_cycles,
+            weight_bytes,
+            stream_bytes,
+        })
+    }
+
+    /// Cycles to serve one image (= ticks of the simulated clock).
+    #[must_use]
+    pub fn per_image_cycles(&self) -> u64 {
+        self.per_image_cycles
+    }
+
+    /// Cycles to serve a batch of `n` images.
+    #[must_use]
+    pub fn batch_cycles(&self, n: usize) -> u64 {
+        n as u64 * self.per_image_cycles
+    }
+
+    /// External weight + offline-parameter bytes per dispatch — paid once
+    /// per batch regardless of its size (the amortizable part).
+    #[must_use]
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_bytes
+    }
+
+    /// External streaming bytes (ifmap reads + ofmap writes) per image —
+    /// the inherently per-image part.
+    #[must_use]
+    pub fn stream_bytes_per_image(&self) -> u64 {
+        self.stream_bytes
+    }
+
+    /// Total external bytes for a dispatch of `n` images.
+    #[must_use]
+    pub fn batch_external_bytes(&self, n: usize) -> u64 {
+        self.weight_bytes + n as u64 * self.stream_bytes
+    }
+}
+
+/// Result of a backend executing one formed batch.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// Per-request outputs, in batch order.
+    pub outputs: Batch<i8>,
+    /// Service time of the batch in cycles (= scheduler ticks).
+    pub cycles: u64,
+    /// External weight + offline-parameter bytes for the whole batch.
+    pub weight_bytes: u64,
+    /// Total external bytes for the whole batch.
+    pub external_bytes: u64,
+}
+
+/// An execution engine the [`Scheduler`] can dispatch formed batches to.
+///
+/// Implementations must be deterministic and must report service cycles
+/// consistently with the analytic [`CostModel`] so that batch boundaries
+/// are identical across backends (tested in the serving suite).
+pub trait Backend {
+    /// Human-readable backend name (appears in reports).
+    fn name(&self) -> &'static str;
+
+    /// The accelerator configuration whose clock paces the simulation.
+    fn config(&self) -> &EdeaConfig;
+
+    /// The `(channels, height, width)` every request input must have.
+    fn input_shape(&self) -> (usize, usize, usize);
+
+    /// Executes one formed batch.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific: shape or capacity errors from the underlying
+    /// execution path.
+    fn run(&self, inputs: &Batch<i8>) -> Result<BackendRun, CoreError>;
+}
+
+/// The cycle-accurate backend: dispatches to [`Edea::run_batch`] and
+/// reports the *measured* cycle and traffic accounting of the batched
+/// weight-residency schedule.
+#[derive(Debug, Clone)]
+pub struct SimulatorBackend {
+    edea: Edea,
+    qnet: QuantizedDscNetwork,
+    cost: CostModel,
+}
+
+impl SimulatorBackend {
+    /// Builds a simulator backend owning the accelerator and the network.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if the network does not map onto the
+    /// accelerator's engine geometry.
+    pub fn new(edea: Edea, qnet: QuantizedDscNetwork) -> Result<Self, CoreError> {
+        let shapes: Vec<LayerShape> = qnet.layers().iter().map(|l| l.shape()).collect();
+        let cost = CostModel::for_network(&shapes, edea.config())?;
+        Ok(Self { edea, qnet, cost })
+    }
+
+    /// The analytic cost model of this deployment (measured runs agree
+    /// with it exactly; equality-tested).
+    #[must_use]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The network being served.
+    #[must_use]
+    pub fn qnet(&self) -> &QuantizedDscNetwork {
+        &self.qnet
+    }
+
+    /// The accelerator instance executing the batches.
+    #[must_use]
+    pub fn accelerator(&self) -> &Edea {
+        &self.edea
+    }
+}
+
+impl Backend for SimulatorBackend {
+    fn name(&self) -> &'static str {
+        "simulator"
+    }
+
+    fn config(&self) -> &EdeaConfig {
+        self.edea.config()
+    }
+
+    fn input_shape(&self) -> (usize, usize, usize) {
+        let s = self.qnet.layers()[0].shape();
+        (s.d_in, s.in_spatial, s.in_spatial)
+    }
+
+    fn run(&self, inputs: &Batch<i8>) -> Result<BackendRun, CoreError> {
+        let run = self.edea.run_batch(&self.qnet, inputs)?;
+        Ok(BackendRun {
+            outputs: run.outputs,
+            cycles: run.stats.total_cycles(),
+            weight_bytes: run.stats.external_weight_total(),
+            external_bytes: run.stats.external_total(),
+        })
+    }
+}
+
+/// The reference backend: outputs come from `edea-nn`'s golden int8
+/// executor (the semantics the simulator is verified against), service
+/// cost from the analytic [`CostModel`] of the same configuration — so a
+/// schedule driven by this backend forms **identical batch boundaries** to
+/// the simulator while executing the reference loop nests.
+#[derive(Debug, Clone)]
+pub struct GoldenBackend {
+    qnet: QuantizedDscNetwork,
+    cfg: EdeaConfig,
+    cost: CostModel,
+}
+
+impl GoldenBackend {
+    /// Builds a golden backend for `qnet`, costed as if running on `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if the network does not map onto
+    /// `cfg`'s engine geometry (the cost model needs the mapping even
+    /// though the reference execution itself would not).
+    pub fn new(qnet: QuantizedDscNetwork, cfg: EdeaConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        let shapes: Vec<LayerShape> = qnet.layers().iter().map(|l| l.shape()).collect();
+        let cost = CostModel::for_network(&shapes, &cfg)?;
+        Ok(Self { qnet, cfg, cost })
+    }
+
+    /// The analytic cost model pacing this backend.
+    #[must_use]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+}
+
+impl Backend for GoldenBackend {
+    fn name(&self) -> &'static str {
+        "golden"
+    }
+
+    fn config(&self) -> &EdeaConfig {
+        &self.cfg
+    }
+
+    fn input_shape(&self) -> (usize, usize, usize) {
+        let s = self.qnet.layers()[0].shape();
+        (s.d_in, s.in_spatial, s.in_spatial)
+    }
+
+    fn run(&self, inputs: &Batch<i8>) -> Result<BackendRun, CoreError> {
+        let exec = executor::try_run_batch(&self.qnet, inputs).map_err(|e| {
+            CoreError::UnsupportedShape {
+                detail: e.to_string(),
+            }
+        })?;
+        Ok(BackendRun {
+            outputs: exec.outputs(),
+            cycles: self.cost.batch_cycles(inputs.len()),
+            weight_bytes: self.cost.weight_bytes(),
+            external_bytes: self.cost.batch_external_bytes(inputs.len()),
+        })
+    }
+}
+
+/// The capacity-planning backend: no network, no weights, no outputs —
+/// service cost and traffic come from the analytic [`CostModel`] alone and
+/// every "output" is an all-zero placeholder map. Use it for load sweeps
+/// and property tests where only the scheduling behaviour matters; it is
+/// orders of magnitude faster than executing the network.
+#[derive(Debug, Clone)]
+pub struct AnalyticBackend {
+    cfg: EdeaConfig,
+    cost: CostModel,
+    in_shape: (usize, usize, usize),
+    out_shape: (usize, usize, usize),
+}
+
+impl AnalyticBackend {
+    /// Builds an analytic backend for a layer chain on `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if a layer does not map onto the
+    /// engine geometry or the chain is inconsistent.
+    pub fn new(shapes: &[LayerShape], cfg: &EdeaConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        let cost = CostModel::for_network(shapes, cfg)?;
+        let first = &shapes[0];
+        let last = &shapes[shapes.len() - 1];
+        Ok(Self {
+            cfg: cfg.clone(),
+            cost,
+            in_shape: (first.d_in, first.in_spatial, first.in_spatial),
+            out_shape: (last.k_out, last.out_spatial(), last.out_spatial()),
+        })
+    }
+
+    /// The analytic cost model pacing this backend.
+    #[must_use]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+}
+
+impl Backend for AnalyticBackend {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn config(&self) -> &EdeaConfig {
+        &self.cfg
+    }
+
+    fn input_shape(&self) -> (usize, usize, usize) {
+        self.in_shape
+    }
+
+    fn run(&self, inputs: &Batch<i8>) -> Result<BackendRun, CoreError> {
+        let (k, h, w) = self.out_shape;
+        let outputs = Batch::from_fn(inputs.len(), |_| Tensor3::<i8>::zeros(k, h, w))
+            .expect("uniform placeholder outputs");
+        Ok(BackendRun {
+            outputs,
+            cycles: self.cost.batch_cycles(inputs.len()),
+            weight_bytes: self.cost.weight_bytes(),
+            external_bytes: self.cost.batch_external_bytes(inputs.len()),
+        })
+    }
+}
+
+/// The batch-forming policy: dispatch when `max_batch` requests are queued,
+/// or when the oldest queued request has waited `max_wait` ticks, whichever
+/// comes first (and never before the accelerator is free).
+///
+/// `max_wait = 0` disables batching-by-waiting: every request dispatches as
+/// soon as the accelerator is free, batching only what has already queued
+/// up behind a busy accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Policy {
+    /// Largest batch the scheduler may form (`≥ 1`).
+    pub max_batch: usize,
+    /// Longest a queue-head request may wait, in ticks, before the batch is
+    /// dispatched regardless of its size.
+    pub max_wait: u64,
+}
+
+impl Policy {
+    /// Builds a validated policy.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if `max_batch` is zero.
+    pub fn new(max_batch: usize, max_wait: u64) -> Result<Self, CoreError> {
+        let p = Self {
+            max_batch,
+            max_wait,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Checks the policy invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if `max_batch` is zero.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.max_batch == 0 {
+            return Err(CoreError::InvalidConfig {
+                detail: "policy max_batch must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One inference request: an input image stamped with its arrival tick.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen identifier, unique within one `serve` call.
+    pub id: u64,
+    /// Arrival tick on the simulated clock.
+    pub arrival: u64,
+    /// The quantized layer-0 input.
+    pub input: Tensor3<i8>,
+}
+
+impl Request {
+    /// Builds one request.
+    #[must_use]
+    pub fn new(id: u64, arrival: u64, input: Tensor3<i8>) -> Self {
+        Self { id, arrival, input }
+    }
+
+    /// Zips an arrival pattern with inputs into a request stream, assigning
+    /// ids `0..n` in order.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidRequest`] if the lengths differ.
+    pub fn stream(arrivals: &[u64], inputs: Vec<Tensor3<i8>>) -> Result<Vec<Self>, CoreError> {
+        if arrivals.len() != inputs.len() {
+            return Err(CoreError::InvalidRequest {
+                detail: format!(
+                    "{} arrival ticks for {} inputs",
+                    arrivals.len(),
+                    inputs.len()
+                ),
+            });
+        }
+        Ok(arrivals
+            .iter()
+            .zip(inputs)
+            .enumerate()
+            .map(|(id, (&arrival, input))| Self::new(id as u64, arrival, input))
+            .collect())
+    }
+}
+
+/// One served request: the output plus its full timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request id.
+    pub id: u64,
+    /// Arrival tick (copied from the request).
+    pub arrival: u64,
+    /// Tick the carrying batch was dispatched.
+    pub dispatched: u64,
+    /// Tick the carrying batch completed.
+    pub completed: u64,
+    /// Index of the carrying batch in [`ServeReport::batches`].
+    pub batch: usize,
+    /// The int8 network output.
+    pub output: Tensor3<i8>,
+}
+
+impl Response {
+    /// Ticks spent queued before dispatch.
+    #[must_use]
+    pub fn queue_ticks(&self) -> u64 {
+        self.dispatched - self.arrival
+    }
+
+    /// End-to-end latency in ticks (arrival → completion).
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.completed - self.arrival
+    }
+}
+
+/// One dispatched batch in a serve run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Batch index in dispatch order.
+    pub index: usize,
+    /// Number of requests in the batch.
+    pub size: usize,
+    /// Earliest arrival among the members.
+    pub oldest_arrival: u64,
+    /// Dispatch tick.
+    pub dispatched: u64,
+    /// Completion tick (`dispatched + cycles`).
+    pub completed: u64,
+    /// Service cycles reported by the backend.
+    pub cycles: u64,
+    /// External weight + offline-parameter bytes (paid once per batch).
+    pub weight_bytes: u64,
+    /// Total external bytes.
+    pub external_bytes: u64,
+}
+
+/// Everything a serve run produced: per-request responses, per-batch
+/// records, and aggregate throughput / latency / SLO statistics.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Name of the backend that executed the run.
+    pub backend: String,
+    /// The policy the scheduler ran under.
+    pub policy: Policy,
+    /// Responses in dispatch order (batch by batch, FIFO within a batch).
+    pub responses: Vec<Response>,
+    /// Batches in dispatch order.
+    pub batches: Vec<BatchRecord>,
+}
+
+impl ServeReport {
+    /// Looks a response up by request id.
+    #[must_use]
+    pub fn response(&self, id: u64) -> Option<&Response> {
+        self.responses.iter().find(|r| r.id == id)
+    }
+
+    /// Completion tick of the last batch (0 for an empty run).
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.batches.last().map_or(0, |b| b.completed)
+    }
+
+    /// Mean formed-batch size.
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches.is_empty() {
+            return 0.0;
+        }
+        self.responses.len() as f64 / self.batches.len() as f64
+    }
+
+    /// External weight + offline-parameter bytes per served image — the
+    /// amortization headline: equals the single-image figure when every
+    /// batch has size 1 and falls toward `1/max_batch` of it as batches
+    /// fill.
+    #[must_use]
+    pub fn weight_bytes_per_image(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        let bytes: u64 = self.batches.iter().map(|b| b.weight_bytes).sum();
+        bytes as f64 / self.responses.len() as f64
+    }
+
+    /// Total external bytes per served image.
+    #[must_use]
+    pub fn external_bytes_per_image(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        let bytes: u64 = self.batches.iter().map(|b| b.external_bytes).sum();
+        bytes as f64 / self.responses.len() as f64
+    }
+
+    /// Mean end-to-end latency in ticks.
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        self.responses
+            .iter()
+            .map(|r| r.latency() as f64)
+            .sum::<f64>()
+            / self.responses.len() as f64
+    }
+
+    /// Worst end-to-end latency in ticks.
+    #[must_use]
+    pub fn max_latency(&self) -> u64 {
+        self.responses
+            .iter()
+            .map(Response::latency)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Latency percentile in ticks: the sorted latency at the rounded
+    /// fractional index `p/100 · (n-1)` (`p` in `0..=100`, so `p = 100`
+    /// is the maximum and `p = 50` the median for odd `n`).
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        if self.responses.is_empty() {
+            return 0;
+        }
+        let mut lat: Vec<u64> = self.responses.iter().map(Response::latency).collect();
+        lat.sort_unstable();
+        let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+        lat[idx.min(lat.len() - 1)]
+    }
+
+    /// Fraction of requests whose latency met `slo` ticks.
+    #[must_use]
+    pub fn slo_attainment(&self, slo: u64) -> f64 {
+        if self.responses.is_empty() {
+            return 1.0;
+        }
+        self.responses.iter().filter(|r| r.latency() <= slo).count() as f64
+            / self.responses.len() as f64
+    }
+
+    /// Served images per second at `cfg`'s clock (images over the
+    /// makespan).
+    #[must_use]
+    pub fn throughput_images_per_second(&self, cfg: &EdeaConfig) -> f64 {
+        if self.makespan() == 0 {
+            return 0.0;
+        }
+        self.responses.len() as f64 / (self.makespan() as f64 * cfg.period_ns() * 1e-9)
+    }
+}
+
+/// The deterministic batch-forming scheduler: a FIFO queue drained into a
+/// single accelerator under a [`Policy`], on a simulated clock where one
+/// tick is one accelerator cycle.
+///
+/// Dispatch rule — the accelerator being free at tick `t`, a batch of the
+/// `min(queue, max_batch)` oldest requests dispatches at `t` when either
+/// the queue holds `max_batch` requests, or the queue head has reached its
+/// waiting deadline (`arrival + max_wait ≤ t`). Arrivals at or before a
+/// dispatch tick join the queue first, so batch boundaries depend only on
+/// the arrival pattern, the policy, and the backend's cycle model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduler {
+    policy: Policy,
+}
+
+impl Scheduler {
+    /// Builds a scheduler with `policy`.
+    #[must_use]
+    pub fn new(policy: Policy) -> Self {
+        Self { policy }
+    }
+
+    /// The policy.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Serves a request stream to completion on `backend`.
+    ///
+    /// Requests may be supplied in any order; they are served FIFO by
+    /// `(arrival, id)`. The run is a pure function of its arguments.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] if the policy is invalid.
+    /// * [`CoreError::InvalidRequest`] on a duplicate id or an input whose
+    ///   shape does not match [`Backend::input_shape`].
+    /// * Any error the backend returns for a dispatched batch.
+    pub fn serve<B: Backend + ?Sized>(
+        &self,
+        backend: &B,
+        requests: Vec<Request>,
+    ) -> Result<ServeReport, CoreError> {
+        self.policy.validate()?;
+        let want = backend.input_shape();
+        for r in &requests {
+            if r.input.shape() != want {
+                return Err(CoreError::InvalidRequest {
+                    detail: format!(
+                        "request {}: input shape {:?} != backend input shape {:?}",
+                        r.id,
+                        r.input.shape(),
+                        want
+                    ),
+                });
+            }
+        }
+        {
+            let mut ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
+                return Err(CoreError::InvalidRequest {
+                    detail: format!("duplicate request id {}", dup[0]),
+                });
+            }
+        }
+
+        let mut pending: VecDeque<Request> = {
+            let mut v = requests;
+            v.sort_by_key(|r| (r.arrival, r.id));
+            v.into()
+        };
+        let mut queue: VecDeque<Request> = VecDeque::new();
+        let mut responses = Vec::new();
+        let mut batches: Vec<BatchRecord> = Vec::new();
+        let mut now = 0u64;
+        let mut free_at = 0u64;
+
+        while !pending.is_empty() || !queue.is_empty() {
+            // Admit everything that has arrived by `now`.
+            while pending.front().is_some_and(|r| r.arrival <= now) {
+                queue.push_back(pending.pop_front().expect("checked front"));
+            }
+            let Some(head) = queue.front() else {
+                // Idle: jump to the next arrival.
+                now = now.max(pending.front().expect("loop invariant").arrival);
+                continue;
+            };
+            let deadline = head.arrival.saturating_add(self.policy.max_wait);
+            let ready = now.max(free_at);
+            let full = queue.len() >= self.policy.max_batch;
+            let dispatch_at = if full { ready } else { ready.max(deadline) };
+            // An arrival at or before the dispatch tick joins the queue
+            // first — it may fill the batch and move the dispatch earlier.
+            if !full {
+                if let Some(next) = pending.front() {
+                    if next.arrival <= dispatch_at {
+                        now = next.arrival;
+                        continue;
+                    }
+                }
+            }
+            now = dispatch_at;
+
+            let size = queue.len().min(self.policy.max_batch);
+            // Move the inputs out of the drained requests — no tensor
+            // copies on the dispatch path.
+            let mut timeline = Vec::with_capacity(size);
+            let mut inputs = Vec::with_capacity(size);
+            for r in queue.drain(..size) {
+                timeline.push((r.id, r.arrival));
+                inputs.push(r.input);
+            }
+            let oldest_arrival = timeline[0].1;
+            let inputs = Batch::new(inputs).expect("request shapes validated above");
+            let run = backend.run(&inputs)?;
+            if run.outputs.len() != size {
+                return Err(CoreError::UnsupportedShape {
+                    detail: format!(
+                        "backend {} returned {} outputs for a batch of {size}",
+                        backend.name(),
+                        run.outputs.len()
+                    ),
+                });
+            }
+            let completed = now + run.cycles;
+            let index = batches.len();
+            for ((id, arrival), output) in timeline.into_iter().zip(run.outputs.into_images()) {
+                responses.push(Response {
+                    id,
+                    arrival,
+                    dispatched: now,
+                    completed,
+                    batch: index,
+                    output,
+                });
+            }
+            batches.push(BatchRecord {
+                index,
+                size,
+                oldest_arrival,
+                dispatched: now,
+                completed,
+                cycles: run.cycles,
+                weight_bytes: run.weight_bytes,
+                external_bytes: run.external_bytes,
+            });
+            free_at = completed;
+        }
+
+        Ok(ServeReport {
+            backend: backend.name().to_string(),
+            policy: self.policy,
+            responses,
+            batches,
+        })
+    }
+}
+
+/// Deterministic arrival-pattern generators for serving experiments.
+///
+/// All generators return sorted tick sequences and are pure functions of
+/// their arguments — the same inputs always yield the same pattern, on
+/// every platform (the streams come from the vendored xoshiro generator).
+pub mod arrivals {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// `n` arrivals at a fixed inter-arrival `gap`: `0, gap, 2·gap, …`.
+    #[must_use]
+    pub fn uniform(n: usize, gap: u64) -> Vec<u64> {
+        (0..n as u64).map(|i| i * gap).collect()
+    }
+
+    /// `n` arrivals with exponentially distributed inter-arrival times of
+    /// mean `mean_gap` ticks (a Poisson process), seeded.
+    #[must_use]
+    pub fn poisson(n: usize, mean_gap: f64, seed: u64) -> Vec<u64> {
+        assert!(mean_gap > 0.0, "mean gap must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                t += -mean_gap * (1.0 - u).ln();
+                t.round() as u64
+            })
+            .collect()
+    }
+
+    /// `n` arrivals in bursts of `burst` simultaneous requests, one burst
+    /// every `gap` ticks (the last burst may be partial).
+    #[must_use]
+    pub fn bursts(n: usize, burst: usize, gap: u64) -> Vec<u64> {
+        assert!(burst > 0, "burst size must be positive");
+        (0..n).map(|i| (i / burst) as u64 * gap).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_nn::workload::mobilenet_v1_cifar10;
+
+    fn analytic() -> AnalyticBackend {
+        AnalyticBackend::new(&mobilenet_v1_cifar10(), &EdeaConfig::paper()).unwrap()
+    }
+
+    fn zero_requests(backend: &AnalyticBackend, ticks: &[u64]) -> Vec<Request> {
+        let (d, h, w) = backend.input_shape();
+        Request::stream(
+            ticks,
+            (0..ticks.len())
+                .map(|_| Tensor3::<i8>::zeros(d, h, w))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cost_model_matches_timing_model() {
+        let cfg = EdeaConfig::paper();
+        let shapes = mobilenet_v1_cifar10();
+        let cost = CostModel::for_network(&shapes, &cfg).unwrap();
+        let total: u64 = shapes
+            .iter()
+            .map(|s| crate::timing::layer_cycles(s, &cfg).total())
+            .sum();
+        assert_eq!(cost.per_image_cycles(), total);
+        assert_eq!(cost.batch_cycles(4), 4 * total);
+        // Weight bytes are positive and independent of batch size; stream
+        // bytes scale with it.
+        assert!(cost.weight_bytes() > 0);
+        assert_eq!(
+            cost.batch_external_bytes(3) - cost.batch_external_bytes(1),
+            2 * cost.stream_bytes_per_image()
+        );
+    }
+
+    #[test]
+    fn cost_model_rejects_broken_chains() {
+        let cfg = EdeaConfig::paper();
+        let mut shapes = mobilenet_v1_cifar10();
+        shapes[1].d_in += 8; // still a Td multiple, but no longer chains
+        assert!(matches!(
+            CostModel::for_network(&shapes, &cfg),
+            Err(CoreError::UnsupportedShape { .. })
+        ));
+        assert!(matches!(
+            CostModel::for_network(&[], &cfg),
+            Err(CoreError::UnsupportedShape { .. })
+        ));
+    }
+
+    #[test]
+    fn full_queue_dispatches_immediately_in_fifo_chunks() {
+        let b = analytic();
+        let reqs = zero_requests(&b, &[0; 8]);
+        let report = Scheduler::new(Policy::new(4, 1_000_000).unwrap())
+            .serve(&b, reqs)
+            .unwrap();
+        assert_eq!(report.batches.len(), 2);
+        assert_eq!(report.batches[0].size, 4);
+        assert_eq!(report.batches[1].size, 4);
+        assert_eq!(report.batches[0].dispatched, 0);
+        // The second batch waits for the accelerator, not the deadline.
+        assert_eq!(report.batches[1].dispatched, report.batches[0].completed);
+        // FIFO: ids 0..4 ride batch 0, 4..8 batch 1.
+        for r in &report.responses {
+            assert_eq!(r.batch, (r.id / 4) as usize, "request {}", r.id);
+        }
+    }
+
+    #[test]
+    fn lone_request_dispatches_at_its_deadline() {
+        let b = analytic();
+        let reqs = zero_requests(&b, &[10]);
+        let report = Scheduler::new(Policy::new(4, 500).unwrap())
+            .serve(&b, reqs)
+            .unwrap();
+        assert_eq!(report.batches.len(), 1);
+        assert_eq!(report.batches[0].dispatched, 510);
+        assert_eq!(
+            report.responses[0].latency(),
+            500 + b.cost().per_image_cycles()
+        );
+    }
+
+    #[test]
+    fn zero_wait_policy_dispatches_eagerly() {
+        let b = analytic();
+        let reqs = zero_requests(&b, &[0, 10]);
+        let report = Scheduler::new(Policy::new(4, 0).unwrap())
+            .serve(&b, reqs)
+            .unwrap();
+        // The first request dispatches alone at t=0; the second queues
+        // behind the busy accelerator and dispatches at its completion.
+        assert_eq!(report.batches.len(), 2);
+        assert_eq!(report.batches[0].dispatched, 0);
+        assert_eq!(report.batches[0].size, 1);
+        assert_eq!(report.batches[1].dispatched, report.batches[0].completed);
+    }
+
+    #[test]
+    fn arrival_inside_wait_window_joins_the_batch() {
+        let b = analytic();
+        let reqs = zero_requests(&b, &[0, 400]);
+        let report = Scheduler::new(Policy::new(2, 1_000).unwrap())
+            .serve(&b, reqs)
+            .unwrap();
+        // The batch fills at t=400, well before the t=1000 deadline.
+        assert_eq!(report.batches.len(), 1);
+        assert_eq!(report.batches[0].size, 2);
+        assert_eq!(report.batches[0].dispatched, 400);
+    }
+
+    #[test]
+    fn arrival_after_deadline_forms_its_own_batch() {
+        let b = analytic();
+        let service = b.cost().per_image_cycles();
+        let late = 100 + service + 1; // after the first batch completes
+        let reqs = zero_requests(&b, &[0, late]);
+        let report = Scheduler::new(Policy::new(2, 100).unwrap())
+            .serve(&b, reqs)
+            .unwrap();
+        assert_eq!(report.batches.len(), 2);
+        assert_eq!(report.batches[0].dispatched, 100);
+        assert_eq!(report.batches[1].dispatched, late + 100);
+    }
+
+    #[test]
+    fn queue_grows_behind_busy_accelerator_and_amortizes() {
+        // Offered load ~2× capacity: arrivals every half service time.
+        let b = analytic();
+        let gap = b.cost().per_image_cycles() / 2;
+        let reqs = zero_requests(&b, &arrivals::uniform(16, gap));
+        let report = Scheduler::new(Policy::new(8, 0).unwrap())
+            .serve(&b, reqs)
+            .unwrap();
+        assert!(
+            report.mean_batch_size() > 1.5,
+            "mean batch {}",
+            report.mean_batch_size()
+        );
+        let single = b.cost().weight_bytes() as f64;
+        assert!(
+            report.weight_bytes_per_image() < single,
+            "{} !< {single}",
+            report.weight_bytes_per_image()
+        );
+    }
+
+    #[test]
+    fn report_statistics_are_consistent() {
+        let b = analytic();
+        let reqs = zero_requests(&b, &arrivals::bursts(6, 3, 1_000_000));
+        let report = Scheduler::new(Policy::new(4, 0).unwrap())
+            .serve(&b, reqs)
+            .unwrap();
+        assert_eq!(report.responses.len(), 6);
+        assert_eq!(report.makespan(), report.batches.last().unwrap().completed);
+        assert!(report.latency_percentile(0.0) <= report.latency_percentile(50.0));
+        assert!(report.latency_percentile(50.0) <= report.latency_percentile(100.0));
+        assert_eq!(report.latency_percentile(100.0), report.max_latency());
+        assert!((0.0..=1.0).contains(&report.slo_attainment(report.max_latency())));
+        assert_eq!(report.slo_attainment(report.max_latency()), 1.0);
+        assert!(report.throughput_images_per_second(b.config()) > 0.0);
+        // Batches never overlap and dispatch after their members arrive.
+        for pair in report.batches.windows(2) {
+            assert!(pair[1].dispatched >= pair[0].completed);
+        }
+        for r in &report.responses {
+            assert!(r.dispatched >= r.arrival);
+            assert_eq!(r.completed, r.dispatched + report.batches[r.batch].cycles);
+        }
+    }
+
+    #[test]
+    fn empty_request_stream_yields_empty_report() {
+        let b = analytic();
+        let report = Scheduler::new(Policy::new(4, 100).unwrap())
+            .serve(&b, Vec::new())
+            .unwrap();
+        assert!(report.responses.is_empty());
+        assert!(report.batches.is_empty());
+        assert_eq!(report.makespan(), 0);
+        assert_eq!(report.mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        let b = analytic();
+        assert!(matches!(
+            Policy::new(0, 10),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        // Wrong input shape.
+        let bad = vec![Request::new(0, 0, Tensor3::<i8>::zeros(1, 1, 1))];
+        assert!(matches!(
+            Scheduler::new(Policy::new(2, 0).unwrap()).serve(&b, bad),
+            Err(CoreError::InvalidRequest { .. })
+        ));
+        // Duplicate ids.
+        let (d, h, w) = b.input_shape();
+        let dup = vec![
+            Request::new(7, 0, Tensor3::<i8>::zeros(d, h, w)),
+            Request::new(7, 1, Tensor3::<i8>::zeros(d, h, w)),
+        ];
+        assert!(matches!(
+            Scheduler::new(Policy::new(2, 0).unwrap()).serve(&b, dup),
+            Err(CoreError::InvalidRequest { .. })
+        ));
+        // Mismatched stream lengths.
+        assert!(matches!(
+            Request::stream(&[0, 1], vec![Tensor3::<i8>::zeros(d, h, w)]),
+            Err(CoreError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn backend_returning_wrong_output_count_is_an_error() {
+        // The Backend trait is public; a broken implementation must
+        // surface as an error, not as silently dropped responses.
+        struct ShortBackend(AnalyticBackend);
+        impl Backend for ShortBackend {
+            fn name(&self) -> &'static str {
+                "short"
+            }
+            fn config(&self) -> &EdeaConfig {
+                self.0.config()
+            }
+            fn input_shape(&self) -> (usize, usize, usize) {
+                self.0.input_shape()
+            }
+            fn run(&self, inputs: &Batch<i8>) -> Result<BackendRun, CoreError> {
+                let mut run = self.0.run(inputs)?;
+                let mut images = run.outputs.into_images();
+                images.pop();
+                run.outputs = Batch::new(images).expect("still non-empty");
+                Ok(run)
+            }
+        }
+        let b = ShortBackend(analytic());
+        let reqs = zero_requests(&b.0, &[0, 0]);
+        let err = Scheduler::new(Policy::new(2, 0).unwrap())
+            .serve(&b, reqs)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedShape { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn serve_is_deterministic() {
+        let b = analytic();
+        let ticks = arrivals::poisson(24, 30_000.0, 99);
+        let sched = Scheduler::new(Policy::new(4, 50_000).unwrap());
+        let a = sched.serve(&b, zero_requests(&b, &ticks)).unwrap();
+        let c = sched.serve(&b, zero_requests(&b, &ticks)).unwrap();
+        assert_eq!(a.responses, c.responses);
+        assert_eq!(a.batches, c.batches);
+    }
+
+    #[test]
+    fn arrival_generators_are_deterministic_and_sorted() {
+        let p1 = arrivals::poisson(32, 1000.0, 5);
+        let p2 = arrivals::poisson(32, 1000.0, 5);
+        assert_eq!(p1, p2);
+        assert!(p1.windows(2).all(|w| w[0] <= w[1]));
+        assert_ne!(p1, arrivals::poisson(32, 1000.0, 6));
+        assert_eq!(arrivals::uniform(3, 10), vec![0, 10, 20]);
+        assert_eq!(arrivals::bursts(5, 2, 100), vec![0, 0, 100, 100, 200]);
+    }
+}

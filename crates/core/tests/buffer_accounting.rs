@@ -6,13 +6,13 @@
 
 use edea_core::baseline::roundtrip_external_traffic;
 use edea_nn::executor;
-use edea_testutil::{deploy, paper_edea, Deployment};
+use edea_testutil::{deploy, paper_edea, TestDeployment};
 use proptest::prelude::*;
 
 /// Every invariant the direct-transfer accounting must satisfy for one
 /// deployed network, checked layer by layer.
 fn check_network_accounting(width: f64, seed: u64) {
-    let Deployment { qnet, input, .. } = deploy(width, seed);
+    let TestDeployment { qnet, input, .. } = deploy(width, seed);
     let edea = paper_edea();
     let t = edea.config().tile;
     let tile_bytes = (t.tn * t.tm * t.td) as u64;

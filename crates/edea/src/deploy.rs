@@ -1,0 +1,297 @@
+//! Session-based deployment: the one-stop entry point for serving.
+//!
+//! [`Deployment`] owns everything a long-lived serving session needs — the
+//! float model, the calibrated [`QuantizedDscNetwork`] and the validated
+//! [`Edea`] instance — and hands out serving backends and a scheduler
+//! ([`Deployment::serve`]) on top. Build one with [`Deployment::builder`]:
+//!
+//! ```
+//! use edea::{Deployment, EdeaConfig};
+//! use edea::nn::mobilenet::MobileNetV1;
+//! use edea::tensor::rng;
+//!
+//! let deployment = Deployment::builder()
+//!     .model(MobileNetV1::synthetic(0.25, 1))
+//!     .calibration(rng::synthetic_batch(2, 3, 32, 32, 2))
+//!     .config(EdeaConfig::paper())
+//!     .build()?;
+//! let input = deployment.prepare(&rng::synthetic_image(3, 32, 32, 3));
+//! let run = deployment.run(&input)?;
+//! assert_eq!(run.stats.layers.len(), 13);
+//! # Ok::<(), edea::Error>(())
+//! ```
+//!
+//! Construction is fallible end to end — a missing ingredient, a failed
+//! calibration or an invalid configuration all surface as one
+//! [`Error`](crate::Error) — and nothing panics on the serving path.
+
+use edea_core::accelerator::{BatchRun, Edea, NetworkRun};
+use edea_core::config::EdeaConfig;
+use edea_core::serve::{GoldenBackend, Policy, Request, Scheduler, ServeReport, SimulatorBackend};
+use edea_nn::mobilenet::MobileNetV1;
+use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
+use edea_nn::sparsity::{ShapingReport, SparsityProfile};
+use edea_tensor::{Batch, Tensor3};
+
+use crate::Error;
+
+/// A calibrated, validated, long-lived serving session: the float model,
+/// its quantized DSC network and the accelerator, owned together.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    model: MobileNetV1,
+    report: ShapingReport,
+    // The single owner of the calibrated network and the accelerator,
+    // built once at build() time so serve() never re-clones either.
+    simulator: SimulatorBackend,
+}
+
+/// Step-by-step construction of a [`Deployment`].
+///
+/// Defaults: the paper's sparsity profile, quantization strategy and
+/// accelerator configuration. A model and at least one calibration image
+/// are required.
+#[derive(Debug, Clone)]
+pub struct DeploymentBuilder {
+    model: Option<MobileNetV1>,
+    calibration: Vec<Tensor3<f32>>,
+    sparsity: SparsityProfile,
+    quant: QuantStrategy,
+    config: EdeaConfig,
+}
+
+impl Default for DeploymentBuilder {
+    fn default() -> Self {
+        Self {
+            model: None,
+            calibration: Vec::new(),
+            sparsity: SparsityProfile::paper(),
+            quant: QuantStrategy::paper(),
+            config: EdeaConfig::paper(),
+        }
+    }
+}
+
+impl DeploymentBuilder {
+    /// The float MobileNetV1 to deploy (required).
+    #[must_use]
+    pub fn model(mut self, model: MobileNetV1) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// The calibration images (required, at least one): used to learn the
+    /// int8 step sizes and shape the activation sparsity.
+    #[must_use]
+    pub fn calibration(mut self, images: Vec<Tensor3<f32>>) -> Self {
+        self.calibration = images;
+        self
+    }
+
+    /// The sparsity profile to shape toward (default: paper's).
+    #[must_use]
+    pub fn sparsity(mut self, profile: SparsityProfile) -> Self {
+        self.sparsity = profile;
+        self
+    }
+
+    /// The quantization strategy (default: paper's).
+    #[must_use]
+    pub fn quant(mut self, strategy: QuantStrategy) -> Self {
+        self.quant = strategy;
+        self
+    }
+
+    /// The accelerator configuration (default: [`EdeaConfig::paper`]).
+    #[must_use]
+    pub fn config(mut self, cfg: EdeaConfig) -> Self {
+        self.config = cfg;
+        self
+    }
+
+    /// Calibrates the network and builds the validated accelerator.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Builder`] if the model or calibration images are missing.
+    /// * [`Error::Nn`] if calibration fails.
+    /// * [`Error::Core`] if the configuration is invalid or the calibrated
+    ///   network does not map onto its engine geometry.
+    pub fn build(self) -> Result<Deployment, Error> {
+        let mut model = self.model.ok_or_else(|| Error::Builder {
+            detail: "a model is required: call .model(...)".into(),
+        })?;
+        if self.calibration.is_empty() {
+            return Err(Error::Builder {
+                detail: "calibration images are required: call .calibration(...)".into(),
+            });
+        }
+        let (qnet, report) = QuantizedDscNetwork::calibrate_shaped(
+            &mut model,
+            &self.calibration,
+            &self.sparsity,
+            self.quant,
+        )?;
+        let edea = Edea::new(self.config)?;
+        let simulator = SimulatorBackend::new(edea, qnet)?;
+        Ok(Deployment {
+            model,
+            report,
+            simulator,
+        })
+    }
+}
+
+impl Deployment {
+    /// Starts building a deployment.
+    #[must_use]
+    pub fn builder() -> DeploymentBuilder {
+        DeploymentBuilder::default()
+    }
+
+    /// The float model the quantization was derived from (BN parameters
+    /// reflect the sparsity shaping applied during calibration).
+    #[must_use]
+    pub fn model(&self) -> &MobileNetV1 {
+        &self.model
+    }
+
+    /// The calibrated quantized DSC network.
+    #[must_use]
+    pub fn qnet(&self) -> &QuantizedDscNetwork {
+        self.simulator.qnet()
+    }
+
+    /// The accelerator instance.
+    #[must_use]
+    pub fn accelerator(&self) -> &Edea {
+        self.simulator.accelerator()
+    }
+
+    /// The accelerator configuration.
+    #[must_use]
+    pub fn config(&self) -> &EdeaConfig {
+        self.accelerator().config()
+    }
+
+    /// The sparsity achieved during calibration.
+    #[must_use]
+    pub fn shaping_report(&self) -> &ShapingReport {
+        &self.report
+    }
+
+    /// Turns a float image into the quantized layer-0 input the
+    /// accelerator consumes: float stem forward, then int8 quantization.
+    #[must_use]
+    pub fn prepare(&self, image: &Tensor3<f32>) -> Tensor3<i8> {
+        self.qnet().quantize_input(&self.model.forward_stem(image))
+    }
+
+    /// Runs one prepared input through the whole network on the simulator.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Core`] on shape or buffer-capacity errors.
+    pub fn run(&self, input: &Tensor3<i8>) -> Result<NetworkRun, Error> {
+        Ok(self.accelerator().run_network(self.qnet(), input)?)
+    }
+
+    /// Runs a batch through the weight-residency schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Core`] on shape or buffer-capacity errors.
+    pub fn run_batch(&self, inputs: &Batch<i8>) -> Result<BatchRun, Error> {
+        Ok(self.accelerator().run_batch(self.qnet(), inputs)?)
+    }
+
+    /// The cycle-accurate serving backend over this deployment, built once
+    /// at [`DeploymentBuilder::build`] time (clone it to move it
+    /// elsewhere).
+    #[must_use]
+    pub fn simulator_backend(&self) -> &SimulatorBackend {
+        &self.simulator
+    }
+
+    /// A golden-reference serving backend over this deployment: bit-exact
+    /// reference outputs, analytic service cost of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Core`] if the network does not map onto the configuration.
+    pub fn golden_backend(&self) -> Result<GoldenBackend, Error> {
+        Ok(GoldenBackend::new(
+            self.qnet().clone(),
+            self.config().clone(),
+        )?)
+    }
+
+    /// Serves a request stream on the cycle-accurate simulator backend
+    /// under `policy` — the one-call serving path.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Core`] on an invalid policy, malformed requests, or an
+    /// execution error in a dispatched batch.
+    pub fn serve(&self, policy: Policy, requests: Vec<Request>) -> Result<ServeReport, Error> {
+        Ok(Scheduler::new(policy).serve(&self.simulator, requests)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_tensor::rng;
+
+    fn built() -> Deployment {
+        Deployment::builder()
+            .model(MobileNetV1::synthetic(0.25, 11))
+            .calibration(rng::synthetic_batch(2, 3, 32, 32, 12))
+            .build()
+            .expect("synthetic deployment builds")
+    }
+
+    #[test]
+    fn builder_requires_model_and_calibration() {
+        let e = Deployment::builder().build().unwrap_err();
+        assert!(matches!(e, Error::Builder { .. }), "{e}");
+        let e = Deployment::builder()
+            .model(MobileNetV1::synthetic(0.25, 11))
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("calibration"), "{e}");
+    }
+
+    #[test]
+    fn builder_surfaces_invalid_configs_as_core_errors() {
+        let mut cfg = EdeaConfig::paper();
+        cfg.clock_mhz = 0;
+        let e = Deployment::builder()
+            .model(MobileNetV1::synthetic(0.25, 11))
+            .calibration(rng::synthetic_batch(1, 3, 32, 32, 12))
+            .config(cfg)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, Error::Core(_)), "{e}");
+    }
+
+    #[test]
+    fn deployment_runs_and_matches_direct_simulator_use() {
+        let d = built();
+        let input = d.prepare(&rng::synthetic_image(3, 32, 32, 13));
+        let run = d.run(&input).unwrap();
+        let direct = d
+            .accelerator()
+            .run_network(d.qnet(), &input)
+            .expect("direct run");
+        assert_eq!(run.output, direct.output);
+        assert_eq!(d.shaping_report().dwc_zero.len(), 13);
+    }
+
+    #[test]
+    fn backends_share_the_deployment_cost_model() {
+        let d = built();
+        let golden = d.golden_backend().unwrap();
+        assert_eq!(d.simulator_backend().cost(), golden.cost());
+    }
+}

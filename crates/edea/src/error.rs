@@ -1,0 +1,105 @@
+//! The unified error type of the facade.
+//!
+//! Every fallible entry point of the workspace surfaces here: accelerator
+//! and serving errors ([`CoreError`]), calibration/quantization errors
+//! ([`NnError`]), tensor-shape errors ([`TensorError`]) and deployment
+//! builder misuse — so facade users write `Result<_, edea::Error>` and `?`
+//! instead of juggling `Box<dyn Error>`.
+
+use std::fmt;
+
+use edea_core::CoreError;
+use edea_nn::NnError;
+use edea_tensor::TensorError;
+
+/// Any error the EDEA facade can produce.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Accelerator-side error: unsupported shapes, buffer overflows,
+    /// invalid configurations, malformed serving requests.
+    Core(CoreError),
+    /// Network-side error: calibration, quantization, shape mismatches in
+    /// the golden execution path.
+    Nn(NnError),
+    /// Tensor substrate error (e.g. building a batch from non-uniform
+    /// images).
+    Tensor(TensorError),
+    /// The [`Deployment`](crate::Deployment) builder was driven without a
+    /// required ingredient.
+    Builder {
+        /// What was missing or inconsistent.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "accelerator: {e}"),
+            Error::Nn(e) => write!(f, "network: {e}"),
+            Error::Tensor(e) => write!(f, "tensor: {e}"),
+            Error::Builder { detail } => write!(f, "deployment builder: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Nn(e) => Some(e),
+            Error::Tensor(e) => Some(e),
+            Error::Builder { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for Error {
+    fn from(e: CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<NnError> for Error {
+    fn from(e: NnError) -> Self {
+        Error::Nn(e)
+    }
+}
+
+impl From<TensorError> for Error {
+    fn from(e: TensorError) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_layer_with_source_and_display() {
+        let core: Error = CoreError::InvalidConfig {
+            detail: "bad".into(),
+        }
+        .into();
+        assert!(core.to_string().contains("accelerator"));
+        assert!(std::error::Error::source(&core).is_some());
+
+        let nn: Error = NnError::EmptyCalibrationSet.into();
+        assert!(nn.to_string().contains("network"));
+        assert!(std::error::Error::source(&nn).is_some());
+
+        let builder = Error::Builder {
+            detail: "a model is required".into(),
+        };
+        assert!(builder.to_string().contains("a model is required"));
+        assert!(std::error::Error::source(&builder).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Error>();
+    }
+}

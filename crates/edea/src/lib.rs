@@ -12,38 +12,53 @@
 //!   sparsity shaping, golden int8 executor (per image and per batch).
 //! * [`dse`] — the design-space exploration of the paper's Sec. II.
 //! * [`core`] — the accelerator itself: engines, Non-Conv unit, buffers,
-//!   cycle-accurate pipeline, power/area models, scaling, baselines, and
+//!   cycle-accurate pipeline, power/area models, scaling, baselines,
 //!   batched multi-image inference with weight residency
-//!   ([`Edea::run_batch`]).
+//!   ([`Edea::run_batch`]), and the serving layer ([`serve`]).
 //!
-//! The most common entry points are re-exported at the top level. See
-//! ARCHITECTURE.md for the crate/module → paper-section map. The workspace
-//! builds offline: `rand`, `proptest` and `criterion` are vendored
-//! API-subset stand-ins whose deterministic streams the golden fixtures
-//! depend on (see `vendor/*/src/lib.rs` for each one's caveats).
+//! The serving entry point is the [`Deployment`] builder: one session
+//! object owning the calibrated network and the validated accelerator,
+//! from which the simulator/golden [`serve::Backend`]s and the
+//! batch-forming [`serve::Scheduler`] hang. Every fallible path returns
+//! the unified [`Error`]. The workspace builds offline: `rand`,
+//! `proptest` and `criterion` are vendored API-subset stand-ins whose
+//! deterministic streams the golden fixtures depend on (see
+//! `vendor/*/src/lib.rs` for each one's caveats). See ARCHITECTURE.md for
+//! the crate/module → paper-section map.
 //!
 //! # Example
 //!
 //! ```
-//! use edea::{Edea, EdeaConfig};
+//! use edea::{Deployment, EdeaConfig};
 //! use edea::nn::mobilenet::MobileNetV1;
-//! use edea::nn::quantize::{QuantStrategy, QuantizedDscNetwork};
-//! use edea::nn::sparsity::SparsityProfile;
+//! use edea::serve::{arrivals, Policy, Request};
 //! use edea::tensor::rng;
 //!
-//! let mut model = MobileNetV1::synthetic(0.25, 1);
-//! let calib = rng::synthetic_batch(2, 3, 32, 32, 2);
-//! let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
-//!     &mut model, &calib, &SparsityProfile::paper(), QuantStrategy::paper())?;
-//! let edea = Edea::new(EdeaConfig::paper());
-//! let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
-//! let run = edea.run_network(&qnet, &input)?;
+//! // One session object: model + calibration in, serving session out.
+//! let deployment = Deployment::builder()
+//!     .model(MobileNetV1::synthetic(0.25, 1))
+//!     .calibration(rng::synthetic_batch(2, 3, 32, 32, 2))
+//!     .config(EdeaConfig::paper())
+//!     .build()?;
+//!
+//! // One-shot inference…
+//! let input = deployment.prepare(&rng::synthetic_image(3, 32, 32, 3));
+//! let run = deployment.run(&input)?;
 //! println!("total cycles: {}", run.stats.total_cycles());
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//!
+//! // …or a served request stream through the batch-forming scheduler.
+//! let ticks = arrivals::bursts(4, 2, 1_000_000);
+//! let inputs = (0..4).map(|i| deployment.prepare(&rng::synthetic_image(3, 32, 32, i))).collect();
+//! let report = deployment.serve(Policy::new(4, 0)?, Request::stream(&ticks, inputs)?)?;
+//! assert_eq!(report.responses.len(), 4);
+//! # Ok::<(), edea::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod deploy;
+mod error;
 
 pub use edea_core as core;
 pub use edea_dse as dse;
@@ -51,5 +66,8 @@ pub use edea_fixed as fixed;
 pub use edea_nn as nn;
 pub use edea_tensor as tensor;
 
+pub use deploy::{Deployment, DeploymentBuilder};
+pub use edea_core::serve;
 pub use edea_core::{Edea, EdeaConfig};
 pub use edea_nn::workload::mobilenet_v1_cifar10;
+pub use error::Error;

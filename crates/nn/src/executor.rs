@@ -13,6 +13,7 @@ use edea_tensor::conv::{depthwise_conv2d_i8, pointwise_conv2d_i8};
 use edea_tensor::{Batch, Tensor3};
 
 use crate::quantize::{QuantizedDscLayer, QuantizedDscNetwork};
+use crate::NnError;
 
 /// Activity statistics of one executed DSC layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,16 +61,38 @@ fn acc_range(t: &Tensor3<i32>) -> (i32, i32) {
 ///
 /// # Panics
 ///
-/// Panics if `input` does not match the layer's input shape.
+/// Panics if `input` does not match the layer's input shape; use
+/// [`try_run_layer`] for a fallible variant.
 #[must_use]
 pub fn run_layer(layer: &QuantizedDscLayer, input: &Tensor3<i8>) -> LayerExecution {
+    try_run_layer(layer, input).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Executes one quantized DSC layer on an int8 input, rejecting shape
+/// mismatches instead of panicking — the entry point the serving backends
+/// use.
+///
+/// # Errors
+///
+/// [`NnError::ShapeMismatch`] if `input` does not match the layer's input
+/// shape.
+pub fn try_run_layer(
+    layer: &QuantizedDscLayer,
+    input: &Tensor3<i8>,
+) -> Result<LayerExecution, NnError> {
     let s = layer.shape();
-    assert_eq!(
-        input.shape(),
-        (s.d_in, s.in_spatial, s.in_spatial),
-        "layer {} input shape mismatch",
-        s.index
-    );
+    if input.shape() != (s.d_in, s.in_spatial, s.in_spatial) {
+        return Err(NnError::ShapeMismatch {
+            layer: s.index,
+            detail: format!(
+                "input shape mismatch: expected ({}, {}, {}), got {:?}",
+                s.d_in,
+                s.in_spatial,
+                s.in_spatial,
+                input.shape()
+            ),
+        });
+    }
     // DWC: int8 conv to i32 accumulators.
     let dwc_acc = depthwise_conv2d_i8(input, layer.dw_weights().values(), s.stride, s.pad());
     // Non-Conv #1: per-channel k·x + b, round, ReLU-clip to [0, 127].
@@ -91,11 +114,11 @@ pub fn run_layer(layer: &QuantizedDscLayer, input: &Tensor3<i8>) -> LayerExecuti
         dwc_acc_range: acc_range(&dwc_acc),
         pwc_acc_range: acc_range(&pwc_acc),
     };
-    LayerExecution {
+    Ok(LayerExecution {
         pwc_input,
         output,
         activity,
-    }
+    })
 }
 
 /// Result of executing the full quantized DSC stack.
@@ -108,19 +131,38 @@ pub struct NetworkExecution {
 }
 
 /// Executes all DSC layers on a quantized layer-0 input.
+///
+/// # Panics
+///
+/// Panics if `input` does not match layer 0's input shape; use
+/// [`try_run_network`] for a fallible variant.
 #[must_use]
 pub fn run_network(net: &QuantizedDscNetwork, input: &Tensor3<i8>) -> NetworkExecution {
+    try_run_network(net, input).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Executes all DSC layers on a quantized layer-0 input, rejecting shape
+/// mismatches instead of panicking.
+///
+/// # Errors
+///
+/// [`NnError::ShapeMismatch`] from the first layer whose input does not
+/// match (for a well-formed network only layer 0 can reject).
+pub fn try_run_network(
+    net: &QuantizedDscNetwork,
+    input: &Tensor3<i8>,
+) -> Result<NetworkExecution, NnError> {
     let mut x = input.clone();
     let mut activities = Vec::with_capacity(net.layers().len());
     for layer in net.layers() {
-        let exec = run_layer(layer, &x);
+        let exec = try_run_layer(layer, &x)?;
         activities.push(exec.activity);
         x = exec.output;
     }
-    NetworkExecution {
+    Ok(NetworkExecution {
         activities,
         output: x,
-    }
+    })
 }
 
 /// Result of executing the quantized DSC stack over a whole batch.
@@ -192,9 +234,26 @@ impl BatchExecution {
 /// tiles are fetched*, never what is computed.
 #[must_use]
 pub fn run_batch(net: &QuantizedDscNetwork, inputs: &Batch<i8>) -> BatchExecution {
-    BatchExecution {
-        per_image: inputs.iter().map(|img| run_network(net, img)).collect(),
-    }
+    try_run_batch(net, inputs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Executes all DSC layers over a batch of quantized layer-0 inputs,
+/// rejecting shape mismatches instead of panicking — the entry point the
+/// golden serving backend uses.
+///
+/// # Errors
+///
+/// [`NnError::ShapeMismatch`] if the batch's image shape does not match
+/// layer 0's input shape.
+pub fn try_run_batch(
+    net: &QuantizedDscNetwork,
+    inputs: &Batch<i8>,
+) -> Result<BatchExecution, NnError> {
+    let per_image = inputs
+        .iter()
+        .map(|img| try_run_network(net, img))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BatchExecution { per_image })
 }
 
 /// Classification-level agreement between the float model and the int8
@@ -462,5 +521,30 @@ mod tests {
         let (_, qnet, _) = setup();
         let bad = Tensor3::<i8>::zeros(3, 32, 32);
         let _ = run_layer(&qnet.layers()[0], &bad);
+    }
+
+    #[test]
+    fn try_variants_error_instead_of_panicking() {
+        let (_, qnet, _) = setup();
+        let bad = Tensor3::<i8>::zeros(3, 32, 32);
+        assert!(matches!(
+            try_run_layer(&qnet.layers()[0], &bad),
+            Err(NnError::ShapeMismatch { layer: 0, .. })
+        ));
+        assert!(matches!(
+            try_run_network(&qnet, &bad),
+            Err(NnError::ShapeMismatch { layer: 0, .. })
+        ));
+        let batch = Batch::new(vec![bad]).unwrap();
+        assert!(try_run_batch(&qnet, &batch).is_err());
+    }
+
+    #[test]
+    fn try_variants_match_panicking_paths_on_good_input() {
+        let (model, qnet, calib) = setup();
+        let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
+        let a = try_run_network(&qnet, &input).unwrap();
+        let b = run_network(&qnet, &input);
+        assert_eq!(a.output, b.output);
     }
 }

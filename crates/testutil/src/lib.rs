@@ -16,9 +16,9 @@
 //! # Example
 //!
 //! ```
-//! use edea_testutil::{deploy, Deployment};
+//! use edea_testutil::{deploy, TestDeployment};
 //!
-//! let Deployment { qnet, input, .. } = deploy(0.25, 42);
+//! let TestDeployment { qnet, input, .. } = deploy(0.25, 42);
 //! assert_eq!(qnet.layers().len(), 13);
 //! assert!(input.len() > 0);
 //! ```
@@ -28,6 +28,7 @@
 
 use edea_core::accelerator::{BatchRun, Edea, NetworkRun};
 use edea_core::config::EdeaConfig;
+use edea_core::serve::Request;
 use edea_nn::mobilenet::MobileNetV1;
 use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
 use edea_nn::sparsity::SparsityProfile;
@@ -36,8 +37,12 @@ use edea_tensor::{rng, Batch, Tensor3};
 /// A fully deployed network ready to run on the accelerator: the float
 /// model, its quantization, and the quantized stem activation for the first
 /// calibration image.
+///
+/// (The production session type is `edea::Deployment`, built with
+/// `Deployment::builder()`; this test fixture predates it and keeps the
+/// seeded `(width, seed)` choreography the golden baselines depend on.)
 #[derive(Debug, Clone)]
-pub struct Deployment {
+pub struct TestDeployment {
     /// The float MobileNetV1 the quantization was derived from.
     pub model: MobileNetV1,
     /// The quantized DSC network.
@@ -60,7 +65,7 @@ pub struct Deployment {
 /// Panics if calibration fails — synthetic networks at the widths used in
 /// tests always calibrate.
 #[must_use]
-pub fn deploy(width: f64, seed: u64) -> Deployment {
+pub fn deploy(width: f64, seed: u64) -> TestDeployment {
     let mut model = MobileNetV1::synthetic(width, seed);
     let calib = rng::synthetic_batch(2, 3, 32, 32, seed + 1);
     let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
@@ -71,13 +76,13 @@ pub fn deploy(width: f64, seed: u64) -> Deployment {
     )
     .expect("synthetic calibration succeeds");
     let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
-    Deployment { model, qnet, input }
+    TestDeployment { model, qnet, input }
 }
 
 /// A paper-configuration accelerator.
 #[must_use]
 pub fn paper_edea() -> Edea {
-    Edea::new(EdeaConfig::paper())
+    Edea::new(EdeaConfig::paper()).expect("paper configuration is valid")
 }
 
 /// Deploys at `(width, seed)` and runs the whole network on the paper
@@ -88,7 +93,7 @@ pub fn paper_edea() -> Edea {
 /// Panics if the run fails; the paper configuration accepts every layer of
 /// the synthetic MobileNetV1 at the widths used in tests.
 #[must_use]
-pub fn deploy_and_run(width: f64, seed: u64) -> (Deployment, NetworkRun) {
+pub fn deploy_and_run(width: f64, seed: u64) -> (TestDeployment, NetworkRun) {
     let d = deploy(width, seed);
     let run = paper_edea()
         .run_network(&d.qnet, &d.input)
@@ -105,7 +110,7 @@ pub fn deploy_and_run(width: f64, seed: u64) -> (Deployment, NetworkRun) {
 ///
 /// Panics if `n` is zero (a [`Batch`] is non-empty by construction).
 #[must_use]
-pub fn batch_inputs(d: &Deployment, n: usize, seed: u64) -> Batch<i8> {
+pub fn batch_inputs(d: &TestDeployment, n: usize, seed: u64) -> Batch<i8> {
     let images = rng::synthetic_batch(n, 3, 32, 32, seed);
     Batch::new(
         images
@@ -125,13 +130,30 @@ pub fn batch_inputs(d: &Deployment, n: usize, seed: u64) -> Batch<i8> {
 /// Panics if the run fails; the paper configuration accepts every layer of
 /// the synthetic MobileNetV1 at the widths used in tests.
 #[must_use]
-pub fn deploy_and_run_batch(width: f64, seed: u64, n: usize) -> (Deployment, Batch<i8>, BatchRun) {
+pub fn deploy_and_run_batch(
+    width: f64,
+    seed: u64,
+    n: usize,
+) -> (TestDeployment, Batch<i8>, BatchRun) {
     let d = deploy(width, seed);
     let inputs = batch_inputs(&d, n, seed + 2);
     let run = paper_edea()
         .run_batch(&d.qnet, &inputs)
         .expect("batched network runs");
     (d, inputs, run)
+}
+
+/// Builds a deterministic serving request stream for a deployment: one
+/// synthetic image per arrival tick, seeded from `seed`, run through the
+/// float stem and quantized, stamped with ids `0..arrivals.len()`.
+#[must_use]
+pub fn serve_requests(d: &TestDeployment, arrivals: &[u64], seed: u64) -> Vec<Request> {
+    let images = rng::synthetic_batch(arrivals.len(), 3, 32, 32, seed);
+    let inputs = images
+        .iter()
+        .map(|img| d.qnet.quantize_input(&d.model.forward_stem(img)))
+        .collect();
+    Request::stream(arrivals, inputs).expect("one arrival tick per input")
 }
 
 /// Asserts two floats are within an absolute tolerance.

@@ -96,7 +96,7 @@ fn main() {
         QuantStrategy::paper(),
     )
     .expect("calibration");
-    let edea = Edea::new(cfg);
+    let edea = Edea::new(cfg).expect("paper configuration");
     let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
     let run = edea.run_layer(&qnet.layers()[0], &input).expect("run");
     let golden = edea::nn::executor::run_layer(&qnet.layers()[0], &input);

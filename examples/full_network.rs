@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("running all 13 DSC layers on the accelerator…");
-    let edea = Edea::new(cfg.clone());
+    let edea = Edea::new(cfg.clone())?;
     let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
     let run = edea.run_network(&qnet, &input)?;
 

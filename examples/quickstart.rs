@@ -1,32 +1,31 @@
-//! Quickstart: quantize a MobileNetV1 block and run it on the EDEA
-//! accelerator simulator.
+//! Quickstart: build a serving [`Deployment`] (model + calibration in,
+//! session out) and run a MobileNetV1 block on the EDEA accelerator.
 //!
 //! ```sh
 //! cargo run -p edea --example quickstart --release
 //! ```
 
 use edea::nn::mobilenet::MobileNetV1;
-use edea::nn::quantize::{QuantStrategy, QuantizedDscNetwork};
-use edea::nn::sparsity::SparsityProfile;
 use edea::tensor::rng;
-use edea::{Edea, EdeaConfig};
+use edea::{Deployment, EdeaConfig};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), edea::Error> {
     // 1. A synthetic MobileNetV1 (width 0.5 keeps the example snappy) and a
     //    small calibration batch of CIFAR-like images.
-    let mut model = MobileNetV1::synthetic(0.5, 42);
+    let model = MobileNetV1::synthetic(0.5, 42);
     let calib = rng::synthetic_batch(2, 3, 32, 32, 7);
 
-    // 2. Deploy-time preparation: shape the trained-network sparsity
-    //    profile, learn int8 step sizes (LSQ), fold BN+ReLU+quantization
-    //    into the Q8.16 Non-Conv constants.
-    let (qnet, report) = QuantizedDscNetwork::calibrate_shaped(
-        &mut model,
-        &calib,
-        &SparsityProfile::paper(),
-        QuantStrategy::paper(),
-    )?;
-    println!("calibrated {} DSC layers", qnet.layers().len());
+    // 2. Deploy-time preparation, all behind one builder: shape the
+    //    trained-network sparsity profile, learn int8 step sizes (LSQ),
+    //    fold BN+ReLU+quantization into the Q8.16 Non-Conv constants, and
+    //    validate the accelerator configuration.
+    let deployment = Deployment::builder()
+        .model(model)
+        .calibration(calib.clone())
+        .config(EdeaConfig::paper())
+        .build()?;
+    let report = deployment.shaping_report();
+    println!("calibrated {} DSC layers", deployment.qnet().layers().len());
     println!(
         "layer 12 activation sparsity: DWC {:.1}%  PWC {:.1}% (paper: 97.4% / 95.3%)",
         100.0 * report.dwc_zero[12],
@@ -34,21 +33,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Run layer 0 on the accelerator.
-    let edea = Edea::new(EdeaConfig::paper());
-    let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
-    let run = edea.run_layer(&qnet.layers()[0], &input)?;
+    let input = deployment.prepare(&calib[0]);
+    let run = deployment
+        .accelerator()
+        .run_layer(&deployment.qnet().layers()[0], &input)?;
 
     let s = &run.stats;
+    let cfg = deployment.config();
     println!("\n== layer 0 on EDEA ==");
     println!("cycles            : {}", s.cycles);
     println!(
         "latency           : {:.2} µs @ 1 GHz",
-        s.latency_ns(edea.config()) / 1000.0
+        s.latency_ns(cfg) / 1000.0
     );
-    println!(
-        "throughput        : {:.1} GOPS",
-        s.throughput_gops(edea.config())
-    );
+    println!("throughput        : {:.1} GOPS", s.throughput_gops(cfg));
     println!(
         "DWC engine busy   : {:.1}%",
         100.0 * s.breakdown.dwc_utilization()
@@ -64,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. The simulator is bit-exact against the golden int8 executor:
-    let golden = edea::nn::executor::run_layer(&qnet.layers()[0], &input);
+    let golden = edea::nn::executor::run_layer(&deployment.qnet().layers()[0], &input);
     assert_eq!(run.output, golden.output);
     println!("\noutput verified bit-exact against the golden executor ✓");
     Ok(())

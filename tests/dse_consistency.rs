@@ -28,7 +28,7 @@ fn table2_equations_match_simulator_counters() {
         QuantStrategy::paper(),
     )
     .unwrap();
-    let edea = Edea::new(EdeaConfig::paper());
+    let edea = Edea::new(EdeaConfig::paper()).unwrap();
     let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
     let run = edea.run_network(&qnet, &input).unwrap();
     let cfg = TileConfig::edea();
@@ -69,7 +69,7 @@ fn dwc_activation_model_matches_ifmap_buffer_reads() {
         QuantStrategy::paper(),
     )
     .unwrap();
-    let edea = Edea::new(EdeaConfig::paper());
+    let edea = Edea::new(EdeaConfig::paper()).unwrap();
     let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
     let run = edea.run_network(&qnet, &input).unwrap();
     let cfg = TileConfig::edea();

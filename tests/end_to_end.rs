@@ -5,17 +5,17 @@ use edea::nn::executor;
 use edea::nn::quantize::QuantizedDscNetwork;
 use edea::tensor::Tensor3;
 use edea::{Edea, EdeaConfig};
-use edea_testutil::Deployment;
+use edea_testutil::TestDeployment;
 
 fn deploy(width: f64, seed: u64) -> (QuantizedDscNetwork, Tensor3<i8>) {
-    let Deployment { qnet, input, .. } = edea_testutil::deploy(width, seed);
+    let TestDeployment { qnet, input, .. } = edea_testutil::deploy(width, seed);
     (qnet, input)
 }
 
 #[test]
 fn accelerator_is_bit_exact_over_whole_network() {
     let (qnet, input) = deploy(0.25, 100);
-    let edea = Edea::new(EdeaConfig::paper());
+    let edea = Edea::new(EdeaConfig::paper()).unwrap();
     let run = edea.run_network(&qnet, &input).expect("run");
     let golden = executor::run_network(&qnet, &input);
     assert_eq!(run.output, golden.output, "final feature maps differ");
@@ -36,7 +36,7 @@ fn accelerator_is_bit_exact_on_every_single_layer() {
     // Feed each layer an independently generated (executor-produced) input
     // so a cancellation in one layer cannot mask a bug in another.
     let (qnet, input) = deploy(0.25, 200);
-    let edea = Edea::new(EdeaConfig::paper());
+    let edea = Edea::new(EdeaConfig::paper()).unwrap();
     let mut x = input;
     for (i, layer) in qnet.layers().iter().enumerate() {
         let golden = executor::run_layer(layer, &x);
@@ -51,7 +51,7 @@ fn accelerator_is_bit_exact_on_every_single_layer() {
 fn different_seeds_and_widths_stay_bit_exact() {
     for (width, seed) in [(0.25, 7), (0.5, 8)] {
         let (qnet, input) = deploy(width, seed);
-        let edea = Edea::new(EdeaConfig::paper());
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
         let run = edea.run_layer(&qnet.layers()[0], &input).expect("run");
         let golden = executor::run_layer(&qnet.layers()[0], &input);
         assert_eq!(run.output, golden.output, "width {width} seed {seed}");
@@ -65,7 +65,7 @@ fn cycle_counts_are_identical_across_models() {
     // for-cycle on every layer.
     let (qnet, input) = deploy(0.25, 300);
     let cfg = EdeaConfig::paper();
-    let edea = Edea::new(cfg.clone());
+    let edea = Edea::new(cfg.clone()).unwrap();
     let run = edea.run_network(&qnet, &input).expect("run");
     for s in &run.stats.layers {
         let analytic = edea::core::timing::layer_cycles(&s.shape, &cfg);
@@ -103,7 +103,7 @@ fn external_traffic_excludes_intermediate_map() {
     // The architectural point of the paper: the intermediate map never
     // crosses the external interface.
     let (qnet, input) = deploy(0.25, 400);
-    let edea = Edea::new(EdeaConfig::paper());
+    let edea = Edea::new(EdeaConfig::paper()).unwrap();
     let run = edea.run_network(&qnet, &input).expect("run");
     for s in &run.stats.layers {
         // External writes are exactly the ofmap.
@@ -149,7 +149,7 @@ fn q8_16_nonconv_matches_float_reference_within_one_lsb() {
 #[test]
 fn network_statistics_aggregate_consistently() {
     let (qnet, input) = deploy(0.25, 600);
-    let edea = Edea::new(EdeaConfig::paper());
+    let edea = Edea::new(EdeaConfig::paper()).unwrap();
     let run = edea.run_network(&qnet, &input).expect("run");
     let sum: u64 = run.stats.layers.iter().map(|l| l.cycles).sum();
     assert_eq!(run.stats.total_cycles(), sum);
