@@ -1,0 +1,74 @@
+//! Hot-path profile of the functional simulator: the `verify_sim`-shaped
+//! workload (width-1.0 MobileNetV1 forward) that dominates serving
+//! wall-clock time. Run with `cargo bench -p edea-bench --bench
+//! sim_profile`.
+//!
+//! Set `EDEA_BENCH_SMOKE=1` to run a reduced-width, two-sample smoke pass
+//! (used by CI to keep the bench compiling *and* executing without paying
+//! the full measurement cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edea::core::serve::SimulatorBackend;
+use edea::nn::mobilenet::MobileNetV1;
+use edea::nn::quantize::{QuantStrategy, QuantizedDscNetwork};
+use edea::nn::sparsity::SparsityProfile;
+use edea::tensor::rng;
+use edea::{Edea, EdeaConfig};
+use std::hint::black_box;
+
+struct Workload {
+    edea: Edea,
+    qnet: QuantizedDscNetwork,
+    input: edea::tensor::Tensor3<i8>,
+}
+
+fn workload(width: f64) -> Workload {
+    // Same seeds as the `verify_sim` experiment, so the profile measures
+    // exactly the workload the verification binary spends its time in.
+    let mut model = MobileNetV1::synthetic(width, 4242);
+    let calib = rng::synthetic_batch(2, 3, 32, 32, 4243);
+    let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
+        &mut model,
+        &calib,
+        &SparsityProfile::paper(),
+        QuantStrategy::paper(),
+    )
+    .expect("calibration");
+    let edea = Edea::new(EdeaConfig::paper()).unwrap();
+    let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
+    Workload { edea, qnet, input }
+}
+
+fn bench_sim_profile(c: &mut Criterion) {
+    // Smoke only when set to something truthy: `EDEA_BENCH_SMOKE=0` (or
+    // empty) still runs the full profile.
+    let smoke = matches!(
+        std::env::var("EDEA_BENCH_SMOKE").as_deref(),
+        Ok(v) if !v.is_empty() && v != "0"
+    );
+    let (width, samples) = if smoke { (0.25, 2) } else { (1.0, 10) };
+    let w = workload(width);
+    // The serving session: plan sliced once, scratch reused across calls —
+    // exactly the state a Deployment / Scheduler dispatch runs in.
+    let backend = SimulatorBackend::new(w.edea.clone(), w.qnet.clone()).expect("backend");
+
+    let mut g = c.benchmark_group("sim_profile");
+    g.sample_size(samples);
+    // The one-shot path: builds a throwaway weight plan per call.
+    g.bench_function("network_forward", |b| {
+        b.iter(|| black_box(w.edea.run_network(&w.qnet, &w.input).expect("run")));
+    });
+    // The serving steady state.
+    g.bench_function("network_forward_planned", |b| {
+        b.iter(|| black_box(backend.run_network(&w.input).expect("run")));
+    });
+    // One batched dispatch as the scheduler issues it.
+    let batch = edea::tensor::Batch::new(vec![w.input.clone(); 2]).expect("batch");
+    g.bench_function("batch2_planned", |b| {
+        b.iter(|| black_box(backend.run_batch(&batch).expect("run")));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_profile);
+criterion_main!(benches);

@@ -16,13 +16,15 @@
 //! bit-identical to the per-image path.
 
 use edea_nn::quantize::{QuantizedDscLayer, QuantizedDscNetwork};
-use edea_tensor::{Batch, Tensor3, Tensor4};
+use edea_tensor::{Batch, Tensor3};
 
 use crate::buffer::BufferSet;
 use crate::config::EdeaConfig;
 use crate::engine::{DwcEngine, EngineActivity, PwcEngine};
 use crate::nonconv::NonConvUnit;
+use crate::plan::{LayerPlan, NetworkPlan};
 use crate::schedule::{portions, spatial_tiles, WeightResidency};
+use crate::scratch::TileScratch;
 use crate::stats::{BatchLayerStats, BatchNetworkStats, BufferTraffic, LayerStats, NetworkStats};
 use crate::timing;
 use crate::CoreError;
@@ -119,7 +121,23 @@ impl Edea {
         crate::schedule::check_layer_geometry(&s, &self.cfg)
     }
 
+    /// Builds the pre-sliced weight plan of a whole network on this
+    /// accelerator's tile geometry — the cache a long-lived session builds
+    /// once so repeated requests stop re-slicing weights (see
+    /// [`Edea::run_batch_planned`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if any layer does not map onto the
+    /// engine geometry.
+    pub fn plan_network(&self, net: &QuantizedDscNetwork) -> Result<NetworkPlan, CoreError> {
+        NetworkPlan::new(net, &self.cfg)
+    }
+
     /// Runs one quantized DSC layer.
+    ///
+    /// Thin wrapper over the planned path: slices the layer's weights into
+    /// a throwaway [`LayerPlan`] and runs with a fresh [`TileScratch`].
     ///
     /// # Errors
     ///
@@ -132,10 +150,14 @@ impl Edea {
         layer: &QuantizedDscLayer,
         input: &Tensor3<i8>,
     ) -> Result<LayerRun, CoreError> {
+        let plan = LayerPlan::new(layer, &self.cfg)?;
+        let mut scratch = TileScratch::new();
         let mut run = self.execute_layer(
             layer,
+            &plan,
             std::slice::from_ref(input),
             WeightResidency::PerImage,
+            &mut scratch,
         )?;
         Ok(LayerRun {
             output: run.outputs.pop().expect("one image in, one image out"),
@@ -163,18 +185,55 @@ impl Edea {
         layer: &QuantizedDscLayer,
         inputs: &[Tensor3<i8>],
     ) -> Result<BatchLayerRun, CoreError> {
-        self.execute_layer(layer, inputs, WeightResidency::PerBatch)
+        let plan = LayerPlan::new(layer, &self.cfg)?;
+        let mut scratch = TileScratch::new();
+        self.execute_layer(
+            layer,
+            &plan,
+            inputs,
+            WeightResidency::PerBatch,
+            &mut scratch,
+        )
+    }
+
+    /// Runs one layer through a caller-held [`LayerPlan`] and
+    /// [`TileScratch`] — the zero-setup-cost variant the planned network
+    /// runs and the allocation-regression tests use. Outputs are
+    /// bit-identical to [`Edea::run_layer_batch`] (and, per image, to
+    /// [`Edea::run_layer`] under [`WeightResidency::PerImage`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Edea::run_layer_batch`]; additionally
+    /// [`CoreError::UnsupportedShape`] if `plan` was built for a different
+    /// layer.
+    pub fn run_layer_planned(
+        &self,
+        layer: &QuantizedDscLayer,
+        plan: &LayerPlan,
+        inputs: &[Tensor3<i8>],
+        residency: WeightResidency,
+        scratch: &mut TileScratch,
+    ) -> Result<BatchLayerRun, CoreError> {
+        plan.check_layer(layer)?;
+        self.execute_layer(layer, plan, inputs, residency, scratch)
     }
 
     /// The functional schedule, generalized over a batch of images and a
     /// weight-residency policy. `PerImage` reproduces the per-image
     /// baseline accounting exactly (every image re-fetches all weights);
     /// `PerBatch` fetches each weight tile once for the whole batch.
+    ///
+    /// The tile loop works entirely in `scratch`'s reusable buffers —
+    /// reserved once up front, so the steady state performs zero heap
+    /// allocations per tile (guarded by the allocation-regression test).
     fn execute_layer(
         &self,
         layer: &QuantizedDscLayer,
+        plan: &LayerPlan,
         inputs: &[Tensor3<i8>],
         residency: WeightResidency,
+        scratch: &mut TileScratch,
     ) -> Result<BatchLayerRun, CoreError> {
         if inputs.is_empty() {
             return Err(CoreError::UnsupportedShape {
@@ -193,6 +252,7 @@ impl Edea {
         let padded: Vec<Tensor3<i8>> = inputs.iter().map(|i| i.zero_padded(pad)).collect();
         let channel_passes = s.d_in / td;
         let kernel_tiles = s.k_out / tk;
+        scratch.reserve(&s, &self.cfg, n_images);
 
         let mut buffers = BufferSet::for_batch(&self.cfg, n_images);
         // Layer-setup transfers: all DWC weights, both Non-Conv parameter
@@ -210,21 +270,6 @@ impl Edea {
             buffers.external.read_params(offline_bytes);
             buffers.offline.fill(offline_bytes)?;
         }
-
-        // Pre-slice weights per channel pass / kernel tile.
-        // Depthwise weights are (D, 1, K, K): the per-pass slice selects Td
-        // *kernels* (one per channel).
-        let dw_slices: Vec<Tensor4<i8>> = (0..channel_passes)
-            .map(|ct| layer.dw_weights().values().kernel_slice(ct * td, td))
-            .collect();
-        let pw_slices: Vec<Vec<Tensor4<i8>>> = (0..channel_passes)
-            .map(|ct| {
-                let chan = layer.pw_weights().values().channel_slice(ct * td, td);
-                (0..kernel_tiles)
-                    .map(|kt| chan.kernel_slice(kt * tk, tk))
-                    .collect()
-            })
-            .collect();
 
         let mut mid_maps: Vec<Tensor3<i8>> = (0..n_images)
             .map(|_| Tensor3::<i8>::zeros(s.d_in, out, out))
@@ -246,9 +291,9 @@ impl Edea {
             // (write traffic is counted per PWC invocation below).
             let psum_bytes = portion.pixels() * s.k_out * 4;
             buffers.psum.reserve(n_images * psum_bytes)?;
-            let mut psums: Vec<Tensor3<i32>> = (0..n_images)
-                .map(|_| Tensor3::<i32>::zeros(s.k_out, portion.rows, portion.cols))
-                .collect();
+            for psum in scratch.psums.iter_mut().take(n_images) {
+                psum.resize_zeroed(s.k_out, portion.rows, portion.cols);
+            }
             let tiles = spatial_tiles(&portion, &self.cfg);
             let (_, _, rows, cols) = portion.input_region(s.stride, s.kernel, pad, s.in_spatial);
             let slice_bytes = rows * cols * td;
@@ -280,40 +325,47 @@ impl Edea {
                     buffers.ifmap.fill(slice_bytes)?;
 
                     for st in &tiles {
-                        // DWC: one engine cycle.
-                        let window = Tensor3::from_fn(td, tr, tc, |c, h, w| {
-                            padded_img
-                                [(ct * td + c, st.row0 * s.stride + h, st.col0 * s.stride + w)]
-                        });
+                        // DWC: one engine cycle, window extracted into the
+                        // scratch buffer with flat row copies.
+                        padded_img.copy_window_into(
+                            ct * td,
+                            st.row0 * s.stride,
+                            st.col0 * s.stride,
+                            &mut scratch.window,
+                        );
                         buffers.ifmap.read(tr * tc * td);
-                        let dwc_out = self.dwc.compute_tile(&window, &dw_slices[ct], s.stride)?;
-                        dwc_activity.merge(&dwc_out.activity);
+                        let act = self.dwc.compute_tile_into(
+                            &scratch.window,
+                            plan.dw_slice(ct),
+                            s.stride,
+                            &mut scratch.dwc_acc,
+                        )?;
+                        dwc_activity.merge(&act);
                         dwc_invocations += 1;
 
                         // Non-Conv: fold to int8 and stream to the
                         // intermediate buffer (direct data transfer — no
                         // external round trip).
-                        let (mid_tile, nc) = self
-                            .nonconv
-                            .apply_tile(&dwc_out.acc, &layer.nonconv1()[ct * td..])?;
+                        let nc = self.nonconv.apply_tile_into(
+                            &scratch.dwc_acc,
+                            &layer.nonconv1()[ct * td..],
+                            &mut scratch.mid_tile,
+                        )?;
                         nonconv_ops += nc.ops;
                         buffers.intermediate.fill(tn * tm * td)?;
-                        for c in 0..td {
-                            for n in 0..tn {
-                                for m in 0..tm {
-                                    mid_maps[img][(ct * td + c, st.row0 + n, st.col0 + m)] =
-                                        mid_tile[(c, n, m)];
-                                }
-                            }
-                        }
+                        mid_maps[img].paste_window(ct * td, st.row0, st.col0, &scratch.mid_tile);
 
                         // PWC: one engine cycle per kernel tile,
                         // accumulating into this image's psum bank.
                         for kt in 0..kernel_tiles {
                             buffers.intermediate.read(tn * tm * td);
                             buffers.pwc_weight.read(td * tk);
-                            let p = self.pwc.compute_tile(&mid_tile, &pw_slices[ct][kt])?;
-                            pwc_activity.merge(&p.activity);
+                            let act = self.pwc.compute_tile_into(
+                                &scratch.mid_tile,
+                                plan.pw_slice(ct, kt),
+                                &mut scratch.pwc_partial,
+                            )?;
+                            pwc_activity.merge(&act);
                             pwc_invocations += 1;
                             // Read-modify-write: the first pass writes fresh
                             // values, later passes read the running sums
@@ -321,14 +373,17 @@ impl Edea {
                             if ct > 0 {
                                 buffers.psum.read(tk * tn * tm * 4);
                             }
+                            let psum = scratch.psums[img].as_mut_slice();
+                            let part = scratch.pwc_partial.as_slice();
+                            let r0 = st.row0 - portion.row0;
+                            let c0 = st.col0 - portion.col0;
                             for k in 0..tk {
                                 for n in 0..tn {
+                                    let dst =
+                                        ((kt * tk + k) * portion.rows + r0 + n) * portion.cols + c0;
+                                    let src = (k * tn + n) * tm;
                                     for m in 0..tm {
-                                        psums[img][(
-                                            kt * tk + k,
-                                            st.row0 - portion.row0 + n,
-                                            st.col0 - portion.col0 + m,
-                                        )] += p.partial[(k, n, m)];
+                                        psum[dst + m] += part[src + m];
                                     }
                                 }
                             }
@@ -339,18 +394,15 @@ impl Edea {
 
             // Drain: output-side Non-Conv and external write-back per image
             // (overlapped with the next portion in hardware — no cycles).
-            for (img, psum) in psums.iter().enumerate() {
+            for (psum, out_map) in scratch.psums.iter().take(n_images).zip(out_maps.iter_mut()) {
                 buffers.psum.read(psum_bytes);
-                let (portion_out, nc) = self.nonconv.apply_tile(psum, layer.nonconv2())?;
+                let nc = self.nonconv.apply_tile_into(
+                    psum,
+                    layer.nonconv2(),
+                    &mut scratch.portion_out,
+                )?;
                 nonconv_ops += nc.ops;
-                for k in 0..s.k_out {
-                    for r in 0..portion.rows {
-                        for c in 0..portion.cols {
-                            out_maps[img][(k, portion.row0 + r, portion.col0 + c)] =
-                                portion_out[(k, r, c)];
-                        }
-                    }
-                }
+                out_map.paste_window(0, portion.row0, portion.col0, &scratch.portion_out);
                 buffers.external.write(portion.pixels() * s.k_out);
             }
             buffers.psum.clear();
@@ -413,6 +465,10 @@ impl Edea {
 
     /// Runs the whole quantized DSC stack.
     ///
+    /// Thin wrapper over [`Edea::run_network_planned`] with a throwaway
+    /// [`NetworkPlan`]; long-lived sessions should build the plan once with
+    /// [`Edea::plan_network`] instead.
+    ///
     /// # Errors
     ///
     /// Propagates the first per-layer error.
@@ -421,15 +477,61 @@ impl Edea {
         net: &QuantizedDscNetwork,
         input: &Tensor3<i8>,
     ) -> Result<NetworkRun, CoreError> {
-        let mut x = input.clone();
+        // The plan was just built from this very network — skip the
+        // identity check (it would re-hash every weight byte).
+        let plan = NetworkPlan::new(net, &self.cfg)?;
+        let mut scratch = TileScratch::new();
+        self.run_network_planned_unchecked(net, &plan, input, &mut scratch)
+    }
+
+    /// Runs the whole quantized DSC stack through a pre-built
+    /// [`NetworkPlan`], threading one [`TileScratch`] through every layer.
+    /// The input is borrowed, not copied: the first layer reads it in
+    /// place, and each subsequent layer consumes the previous output by
+    /// move. Bit-identical to [`Edea::run_network`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if `plan` was built for a different
+    /// network; otherwise the first per-layer error.
+    pub fn run_network_planned(
+        &self,
+        net: &QuantizedDscNetwork,
+        plan: &NetworkPlan,
+        input: &Tensor3<i8>,
+    ) -> Result<NetworkRun, CoreError> {
+        plan.check_network(net)?;
+        let mut scratch = TileScratch::new();
+        self.run_network_planned_unchecked(net, plan, input, &mut scratch)
+    }
+
+    /// [`Edea::run_network_planned`] without the plan-identity check, for
+    /// callers that constructed plan and network together (the wrappers,
+    /// [`crate::serve::SimulatorBackend`]).
+    pub(crate) fn run_network_planned_unchecked(
+        &self,
+        net: &QuantizedDscNetwork,
+        plan: &NetworkPlan,
+        input: &Tensor3<i8>,
+        scratch: &mut TileScratch,
+    ) -> Result<NetworkRun, CoreError> {
+        debug_assert_eq!(plan.layers().len(), net.layers().len());
         let mut layers = Vec::with_capacity(net.layers().len());
-        for layer in net.layers() {
-            let run = self.run_layer(layer, &x)?;
-            x = run.output;
-            layers.push(run.stats);
+        let mut x: Option<Tensor3<i8>> = None;
+        for (layer, lp) in net.layers().iter().zip(plan.layers()) {
+            let cur = x.as_ref().unwrap_or(input);
+            let mut run = self.execute_layer(
+                layer,
+                lp,
+                std::slice::from_ref(cur),
+                WeightResidency::PerImage,
+                &mut *scratch,
+            )?;
+            x = Some(run.outputs.pop().expect("one image in, one image out"));
+            layers.push(run.stats.into_layer_stats());
         }
         Ok(NetworkRun {
-            output: x,
+            output: x.unwrap_or_else(|| input.clone()),
             stats: NetworkStats { layers },
         })
     }
@@ -451,15 +553,75 @@ impl Edea {
         net: &QuantizedDscNetwork,
         inputs: &Batch<i8>,
     ) -> Result<BatchRun, CoreError> {
-        let mut xs: Vec<Tensor3<i8>> = inputs.images().to_vec();
+        // The plan was just built from this very network — skip the
+        // identity check (it would re-hash every weight byte).
+        let plan = NetworkPlan::new(net, &self.cfg)?;
+        let mut scratch = TileScratch::new();
+        self.run_batch_planned_unchecked(net, &plan, inputs, &mut scratch)
+    }
+
+    /// Runs a whole batch through a pre-built [`NetworkPlan`] — the serving
+    /// hot path: no weight re-slicing, one [`TileScratch`] threaded through
+    /// every layer, and the input batch borrowed rather than deep-copied
+    /// (the first layer reads the images in place; later layers consume
+    /// the previous outputs by move). Bit-identical to [`Edea::run_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if `plan` was built for a different
+    /// network; otherwise the first per-layer error.
+    pub fn run_batch_planned(
+        &self,
+        net: &QuantizedDscNetwork,
+        plan: &NetworkPlan,
+        inputs: &Batch<i8>,
+    ) -> Result<BatchRun, CoreError> {
+        let mut scratch = TileScratch::new();
+        self.run_batch_planned_with(net, plan, inputs, &mut scratch)
+    }
+
+    /// [`Edea::run_batch_planned`] with a caller-held [`TileScratch`], so
+    /// a serving session can reuse one scratch across requests (see
+    /// [`crate::serve::SimulatorBackend`]) instead of re-growing the
+    /// buffers per dispatch.
+    ///
+    /// # Errors
+    ///
+    /// As [`Edea::run_batch_planned`].
+    pub fn run_batch_planned_with(
+        &self,
+        net: &QuantizedDscNetwork,
+        plan: &NetworkPlan,
+        inputs: &Batch<i8>,
+        scratch: &mut TileScratch,
+    ) -> Result<BatchRun, CoreError> {
+        plan.check_network(net)?;
+        self.run_batch_planned_unchecked(net, plan, inputs, scratch)
+    }
+
+    /// [`Edea::run_batch_planned_with`] without the plan-identity check,
+    /// for callers that constructed plan and network together (the
+    /// wrappers, [`crate::serve::SimulatorBackend`]).
+    pub(crate) fn run_batch_planned_unchecked(
+        &self,
+        net: &QuantizedDscNetwork,
+        plan: &NetworkPlan,
+        inputs: &Batch<i8>,
+        scratch: &mut TileScratch,
+    ) -> Result<BatchRun, CoreError> {
+        debug_assert_eq!(plan.layers().len(), net.layers().len());
         let mut layers = Vec::with_capacity(net.layers().len());
-        for layer in net.layers() {
-            let run = self.run_layer_batch(layer, &xs)?;
-            xs = run.outputs;
+        let mut xs: Option<Vec<Tensor3<i8>>> = None;
+        for (layer, lp) in net.layers().iter().zip(plan.layers()) {
+            let cur: &[Tensor3<i8>] = xs.as_deref().unwrap_or(inputs.images());
+            let run =
+                self.execute_layer(layer, lp, cur, WeightResidency::PerBatch, &mut *scratch)?;
+            xs = Some(run.outputs);
             layers.push(run.stats);
         }
         Ok(BatchRun {
-            outputs: Batch::new(xs).expect("uniform layer outputs"),
+            outputs: Batch::new(xs.unwrap_or_else(|| inputs.images().to_vec()))
+                .expect("uniform layer outputs"),
             stats: BatchNetworkStats {
                 batch: inputs.len(),
                 layers,

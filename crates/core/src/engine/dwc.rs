@@ -58,6 +58,10 @@ impl DwcEngine {
     /// (`Tr = (Tn−1)·stride + kernel`), `weights` the `(Td, 1, K, K)` kernel
     /// slice.
     ///
+    /// Thin allocating wrapper over [`DwcEngine::compute_tile_into`]; the
+    /// simulator's hot path uses the `_into` variant with a reused
+    /// accumulator buffer.
+    ///
     /// # Errors
     ///
     /// [`CoreError::UnsupportedShape`] if tile shapes do not match the
@@ -68,6 +72,27 @@ impl DwcEngine {
         weights: &Tensor4<i8>,
         stride: usize,
     ) -> Result<DwcTileOutput, CoreError> {
+        let mut acc = Tensor3::<i32>::zeros(self.td, self.tn, self.tm);
+        let activity = self.compute_tile_into(ifmap, weights, stride, &mut acc)?;
+        Ok(DwcTileOutput { acc, activity })
+    }
+
+    /// Computes one tile into a caller-provided accumulator buffer, which
+    /// is reshaped to `(Td, Tn, Tm)` in place — allocation-free once the
+    /// buffer has grown to that size. Bit-exact with
+    /// [`DwcEngine::compute_tile`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if tile shapes do not match the
+    /// engine geometry.
+    pub fn compute_tile_into(
+        &self,
+        ifmap: &Tensor3<i8>,
+        weights: &Tensor4<i8>,
+        stride: usize,
+        acc: &mut Tensor3<i32>,
+    ) -> Result<EngineActivity, CoreError> {
         let tr = (self.tn - 1) * stride + self.kernel;
         let tc = (self.tm - 1) * stride + self.kernel;
         if ifmap.shape() != (self.td, tr, tc) {
@@ -90,35 +115,43 @@ impl DwcEngine {
                 ),
             });
         }
-        let mut acc = Tensor3::<i32>::zeros(self.td, self.tn, self.tm);
-        let mut activity = EngineActivity::default();
+        acc.resize_zeroed(self.td, self.tn, self.tm);
+        // Flat-slice tap-major form of the 9-input adder trees: per
+        // channel, each kernel tap accumulates into all Tn·Tm outputs. Per
+        // output element the tap order is ascending `(kh, kw)` — integer
+        // addition is associative, so this is bit-exact with both the
+        // element-at-a-time fold and the tree the RTL instantiates.
+        let ia = ifmap.as_slice();
+        let wt = weights.as_slice();
+        let out = acc.as_mut_slice();
+        let pix = self.tn * self.tm;
+        let taps = self.kernel * self.kernel;
+        let mut zero_act = 0u64;
         for c in 0..self.td {
-            for on in 0..self.tn {
-                for om in 0..self.tm {
-                    // One 9-input adder tree: integer addition is
-                    // associative, so a linear fold is bit-exact with the
-                    // tree the RTL instantiates.
-                    let mut sum = 0i32;
-                    for kh in 0..self.kernel {
-                        for kw in 0..self.kernel {
-                            let a = ifmap[(c, on * stride + kh, om * stride + kw)];
-                            let w = weights[(c, 0, kh, kw)];
-                            sum += i32::from(a) * i32::from(w);
-                            activity.mac_slots += 1;
-                            if a == 0 {
-                                activity.zero_act_slots += 1;
-                            }
-                            if w == 0 {
-                                activity.zero_weight_slots += 1;
-                            }
+            let plane = &ia[c * tr * tc..(c + 1) * tr * tc];
+            let wch = &wt[c * taps..(c + 1) * taps];
+            let orow = &mut out[c * pix..(c + 1) * pix];
+            for kh in 0..self.kernel {
+                for kw in 0..self.kernel {
+                    let w = i32::from(wch[kh * self.kernel + kw]);
+                    for on in 0..self.tn {
+                        let base = (on * stride + kh) * tc + kw;
+                        for om in 0..self.tm {
+                            let a = plane[base + om * stride];
+                            orow[on * self.tm + om] += i32::from(a) * w;
+                            zero_act += u64::from(a == 0);
                         }
                     }
-                    acc[(c, on, om)] = sum;
                 }
             }
         }
-        debug_assert_eq!(activity.mac_slots, self.macs_per_cycle());
-        Ok(DwcTileOutput { acc, activity })
+        // Weight zero counts, hoisted: every weight feeds all Tn·Tm lanes.
+        let zero_weight: u64 = wt.iter().map(|&w| u64::from(w == 0)).sum();
+        Ok(EngineActivity {
+            mac_slots: self.macs_per_cycle(),
+            zero_act_slots: zero_act,
+            zero_weight_slots: zero_weight * pix as u64,
+        })
     }
 }
 

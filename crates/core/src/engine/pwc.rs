@@ -55,6 +55,10 @@ impl PwcEngine {
     /// Computes one tile: `ifmap` is the `(Td, Tn, Tm)` intermediate tile
     /// from the Non-Conv unit, `weights` the `(Tk, Td, 1, 1)` kernel tile.
     ///
+    /// Thin allocating wrapper over [`PwcEngine::compute_tile_into`]; the
+    /// simulator's hot path uses the `_into` variant with a reused partial
+    /// buffer.
+    ///
     /// # Errors
     ///
     /// [`CoreError::UnsupportedShape`] if tile shapes do not match the
@@ -64,6 +68,26 @@ impl PwcEngine {
         ifmap: &Tensor3<i8>,
         weights: &Tensor4<i8>,
     ) -> Result<PwcTileOutput, CoreError> {
+        let mut partial = Tensor3::<i32>::zeros(self.tk, self.tn, self.tm);
+        let activity = self.compute_tile_into(ifmap, weights, &mut partial)?;
+        Ok(PwcTileOutput { partial, activity })
+    }
+
+    /// Computes one tile into a caller-provided partial-sum buffer, which
+    /// is reshaped to `(Tk, Tn, Tm)` in place — allocation-free once the
+    /// buffer has grown to that size. Bit-exact with
+    /// [`PwcEngine::compute_tile`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if tile shapes do not match the
+    /// engine geometry.
+    pub fn compute_tile_into(
+        &self,
+        ifmap: &Tensor3<i8>,
+        weights: &Tensor4<i8>,
+        partial: &mut Tensor3<i32>,
+    ) -> Result<EngineActivity, CoreError> {
         if ifmap.shape() != (self.td, self.tn, self.tm) {
             return Err(CoreError::UnsupportedShape {
                 detail: format!(
@@ -85,31 +109,75 @@ impl PwcEngine {
                 ),
             });
         }
-        let mut partial = Tensor3::<i32>::zeros(self.tk, self.tn, self.tm);
-        let mut activity = EngineActivity::default();
-        for k in 0..self.tk {
-            for on in 0..self.tn {
-                for om in 0..self.tm {
-                    // One 8-input adder tree over the channel slice.
-                    let mut sum = 0i32;
-                    for c in 0..self.td {
-                        let a = ifmap[(c, on, om)];
-                        let w = weights[(k, c, 0, 0)];
-                        sum += i32::from(a) * i32::from(w);
-                        activity.mac_slots += 1;
-                        if a == 0 {
-                            activity.zero_act_slots += 1;
-                        }
-                        if w == 0 {
-                            activity.zero_weight_slots += 1;
+        // Flat-slice axpy form of the 8-input adder trees: for each output
+        // channel, accumulate one scaled activation plane per input
+        // channel. Per output element the channel summation order is
+        // ascending `c`, exactly as the element-at-a-time tree fold — the
+        // partials are bit-identical. The paper's Tn = Tm = 2 tile runs
+        // the register-resident lane kernel, which overwrites every output
+        // element (so the reshape skips the zero-fill); other geometries
+        // take the generic accumulate path over a zeroed buffer.
+        let pix = self.tn * self.tm;
+        let ia = ifmap.as_slice();
+        let wt = weights.as_slice();
+        // Each arm owns its reshape: the lane kernels overwrite every
+        // output element (no zero-fill needed), the generic arm
+        // accumulates and requires a zeroed buffer.
+        match pix {
+            4 => {
+                partial.resize_for_overwrite(self.tk, self.tn, self.tm);
+                Self::mac_lanes::<4>(ia, wt, partial.as_mut_slice(), self.td, self.tk);
+            }
+            8 => {
+                partial.resize_for_overwrite(self.tk, self.tn, self.tm);
+                Self::mac_lanes::<8>(ia, wt, partial.as_mut_slice(), self.td, self.tk);
+            }
+            _ => {
+                partial.resize_zeroed(self.tk, self.tn, self.tm);
+                let out = partial.as_mut_slice();
+                for k in 0..self.tk {
+                    let wrow = &wt[k * self.td..(k + 1) * self.td];
+                    let orow = &mut out[k * pix..(k + 1) * pix];
+                    for (c, &wq) in wrow.iter().enumerate() {
+                        let w = i32::from(wq);
+                        let arow = &ia[c * pix..(c + 1) * pix];
+                        for (o, &a) in orow.iter_mut().zip(arow) {
+                            *o += i32::from(a) * w;
                         }
                     }
-                    partial[(k, on, om)] = sum;
                 }
             }
         }
-        debug_assert_eq!(activity.mac_slots, self.macs_per_cycle());
-        Ok(PwcTileOutput { partial, activity })
+        // Activity counts, hoisted out of the MAC loop: every activation
+        // feeds all Tk adder trees, every weight all Tn·Tm lanes.
+        let zero_act: u64 = ia.iter().map(|&a| u64::from(a == 0)).sum();
+        let zero_weight: u64 = wt.iter().map(|&w| u64::from(w == 0)).sum();
+        Ok(EngineActivity {
+            mac_slots: self.macs_per_cycle(),
+            zero_act_slots: zero_act * self.tk as u64,
+            zero_weight_slots: zero_weight * pix as u64,
+        })
+    }
+
+    /// The dot-product lanes with a compile-time pixel count (`PIX =
+    /// Tn·Tm`), so each output tile's accumulators stay in registers and
+    /// the lane loop fully unrolls. Channel summation order is identical
+    /// to the generic path — bit-exact.
+    fn mac_lanes<const PIX: usize>(ia: &[i8], wt: &[i8], out: &mut [i32], td: usize, tk: usize) {
+        for k in 0..tk {
+            let wrow = &wt[k * td..(k + 1) * td];
+            let mut acc = [0i32; PIX];
+            for (c, &wq) in wrow.iter().enumerate() {
+                let w = i32::from(wq);
+                let arow: &[i8; PIX] = ia[c * PIX..(c + 1) * PIX]
+                    .try_into()
+                    .expect("lane slice is exactly PIX long");
+                for (o, &a) in acc.iter_mut().zip(arow) {
+                    *o += i32::from(a) * w;
+                }
+            }
+            out[k * PIX..(k + 1) * PIX].copy_from_slice(&acc);
+        }
     }
 }
 

@@ -23,6 +23,10 @@
 //!   holds weight tiles resident across a batch of images, cutting external
 //!   weight traffic per image to `1/N` at the cost of one psum bank per
 //!   in-flight image.
+//! * [`plan`] / [`scratch`] — the hot-path support structures: pre-sliced
+//!   weight plans ([`plan::NetworkPlan`], cached by long-lived sessions)
+//!   and the reusable tile-buffer arena ([`scratch::TileScratch`]) that
+//!   makes the steady-state tile loop allocation-free.
 //! * [`timing`] — the analytic latency model (Eq. 1/Eq. 2) reproducing the
 //!   paper's per-layer latency and throughput (Figs. 10, 13).
 //! * [`pipeline`] — a cycle-accurate pipeline simulation (Fig. 7),
@@ -78,9 +82,11 @@ pub mod floorplan;
 pub mod nonconv;
 pub mod paperdata;
 pub mod pipeline;
+pub mod plan;
 pub mod power;
 pub mod scaling;
 pub mod schedule;
+pub mod scratch;
 pub mod serve;
 pub mod stats;
 pub mod timing;

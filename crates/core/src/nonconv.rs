@@ -47,6 +47,10 @@ impl NonConvUnit {
     /// parameters (`params[c]` applies to channel `c`), producing the int8
     /// tile the intermediate buffer stores.
     ///
+    /// Thin allocating wrapper over [`NonConvUnit::apply_tile_into`]; the
+    /// simulator's hot path uses the `_into` variant with a reused output
+    /// buffer.
+    ///
     /// `params` may cover more channels than the tile (the caller passes the
     /// slice for the current channel window).
     ///
@@ -60,21 +64,52 @@ impl NonConvUnit {
         params: &[FoldedAffine],
     ) -> Result<(Tensor3<i8>, NonConvActivity), CoreError> {
         let (c, h, w) = acc.shape();
+        let mut out = Tensor3::<i8>::zeros(c, h, w);
+        let activity = self.apply_tile_into(acc, params, &mut out)?;
+        Ok((out, activity))
+    }
+
+    /// Transforms one accumulator tile into a caller-provided output
+    /// buffer, which is reshaped to `acc`'s shape in place —
+    /// allocation-free once the buffer has grown to that size, and
+    /// bit-exact with [`NonConvUnit::apply_tile`]. The per-channel
+    /// transform walks flat channel planes instead of indexing every
+    /// element.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if `params` has fewer entries than
+    /// the tile has channels.
+    pub fn apply_tile_into(
+        &self,
+        acc: &Tensor3<i32>,
+        params: &[FoldedAffine],
+        out: &mut Tensor3<i8>,
+    ) -> Result<NonConvActivity, CoreError> {
+        let (c, h, w) = acc.shape();
         if params.len() < c {
             return Err(CoreError::UnsupportedShape {
                 detail: format!("{} Non-Conv parameter sets for {c} channels", params.len()),
             });
         }
+        // The plane loop below writes every output element, so the
+        // reshape skips the zero-fill.
+        out.resize_for_overwrite(c, h, w);
         let mut activity = NonConvActivity::default();
-        let out = Tensor3::from_fn(c, h, w, |ci, hi, wi| {
-            activity.ops += 1;
-            let y = params[ci].apply_fixed(acc[(ci, hi, wi)], 0);
-            if y == 0 {
-                activity.zero_outputs += 1;
+        let plane = h * w;
+        let planes = acc
+            .as_slice()
+            .chunks_exact(plane)
+            .zip(out.as_mut_slice().chunks_exact_mut(plane));
+        for ((src, dst), p) in planes.zip(params) {
+            for (d, &a) in dst.iter_mut().zip(src) {
+                let y = p.apply_fixed(a, 0);
+                activity.ops += 1;
+                activity.zero_outputs += u64::from(y == 0);
+                *d = y;
             }
-            y
-        });
-        Ok((out, activity))
+        }
+        Ok(activity)
     }
 }
 

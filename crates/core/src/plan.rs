@@ -1,0 +1,326 @@
+//! Pre-sliced weight plans for the functional simulator.
+//!
+//! The loop nest of [`crate::accelerator`] consumes depthwise weights one
+//! `Td`-kernel slice per channel pass, and pointwise weights one
+//! `(Tk, Td)` tile per channel pass × kernel tile. Slicing is pure
+//! bookkeeping — the same tensors come out for the same layer every time —
+//! yet the original hot path rebuilt every slice on every
+//! `run_layer`/`run_layer_batch` call, so a serving session re-sliced all
+//! weights once per request. A [`LayerPlan`] performs that slicing once;
+//! a [`NetworkPlan`] holds one plan per layer and is the unit a long-lived
+//! deployment caches (see `edea::Deployment` and
+//! [`crate::serve::SimulatorBackend`]).
+//!
+//! Plans are pure data derived from `(layer weights, config tile
+//! geometry)`: executing through a plan is bit-exact with the unplanned
+//! wrappers, which simply build a throwaway plan per call.
+
+use std::sync::OnceLock;
+
+use edea_nn::quantize::{QuantizedDscLayer, QuantizedDscNetwork};
+use edea_nn::workload::LayerShape;
+use edea_tensor::Tensor4;
+
+use crate::config::EdeaConfig;
+use crate::CoreError;
+
+/// The pre-sliced weights of one layer: everything `execute_layer` needs
+/// that depends only on the layer and the tile geometry, not on the input.
+#[derive(Debug, Clone)]
+pub struct LayerPlan {
+    shape: LayerShape,
+    /// Tile channel depth the slices were cut for.
+    td: usize,
+    /// Tile kernel count the slices were cut for.
+    tk: usize,
+    /// Lazily computed FNV-style digest of the plan's weight bytes, so a
+    /// plan can detect being used with a same-shaped layer from a
+    /// *different* network (`shape` alone identifies a layer only within
+    /// one network). Lazy because the throwaway plans the unplanned
+    /// wrappers build route through the `_unchecked` paths and never need
+    /// it.
+    fingerprint: OnceLock<u64>,
+    /// `dw_slices[ct]` is the `(Td, 1, K, K)` depthwise slice of channel
+    /// pass `ct`.
+    dw_slices: Vec<Tensor4<i8>>,
+    /// `pw_slices[ct][kt]` is the `(Tk, Td, 1, 1)` pointwise tile of
+    /// channel pass `ct`, kernel tile `kt`.
+    pw_slices: Vec<Vec<Tensor4<i8>>>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one byte run into an FNV-1a style digest, in `u64` chunks so the
+/// per-run identity check stays far below the run itself (~0.1 ms for the
+/// width-1.0 network's 3.3 MB of weights).
+fn fnv_bytes(h: &mut u64, bytes: &[i8]) {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut word = [0u8; 8];
+        for (dst, &src) in word.iter_mut().zip(chunk) {
+            *dst = src as u8;
+        }
+        *h ^= u64::from_le_bytes(word);
+        *h = h.wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        *h ^= u64::from(b as u8);
+        *h = h.wrapping_mul(PRIME);
+    }
+}
+
+/// Digest of a plan's own slices. The byte runs fed to [`fnv_bytes`] —
+/// per depthwise slice, then per pointwise `(ct, kt, k)` row of `Td`
+/// bytes — are chosen so [`layer_fingerprint`] can replay the identical
+/// sequence straight from an unsliced layer.
+fn plan_fingerprint(dw_slices: &[Tensor4<i8>], pw_slices: &[Vec<Tensor4<i8>>]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for s in dw_slices {
+        fnv_bytes(&mut h, s.as_slice());
+    }
+    for row in pw_slices {
+        for s in row {
+            let (tk, td, _, _) = s.shape();
+            let flat = s.as_slice();
+            for k in 0..tk {
+                fnv_bytes(&mut h, &flat[k * td..(k + 1) * td]);
+            }
+        }
+    }
+    h
+}
+
+/// Digest of a layer's weights over exactly the byte runs
+/// [`plan_fingerprint`] hashes, read in place from the unsliced tensors.
+fn layer_fingerprint(layer: &QuantizedDscLayer, td: usize, tk: usize) -> u64 {
+    let mut h = FNV_OFFSET;
+    let s = layer.shape();
+    let dw = layer.dw_weights().values();
+    let (_, _, kh, kw) = dw.shape();
+    let kernel_vol = kh * kw;
+    let dw_flat = dw.as_slice();
+    for ct in 0..s.d_in / td {
+        fnv_bytes(
+            &mut h,
+            &dw_flat[ct * td * kernel_vol..(ct + 1) * td * kernel_vol],
+        );
+    }
+    let pw = layer.pw_weights().values();
+    let (_, c_in, _, _) = pw.shape();
+    let pw_flat = pw.as_slice();
+    for ct in 0..s.d_in / td {
+        for kt in 0..s.k_out / tk {
+            for k in kt * tk..(kt + 1) * tk {
+                fnv_bytes(
+                    &mut h,
+                    &pw_flat[k * c_in + ct * td..k * c_in + (ct + 1) * td],
+                );
+            }
+        }
+    }
+    h
+}
+
+impl LayerPlan {
+    /// Slices one layer's weights for `cfg`'s tile geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if the layer does not map onto the
+    /// engine geometry.
+    pub fn new(layer: &QuantizedDscLayer, cfg: &EdeaConfig) -> Result<Self, CoreError> {
+        let shape = layer.shape();
+        crate::schedule::check_layer_geometry(&shape, cfg)?;
+        let (td, tk) = (cfg.tile.td, cfg.tile.tk);
+        let channel_passes = shape.d_in / td;
+        let kernel_tiles = shape.k_out / tk;
+        // Depthwise weights are (D, 1, K, K): the per-pass slice selects Td
+        // *kernels* (one per channel).
+        let dw_slices = (0..channel_passes)
+            .map(|ct| layer.dw_weights().values().kernel_slice(ct * td, td))
+            .collect();
+        let pw_slices = (0..channel_passes)
+            .map(|ct| {
+                let chan = layer.pw_weights().values().channel_slice(ct * td, td);
+                (0..kernel_tiles)
+                    .map(|kt| chan.kernel_slice(kt * tk, tk))
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            shape,
+            td,
+            tk,
+            fingerprint: OnceLock::new(),
+            dw_slices,
+            pw_slices,
+        })
+    }
+
+    /// The shape of the layer this plan was sliced from.
+    #[must_use]
+    pub fn shape(&self) -> &LayerShape {
+        &self.shape
+    }
+
+    /// The depthwise slice of channel pass `ct`.
+    #[must_use]
+    pub(crate) fn dw_slice(&self, ct: usize) -> &Tensor4<i8> {
+        &self.dw_slices[ct]
+    }
+
+    /// The pointwise tile of channel pass `ct`, kernel tile `kt`.
+    #[must_use]
+    pub(crate) fn pw_slice(&self, ct: usize, kt: usize) -> &Tensor4<i8> {
+        &self.pw_slices[ct][kt]
+    }
+
+    /// Checks that this plan was built for `layer`: shape (which carries
+    /// the layer index, so same-shaped layers of one network are told
+    /// apart) plus a digest of the weight bytes (so a same-shaped layer
+    /// of a *different* network — e.g. a recalibrated model — is caught
+    /// instead of silently blending two models' parameters).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] naming the mismatch.
+    pub fn check_layer(&self, layer: &QuantizedDscLayer) -> Result<(), CoreError> {
+        if self.shape != layer.shape() {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "layer plan built for {:?} used with layer {:?}",
+                    self.shape,
+                    layer.shape()
+                ),
+            });
+        }
+        let own = *self
+            .fingerprint
+            .get_or_init(|| plan_fingerprint(&self.dw_slices, &self.pw_slices));
+        if own != layer_fingerprint(layer, self.td, self.tk) {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "layer plan built for a different layer {} (same shape, different weights)",
+                    self.shape.index
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One [`LayerPlan`] per layer of a network — the weight-slicing cache a
+/// long-lived deployment builds once and reuses for every request.
+#[derive(Debug, Clone)]
+pub struct NetworkPlan {
+    layers: Vec<LayerPlan>,
+}
+
+impl NetworkPlan {
+    /// Slices every layer of `net` for `cfg`'s tile geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if any layer does not map onto the
+    /// engine geometry.
+    pub fn new(net: &QuantizedDscNetwork, cfg: &EdeaConfig) -> Result<Self, CoreError> {
+        let layers = net
+            .layers()
+            .iter()
+            .map(|l| LayerPlan::new(l, cfg))
+            .collect::<Result<_, _>>()?;
+        Ok(Self { layers })
+    }
+
+    /// The per-layer plans, in network order.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerPlan] {
+        &self.layers
+    }
+
+    /// Checks that this plan was built for `net` (layer count and shapes).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] on a count or shape mismatch.
+    pub fn check_network(&self, net: &QuantizedDscNetwork) -> Result<(), CoreError> {
+        if self.layers.len() != net.layers().len() {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "network plan holds {} layers, network has {}",
+                    self.layers.len(),
+                    net.layers().len()
+                ),
+            });
+        }
+        for (plan, layer) in self.layers.iter().zip(net.layers()) {
+            plan.check_layer(layer)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_testutil::deploy;
+
+    #[test]
+    fn plan_slices_match_on_the_fly_slicing() {
+        let d = deploy(0.25, 21);
+        let cfg = EdeaConfig::paper();
+        let layer = &d.qnet.layers()[1];
+        let plan = LayerPlan::new(layer, &cfg).unwrap();
+        let s = layer.shape();
+        let (td, tk) = (cfg.tile.td, cfg.tile.tk);
+        for ct in 0..s.d_in / td {
+            assert_eq!(
+                plan.dw_slice(ct),
+                &layer.dw_weights().values().kernel_slice(ct * td, td)
+            );
+            let chan = layer.pw_weights().values().channel_slice(ct * td, td);
+            for kt in 0..s.k_out / tk {
+                assert_eq!(plan.pw_slice(ct, kt), &chan.kernel_slice(kt * tk, tk));
+            }
+        }
+    }
+
+    #[test]
+    fn network_plan_covers_every_layer_and_checks_identity() {
+        let d = deploy(0.25, 22);
+        let cfg = EdeaConfig::paper();
+        let plan = NetworkPlan::new(&d.qnet, &cfg).unwrap();
+        assert_eq!(plan.layers().len(), d.qnet.layers().len());
+        plan.check_network(&d.qnet).unwrap();
+        // A plan for one layer rejects a different layer.
+        let err = plan.layers()[0]
+            .check_layer(&d.qnet.layers()[1])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedShape { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn plan_rejects_same_shaped_layer_with_different_weights() {
+        // Two deployments at the same width share every LayerShape
+        // (including the index) but have different weights; the
+        // fingerprint must tell them apart.
+        let a = deploy(0.25, 31);
+        let b = deploy(0.25, 32);
+        let cfg = EdeaConfig::paper();
+        let plan = LayerPlan::new(&a.qnet.layers()[0], &cfg).unwrap();
+        plan.check_layer(&a.qnet.layers()[0]).unwrap();
+        let err = plan.check_layer(&b.qnet.layers()[0]).unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedShape { .. }), "{err:?}");
+        let net_plan = NetworkPlan::new(&a.qnet, &cfg).unwrap();
+        assert!(net_plan.check_network(&b.qnet).is_err());
+    }
+
+    #[test]
+    fn plan_rejects_unmappable_geometry() {
+        let d = deploy(0.25, 23);
+        let mut cfg = EdeaConfig::paper();
+        cfg.tile.td = 3; // no layer's d_in is a multiple of 3
+        assert!(LayerPlan::new(&d.qnet.layers()[0], &cfg).is_err());
+    }
+}

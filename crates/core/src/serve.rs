@@ -48,15 +48,18 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 use edea_nn::executor;
 use edea_nn::quantize::QuantizedDscNetwork;
 use edea_nn::workload::LayerShape;
 use edea_tensor::{Batch, Tensor3};
 
-use crate::accelerator::Edea;
+use crate::accelerator::{BatchRun, Edea, NetworkRun};
 use crate::config::EdeaConfig;
+use crate::plan::NetworkPlan;
 use crate::schedule::WeightResidency;
+use crate::scratch::TileScratch;
 use crate::stats::synthetic_batch_layer_stats;
 use crate::CoreError;
 
@@ -201,18 +204,38 @@ pub trait Backend {
     fn run(&self, inputs: &Batch<i8>) -> Result<BackendRun, CoreError>;
 }
 
-/// The cycle-accurate backend: dispatches to [`Edea::run_batch`] and
-/// reports the *measured* cycle and traffic accounting of the batched
-/// weight-residency schedule.
-#[derive(Debug, Clone)]
+/// The cycle-accurate backend: dispatches to the accelerator's planned
+/// batch path and reports the *measured* cycle and traffic accounting of
+/// the batched weight-residency schedule. The pre-sliced weight plan
+/// ([`NetworkPlan`]) is built once at construction and one
+/// [`TileScratch`] is reused across requests, so a serving session
+/// neither re-slices weights nor re-grows tile buffers per dispatch.
+#[derive(Debug)]
 pub struct SimulatorBackend {
     edea: Edea,
     qnet: QuantizedDscNetwork,
+    plan: NetworkPlan,
     cost: CostModel,
+    scratch: Mutex<TileScratch>,
+}
+
+impl Clone for SimulatorBackend {
+    fn clone(&self) -> Self {
+        Self {
+            edea: self.edea.clone(),
+            qnet: self.qnet.clone(),
+            plan: self.plan.clone(),
+            cost: self.cost,
+            // Scratch is pure working memory: a clone starts empty and
+            // grows to steady state on its first request.
+            scratch: Mutex::new(TileScratch::new()),
+        }
+    }
 }
 
 impl SimulatorBackend {
-    /// Builds a simulator backend owning the accelerator and the network.
+    /// Builds a simulator backend owning the accelerator, the network and
+    /// its pre-sliced weight plan.
     ///
     /// # Errors
     ///
@@ -221,7 +244,14 @@ impl SimulatorBackend {
     pub fn new(edea: Edea, qnet: QuantizedDscNetwork) -> Result<Self, CoreError> {
         let shapes: Vec<LayerShape> = qnet.layers().iter().map(|l| l.shape()).collect();
         let cost = CostModel::for_network(&shapes, edea.config())?;
-        Ok(Self { edea, qnet, cost })
+        let plan = edea.plan_network(&qnet)?;
+        Ok(Self {
+            edea,
+            qnet,
+            plan,
+            cost,
+            scratch: Mutex::new(TileScratch::new()),
+        })
     }
 
     /// The analytic cost model of this deployment (measured runs agree
@@ -242,6 +272,53 @@ impl SimulatorBackend {
     pub fn accelerator(&self) -> &Edea {
         &self.edea
     }
+
+    /// The pre-sliced weight plan, built once for the session.
+    #[must_use]
+    pub fn plan(&self) -> &NetworkPlan {
+        &self.plan
+    }
+
+    /// Runs `f` with the session scratch, without ever blocking: the
+    /// shared arena on the fast path, a fresh one under contention or
+    /// after a poisoning panic (the buffers are plain working memory,
+    /// always valid to reuse).
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut TileScratch) -> R) -> R {
+        match self.scratch.try_lock() {
+            Ok(mut g) => f(&mut g),
+            Err(std::sync::TryLockError::Poisoned(p)) => f(&mut p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => f(&mut TileScratch::new()),
+        }
+    }
+
+    /// Runs one input through the owned network on the cycle-accurate
+    /// simulator, through the session's cached plan and reused scratch.
+    /// No per-call identity check is needed: plan and network were built
+    /// together in [`SimulatorBackend::new`] and are immutable.
+    ///
+    /// # Errors
+    ///
+    /// As [`Edea::run_network`].
+    pub fn run_network(&self, input: &Tensor3<i8>) -> Result<NetworkRun, CoreError> {
+        self.with_scratch(|scratch| {
+            self.edea
+                .run_network_planned_unchecked(&self.qnet, &self.plan, input, scratch)
+        })
+    }
+
+    /// Runs a batch through the owned network's weight-residency schedule,
+    /// through the session's cached plan and reused scratch (see
+    /// [`SimulatorBackend::run_network`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Edea::run_batch`].
+    pub fn run_batch(&self, inputs: &Batch<i8>) -> Result<BatchRun, CoreError> {
+        self.with_scratch(|scratch| {
+            self.edea
+                .run_batch_planned_unchecked(&self.qnet, &self.plan, inputs, scratch)
+        })
+    }
 }
 
 impl Backend for SimulatorBackend {
@@ -259,7 +336,7 @@ impl Backend for SimulatorBackend {
     }
 
     fn run(&self, inputs: &Batch<i8>) -> Result<BackendRun, CoreError> {
-        let run = self.edea.run_batch(&self.qnet, inputs)?;
+        let run = self.run_batch(inputs)?;
         Ok(BackendRun {
             outputs: run.outputs,
             cycles: run.stats.total_cycles(),
@@ -621,14 +698,22 @@ impl ServeReport {
             .unwrap_or(0)
     }
 
-    /// Latency percentile in ticks: the sorted latency at the rounded
-    /// fractional index `p/100 · (n-1)` (`p` in `0..=100`, so `p = 100`
-    /// is the maximum and `p = 50` the median for odd `n`).
+    /// Latency percentile in ticks, by the **nearest-rank** rule over the
+    /// sorted latencies: the value at index `round(p/100 · (n−1))`, where
+    /// `round` is half-away-from-zero ([`f64::round`]) — so at a half-index
+    /// the *higher* rank wins (`p = 50` of two latencies returns the
+    /// larger; for odd `n` it is the exact median). `p = 0` is the
+    /// minimum, `p = 100` the maximum.
+    ///
+    /// `p` is clamped into `0.0..=100.0` (a NaN `p` reads as `0`); an
+    /// empty report returns `0`, consistent with the rest of the
+    /// empty-report convention (see [`ServeReport::slo_attainment`]).
     #[must_use]
     pub fn latency_percentile(&self, p: f64) -> u64 {
         if self.responses.is_empty() {
             return 0;
         }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         let mut lat: Vec<u64> = self.responses.iter().map(Response::latency).collect();
         lat.sort_unstable();
         let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
@@ -636,17 +721,23 @@ impl ServeReport {
     }
 
     /// Fraction of requests whose latency met `slo` ticks.
+    ///
+    /// An empty report returns `0.0` — **every** aggregate statistic of an
+    /// empty report is zero (mean/max latency, percentiles, batch size,
+    /// bytes per image, throughput, and this attainment), so an idle
+    /// window never reads as a vacuously *met* SLO.
     #[must_use]
     pub fn slo_attainment(&self, slo: u64) -> f64 {
         if self.responses.is_empty() {
-            return 1.0;
+            return 0.0;
         }
         self.responses.iter().filter(|r| r.latency() <= slo).count() as f64
             / self.responses.len() as f64
     }
 
     /// Served images per second at `cfg`'s clock (images over the
-    /// makespan).
+    /// makespan). An empty report returns `0.0` (the empty-report
+    /// convention of [`ServeReport::slo_attainment`]).
     #[must_use]
     pub fn throughput_images_per_second(&self, cfg: &EdeaConfig) -> f64 {
         if self.makespan() == 0 {
@@ -1044,6 +1135,88 @@ mod tests {
         assert!(report.batches.is_empty());
         assert_eq!(report.makespan(), 0);
         assert_eq!(report.mean_batch_size(), 0.0);
+    }
+
+    /// Builds a report whose responses have exactly the given latencies
+    /// (arrival 0, completion = latency), with no batch records.
+    fn report_with_latencies(lats: &[u64]) -> ServeReport {
+        ServeReport {
+            backend: "test".into(),
+            policy: Policy::new(1, 0).unwrap(),
+            responses: lats
+                .iter()
+                .enumerate()
+                .map(|(i, &lat)| Response {
+                    id: i as u64,
+                    arrival: 0,
+                    dispatched: 0,
+                    completed: lat,
+                    batch: 0,
+                    output: Tensor3::<i8>::zeros(1, 1, 1),
+                })
+                .collect(),
+            batches: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn latency_percentile_exact_values_at_small_n() {
+        // n = 1: every percentile is the lone latency.
+        let r = report_with_latencies(&[7]);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(r.latency_percentile(p), 7, "n=1 p={p}");
+        }
+        // n = 2: p50 sits at the half-index 0.5, which rounds *up*
+        // (half-away-from-zero), so the larger latency wins.
+        let r = report_with_latencies(&[10, 20]);
+        assert_eq!(r.latency_percentile(0.0), 10);
+        assert_eq!(r.latency_percentile(50.0), 20);
+        assert_eq!(r.latency_percentile(100.0), 20);
+        // n = 3: p50 is the exact median.
+        let r = report_with_latencies(&[30, 10, 20]); // unsorted on purpose
+        assert_eq!(r.latency_percentile(0.0), 10);
+        assert_eq!(r.latency_percentile(50.0), 20);
+        assert_eq!(r.latency_percentile(100.0), 30);
+    }
+
+    #[test]
+    fn latency_percentile_clamps_out_of_range_p() {
+        let r = report_with_latencies(&[10, 20, 30]);
+        assert_eq!(r.latency_percentile(-5.0), r.latency_percentile(0.0));
+        assert_eq!(r.latency_percentile(250.0), r.latency_percentile(100.0));
+        assert_eq!(r.latency_percentile(f64::NAN), r.latency_percentile(0.0));
+        assert_eq!(
+            r.latency_percentile(f64::NEG_INFINITY),
+            r.latency_percentile(0.0)
+        );
+        assert_eq!(
+            r.latency_percentile(f64::INFINITY),
+            r.latency_percentile(100.0)
+        );
+    }
+
+    #[test]
+    fn empty_report_statistics_are_uniformly_zero() {
+        // The empty-report convention: no vacuous SLO success, no
+        // asymmetry — every aggregate is zero.
+        let r = report_with_latencies(&[]);
+        assert_eq!(r.slo_attainment(u64::MAX), 0.0);
+        assert_eq!(r.throughput_images_per_second(&EdeaConfig::paper()), 0.0);
+        assert_eq!(r.latency_percentile(50.0), 0);
+        assert_eq!(r.mean_latency(), 0.0);
+        assert_eq!(r.max_latency(), 0);
+        assert_eq!(r.mean_batch_size(), 0.0);
+        assert_eq!(r.weight_bytes_per_image(), 0.0);
+        assert_eq!(r.external_bytes_per_image(), 0.0);
+        assert_eq!(r.makespan(), 0);
+    }
+
+    #[test]
+    fn nonempty_report_slo_attainment_counts_met_requests() {
+        let r = report_with_latencies(&[10, 20, 30, 40]);
+        assert_eq!(r.slo_attainment(5), 0.0);
+        assert_eq!(r.slo_attainment(20), 0.5);
+        assert_eq!(r.slo_attainment(40), 1.0);
     }
 
     #[test]

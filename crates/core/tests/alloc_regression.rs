@@ -1,0 +1,119 @@
+//! Allocation-regression guard for the simulator's scratch-buffer tile
+//! pipeline: the steady-state tile loop must perform **zero** heap
+//! allocations, and a warm layer run must allocate only per-image output
+//! structures — never per tile.
+//!
+//! The whole guard lives in one `#[test]` because the counting allocator
+//! is process-wide and the default harness runs tests of one binary
+//! concurrently.
+
+use edea_core::plan::LayerPlan;
+use edea_core::schedule::WeightResidency;
+use edea_core::scratch::TileScratch;
+use edea_core::EdeaConfig;
+use edea_core::{
+    engine::{DwcEngine, PwcEngine},
+    nonconv::NonConvUnit,
+    Edea,
+};
+use edea_tensor::Tensor3;
+use edea_testutil::alloc::CountingAllocator;
+use edea_testutil::{batch_inputs, deploy};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn steady_state_tile_pipeline_does_not_allocate() {
+    let cfg = EdeaConfig::paper();
+    let d = deploy(0.25, 77);
+    let layer = &d.qnet.layers()[0]; // d_in 8, k_out 16, 32×32 ofmap
+    let edea = Edea::new(cfg.clone()).unwrap();
+
+    // --- Part 1: the per-tile pipeline itself allocates exactly zero. ---
+    // Drive the DWC → Non-Conv → PWC chain over warm scratch buffers, the
+    // way execute_layer's innermost loop does.
+    let dwc = DwcEngine::new(&cfg);
+    let pwc = PwcEngine::new(&cfg);
+    let nonconv = NonConvUnit::new(&cfg);
+    let padded = d.input.zero_padded(1);
+    let dw = d.qnet.layers()[0].dw_weights().values().kernel_slice(0, 8);
+    let pw = d.qnet.layers()[0]
+        .pw_weights()
+        .values()
+        .channel_slice(0, 8)
+        .kernel_slice(0, 16);
+    let mut window = Tensor3::<i8>::zeros(8, 4, 4);
+    let mut acc = Tensor3::<i32>::zeros(1, 1, 1);
+    let mut mid = Tensor3::<i8>::zeros(1, 1, 1);
+    let mut partial = Tensor3::<i32>::zeros(1, 1, 1);
+    let tile = |row0: usize,
+                col0: usize,
+                window: &mut Tensor3<i8>,
+                acc: &mut Tensor3<i32>,
+                mid: &mut Tensor3<i8>,
+                partial: &mut Tensor3<i32>| {
+        padded.copy_window_into(0, row0, col0, window);
+        dwc.compute_tile_into(window, &dw, 1, acc).unwrap();
+        nonconv
+            .apply_tile_into(acc, d.qnet.layers()[0].nonconv1(), mid)
+            .unwrap();
+        pwc.compute_tile_into(mid, &pw, partial).unwrap();
+    };
+    // Warm-up grows every buffer to its steady-state shape.
+    tile(0, 0, &mut window, &mut acc, &mut mid, &mut partial);
+    let before = CountingAllocator::allocations();
+    for i in 0..256usize {
+        let (r, c) = ((i / 16) * 2, (i % 16) * 2);
+        tile(r, c, &mut window, &mut acc, &mut mid, &mut partial);
+    }
+    let per_tile = CountingAllocator::allocations() - before;
+    assert_eq!(
+        per_tile, 0,
+        "steady-state tile pipeline allocated {per_tile} times over 256 tiles"
+    );
+
+    // --- Part 2: a warm planned layer run allocates only a small, stable,
+    // per-image set of output structures — not one per tile. ---
+    let plan = LayerPlan::new(layer, &cfg).unwrap();
+    let mut scratch = TileScratch::new();
+    let inputs = batch_inputs(&d, 2, 79);
+    let run = |n: usize, scratch: &mut TileScratch| {
+        edea.run_layer_planned(
+            layer,
+            &plan,
+            &inputs.images()[..n],
+            WeightResidency::PerBatch,
+            scratch,
+        )
+        .unwrap()
+    };
+    // Warm the scratch for the larger batch first.
+    let _ = run(2, &mut scratch);
+    let count_allocs = |n: usize, scratch: &mut TileScratch| {
+        let before = CountingAllocator::allocations();
+        let out = run(n, scratch);
+        let allocs = CountingAllocator::allocations() - before;
+        drop(out);
+        allocs
+    };
+    let one_a = count_allocs(1, &mut scratch);
+    let one_b = count_allocs(1, &mut scratch);
+    let two = count_allocs(2, &mut scratch);
+    assert_eq!(
+        one_a, one_b,
+        "warm runs must have a stable allocation count"
+    );
+    // Layer 0 at width 0.25 runs 256 spatial tiles per image: if even one
+    // allocation per tile slipped back in, the count would exceed 256.
+    assert!(
+        one_a < 64,
+        "warm single-image layer run allocated {one_a} times (256 tiles)"
+    );
+    // Doubling the batch doubles the tile work; the allocation count may
+    // grow only by the per-image output set.
+    assert!(
+        two - one_a < 32,
+        "batch of 2 allocated {two}, batch of 1 {one_a}: per-tile allocation crept back in"
+    );
+}

@@ -1,0 +1,78 @@
+//! Property tests of the portion geometry: `Portion::input_region` halo
+//! clipping must never underflow, must hand every portion exactly the
+//! (clipped) halo window its output pixels read, and the portions of a
+//! layer must together read **every** ifmap pixel — for stride-1 and
+//! stride-2 layers and for out_spatial values the portion limit does not
+//! divide.
+
+use edea_core::schedule::portions;
+use proptest::prelude::*;
+
+/// `out = (in + 2·pad − kernel) / stride + 1`, as the workload defines it.
+fn out_dim(in_spatial: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (in_spatial + 2 * pad - kernel) / stride + 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For any map size, stride and portion limit: every portion's input
+    /// region is a valid in-bounds rectangle (no index underflow), it is
+    /// exactly the brute-force union of the halo windows of the portion's
+    /// output pixels (clipped to the map), and the regions of all
+    /// portions together cover the whole ifmap.
+    #[test]
+    fn input_region_is_exact_and_portions_cover_the_ifmap(
+        in_spatial in 2usize..=64,
+        stride in 1usize..=2,
+        limit in 1usize..=8,
+    ) {
+        let (kernel, pad) = (3usize, 1usize);
+        let out = out_dim(in_spatial, kernel, stride, pad);
+        prop_assume!(out >= 1);
+        let mut covered = vec![false; in_spatial * in_spatial];
+        for p in portions(out, limit) {
+            let (r0, c0, rows, cols) = p.input_region(stride, kernel, pad, in_spatial);
+            // A valid sub-rectangle: non-empty, in bounds, no wrap-around
+            // from the saturating arithmetic.
+            prop_assert!(rows >= 1 && cols >= 1, "empty region for {p:?}");
+            prop_assert!(r0 + rows <= in_spatial, "{p:?} rows overflow");
+            prop_assert!(c0 + cols <= in_spatial, "{p:?} cols overflow");
+            // Brute force the rows/cols the portion's output pixels read.
+            let needed = |o0: usize, n: usize| {
+                let lo = (o0 * stride).saturating_sub(pad);
+                let hi = ((o0 + n - 1) * stride + kernel - pad).min(in_spatial);
+                (lo, hi)
+            };
+            let (nr0, nr1) = needed(p.row0, p.rows);
+            let (nc0, nc1) = needed(p.col0, p.cols);
+            prop_assert_eq!((r0, r0 + rows), (nr0, nr1), "row window of {:?}", p);
+            prop_assert_eq!((c0, c0 + cols), (nc0, nc1), "col window of {:?}", p);
+            for r in r0..r0 + rows {
+                for c in c0..c0 + cols {
+                    covered[r * in_spatial + c] = true;
+                }
+            }
+        }
+        prop_assert!(
+            covered.iter().all(|&v| v),
+            "portions do not cover the {in_spatial}×{in_spatial} ifmap"
+        );
+    }
+
+    /// Stride-2 layers on *even* input maps (the shape MobileNet actually
+    /// uses: the halo window starts mid-pixel) still cover the last input
+    /// row and column.
+    #[test]
+    fn stride2_even_maps_cover_the_bottom_right_halo(half in 1usize..=32, limit in 1usize..=8) {
+        let in_spatial = 2 * half;
+        let out = out_dim(in_spatial, 3, 2, 1);
+        let last = portions(out, limit)
+            .into_iter()
+            .map(|p| p.input_region(2, 3, 1, in_spatial))
+            .map(|(r0, _, rows, _)| r0 + rows)
+            .max()
+            .expect("at least one portion");
+        prop_assert_eq!(last, in_spatial);
+    }
+}

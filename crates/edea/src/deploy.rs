@@ -27,6 +27,7 @@
 
 use edea_core::accelerator::{BatchRun, Edea, NetworkRun};
 use edea_core::config::EdeaConfig;
+use edea_core::plan::NetworkPlan;
 use edea_core::serve::{GoldenBackend, Policy, Request, Scheduler, ServeReport, SimulatorBackend};
 use edea_nn::mobilenet::MobileNetV1;
 use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
@@ -187,22 +188,34 @@ impl Deployment {
         self.qnet().quantize_input(&self.model.forward_stem(image))
     }
 
-    /// Runs one prepared input through the whole network on the simulator.
+    /// The pre-sliced weight plan of this deployment, built once at
+    /// [`DeploymentBuilder::build`] time and reused by every run — repeated
+    /// serving requests never re-slice weights.
+    #[must_use]
+    pub fn plan(&self) -> &NetworkPlan {
+        self.simulator.plan()
+    }
+
+    /// Runs one prepared input through the whole network on the simulator,
+    /// through the session's cached weight plan and reused scratch (no
+    /// per-call plan re-validation: plan and network are owned together by
+    /// the session).
     ///
     /// # Errors
     ///
     /// [`Error::Core`] on shape or buffer-capacity errors.
     pub fn run(&self, input: &Tensor3<i8>) -> Result<NetworkRun, Error> {
-        Ok(self.accelerator().run_network(self.qnet(), input)?)
+        Ok(self.simulator.run_network(input)?)
     }
 
-    /// Runs a batch through the weight-residency schedule.
+    /// Runs a batch through the weight-residency schedule, through the
+    /// session's cached weight plan and reused scratch.
     ///
     /// # Errors
     ///
     /// [`Error::Core`] on shape or buffer-capacity errors.
     pub fn run_batch(&self, inputs: &Batch<i8>) -> Result<BatchRun, Error> {
-        Ok(self.accelerator().run_batch(self.qnet(), inputs)?)
+        Ok(self.simulator.run_batch(inputs)?)
     }
 
     /// The cycle-accurate serving backend over this deployment, built once

@@ -107,6 +107,111 @@ impl<T: Copy + Default> Tensor3<T> {
         out
     }
 
+    /// Reshapes to `(c, h, w)` in place and fills every element with
+    /// `T::default()`, reusing the existing allocation whenever its
+    /// capacity allows — the steady-state path performs no heap
+    /// allocation. This is the scratch-buffer primitive of the simulator's
+    /// tile pipeline: a buffer is reserved once at its largest shape and
+    /// `resize_zeroed` between uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn resize_zeroed(&mut self, c: usize, h: usize, w: usize) {
+        assert!(
+            c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be non-zero"
+        );
+        self.data.clear();
+        self.data.resize(c * h * w, T::default());
+        self.c = c;
+        self.h = h;
+        self.w = w;
+    }
+
+    /// Reshapes to `(c, h, w)` in place, leaving the contents
+    /// **unspecified** (stale) when the element count already matches —
+    /// for consumers that overwrite every element anyway, this skips
+    /// [`Tensor3::resize_zeroed`]'s fill. When the count changes it
+    /// behaves exactly like `resize_zeroed`. Never allocates when
+    /// capacity suffices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn resize_for_overwrite(&mut self, c: usize, h: usize, w: usize) {
+        assert!(
+            c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be non-zero"
+        );
+        if self.data.len() != c * h * w {
+            self.data.clear();
+            self.data.resize(c * h * w, T::default());
+        }
+        self.c = c;
+        self.h = h;
+        self.w = w;
+    }
+
+    /// Ensures the backing storage can hold at least `n` elements, so a
+    /// later [`Tensor3::resize_zeroed`] up to that size cannot allocate.
+    /// Shape and contents are untouched.
+    pub fn reserve_capacity(&mut self, n: usize) {
+        if n > self.data.len() {
+            self.data.reserve(n - self.data.len());
+        }
+    }
+
+    /// Copies the window anchored at `(c0, h0, w0)` whose extent is `out`'s
+    /// shape into `out`, overwriting every element — the allocation-free
+    /// counterpart of building a window tensor from scratch. Rows are moved
+    /// with flat-index `copy_from_slice` calls, not per-element indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds this tensor's bounds.
+    pub fn copy_window_into(&self, c0: usize, h0: usize, w0: usize, out: &mut Self) {
+        let (cn, hn, wn) = out.shape();
+        assert!(
+            c0 + cn <= self.c && h0 + hn <= self.h && w0 + wn <= self.w,
+            "window ({cn}, {hn}, {wn}) at ({c0}, {h0}, {w0}) exceeds shape {:?}",
+            self.shape()
+        );
+        for c in 0..cn {
+            for h in 0..hn {
+                let src = ((c0 + c) * self.h + (h0 + h)) * self.w + w0;
+                let dst = (c * hn + h) * wn;
+                out.data[dst..dst + wn].copy_from_slice(&self.data[src..src + wn]);
+            }
+        }
+    }
+
+    /// Writes `src` into the window of this tensor anchored at
+    /// `(c0, h0, w0)` — the inverse of [`Tensor3::copy_window_into`], used
+    /// to scatter a computed tile back into a full feature map without
+    /// per-element index arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds this tensor's bounds.
+    pub fn paste_window(&mut self, c0: usize, h0: usize, w0: usize, src: &Self) {
+        let (cn, hn, wn) = src.shape();
+        assert!(
+            c0 + cn <= self.c && h0 + hn <= self.h && w0 + wn <= self.w,
+            "window ({cn}, {hn}, {wn}) at ({c0}, {h0}, {w0}) exceeds shape ({}, {}, {})",
+            self.c,
+            self.h,
+            self.w
+        );
+        for c in 0..cn {
+            for h in 0..hn {
+                let dst = ((c0 + c) * self.h + (h0 + h)) * self.w + w0;
+                let s = (c * hn + h) * wn;
+                self.data[dst..dst + wn].copy_from_slice(&src.data[s..s + wn]);
+            }
+        }
+    }
+
     /// Extracts channels `[c0, c0+n)` into a new tensor.
     ///
     /// # Panics
@@ -384,6 +489,9 @@ impl<T: Copy + Default> Tensor4<T> {
 
     /// Extracts input channels `[c0, c0+n)` from every kernel.
     ///
+    /// Channels of one kernel are contiguous in KCHW order, so the slice
+    /// is one flat-index block copy per kernel.
+    ///
     /// # Panics
     ///
     /// Panics if the range exceeds the channel count.
@@ -395,15 +503,12 @@ impl<T: Copy + Default> Tensor4<T> {
             c0 + n,
             self.c
         );
+        let plane = self.h * self.w;
         let mut out = Self::zeros(self.k, n, self.h, self.w);
         for k in 0..self.k {
-            for c in 0..n {
-                for h in 0..self.h {
-                    for w in 0..self.w {
-                        out[(k, c, h, w)] = self[(k, c0 + c, h, w)];
-                    }
-                }
-            }
+            let src = (k * self.c + c0) * plane;
+            let dst = k * n * plane;
+            out.data[dst..dst + n * plane].copy_from_slice(&self.data[src..src + n * plane]);
         }
         out
     }
@@ -558,6 +663,101 @@ mod tests {
     fn channel_slice_out_of_range_panics() {
         let t = Tensor3::<i32>::zeros(4, 2, 2);
         let _ = t.channel_slice(3, 2);
+    }
+
+    #[test]
+    fn resize_zeroed_reuses_capacity_and_zeroes() {
+        let mut t = Tensor3::<i32>::from_fn(4, 4, 4, |c, h, w| (c + h + w) as i32);
+        let cap = t.data.capacity();
+        t.resize_zeroed(2, 3, 3);
+        assert_eq!(t.shape(), (2, 3, 3));
+        assert!(t.as_slice().iter().all(|&v| v == 0));
+        assert_eq!(t.data.capacity(), cap, "shrink must not reallocate");
+        // Growing within capacity keeps the buffer too.
+        t.resize_zeroed(4, 4, 4);
+        assert_eq!(t.data.capacity(), cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn resize_zeroed_rejects_empty() {
+        Tensor3::<u8>::zeros(1, 1, 1).resize_zeroed(0, 1, 1);
+    }
+
+    #[test]
+    fn resize_for_overwrite_keeps_len_matched_contents_and_zeroes_growth() {
+        let mut t = Tensor3::<i32>::from_fn(2, 2, 3, |c, h, w| (c * 100 + h * 10 + w) as i32);
+        // Same element count: reshape only, contents (stale) preserved.
+        t.resize_for_overwrite(3, 2, 2);
+        assert_eq!(t.shape(), (3, 2, 2));
+        assert_eq!(t.as_slice()[0], 0);
+        assert_eq!(t.as_slice()[11], 112);
+        // Different element count: behaves like resize_zeroed.
+        t.resize_for_overwrite(2, 2, 2);
+        assert_eq!(t.shape(), (2, 2, 2));
+        assert!(t.as_slice().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn reserve_capacity_prevents_later_allocation() {
+        let mut t = Tensor3::<i32>::zeros(1, 1, 1);
+        t.reserve_capacity(64);
+        let cap = t.data.capacity();
+        assert!(cap >= 64);
+        t.resize_zeroed(4, 4, 4);
+        assert_eq!(
+            t.data.capacity(),
+            cap,
+            "resize within capacity must not reallocate"
+        );
+    }
+
+    #[test]
+    fn copy_window_into_matches_from_fn_window() {
+        let t = Tensor3::<i32>::from_fn(6, 7, 8, |c, h, w| (c * 100 + h * 10 + w) as i32);
+        let mut win = Tensor3::<i32>::zeros(3, 4, 5);
+        t.copy_window_into(2, 1, 3, &mut win);
+        let expect = Tensor3::from_fn(3, 4, 5, |c, h, w| t[(2 + c, 1 + h, 3 + w)]);
+        assert_eq!(win, expect);
+        // Full-tensor window is an identity copy.
+        let mut full = Tensor3::<i32>::zeros(6, 7, 8);
+        t.copy_window_into(0, 0, 0, &mut full);
+        assert_eq!(full, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds shape")]
+    fn copy_window_into_rejects_out_of_bounds() {
+        let t = Tensor3::<i32>::zeros(2, 4, 4);
+        let mut win = Tensor3::<i32>::zeros(1, 3, 3);
+        t.copy_window_into(0, 2, 2, &mut win);
+    }
+
+    #[test]
+    fn paste_window_is_inverse_of_copy_window_into() {
+        let t = Tensor3::<i32>::from_fn(4, 5, 6, |c, h, w| (c * 100 + h * 10 + w) as i32);
+        let mut win = Tensor3::<i32>::zeros(2, 2, 3);
+        t.copy_window_into(1, 2, 1, &mut win);
+        let mut out = Tensor3::<i32>::zeros(4, 5, 6);
+        out.paste_window(1, 2, 1, &win);
+        for c in 0..2 {
+            for h in 0..2 {
+                for w in 0..3 {
+                    assert_eq!(out[(1 + c, 2 + h, 1 + w)], t[(1 + c, 2 + h, 1 + w)]);
+                }
+            }
+        }
+        // Elements outside the window are untouched.
+        assert_eq!(out[(0, 0, 0)], 0);
+        assert_eq!(out[(3, 4, 5)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds shape")]
+    fn paste_window_rejects_out_of_bounds() {
+        let mut t = Tensor3::<i32>::zeros(2, 4, 4);
+        let win = Tensor3::<i32>::zeros(1, 3, 3);
+        t.paste_window(1, 2, 2, &win);
     }
 
     #[test]

@@ -23,8 +23,13 @@
 //! assert!(input.len() > 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the counting allocator in [`alloc`] needs one
+// `unsafe impl GlobalAlloc` (explicitly allowed there); everything else
+// stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod alloc;
 
 use edea_core::accelerator::{BatchRun, Edea, NetworkRun};
 use edea_core::config::EdeaConfig;
