@@ -22,6 +22,7 @@ fn main() {
         e::portion_study(),
         e::batch_sweep(),
         e::serve_sweep(),
+        e::pool_sweep(),
     ] {
         println!("{section}");
     }

@@ -1,0 +1,19 @@
+//! Extension study: the serving scheduler sharded across a pool of N
+//! simulated EDEA instances.
+//! Run with: `cargo run -p edea-bench --bin pool_sweep --release`
+//!
+//! Set `EDEA_BENCH_SMOKE=1` for a reduced smoke pass (one load point,
+//! N ∈ {1, 2}) — used by CI to keep the pool dispatch path executing
+//! without paying the full sweep.
+
+fn main() {
+    let smoke = matches!(
+        std::env::var("EDEA_BENCH_SMOKE").as_deref(),
+        Ok(v) if !v.is_empty() && v != "0"
+    );
+    if smoke {
+        println!("{}", edea_bench::experiments::pool_sweep_smoke());
+    } else {
+        println!("{}", edea_bench::experiments::pool_sweep());
+    }
+}

@@ -71,6 +71,7 @@ golden!(
     portion_study,
     batch_sweep,
     serve_sweep,
+    pool_sweep,
 );
 
 #[test]

@@ -43,6 +43,14 @@
 //!   (max-batch + max-wait policy, simulated clock) that drains a request
 //!   queue into [`Edea::run_batch`] and reports per-request latency and
 //!   aggregate throughput/SLO statistics.
+//! * [`pool`] — the multi-accelerator pool: N backends, each with its own
+//!   busy-until clock and weight residency, behind a
+//!   [`Dispatcher`](pool::Dispatcher) routing requests by
+//!   [`DispatchPolicy`](pool::DispatchPolicy) (round-robin, least-loaded,
+//!   join-shortest-queue). The single-backend scheduler is the N = 1 case
+//!   of its event loop; [`PoolReport`](pool::PoolReport) adds per-worker
+//!   utilization, queue depth and the aggregate weight-DRAM-per-image
+//!   replication cost.
 //!
 //! ## Quickstart
 //!
@@ -83,6 +91,7 @@ pub mod nonconv;
 pub mod paperdata;
 pub mod pipeline;
 pub mod plan;
+pub mod pool;
 pub mod power;
 pub mod scaling;
 pub mod schedule;

@@ -1,0 +1,859 @@
+//! The accelerator pool: N serving backends behind one dispatcher.
+//!
+//! The paper argues a *single* EDEA instance wins by keeping DWC→PWC
+//! traffic on-chip; the system-level question is how many instances it
+//! takes to serve heavy traffic, and what replication costs. This module
+//! answers it in simulation:
+//!
+//! * [`Pool`] — N [`Backend`] workers, each with its own busy-until clock
+//!   and its own weight residency (every dispatch to a worker pays that
+//!   worker's batch-wide weight fetch — replicas do **not** share DRAM
+//!   amortization).
+//! * [`Dispatcher`] — routes requests to workers under a
+//!   [`DispatchPolicy`] ([`RoundRobin`](DispatchPolicy::RoundRobin),
+//!   [`LeastLoaded`](DispatchPolicy::LeastLoaded) — fewest outstanding
+//!   requests, earliest-free tie-break — or
+//!   [`JoinShortestQueue`](DispatchPolicy::JoinShortestQueue)), while
+//!   each worker forms batches from its own FIFO queue under the same
+//!   [`Policy`] rule as the single-backend [`Scheduler`](crate::serve::Scheduler).
+//! * [`PoolReport`] — a [`ServeReport`] aggregate plus per-worker
+//!   utilization, queue-depth and traffic accounting
+//!   ([`WorkerReport`]), and the batch → worker assignment map.
+//!
+//! The whole pool runs on the same simulated clock as the single-backend
+//! scheduler: one tick is one accelerator cycle, and the run is a pure
+//! function of `(requests, policy, dispatch policy, pool)`.
+//!
+//! **The single-backend scheduler is the N = 1 case.** `Scheduler::serve`
+//! delegates to the same event loop with one worker, and a pool of one
+//! produces a bit-identical [`ServeReport`] under every dispatch policy
+//! (all three route every request to the lone worker) — pinned by a
+//! regression test in the root `tests/pool.rs` suite.
+//!
+//! **Replication cost.** Batching amortizes the per-dispatch weight fetch;
+//! spreading a fixed arrival stream over more workers shortens queues, so
+//! batches shrink and the *aggregate* weight DRAM traffic per image
+//! **rises** with N — the inverse of the `batch_sweep` 1/N curve, and the
+//! price of horizontal scaling the single-instance model cannot show (see
+//! the `pool_sweep` experiment).
+//!
+//! # Example
+//!
+//! ```
+//! use edea_core::pool::{Dispatcher, DispatchPolicy, Pool};
+//! use edea_core::serve::{arrivals, AnalyticBackend, Backend, Policy, Request};
+//! use edea_core::EdeaConfig;
+//! use edea_nn::workload::mobilenet_v1_cifar10;
+//! use edea_tensor::Tensor3;
+//!
+//! let cfg = EdeaConfig::paper();
+//! let backend = AnalyticBackend::new(&mobilenet_v1_cifar10(), &cfg)?;
+//! let (d, h, w) = backend.input_shape();
+//! let pool = Pool::replicate(backend, 4)?;
+//! let ticks = arrivals::poisson(16, 20_000.0, 7);
+//! let inputs = (0..16).map(|_| Tensor3::<i8>::zeros(d, h, w)).collect();
+//! let dispatcher = Dispatcher::new(Policy::new(4, 100_000)?, DispatchPolicy::LeastLoaded);
+//! let report = dispatcher.serve(&pool, Request::stream(&ticks, inputs)?)?;
+//! assert_eq!(report.serve.responses.len(), 16);
+//! assert_eq!(report.workers.len(), 4);
+//! # Ok::<(), edea_core::CoreError>(())
+//! ```
+
+use std::collections::VecDeque;
+
+use edea_tensor::Batch;
+
+use crate::config::EdeaConfig;
+use crate::serve::{Backend, BatchRecord, Policy, Request, Response, ServeReport};
+use crate::CoreError;
+
+/// How the dispatcher assigns incoming requests to pool workers.
+///
+/// Every policy is deterministic (ties break toward the lowest worker
+/// index) and all three coincide on a pool of one — the single-backend
+/// [`Scheduler`](crate::serve::Scheduler) case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Cyclic assignment in arrival order, blind to worker state.
+    RoundRobin,
+    /// The worker with the least outstanding work — fewest requests
+    /// queued **plus in service** (the batch it is currently executing),
+    /// ties broken by the earliest-free worker (smallest busy-until
+    /// tick; an idle worker counts as free *now*), then lower index.
+    LeastLoaded,
+    /// The worker with the fewest queued (not yet dispatched) requests —
+    /// blind to the batch in service — ties broken by earlier free tick,
+    /// then lower index.
+    JoinShortestQueue,
+}
+
+impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastLoaded => "least-loaded",
+            DispatchPolicy::JoinShortestQueue => "join-shortest-queue",
+        })
+    }
+}
+
+/// A pool of N serving backends with identical interfaces: same input
+/// shape and same accelerator configuration (one clock paces the whole
+/// simulation).
+///
+/// Workers are typically N clones of one backend ([`Pool::replicate`]) —
+/// each clone owns its weight plan and scratch, the simulated analogue of
+/// N chips each holding a resident copy of the weights.
+#[derive(Debug, Clone)]
+pub struct Pool<B> {
+    workers: Vec<B>,
+}
+
+impl<B: Backend> Pool<B> {
+    /// Builds a pool from explicit workers.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if `workers` is empty or a worker
+    /// disagrees with worker 0 on input shape or configuration.
+    pub fn new(workers: Vec<B>) -> Result<Self, CoreError> {
+        if workers.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                detail: "pool must contain at least one worker".into(),
+            });
+        }
+        let shape = workers[0].input_shape();
+        let cfg = workers[0].config().clone();
+        for (i, w) in workers.iter().enumerate().skip(1) {
+            if w.input_shape() != shape {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!(
+                        "pool worker {i} input shape {:?} != worker 0 input shape {shape:?}",
+                        w.input_shape()
+                    ),
+                });
+            }
+            if *w.config() != cfg {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!(
+                        "pool worker {i} configuration differs from worker 0 \
+                         (one clock must pace the whole pool)"
+                    ),
+                });
+            }
+        }
+        Ok(Self { workers })
+    }
+
+    /// Builds a pool of `n` clones of one worker.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if `n` is zero.
+    pub fn replicate(worker: B, n: usize) -> Result<Self, CoreError>
+    where
+        B: Clone,
+    {
+        if n == 0 {
+            return Err(CoreError::InvalidConfig {
+                detail: "pool must contain at least one worker".into(),
+            });
+        }
+        Self::new(vec![worker; n])
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A pool is never empty (enforced at construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The workers.
+    #[must_use]
+    pub fn workers(&self) -> &[B] {
+        &self.workers
+    }
+
+    /// The configuration pacing every worker.
+    #[must_use]
+    pub fn config(&self) -> &EdeaConfig {
+        self.workers[0].config()
+    }
+}
+
+/// Routes a request stream across a [`Pool`]: a [`DispatchPolicy`] assigns
+/// each request to a worker's FIFO queue at its arrival tick, and each
+/// worker forms batches from its own queue under the shared [`Policy`]
+/// exactly as the single-backend scheduler does (dispatch when the batch
+/// fills or the queue head's deadline passes, never before that worker is
+/// free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatcher {
+    policy: Policy,
+    dispatch: DispatchPolicy,
+}
+
+impl Dispatcher {
+    /// Builds a dispatcher with a batch-forming `policy` and a routing
+    /// `dispatch` policy.
+    #[must_use]
+    pub fn new(policy: Policy, dispatch: DispatchPolicy) -> Self {
+        Self { policy, dispatch }
+    }
+
+    /// The batch-forming policy each worker runs under.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The routing policy.
+    #[must_use]
+    pub fn dispatch_policy(&self) -> DispatchPolicy {
+        self.dispatch
+    }
+
+    /// Serves a request stream to completion across the pool.
+    ///
+    /// Requests may be supplied in any order; they are routed in
+    /// `(arrival, id)` order and served FIFO within each worker. The run
+    /// is a pure function of its arguments.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] if the policy is invalid.
+    /// * [`CoreError::InvalidRequest`] on a duplicate id or an input whose
+    ///   shape does not match the pool's input shape.
+    /// * Any error a worker returns for a dispatched batch.
+    pub fn serve<B: Backend>(
+        &self,
+        pool: &Pool<B>,
+        requests: Vec<Request>,
+    ) -> Result<PoolReport, CoreError> {
+        let workers: Vec<&B> = pool.workers.iter().collect();
+        drive(&workers, self.policy, self.dispatch, requests)
+    }
+}
+
+/// Per-worker accounting of one pool serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerReport {
+    /// Worker index in the pool.
+    pub index: usize,
+    /// Requests routed to this worker.
+    pub requests: usize,
+    /// Batches this worker dispatched.
+    pub batches: usize,
+    /// Cycles this worker spent executing batches.
+    pub busy_cycles: u64,
+    /// External weight + offline-parameter bytes this worker fetched
+    /// (paid per dispatch — replicas do not share residency).
+    pub weight_bytes: u64,
+    /// Total external bytes this worker moved.
+    pub external_bytes: u64,
+    /// Deepest its request queue ever got.
+    pub max_queue_depth: usize,
+    /// Time-averaged queue depth over the run's makespan.
+    pub mean_queue_depth: f64,
+}
+
+/// Everything a pool serve run produced: the aggregate [`ServeReport`]
+/// (responses and batches in global dispatch order — bit-identical to the
+/// single-backend scheduler when the pool has one worker), per-worker
+/// accounting, and the batch → worker assignment map.
+#[derive(Debug, Clone)]
+pub struct PoolReport {
+    /// Aggregate report over all workers, in global dispatch order.
+    pub serve: ServeReport,
+    /// The routing policy the run used.
+    pub dispatch: DispatchPolicy,
+    /// Per-worker accounting, indexed by worker.
+    pub workers: Vec<WorkerReport>,
+    /// Worker index that executed each batch of
+    /// [`ServeReport::batches`](crate::serve::ServeReport).
+    pub assignments: Vec<usize>,
+}
+
+impl PoolReport {
+    /// Number of workers the run dispatched across.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The worker that executed batch `batch` (`None` out of range).
+    #[must_use]
+    pub fn worker_of(&self, batch: usize) -> Option<usize> {
+        self.assignments.get(batch).copied()
+    }
+
+    /// Fraction of the makespan worker `w` spent busy (0.0 for an empty
+    /// run, per the empty-report convention).
+    #[must_use]
+    pub fn worker_utilization(&self, w: usize) -> f64 {
+        let makespan = self.serve.makespan();
+        if makespan == 0 {
+            return 0.0;
+        }
+        self.workers[w].busy_cycles as f64 / makespan as f64
+    }
+
+    /// `(min, max)` worker utilization — the load-balance spread.
+    #[must_use]
+    pub fn utilization_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for w in 0..self.workers.len() {
+            let u = self.worker_utilization(w);
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        if lo.is_infinite() {
+            lo = 0.0;
+        }
+        (lo, hi)
+    }
+
+    /// Mean worker utilization.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        (0..self.workers.len())
+            .map(|w| self.worker_utilization(w))
+            .sum::<f64>()
+            / self.workers.len() as f64
+    }
+
+    /// Deepest any worker's queue ever got.
+    #[must_use]
+    pub fn max_queue_depth(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.max_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate external weight + offline-parameter bytes per served
+    /// image — **rises** with the worker count at fixed load: spreading
+    /// the stream shortens queues, batches shrink, and every extra
+    /// dispatch pays its own weight fetch (the replication cost).
+    #[must_use]
+    pub fn weight_bytes_per_image(&self) -> f64 {
+        self.serve.weight_bytes_per_image()
+    }
+}
+
+/// One worker's run state inside the event loop.
+struct WorkerState {
+    queue: VecDeque<Request>,
+    free_at: u64,
+    /// Size of the batch currently executing (counts as outstanding work
+    /// for [`DispatchPolicy::LeastLoaded`] while `free_at` is in the
+    /// future).
+    in_service: usize,
+    requests: usize,
+    batches: usize,
+    busy_cycles: u64,
+    weight_bytes: u64,
+    external_bytes: u64,
+    max_queue_depth: usize,
+    /// `Σ queue-depth × ticks`, advanced whenever simulated time moves.
+    depth_integral: u128,
+}
+
+impl WorkerState {
+    fn new() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            free_at: 0,
+            in_service: 0,
+            requests: 0,
+            batches: 0,
+            busy_cycles: 0,
+            weight_bytes: 0,
+            external_bytes: 0,
+            max_queue_depth: 0,
+            depth_integral: 0,
+        }
+    }
+
+    /// The tick this worker's next batch may dispatch, given the current
+    /// simulated time — the single-backend scheduler's rule verbatim:
+    /// `ready = now.max(free_at)`; dispatch at `ready` when the queue
+    /// holds `max_batch`, else at the queue head's waiting deadline (but
+    /// never before `ready`).
+    fn dispatch_at(&self, now: u64, policy: Policy) -> Option<u64> {
+        let head = self.queue.front()?;
+        let ready = now.max(self.free_at);
+        if self.queue.len() >= policy.max_batch {
+            Some(ready)
+        } else {
+            Some(ready.max(head.arrival.saturating_add(policy.max_wait)))
+        }
+    }
+}
+
+/// Picks the worker for a request arriving at `now` under `policy`.
+fn route(
+    workers: &[WorkerState],
+    policy: DispatchPolicy,
+    rr_cursor: &mut usize,
+    now: u64,
+) -> usize {
+    match policy {
+        DispatchPolicy::RoundRobin => {
+            let i = *rr_cursor;
+            *rr_cursor = (*rr_cursor + 1) % workers.len();
+            i
+        }
+        DispatchPolicy::LeastLoaded => {
+            workers
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, w)| {
+                    let busy = if w.free_at > now { w.in_service } else { 0 };
+                    (w.queue.len() + busy, w.free_at.max(now), *i)
+                })
+                .expect("pool is non-empty")
+                .0
+        }
+        DispatchPolicy::JoinShortestQueue => {
+            workers
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, w)| (w.queue.len(), w.free_at.max(now), *i))
+                .expect("pool is non-empty")
+                .0
+        }
+    }
+}
+
+/// The shared discrete-event serve loop: routes arrivals to per-worker
+/// queues and dispatches each worker's batches in global time order,
+/// processing arrivals before dispatches at equal ticks (an arrival at or
+/// before a dispatch tick joins a queue first — it may fill a batch and
+/// move its dispatch earlier, exactly as in the single-backend scheduler).
+///
+/// `Scheduler::serve` calls this with one worker; the pool API calls it
+/// with N. With one worker every routing policy is the identity, so the
+/// single-backend path *is* the N = 1 case of this loop.
+pub(crate) fn drive<W: Backend + ?Sized>(
+    workers: &[&W],
+    policy: Policy,
+    dispatch: DispatchPolicy,
+    requests: Vec<Request>,
+) -> Result<PoolReport, CoreError> {
+    policy.validate()?;
+    assert!(!workers.is_empty(), "pool is non-empty by construction");
+    let want = workers[0].input_shape();
+    for r in &requests {
+        if r.input.shape() != want {
+            return Err(CoreError::InvalidRequest {
+                detail: format!(
+                    "request {}: input shape {:?} != backend input shape {:?}",
+                    r.id,
+                    r.input.shape(),
+                    want
+                ),
+            });
+        }
+    }
+    {
+        let mut ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CoreError::InvalidRequest {
+                detail: format!("duplicate request id {}", dup[0]),
+            });
+        }
+    }
+
+    let n_requests = requests.len();
+    let mut pending: VecDeque<Request> = {
+        let mut v = requests;
+        v.sort_by_key(|r| (r.arrival, r.id));
+        v.into()
+    };
+    let mut states: Vec<WorkerState> = (0..workers.len()).map(|_| WorkerState::new()).collect();
+    let mut responses = Vec::with_capacity(n_requests);
+    let mut batches: Vec<BatchRecord> = Vec::new();
+    let mut assignments: Vec<usize> = Vec::new();
+    let mut rr_cursor = 0usize;
+    let mut now = 0u64;
+
+    // Advances simulated time to `t`, accumulating each worker's
+    // queue-depth integral over the elapsed ticks.
+    let advance = |states: &mut [WorkerState], now: &mut u64, t: u64| {
+        if t > *now {
+            let dt = u128::from(t - *now);
+            for s in states.iter_mut() {
+                s.depth_integral += s.queue.len() as u128 * dt;
+            }
+            *now = t;
+        }
+    };
+
+    loop {
+        // The earliest worker dispatch on the table (ties → lowest index).
+        let next_dispatch: Option<(u64, usize)> = states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.dispatch_at(now, policy).map(|t| (t, i)))
+            .min();
+
+        // Route the next arrival if it lands at or before that dispatch.
+        let route_next = match (pending.front(), next_dispatch) {
+            (Some(r), Some((t, _))) => r.arrival <= t,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+
+        if route_next {
+            let r = pending.pop_front().expect("checked front");
+            advance(&mut states, &mut now, r.arrival);
+            let w = route(&states, dispatch, &mut rr_cursor, now);
+            let s = &mut states[w];
+            s.queue.push_back(r);
+            s.requests += 1;
+            s.max_queue_depth = s.max_queue_depth.max(s.queue.len());
+            continue;
+        }
+
+        let (t, wi) = next_dispatch.expect("route_next is false only with a dispatch");
+        advance(&mut states, &mut now, t);
+        let state = &mut states[wi];
+        let size = state.queue.len().min(policy.max_batch);
+        // Move the inputs out of the drained requests — no tensor copies
+        // on the dispatch path.
+        let mut timeline = Vec::with_capacity(size);
+        let mut inputs = Vec::with_capacity(size);
+        for r in state.queue.drain(..size) {
+            timeline.push((r.id, r.arrival));
+            inputs.push(r.input);
+        }
+        let oldest_arrival = timeline[0].1;
+        let inputs = Batch::new(inputs).expect("request shapes validated above");
+        let run = workers[wi].run(&inputs)?;
+        if run.outputs.len() != size {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "backend {} returned {} outputs for a batch of {size}",
+                    workers[wi].name(),
+                    run.outputs.len()
+                ),
+            });
+        }
+        let completed = now + run.cycles;
+        let index = batches.len();
+        for ((id, arrival), output) in timeline.into_iter().zip(run.outputs.into_images()) {
+            responses.push(Response {
+                id,
+                arrival,
+                dispatched: now,
+                completed,
+                batch: index,
+                output,
+            });
+        }
+        batches.push(BatchRecord {
+            index,
+            size,
+            oldest_arrival,
+            dispatched: now,
+            completed,
+            cycles: run.cycles,
+            weight_bytes: run.weight_bytes,
+            external_bytes: run.external_bytes,
+        });
+        assignments.push(wi);
+        state.free_at = completed;
+        state.in_service = size;
+        state.batches += 1;
+        state.busy_cycles += run.cycles;
+        state.weight_bytes += run.weight_bytes;
+        state.external_bytes += run.external_bytes;
+    }
+
+    let makespan = batches.last().map_or(0, |b| b.completed);
+    let workers_report = states
+        .into_iter()
+        .enumerate()
+        .map(|(index, s)| WorkerReport {
+            index,
+            requests: s.requests,
+            batches: s.batches,
+            busy_cycles: s.busy_cycles,
+            weight_bytes: s.weight_bytes,
+            external_bytes: s.external_bytes,
+            max_queue_depth: s.max_queue_depth,
+            mean_queue_depth: if makespan == 0 {
+                0.0
+            } else {
+                s.depth_integral as f64 / makespan as f64
+            },
+        })
+        .collect();
+
+    Ok(PoolReport {
+        serve: ServeReport {
+            backend: workers[0].name().to_string(),
+            policy,
+            responses,
+            batches,
+        },
+        dispatch,
+        workers: workers_report,
+        assignments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{arrivals, AnalyticBackend, Scheduler};
+    use edea_nn::workload::mobilenet_v1_cifar10;
+    use edea_tensor::Tensor3;
+
+    fn analytic() -> AnalyticBackend {
+        AnalyticBackend::new(&mobilenet_v1_cifar10(), &EdeaConfig::paper()).unwrap()
+    }
+
+    fn zero_requests(backend: &AnalyticBackend, ticks: &[u64]) -> Vec<Request> {
+        let (d, h, w) = backend.input_shape();
+        Request::stream(
+            ticks,
+            (0..ticks.len())
+                .map(|_| Tensor3::<i8>::zeros(d, h, w))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_pool_and_zero_replication_are_rejected() {
+        assert!(matches!(
+            Pool::<AnalyticBackend>::new(Vec::new()),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Pool::replicate(analytic(), 0),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_workers_are_rejected() {
+        let a = analytic();
+        let mut shapes = mobilenet_v1_cifar10();
+        shapes.truncate(3); // different output, same input shape — allowed
+        let b = AnalyticBackend::new(&shapes, &EdeaConfig::paper()).unwrap();
+        assert!(Pool::new(vec![a.clone(), b]).is_ok());
+
+        // A different clock is not allowed: one clock paces the pool.
+        let mut cfg = EdeaConfig::paper();
+        cfg.clock_mhz *= 2;
+        let c = AnalyticBackend::new(&mobilenet_v1_cifar10(), &cfg).unwrap();
+        assert!(matches!(
+            Pool::new(vec![a, c]),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn pool_of_one_matches_single_scheduler_for_every_policy() {
+        let b = analytic();
+        let ticks = arrivals::poisson(24, b.cost().per_image_cycles() as f64 / 2.0, 31);
+        let policy = Policy::new(4, b.cost().per_image_cycles()).unwrap();
+        let single = Scheduler::new(policy)
+            .serve(&b, zero_requests(&b, &ticks))
+            .unwrap();
+        for dp in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastLoaded,
+            DispatchPolicy::JoinShortestQueue,
+        ] {
+            let pool = Pool::replicate(b.clone(), 1).unwrap();
+            let report = Dispatcher::new(policy, dp)
+                .serve(&pool, zero_requests(&b, &ticks))
+                .unwrap();
+            assert_eq!(report.serve.batches, single.batches, "{dp}");
+            assert_eq!(report.serve.responses, single.responses, "{dp}");
+            assert_eq!(report.assignments, vec![0; single.batches.len()], "{dp}");
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_through_workers() {
+        let b = analytic();
+        // Far-apart arrivals: each request dispatches alone; round-robin
+        // must still cycle 0, 1, 2, 0, 1, 2.
+        let gap = b.cost().per_image_cycles() * 2;
+        let pool = Pool::replicate(b.clone(), 3).unwrap();
+        let report = Dispatcher::new(Policy::new(1, 0).unwrap(), DispatchPolicy::RoundRobin)
+            .serve(&pool, zero_requests(&b, &arrivals::uniform(6, gap)))
+            .unwrap();
+        assert_eq!(report.assignments, vec![0, 1, 2, 0, 1, 2]);
+        for w in &report.workers {
+            assert_eq!(w.requests, 2);
+            assert_eq!(w.batches, 2);
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_workers() {
+        let b = analytic();
+        let service = b.cost().per_image_cycles();
+        // r0 at t=0 occupies worker 0; r1 arrives while it is busy and
+        // must go to the idle worker 1, not queue behind worker 0.
+        let pool = Pool::replicate(b.clone(), 2).unwrap();
+        let report = Dispatcher::new(Policy::new(4, 0).unwrap(), DispatchPolicy::LeastLoaded)
+            .serve(&pool, zero_requests(&b, &[0, service / 2]))
+            .unwrap();
+        assert_eq!(report.assignments, vec![0, 1]);
+        assert_eq!(report.serve.batches[1].dispatched, service / 2);
+        // Both served with zero queueing: latency is exactly one service.
+        for r in &report.serve.responses {
+            assert_eq!(r.latency(), service);
+        }
+    }
+
+    #[test]
+    fn join_shortest_queue_balances_a_burst() {
+        let b = analytic();
+        // Four simultaneous arrivals, max_wait long enough that nothing
+        // dispatches during routing: JSQ spreads them 1-1-1-1.
+        let pool = Pool::replicate(b.clone(), 4).unwrap();
+        let report = Dispatcher::new(
+            Policy::new(4, 1_000_000).unwrap(),
+            DispatchPolicy::JoinShortestQueue,
+        )
+        .serve(&pool, zero_requests(&b, &[0, 0, 0, 0]))
+        .unwrap();
+        for w in &report.workers {
+            assert_eq!(w.requests, 1, "worker {}", w.index);
+        }
+    }
+
+    #[test]
+    fn two_workers_double_throughput_of_an_overloaded_stream() {
+        let b = analytic();
+        let service = b.cost().per_image_cycles();
+        // Saturating load: all requests at t=0, batch-of-1 policy.
+        let ticks = vec![0u64; 8];
+        let policy = Policy::new(1, 0).unwrap();
+        let one = Dispatcher::new(policy, DispatchPolicy::LeastLoaded)
+            .serve(
+                &Pool::replicate(b.clone(), 1).unwrap(),
+                zero_requests(&b, &ticks),
+            )
+            .unwrap();
+        let two = Dispatcher::new(policy, DispatchPolicy::LeastLoaded)
+            .serve(
+                &Pool::replicate(b.clone(), 2).unwrap(),
+                zero_requests(&b, &ticks),
+            )
+            .unwrap();
+        assert_eq!(one.serve.makespan(), 8 * service);
+        assert_eq!(two.serve.makespan(), 4 * service);
+        // Perfect balance: both workers fully busy until the makespan.
+        assert_eq!(two.utilization_range(), (1.0, 1.0));
+    }
+
+    #[test]
+    fn replication_raises_weight_traffic_per_image_at_fixed_load() {
+        let b = analytic();
+        let service = b.cost().per_image_cycles();
+        // 2× overload on one worker: batches form and amortize. The same
+        // stream on four workers dispatches mostly singles.
+        let ticks = arrivals::poisson(32, service as f64 / 2.0, 77);
+        let policy = Policy::new(8, service).unwrap();
+        let mut prev = 0.0f64;
+        for n in [1usize, 2, 4] {
+            let report = Dispatcher::new(policy, DispatchPolicy::LeastLoaded)
+                .serve(
+                    &Pool::replicate(b.clone(), n).unwrap(),
+                    zero_requests(&b, &ticks),
+                )
+                .unwrap();
+            let wpi = report.weight_bytes_per_image();
+            assert!(
+                wpi >= prev,
+                "weight B/img fell from {prev} to {wpi} going to {n} workers"
+            );
+            prev = wpi;
+        }
+        // And the single-worker run actually amortized, so the rise is real.
+        assert!(prev > 0.0);
+    }
+
+    #[test]
+    fn worker_reports_are_consistent_with_the_aggregate() {
+        let b = analytic();
+        let service = b.cost().per_image_cycles();
+        let ticks = arrivals::poisson(24, service as f64 / 3.0, 41);
+        let pool = Pool::replicate(b.clone(), 3).unwrap();
+        let report = Dispatcher::new(
+            Policy::new(4, service).unwrap(),
+            DispatchPolicy::JoinShortestQueue,
+        )
+        .serve(&pool, zero_requests(&b, &ticks))
+        .unwrap();
+
+        assert_eq!(report.worker_count(), 3);
+        assert_eq!(report.assignments.len(), report.serve.batches.len());
+        // Conservation: per-worker sums equal the aggregate.
+        let sum_req: usize = report.workers.iter().map(|w| w.requests).sum();
+        let sum_batches: usize = report.workers.iter().map(|w| w.batches).sum();
+        let sum_weight: u64 = report.workers.iter().map(|w| w.weight_bytes).sum();
+        assert_eq!(sum_req, report.serve.responses.len());
+        assert_eq!(sum_batches, report.serve.batches.len());
+        assert_eq!(
+            sum_weight,
+            report
+                .serve
+                .batches
+                .iter()
+                .map(|b| b.weight_bytes)
+                .sum::<u64>()
+        );
+        // Utilization is a fraction of the makespan; busy time never
+        // exceeds it.
+        for w in 0..3 {
+            let u = report.worker_utilization(w);
+            assert!((0.0..=1.0).contains(&u), "worker {w} utilization {u}");
+        }
+        let (lo, hi) = report.utilization_range();
+        assert!(lo <= report.mean_utilization() && report.mean_utilization() <= hi);
+        // Per-batch worker attribution covers every batch.
+        for i in 0..report.serve.batches.len() {
+            assert!(report.worker_of(i).unwrap() < 3);
+        }
+        assert_eq!(report.worker_of(report.serve.batches.len()), None);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_pool_report() {
+        let b = analytic();
+        let pool = Pool::replicate(b, 2).unwrap();
+        let report = Dispatcher::new(Policy::new(4, 0).unwrap(), DispatchPolicy::LeastLoaded)
+            .serve(&pool, Vec::new())
+            .unwrap();
+        assert!(report.serve.responses.is_empty());
+        assert_eq!(report.utilization_range(), (0.0, 0.0));
+        assert_eq!(report.mean_utilization(), 0.0);
+        assert_eq!(report.max_queue_depth(), 0);
+        for w in &report.workers {
+            assert_eq!(w.mean_queue_depth, 0.0);
+        }
+    }
+}

@@ -47,7 +47,6 @@
 //! # Ok::<(), edea_core::CoreError>(())
 //! ```
 
-use std::collections::VecDeque;
 use std::sync::Mutex;
 
 use edea_nn::executor;
@@ -720,6 +719,27 @@ impl ServeReport {
         lat[idx.min(lat.len() - 1)]
     }
 
+    /// Median end-to-end latency in ticks
+    /// (= [`latency_percentile(50.0)`](ServeReport::latency_percentile)).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile end-to-end latency in ticks
+    /// (= [`latency_percentile(95.0)`](ServeReport::latency_percentile)).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile end-to-end latency in ticks
+    /// (= [`latency_percentile(99.0)`](ServeReport::latency_percentile)).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.latency_percentile(99.0)
+    }
+
     /// Fraction of requests whose latency met `slo` ticks.
     ///
     /// An empty report returns `0.0` — **every** aggregate statistic of an
@@ -780,6 +800,12 @@ impl Scheduler {
     /// Requests may be supplied in any order; they are served FIFO by
     /// `(arrival, id)`. The run is a pure function of its arguments.
     ///
+    /// This is the single-worker case of the pool dispatch loop
+    /// ([`crate::pool`]): the same event-driven simulation drives one
+    /// backend here and N of them behind a
+    /// [`Dispatcher`](crate::pool::Dispatcher) — a pool of one is
+    /// bit-identical to this path under every dispatch policy.
+    ///
     /// # Errors
     ///
     /// * [`CoreError::InvalidConfig`] if the policy is invalid.
@@ -791,119 +817,13 @@ impl Scheduler {
         backend: &B,
         requests: Vec<Request>,
     ) -> Result<ServeReport, CoreError> {
-        self.policy.validate()?;
-        let want = backend.input_shape();
-        for r in &requests {
-            if r.input.shape() != want {
-                return Err(CoreError::InvalidRequest {
-                    detail: format!(
-                        "request {}: input shape {:?} != backend input shape {:?}",
-                        r.id,
-                        r.input.shape(),
-                        want
-                    ),
-                });
-            }
-        }
-        {
-            let mut ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
-            ids.sort_unstable();
-            if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
-                return Err(CoreError::InvalidRequest {
-                    detail: format!("duplicate request id {}", dup[0]),
-                });
-            }
-        }
-
-        let mut pending: VecDeque<Request> = {
-            let mut v = requests;
-            v.sort_by_key(|r| (r.arrival, r.id));
-            v.into()
-        };
-        let mut queue: VecDeque<Request> = VecDeque::new();
-        let mut responses = Vec::new();
-        let mut batches: Vec<BatchRecord> = Vec::new();
-        let mut now = 0u64;
-        let mut free_at = 0u64;
-
-        while !pending.is_empty() || !queue.is_empty() {
-            // Admit everything that has arrived by `now`.
-            while pending.front().is_some_and(|r| r.arrival <= now) {
-                queue.push_back(pending.pop_front().expect("checked front"));
-            }
-            let Some(head) = queue.front() else {
-                // Idle: jump to the next arrival.
-                now = now.max(pending.front().expect("loop invariant").arrival);
-                continue;
-            };
-            let deadline = head.arrival.saturating_add(self.policy.max_wait);
-            let ready = now.max(free_at);
-            let full = queue.len() >= self.policy.max_batch;
-            let dispatch_at = if full { ready } else { ready.max(deadline) };
-            // An arrival at or before the dispatch tick joins the queue
-            // first — it may fill the batch and move the dispatch earlier.
-            if !full {
-                if let Some(next) = pending.front() {
-                    if next.arrival <= dispatch_at {
-                        now = next.arrival;
-                        continue;
-                    }
-                }
-            }
-            now = dispatch_at;
-
-            let size = queue.len().min(self.policy.max_batch);
-            // Move the inputs out of the drained requests — no tensor
-            // copies on the dispatch path.
-            let mut timeline = Vec::with_capacity(size);
-            let mut inputs = Vec::with_capacity(size);
-            for r in queue.drain(..size) {
-                timeline.push((r.id, r.arrival));
-                inputs.push(r.input);
-            }
-            let oldest_arrival = timeline[0].1;
-            let inputs = Batch::new(inputs).expect("request shapes validated above");
-            let run = backend.run(&inputs)?;
-            if run.outputs.len() != size {
-                return Err(CoreError::UnsupportedShape {
-                    detail: format!(
-                        "backend {} returned {} outputs for a batch of {size}",
-                        backend.name(),
-                        run.outputs.len()
-                    ),
-                });
-            }
-            let completed = now + run.cycles;
-            let index = batches.len();
-            for ((id, arrival), output) in timeline.into_iter().zip(run.outputs.into_images()) {
-                responses.push(Response {
-                    id,
-                    arrival,
-                    dispatched: now,
-                    completed,
-                    batch: index,
-                    output,
-                });
-            }
-            batches.push(BatchRecord {
-                index,
-                size,
-                oldest_arrival,
-                dispatched: now,
-                completed,
-                cycles: run.cycles,
-                weight_bytes: run.weight_bytes,
-                external_bytes: run.external_bytes,
-            });
-            free_at = completed;
-        }
-
-        Ok(ServeReport {
-            backend: backend.name().to_string(),
-            policy: self.policy,
-            responses,
-            batches,
-        })
+        let report = crate::pool::drive(
+            &[backend],
+            self.policy,
+            crate::pool::DispatchPolicy::RoundRobin,
+            requests,
+        )?;
+        Ok(report.serve)
     }
 }
 

@@ -1,9 +1,12 @@
 //! Session-based deployment: the one-stop entry point for serving.
 //!
 //! [`Deployment`] owns everything a long-lived serving session needs — the
-//! float model, the calibrated [`QuantizedDscNetwork`] and the validated
-//! [`Edea`] instance — and hands out serving backends and a scheduler
-//! ([`Deployment::serve`]) on top. Build one with [`Deployment::builder`]:
+//! float model, the calibrated [`QuantizedDscNetwork`] and a [`Pool`] of
+//! validated [`Edea`] replicas (one by default; scale out with
+//! [`DeploymentBuilder::replicas`]) — and hands out serving backends, a
+//! scheduler ([`Deployment::serve`]) and the multi-instance dispatcher
+//! ([`Deployment::serve_pool`]) on top. Build one with
+//! [`Deployment::builder`]:
 //!
 //! ```
 //! use edea::{Deployment, EdeaConfig};
@@ -28,7 +31,8 @@
 use edea_core::accelerator::{BatchRun, Edea, NetworkRun};
 use edea_core::config::EdeaConfig;
 use edea_core::plan::NetworkPlan;
-use edea_core::serve::{GoldenBackend, Policy, Request, Scheduler, ServeReport, SimulatorBackend};
+use edea_core::pool::{DispatchPolicy, Dispatcher, Pool, PoolReport};
+use edea_core::serve::{GoldenBackend, Policy, Request, ServeReport, SimulatorBackend};
 use edea_nn::mobilenet::MobileNetV1;
 use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
 use edea_nn::sparsity::{ShapingReport, SparsityProfile};
@@ -37,14 +41,15 @@ use edea_tensor::{Batch, Tensor3};
 use crate::Error;
 
 /// A calibrated, validated, long-lived serving session: the float model,
-/// its quantized DSC network and the accelerator, owned together.
+/// its quantized DSC network and the accelerator pool, owned together.
 #[derive(Debug, Clone)]
 pub struct Deployment {
     model: MobileNetV1,
     report: ShapingReport,
-    // The single owner of the calibrated network and the accelerator,
-    // built once at build() time so serve() never re-clones either.
-    simulator: SimulatorBackend,
+    // The single owner of the calibrated network and the accelerator
+    // replicas, built once at build() time so serve() never re-clones
+    // either. Worker 0 doubles as the one-shot `run`/`run_batch` engine.
+    pool: Pool<SimulatorBackend>,
 }
 
 /// Step-by-step construction of a [`Deployment`].
@@ -59,6 +64,7 @@ pub struct DeploymentBuilder {
     sparsity: SparsityProfile,
     quant: QuantStrategy,
     config: EdeaConfig,
+    replicas: usize,
 }
 
 impl Default for DeploymentBuilder {
@@ -69,6 +75,7 @@ impl Default for DeploymentBuilder {
             sparsity: SparsityProfile::paper(),
             quant: QuantStrategy::paper(),
             config: EdeaConfig::paper(),
+            replicas: 1,
         }
     }
 }
@@ -110,11 +117,22 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Number of simulated accelerator instances behind the serving pool
+    /// (default: 1 — the single-backend scheduler path). Each replica
+    /// owns its own weight plan and busy-until clock; `serve` dispatches
+    /// across all of them.
+    #[must_use]
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
     /// Calibrates the network and builds the validated accelerator.
     ///
     /// # Errors
     ///
-    /// * [`Error::Builder`] if the model or calibration images are missing.
+    /// * [`Error::Builder`] if the model or calibration images are
+    ///   missing, or `replicas` is zero.
     /// * [`Error::Nn`] if calibration fails.
     /// * [`Error::Core`] if the configuration is invalid or the calibrated
     ///   network does not map onto its engine geometry.
@@ -127,6 +145,11 @@ impl DeploymentBuilder {
                 detail: "calibration images are required: call .calibration(...)".into(),
             });
         }
+        if self.replicas == 0 {
+            return Err(Error::Builder {
+                detail: "a deployment needs at least one replica: call .replicas(n >= 1)".into(),
+            });
+        }
         let (qnet, report) = QuantizedDscNetwork::calibrate_shaped(
             &mut model,
             &self.calibration,
@@ -135,10 +158,11 @@ impl DeploymentBuilder {
         )?;
         let edea = Edea::new(self.config)?;
         let simulator = SimulatorBackend::new(edea, qnet)?;
+        let pool = Pool::replicate(simulator, self.replicas)?;
         Ok(Deployment {
             model,
             report,
-            simulator,
+            pool,
         })
     }
 }
@@ -157,16 +181,34 @@ impl Deployment {
         &self.model
     }
 
+    /// Worker 0 of the pool: the engine behind the one-shot `run` paths.
+    fn simulator(&self) -> &SimulatorBackend {
+        &self.pool.workers()[0]
+    }
+
     /// The calibrated quantized DSC network.
     #[must_use]
     pub fn qnet(&self) -> &QuantizedDscNetwork {
-        self.simulator.qnet()
+        self.simulator().qnet()
     }
 
-    /// The accelerator instance.
+    /// The accelerator instance (worker 0 of the pool).
     #[must_use]
     pub fn accelerator(&self) -> &Edea {
-        self.simulator.accelerator()
+        self.simulator().accelerator()
+    }
+
+    /// The accelerator pool serving this deployment: `replicas` clones of
+    /// the simulator backend, each owning its weight plan and scratch.
+    #[must_use]
+    pub fn pool(&self) -> &Pool<SimulatorBackend> {
+        &self.pool
+    }
+
+    /// Number of accelerator replicas behind [`Deployment::serve`].
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.pool.len()
     }
 
     /// The accelerator configuration.
@@ -193,7 +235,7 @@ impl Deployment {
     /// serving requests never re-slice weights.
     #[must_use]
     pub fn plan(&self) -> &NetworkPlan {
-        self.simulator.plan()
+        self.simulator().plan()
     }
 
     /// Runs one prepared input through the whole network on the simulator,
@@ -205,7 +247,7 @@ impl Deployment {
     ///
     /// [`Error::Core`] on shape or buffer-capacity errors.
     pub fn run(&self, input: &Tensor3<i8>) -> Result<NetworkRun, Error> {
-        Ok(self.simulator.run_network(input)?)
+        Ok(self.simulator().run_network(input)?)
     }
 
     /// Runs a batch through the weight-residency schedule, through the
@@ -215,15 +257,15 @@ impl Deployment {
     ///
     /// [`Error::Core`] on shape or buffer-capacity errors.
     pub fn run_batch(&self, inputs: &Batch<i8>) -> Result<BatchRun, Error> {
-        Ok(self.simulator.run_batch(inputs)?)
+        Ok(self.simulator().run_batch(inputs)?)
     }
 
-    /// The cycle-accurate serving backend over this deployment, built once
-    /// at [`DeploymentBuilder::build`] time (clone it to move it
-    /// elsewhere).
+    /// The cycle-accurate serving backend over this deployment (worker 0
+    /// of the pool), built once at [`DeploymentBuilder::build`] time
+    /// (clone it to move it elsewhere).
     #[must_use]
     pub fn simulator_backend(&self) -> &SimulatorBackend {
-        &self.simulator
+        self.simulator()
     }
 
     /// A golden-reference serving backend over this deployment: bit-exact
@@ -239,15 +281,45 @@ impl Deployment {
         )?)
     }
 
-    /// Serves a request stream on the cycle-accurate simulator backend
-    /// under `policy` — the one-call serving path.
+    /// Serves a request stream across the deployment's accelerator pool
+    /// under `policy` — the one-call serving path. With the default
+    /// single replica this is exactly the single-backend
+    /// [`Scheduler`](edea_core::serve::Scheduler) path (bit-identical
+    /// report); with
+    /// [`replicas(n)`](DeploymentBuilder::replicas) the stream is
+    /// dispatched [least-loaded](DispatchPolicy::LeastLoaded) across the
+    /// n instances (use [`Deployment::serve_pool`] to choose the policy
+    /// and see per-worker statistics).
     ///
     /// # Errors
     ///
     /// [`Error::Core`] on an invalid policy, malformed requests, or an
     /// execution error in a dispatched batch.
     pub fn serve(&self, policy: Policy, requests: Vec<Request>) -> Result<ServeReport, Error> {
-        Ok(Scheduler::new(policy).serve(&self.simulator, requests)?)
+        // One replica makes every dispatch policy the identity, so this is
+        // exactly the single-backend Scheduler path (pinned bit-identical
+        // in tests/pool.rs).
+        Ok(self
+            .serve_pool(policy, DispatchPolicy::LeastLoaded, requests)?
+            .serve)
+    }
+
+    /// Serves a request stream across the pool under an explicit
+    /// [`DispatchPolicy`], returning the full [`PoolReport`] (per-worker
+    /// utilization, queue depth, batch → worker assignments) on top of
+    /// the aggregate serve statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Core`] on an invalid policy, malformed requests, or an
+    /// execution error in a dispatched batch.
+    pub fn serve_pool(
+        &self,
+        policy: Policy,
+        dispatch: DispatchPolicy,
+        requests: Vec<Request>,
+    ) -> Result<PoolReport, Error> {
+        Ok(Dispatcher::new(policy, dispatch).serve(&self.pool, requests)?)
     }
 }
 
@@ -306,5 +378,65 @@ mod tests {
         let d = built();
         let golden = d.golden_backend().unwrap();
         assert_eq!(d.simulator_backend().cost(), golden.cost());
+    }
+
+    #[test]
+    fn builder_rejects_zero_replicas() {
+        let e = Deployment::builder()
+            .model(MobileNetV1::synthetic(0.25, 11))
+            .calibration(rng::synthetic_batch(2, 3, 32, 32, 12))
+            .replicas(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, Error::Builder { .. }), "{e}");
+        assert!(e.to_string().contains("replica"), "{e}");
+    }
+
+    #[test]
+    fn replicated_deployment_spreads_a_burst_and_stays_bit_exact() {
+        let d = Deployment::builder()
+            .model(MobileNetV1::synthetic(0.25, 11))
+            .calibration(rng::synthetic_batch(2, 3, 32, 32, 12))
+            .replicas(2)
+            .build()
+            .expect("replicated deployment builds");
+        assert_eq!(d.replicas(), 2);
+        assert_eq!(d.pool().len(), 2);
+
+        // Two simultaneous batch-of-1 requests land on different workers.
+        let inputs: Vec<_> = (0..2)
+            .map(|i| d.prepare(&rng::synthetic_image(3, 32, 32, 40 + i)))
+            .collect();
+        let report = d
+            .serve_pool(
+                Policy::new(1, 0).unwrap(),
+                DispatchPolicy::LeastLoaded,
+                Request::stream(&[0, 0], inputs.clone()).unwrap(),
+            )
+            .expect("pool serve");
+        assert_eq!(report.assignments, vec![0, 1]);
+        // Both dispatch at t = 0 — the replicas run in parallel.
+        assert_eq!(report.serve.batches[0].dispatched, 0);
+        assert_eq!(report.serve.batches[1].dispatched, 0);
+        // Outputs stay bit-identical to the one-shot path.
+        for (id, input) in inputs.iter().enumerate() {
+            let single = d.run(input).expect("run");
+            assert_eq!(
+                report.serve.response(id as u64).unwrap().output,
+                single.output,
+                "request {id}"
+            );
+        }
+        // The aggregate-only path agrees with the pool path.
+        let inputs2: Vec<_> = (0..2)
+            .map(|i| d.prepare(&rng::synthetic_image(3, 32, 32, 40 + i)))
+            .collect();
+        let agg = d
+            .serve(
+                Policy::new(1, 0).unwrap(),
+                Request::stream(&[0, 0], inputs2).unwrap(),
+            )
+            .expect("serve");
+        assert_eq!(agg.batches, report.serve.batches);
     }
 }

@@ -17,7 +17,8 @@ use edea_tensor::TensorError;
 #[non_exhaustive]
 pub enum Error {
     /// Accelerator-side error: unsupported shapes, buffer overflows,
-    /// invalid configurations, malformed serving requests.
+    /// invalid configurations (including malformed pools — empty or
+    /// mismatched workers), malformed serving requests.
     Core(CoreError),
     /// Network-side error: calibration, quantization, shape mismatches in
     /// the golden execution path.

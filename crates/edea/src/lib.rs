@@ -17,9 +17,11 @@
 //!   ([`Edea::run_batch`]), and the serving layer ([`serve`]).
 //!
 //! The serving entry point is the [`Deployment`] builder: one session
-//! object owning the calibrated network and the validated accelerator,
-//! from which the simulator/golden [`serve::Backend`]s and the
-//! batch-forming [`serve::Scheduler`] hang. Every fallible path returns
+//! object owning the calibrated network and a [`pool::Pool`] of validated
+//! accelerator replicas (`.replicas(n)`, default 1), from which the
+//! simulator/golden [`serve::Backend`]s, the batch-forming
+//! [`serve::Scheduler`] and the multi-instance [`pool::Dispatcher`]
+//! (round-robin / least-loaded / join-shortest-queue routing) hang. Every fallible path returns
 //! the unified [`Error`]. The workspace builds offline: `rand`,
 //! `proptest` and `criterion` are vendored API-subset stand-ins whose
 //! deterministic streams the golden fixtures depend on (see
@@ -67,6 +69,7 @@ pub use edea_nn as nn;
 pub use edea_tensor as tensor;
 
 pub use deploy::{Deployment, DeploymentBuilder};
+pub use edea_core::pool;
 pub use edea_core::serve;
 pub use edea_core::{Edea, EdeaConfig};
 pub use edea_nn::workload::mobilenet_v1_cifar10;

@@ -161,6 +161,20 @@ pub fn serve_requests(d: &TestDeployment, arrivals: &[u64], seed: u64) -> Vec<Re
     Request::stream(arrivals, inputs).expect("one arrival tick per input")
 }
 
+/// Builds a serving request stream of all-zero inputs of `shape`
+/// (`(channels, height, width)`), one per arrival tick, ids
+/// `0..arrivals.len()` — the cheap stream for scheduler and pool tests
+/// where only timing and accounting matter, not pixel values.
+#[must_use]
+pub fn zero_requests(shape: (usize, usize, usize), arrivals: &[u64]) -> Vec<Request> {
+    let (d, h, w) = shape;
+    Request::stream(
+        arrivals,
+        arrivals.iter().map(|_| Tensor3::zeros(d, h, w)).collect(),
+    )
+    .expect("one arrival tick per input")
+}
+
 /// Asserts two floats are within an absolute tolerance.
 ///
 /// ```

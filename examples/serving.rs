@@ -49,8 +49,8 @@ fn main() -> Result<(), edea::Error> {
             "{load:>17.1} | {:>10.2} | {:>9.0} | {:>7} | {:>7} | {:>6.0}",
             report.mean_batch_size(),
             report.weight_bytes_per_image(),
-            report.latency_percentile(50.0),
-            report.latency_percentile(99.0),
+            report.p50(),
+            report.p99(),
             report.throughput_images_per_second(deployment.config()),
         );
     }

@@ -1,0 +1,199 @@
+//! The accelerator pool end to end: the serving scheduler sharded across
+//! N simulated EDEA instances through the `Deployment` facade.
+//!
+//! The contract under test: a pool of one is **bit-identical** to the PR 3
+//! single-backend `Scheduler` path (same batch boundaries, same
+//! `ServeReport` numbers — the generalization cannot drift), replication
+//! changes *where* batches run and *how often* weights are fetched but
+//! never what is computed (every response stays bit-identical to
+//! `run_network`), throughput scales with workers, and the aggregate
+//! weight DRAM traffic per image rises with the replica count at fixed
+//! load — the replication cost.
+
+use edea::nn::mobilenet::MobileNetV1;
+use edea::pool::{DispatchPolicy, Dispatcher, Pool};
+use edea::serve::{arrivals, Policy, Request, Scheduler, SimulatorBackend};
+use edea::tensor::rng;
+use edea::{Deployment, EdeaConfig};
+use edea_testutil::{deploy, paper_edea, serve_requests};
+
+fn deployment(seed: u64, replicas: usize) -> Deployment {
+    Deployment::builder()
+        .model(MobileNetV1::synthetic(0.25, seed))
+        .calibration(rng::synthetic_batch(2, 3, 32, 32, seed + 1))
+        .config(EdeaConfig::paper())
+        .replicas(replicas)
+        .build()
+        .expect("synthetic deployment builds")
+}
+
+#[test]
+fn pool_of_one_is_bit_identical_to_the_scheduler_path() {
+    // The regression pin for the serve-layer generalization: the
+    // single-backend scheduler and a one-worker pool must produce the
+    // same batch boundaries and the same ServeReport numbers, under
+    // every dispatch policy, on the real simulator backend.
+    let d = deploy(0.25, 930);
+    let backend = SimulatorBackend::new(paper_edea(), d.qnet.clone()).expect("backend");
+    let per_image = backend.cost().per_image_cycles();
+    let ticks = arrivals::poisson(12, per_image as f64 / 2.0, 931);
+    let policy = Policy::new(4, per_image).expect("policy");
+
+    let single = Scheduler::new(policy)
+        .serve(&backend, serve_requests(&d, &ticks, 932))
+        .expect("scheduler serve");
+    for dp in [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::LeastLoaded,
+        DispatchPolicy::JoinShortestQueue,
+    ] {
+        let pool = Pool::replicate(backend.clone(), 1).expect("pool");
+        let pooled = Dispatcher::new(policy, dp)
+            .serve(&pool, serve_requests(&d, &ticks, 932))
+            .expect("pool serve");
+        assert_eq!(pooled.serve.batches, single.batches, "{dp}");
+        assert_eq!(pooled.serve.responses, single.responses, "{dp}");
+        assert_eq!(pooled.serve.backend, single.backend, "{dp}");
+        assert_eq!(
+            pooled.serve.weight_bytes_per_image(),
+            single.weight_bytes_per_image(),
+            "{dp}"
+        );
+        assert_eq!(pooled.serve.mean_latency(), single.mean_latency(), "{dp}");
+        assert_eq!(pooled.serve.p50(), single.p50(), "{dp}");
+        assert_eq!(pooled.serve.p95(), single.p95(), "{dp}");
+        assert_eq!(pooled.serve.p99(), single.p99(), "{dp}");
+        // Every batch ran on the lone worker.
+        assert_eq!(pooled.assignments, vec![0; single.batches.len()], "{dp}");
+        assert_eq!(pooled.workers[0].requests, 12, "{dp}");
+    }
+
+    // The facade's default single-replica serve is that same path.
+    let d1 = deployment(930, 1);
+    assert_eq!(d1.replicas(), 1);
+}
+
+#[test]
+fn replicated_deployment_stays_bit_exact_and_scales_throughput() {
+    let d = deployment(940, 3);
+    let sim = d.simulator_backend();
+    let per_image = sim.cost().per_image_cycles();
+
+    // A 2x-overload Poisson stream through three replicas.
+    let ticks = arrivals::poisson(12, per_image as f64 / 2.0, 941);
+    let images = rng::synthetic_batch(12, 3, 32, 32, 942);
+    let inputs: Vec<_> = images.iter().map(|img| d.prepare(img)).collect();
+    let policy = Policy::new(4, per_image).expect("policy");
+
+    let report = d
+        .serve_pool(
+            policy,
+            DispatchPolicy::LeastLoaded,
+            Request::stream(&ticks, inputs.clone()).expect("stream"),
+        )
+        .expect("pool serve");
+
+    // Replication never changes what is computed: every response is
+    // bit-identical to the one-shot per-image path, whichever worker
+    // served it.
+    assert_eq!(report.serve.responses.len(), 12);
+    for (id, input) in inputs.iter().enumerate() {
+        let single = d.run(input).expect("run_network");
+        assert_eq!(
+            report.serve.response(id as u64).expect("response").output,
+            single.output,
+            "request {id} vs run_network"
+        );
+    }
+
+    // The stream actually spread: more than one worker served requests.
+    let active = report.workers.iter().filter(|w| w.requests > 0).count();
+    assert!(active > 1, "all requests landed on one worker");
+
+    // Scaling: the same stream on a single replica takes strictly longer.
+    let single = Scheduler::new(policy)
+        .serve(sim, Request::stream(&ticks, inputs).expect("stream"))
+        .expect("single serve");
+    assert!(
+        report.serve.makespan() < single.makespan(),
+        "pool makespan {} !< single {}",
+        report.serve.makespan(),
+        single.makespan()
+    );
+    assert!(
+        report.serve.mean_latency() < single.mean_latency(),
+        "pool mean latency {} !< single {}",
+        report.serve.mean_latency(),
+        single.mean_latency()
+    );
+
+    // …and the replication cost shows: the pool runs more, smaller
+    // batches, so aggregate weight bytes per image are at least the
+    // single-backend figure (each dispatch pays a full weight fetch).
+    assert!(report.serve.batches.len() >= single.batches.len());
+    assert!(report.serve.weight_bytes_per_image() >= single.weight_bytes_per_image());
+    // Per-worker weight accounting sums to the aggregate.
+    let per_worker: u64 = report.workers.iter().map(|w| w.weight_bytes).sum();
+    let aggregate: u64 = report.serve.batches.iter().map(|b| b.weight_bytes).sum();
+    assert_eq!(per_worker, aggregate);
+}
+
+#[test]
+fn replication_cost_rises_with_worker_count_at_fixed_load() {
+    // One overloaded stream, one deployment — only the replica count
+    // varies. Weight DRAM per image must not fall as workers are added,
+    // and must strictly rise from 1 to 4 replicas (shorter queues form
+    // smaller batches; every replica fetches its own weights).
+    let d = deploy(0.25, 950);
+    let backend = SimulatorBackend::new(paper_edea(), d.qnet.clone()).expect("backend");
+    let per_image = backend.cost().per_image_cycles();
+    let ticks = arrivals::poisson(16, per_image as f64 / 3.0, 951);
+    let policy = Policy::new(8, per_image).expect("policy");
+
+    let wpi = |n: usize| {
+        let pool = Pool::replicate(backend.clone(), n).expect("pool");
+        Dispatcher::new(policy, DispatchPolicy::LeastLoaded)
+            .serve(&pool, serve_requests(&d, &ticks, 952))
+            .expect("serve")
+            .weight_bytes_per_image()
+    };
+    let one = wpi(1);
+    let two = wpi(2);
+    let four = wpi(4);
+    assert!(two >= one, "{two} < {one}");
+    assert!(four >= two, "{four} < {two}");
+    assert!(four > one, "replication cost did not rise: {four} vs {one}");
+    // Bounded by the unbatched single-image figure.
+    assert!(four <= backend.cost().weight_bytes() as f64);
+}
+
+#[test]
+fn pool_serving_is_deterministic_end_to_end() {
+    // Same seed + arrival pattern + replica count → identical batch
+    // boundaries, worker assignments, outputs and statistics (extends
+    // the determinism guard to the pool layer).
+    let d = deployment(960, 2);
+    let per_image = d.simulator_backend().cost().per_image_cycles();
+    let ticks = arrivals::poisson(8, per_image as f64 / 2.0, 961);
+    let policy = Policy::new(4, per_image).expect("policy");
+
+    let run = |seed| {
+        let images = rng::synthetic_batch(8, 3, 32, 32, seed);
+        let inputs: Vec<_> = images.iter().map(|img| d.prepare(img)).collect();
+        d.serve_pool(
+            policy,
+            DispatchPolicy::JoinShortestQueue,
+            Request::stream(&ticks, inputs).expect("stream"),
+        )
+        .expect("serve")
+    };
+    let a = run(962);
+    let b = run(962);
+    assert_eq!(
+        a.serve.batches, b.serve.batches,
+        "batch boundaries diverged"
+    );
+    assert_eq!(a.serve.responses, b.serve.responses, "responses diverged");
+    assert_eq!(a.assignments, b.assignments, "assignments diverged");
+    assert_eq!(a.workers, b.workers, "worker reports diverged");
+}
