@@ -22,18 +22,14 @@ struct Workload {
     input: edea::tensor::Tensor3<i8>,
 }
 
-fn workload(width: f64) -> Workload {
+fn workload(width: f64, profile: &SparsityProfile) -> Workload {
     // Same seeds as the `verify_sim` experiment, so the profile measures
     // exactly the workload the verification binary spends its time in.
     let mut model = MobileNetV1::synthetic(width, 4242);
     let calib = rng::synthetic_batch(2, 3, 32, 32, 4243);
-    let (qnet, _) = QuantizedDscNetwork::calibrate_shaped(
-        &mut model,
-        &calib,
-        &SparsityProfile::paper(),
-        QuantStrategy::paper(),
-    )
-    .expect("calibration");
+    let (qnet, _) =
+        QuantizedDscNetwork::calibrate_shaped(&mut model, &calib, profile, QuantStrategy::paper())
+            .expect("calibration");
     let edea = Edea::new(EdeaConfig::paper()).unwrap();
     let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
     Workload { edea, qnet, input }
@@ -47,7 +43,7 @@ fn bench_sim_profile(c: &mut Criterion) {
         Ok(v) if !v.is_empty() && v != "0"
     );
     let (width, samples) = if smoke { (0.25, 2) } else { (1.0, 10) };
-    let w = workload(width);
+    let w = workload(width, &SparsityProfile::paper());
     // The serving session: plan sliced once, scratch reused across calls —
     // exactly the state a Deployment / Scheduler dispatch runs in.
     let backend = SimulatorBackend::new(w.edea.clone(), w.qnet.clone()).expect("backend");
@@ -66,6 +62,17 @@ fn bench_sim_profile(c: &mut Criterion) {
     let batch = edea::tensor::Batch::new(vec![w.input.clone(); 2]).expect("batch");
     g.bench_function("batch2_planned", |b| {
         b.iter(|| black_box(backend.run_batch(&batch).expect("run")));
+    });
+
+    // The same workload shaped near-dense (5 % zeros/layer): the control
+    // for the zero-skipping kernels. The Fig.-11 profile above should run
+    // markedly faster than this; the dense regression bound in
+    // EXPERIMENTS.md comes from comparing these against the pre-skip
+    // baseline.
+    let dn = workload(width, &SparsityProfile::near_dense(13));
+    let dn_backend = SimulatorBackend::new(dn.edea.clone(), dn.qnet.clone()).expect("backend");
+    g.bench_function("network_forward_planned_dense", |b| {
+        b.iter(|| black_box(dn_backend.run_network(&dn.input).expect("run")));
     });
     g.finish();
 }

@@ -1,0 +1,112 @@
+//! Tight-loop microbenchmarks of the engine tile kernels, isolating the
+//! zero-skipping fast paths from the full simulator (whose end-to-end
+//! timings on a shared host carry several percent of scheduler noise).
+//! Each case streams 256 pre-built tiles through a reused accumulator,
+//! exactly as the accelerator's tile pipeline does.
+//!
+//! Cases:
+//!  - `dwc_dense`   — no zero planes: the branch-free MAC loop plus the
+//!    per-plane `all_zero` probe (the probe cost is the dense overhead).
+//!  - `dwc_allzero` — every plane zero: the plane-skip path, the common
+//!    case at the Fig.-11 late layers (97.4 % element zeros).
+//!  - `pwc_dense`   — dense activations: the vectorized lane kernel plus
+//!    the occupancy scan (again, the scan is the dense overhead).
+//!  - `pwc_sparse`  — 6 of 8 channel rows zero: the masked lane walk.
+//!  - `pwc_sparse_gated` — same, with a 50 %-sparse weight occupancy
+//!    AND-ed in (the planned serving path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edea::core::engine::{DwcEngine, LaneOccupancy, PwcEngine};
+use edea::tensor::{rng, Tensor3};
+use edea::EdeaConfig;
+use std::hint::black_box;
+
+const TILES: usize = 256;
+
+fn bench_tile_kernels(c: &mut Criterion) {
+    let smoke = matches!(
+        std::env::var("EDEA_BENCH_SMOKE").as_deref(),
+        Ok(v) if !v.is_empty() && v != "0"
+    );
+    let cfg = EdeaConfig::paper();
+    let dwc = DwcEngine::new(&cfg);
+    let pwc = PwcEngine::new(&cfg);
+
+    let dw_weights = rng::uniform_i8_tensor4(8, 1, 3, 3, -128, 127, 11);
+    let dw_dense: Vec<Tensor3<i8>> = (0..TILES)
+        .map(|i| rng::uniform_i8_tensor3(8, 4, 4, 1, 127, 100 + i as u64))
+        .collect();
+    let dw_zero: Vec<Tensor3<i8>> = (0..TILES).map(|_| Tensor3::zeros(8, 4, 4)).collect();
+
+    let pw_weights = rng::uniform_i8_tensor4(16, 8, 1, 1, -128, 127, 12);
+    // Half the weight entries zeroed: a realistic gated occupancy.
+    let mut pw_weights_sparse = pw_weights.clone();
+    for (i, w) in pw_weights_sparse.as_mut_slice().iter_mut().enumerate() {
+        if i % 2 == 0 {
+            *w = 0;
+        }
+    }
+    let occ = LaneOccupancy::of_weights(&pw_weights_sparse).expect("occupancy");
+    let pw_dense: Vec<Tensor3<i8>> = (0..TILES)
+        .map(|i| rng::uniform_i8_tensor3(8, 2, 2, 1, 127, 500 + i as u64))
+        .collect();
+    // Channels 0..6 entirely zero: act mask popcount 2 ≤ Td/2 = 4, so the
+    // masked path fires — the shape of a Fig.-11 late-layer tile.
+    let pw_sparse: Vec<Tensor3<i8>> = pw_dense
+        .iter()
+        .map(|t| {
+            let mut s = t.clone();
+            s.as_mut_slice()[..6 * 4].fill(0);
+            s
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("tile_kernels");
+    g.sample_size(if smoke { 10 } else { 60 });
+
+    let mut acc = Tensor3::<i32>::zeros(8, 2, 2);
+    g.bench_function("dwc_dense_256_tiles", |b| {
+        b.iter(|| {
+            for t in &dw_dense {
+                black_box(dwc.compute_tile_into(t, &dw_weights, 1, &mut acc).unwrap());
+            }
+        });
+    });
+    g.bench_function("dwc_allzero_256_tiles", |b| {
+        b.iter(|| {
+            for t in &dw_zero {
+                black_box(dwc.compute_tile_into(t, &dw_weights, 1, &mut acc).unwrap());
+            }
+        });
+    });
+
+    let mut partial = Tensor3::<i32>::zeros(16, 2, 2);
+    g.bench_function("pwc_dense_256_tiles", |b| {
+        b.iter(|| {
+            for t in &pw_dense {
+                black_box(pwc.compute_tile_into(t, &pw_weights, &mut partial).unwrap());
+            }
+        });
+    });
+    g.bench_function("pwc_sparse_256_tiles", |b| {
+        b.iter(|| {
+            for t in &pw_sparse {
+                black_box(pwc.compute_tile_into(t, &pw_weights, &mut partial).unwrap());
+            }
+        });
+    });
+    g.bench_function("pwc_sparse_gated_256_tiles", |b| {
+        b.iter(|| {
+            for t in &pw_sparse {
+                black_box(
+                    pwc.compute_tile_gated_into(t, &pw_weights_sparse, Some(&occ), &mut partial)
+                        .unwrap(),
+                );
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tile_kernels);
+criterion_main!(benches);

@@ -72,6 +72,7 @@ golden!(
     batch_sweep,
     serve_sweep,
     pool_sweep,
+    sparsity_sweep,
 );
 
 #[test]

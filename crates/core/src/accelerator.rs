@@ -360,9 +360,10 @@ impl Edea {
                         for kt in 0..kernel_tiles {
                             buffers.intermediate.read(tn * tm * td);
                             buffers.pwc_weight.read(td * tk);
-                            let act = self.pwc.compute_tile_into(
+                            let act = self.pwc.compute_tile_gated_into(
                                 &scratch.mid_tile,
                                 plan.pw_slice(ct, kt),
+                                plan.pw_occupancy(ct, kt),
                                 &mut scratch.pwc_partial,
                             )?;
                             pwc_activity.merge(&act);

@@ -9,7 +9,7 @@ mod dwc;
 mod pwc;
 
 pub use dwc::{DwcEngine, DwcTileOutput};
-pub use pwc::{PwcEngine, PwcTileOutput};
+pub use pwc::{LaneOccupancy, PwcEngine, PwcTileOutput};
 
 /// Activity statistics of one engine invocation.
 ///

@@ -22,6 +22,7 @@ use edea_nn::workload::LayerShape;
 use edea_tensor::Tensor4;
 
 use crate::config::EdeaConfig;
+use crate::engine::LaneOccupancy;
 use crate::CoreError;
 
 /// The pre-sliced weights of one layer: everything `execute_layer` needs
@@ -46,6 +47,12 @@ pub struct LayerPlan {
     /// `pw_slices[ct][kt]` is the `(Tk, Td, 1, 1)` pointwise tile of
     /// channel pass `ct`, kernel tile `kt`.
     pw_slices: Vec<Vec<Tensor4<i8>>>,
+    /// `pw_occupancy[ct][kt]` is the per-lane nonzero-weight occupancy of
+    /// `pw_slices[ct][kt]`, precomputed once here so the PWC engine's
+    /// zero-skipping kernels pay no per-tile weight scan — and so fully
+    /// dense tiles are recognized up front and keep the branch-free dense
+    /// kernels (`None` when `Td` exceeds the 64-bit mask word).
+    pw_occupancy: Vec<Vec<Option<LaneOccupancy>>>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -140,13 +147,17 @@ impl LayerPlan {
         let dw_slices = (0..channel_passes)
             .map(|ct| layer.dw_weights().values().kernel_slice(ct * td, td))
             .collect();
-        let pw_slices = (0..channel_passes)
+        let pw_slices: Vec<Vec<Tensor4<i8>>> = (0..channel_passes)
             .map(|ct| {
                 let chan = layer.pw_weights().values().channel_slice(ct * td, td);
                 (0..kernel_tiles)
                     .map(|kt| chan.kernel_slice(kt * tk, tk))
                     .collect()
             })
+            .collect();
+        let pw_occupancy = pw_slices
+            .iter()
+            .map(|row| row.iter().map(LaneOccupancy::of_weights).collect())
             .collect();
         Ok(Self {
             shape,
@@ -155,6 +166,7 @@ impl LayerPlan {
             fingerprint: OnceLock::new(),
             dw_slices,
             pw_slices,
+            pw_occupancy,
         })
     }
 
@@ -174,6 +186,14 @@ impl LayerPlan {
     #[must_use]
     pub(crate) fn pw_slice(&self, ct: usize, kt: usize) -> &Tensor4<i8> {
         &self.pw_slices[ct][kt]
+    }
+
+    /// The precomputed per-lane weight occupancy of the pointwise tile of
+    /// channel pass `ct`, kernel tile `kt` (`None` when the tile depth
+    /// exceeds the mask word — the engine then skips on activations only).
+    #[must_use]
+    pub(crate) fn pw_occupancy(&self, ct: usize, kt: usize) -> Option<&LaneOccupancy> {
+        self.pw_occupancy[ct][kt].as_ref()
     }
 
     /// Checks that this plan was built for `layer`: shape (which carries

@@ -293,15 +293,22 @@ impl PoolReport {
         self.assignments.get(batch).copied()
     }
 
-    /// Fraction of the makespan worker `w` spent busy (0.0 for an empty
-    /// run, per the empty-report convention).
+    /// Fraction of the makespan worker `w` spent busy.
+    ///
+    /// Returns 0.0 both for an empty run (per the empty-report
+    /// convention) and for an out-of-range worker index — like
+    /// [`PoolReport::worker_of`]'s `None`, the accessors never panic on a
+    /// bad index.
     #[must_use]
     pub fn worker_utilization(&self, w: usize) -> f64 {
         let makespan = self.serve.makespan();
+        let Some(worker) = self.workers.get(w) else {
+            return 0.0;
+        };
         if makespan == 0 {
             return 0.0;
         }
-        self.workers[w].busy_cycles as f64 / makespan as f64
+        worker.busy_cycles as f64 / makespan as f64
     }
 
     /// `(min, max)` worker utilization — the load-balance spread.
@@ -839,6 +846,14 @@ mod tests {
             assert!(report.worker_of(i).unwrap() < 3);
         }
         assert_eq!(report.worker_of(report.serve.batches.len()), None);
+        // Out-of-range accessors are consistent: `worker_of` answers
+        // `None`, `worker_utilization` answers 0.0 — neither panics.
+        assert_eq!(report.worker_of(usize::MAX), None);
+        assert_eq!(report.worker_utilization(report.worker_count()), 0.0);
+        assert_eq!(report.worker_utilization(usize::MAX), 0.0);
+        // In range it still reports real busy fractions (this run served
+        // work, so at least one worker was busy).
+        assert!((0..3).any(|w| report.worker_utilization(w) > 0.0));
     }
 
     #[test]

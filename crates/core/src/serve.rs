@@ -844,9 +844,19 @@ pub mod arrivals {
 
     /// `n` arrivals with exponentially distributed inter-arrival times of
     /// mean `mean_gap` ticks (a Poisson process), seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean_gap` is positive and finite: an infinite (or
+    /// NaN) gap would pass a bare positivity check and then saturate every
+    /// arrival tick to `u64::MAX` in the float→tick rounding — a silent
+    /// degenerate stream instead of an error at the call site.
     #[must_use]
     pub fn poisson(n: usize, mean_gap: f64, seed: u64) -> Vec<u64> {
-        assert!(mean_gap > 0.0, "mean gap must be positive");
+        assert!(
+            mean_gap.is_finite() && mean_gap > 0.0,
+            "mean gap must be positive and finite, got {mean_gap}"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut t = 0.0f64;
         (0..n)
@@ -1220,5 +1230,25 @@ mod tests {
         assert_ne!(p1, arrivals::poisson(32, 1000.0, 6));
         assert_eq!(arrivals::uniform(3, 10), vec![0, 10, 20]);
         assert_eq!(arrivals::bursts(5, 2, 100), vec![0, 0, 100, 100, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn poisson_rejects_infinite_mean_gap() {
+        // An infinite gap used to pass the bare `> 0.0` assert and then
+        // saturate every tick to u64::MAX; now it fails fast.
+        let _ = arrivals::poisson(4, f64::INFINITY, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn poisson_rejects_nan_mean_gap() {
+        let _ = arrivals::poisson(4, f64::NAN, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn poisson_rejects_nonpositive_mean_gap() {
+        let _ = arrivals::poisson(4, 0.0, 1);
     }
 }

@@ -17,7 +17,7 @@ use edea_core::scratch::TileScratch;
 use edea_core::serve::{arrivals, AnalyticBackend, Backend, Policy};
 use edea_core::EdeaConfig;
 use edea_core::{
-    engine::{DwcEngine, PwcEngine},
+    engine::{DwcEngine, LaneOccupancy, PwcEngine},
     nonconv::NonConvUnit,
     Edea,
 };
@@ -77,6 +77,50 @@ fn steady_state_tile_pipeline_does_not_allocate() {
     assert_eq!(
         per_tile, 0,
         "steady-state tile pipeline allocated {per_tile} times over 256 tiles"
+    );
+
+    // --- Part 1b: the zero-skipping path is just as allocation-free. ---
+    // Sparse activations route the engines through the occupancy-masked
+    // kernels (stack-resident masks and accumulators) and the plan-time
+    // LaneOccupancy is built outside the loop, so a ~90 %-zero input must
+    // still run the whole chain with zero per-tile allocations.
+    let mut sparse_padded = padded.clone();
+    for (i, v) in sparse_padded.as_mut_slice().iter_mut().enumerate() {
+        if i % 8 != 0 {
+            *v = 0;
+        }
+    }
+    let mut pw_sparse = pw.clone();
+    for (i, v) in pw_sparse.as_mut_slice().iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *v = 0;
+        }
+    }
+    let occ = LaneOccupancy::of_weights(&pw_sparse).expect("Td = 8 fits the mask word");
+    let sparse_tile = |row0: usize,
+                       col0: usize,
+                       window: &mut Tensor3<i8>,
+                       acc: &mut Tensor3<i32>,
+                       mid: &mut Tensor3<i8>,
+                       partial: &mut Tensor3<i32>| {
+        sparse_padded.copy_window_into(0, row0, col0, window);
+        dwc.compute_tile_into(window, &dw, 1, acc).unwrap();
+        nonconv
+            .apply_tile_into(acc, d.qnet.layers()[0].nonconv1(), mid)
+            .unwrap();
+        pwc.compute_tile_gated_into(mid, &pw_sparse, Some(&occ), partial)
+            .unwrap();
+    };
+    sparse_tile(0, 0, &mut window, &mut acc, &mut mid, &mut partial);
+    let before = CountingAllocator::allocations();
+    for i in 0..256usize {
+        let (r, c) = ((i / 16) * 2, (i % 16) * 2);
+        sparse_tile(r, c, &mut window, &mut acc, &mut mid, &mut partial);
+    }
+    let per_tile = CountingAllocator::allocations() - before;
+    assert_eq!(
+        per_tile, 0,
+        "zero-skipping tile pipeline allocated {per_tile} times over 256 tiles"
     );
 
     // --- Part 2: a warm planned layer run allocates only a small, stable,

@@ -1,0 +1,249 @@
+//! Dense-vs-sparse bit-identity suite for the zero-skipping engine
+//! kernels.
+//!
+//! The engines elide multiplies whose activation (or weight) operand is
+//! zero — bit-exact by the additive identity — while the
+//! [`EngineActivity`] they report keeps counting the *modeled hardware*
+//! slots (a clock-gated slot still fires in the silicon; the power model
+//! must keep seeing it). This suite pins both halves of that contract:
+//!
+//! 1. skip-path outputs equal a per-slot dense reference on tiles at every
+//!    sparsity level, including the shaped Fig.-11 profile end to end;
+//! 2. skip-path activity counts equal a brute-force per-slot count that
+//!    never skips anything.
+
+use edea_core::engine::{DwcEngine, EngineActivity, LaneOccupancy, PwcEngine};
+use edea_core::plan::NetworkPlan;
+use edea_core::EdeaConfig;
+use edea_nn::executor;
+use edea_tensor::conv::{depthwise_conv2d_i8, pointwise_conv2d_i8};
+use edea_tensor::rng;
+use edea_tensor::{Tensor3, Tensor4};
+use edea_testutil::{deploy, paper_edea};
+
+/// Zeroes roughly `z` of a tensor's values, deterministically (an LCG on
+/// the flat index — independent of the vendored RNG streams).
+fn sparsify3(t: &mut Tensor3<i8>, z: f64, salt: u64) {
+    let cut = (z * 65536.0) as u64;
+    for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+        let h = (i as u64 + 1)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(salt)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        if (h >> 16) & 0xffff < cut {
+            *v = 0;
+        }
+    }
+}
+
+fn sparsify4(t: &mut Tensor4<i8>, z: f64, salt: u64) {
+    let cut = (z * 65536.0) as u64;
+    for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+        let h = (i as u64 + 1)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(salt)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        if (h >> 16) & 0xffff < cut {
+            *v = 0;
+        }
+    }
+}
+
+/// The pre-skip per-slot DWC loop: multiplies every slot and counts every
+/// zero operand — the modeled hardware the engine must keep agreeing with.
+fn dwc_reference(
+    ifmap: &Tensor3<i8>,
+    weights: &Tensor4<i8>,
+    stride: usize,
+    tn: usize,
+    tm: usize,
+    kernel: usize,
+) -> (Tensor3<i32>, EngineActivity) {
+    let (td, _, tc) = ifmap.shape();
+    let mut acc = Tensor3::<i32>::zeros(td, tn, tm);
+    let mut zero_act = 0u64;
+    let mut zero_weight = 0u64;
+    for c in 0..td {
+        for kh in 0..kernel {
+            for kw in 0..kernel {
+                let w = i32::from(weights[(c, 0, kh, kw)]);
+                zero_weight += u64::from(w == 0) * (tn * tm) as u64;
+                for on in 0..tn {
+                    for om in 0..tm {
+                        let a = ifmap.as_slice()[c * ifmap.height() * tc
+                            + (on * stride + kh) * tc
+                            + (om * stride + kw)];
+                        zero_act += u64::from(a == 0);
+                        acc[(c, on, om)] += i32::from(a) * w;
+                    }
+                }
+            }
+        }
+    }
+    let activity = EngineActivity {
+        mac_slots: (td * kernel * kernel * tn * tm) as u64,
+        zero_act_slots: zero_act,
+        zero_weight_slots: zero_weight,
+    };
+    (acc, activity)
+}
+
+/// The pre-skip per-slot PWC loop.
+fn pwc_reference(ifmap: &Tensor3<i8>, weights: &Tensor4<i8>) -> (Tensor3<i32>, EngineActivity) {
+    let (td, tn, tm) = ifmap.shape();
+    let (tk, _, _, _) = weights.shape();
+    let mut partial = Tensor3::<i32>::zeros(tk, tn, tm);
+    for k in 0..tk {
+        for c in 0..td {
+            let w = i32::from(weights[(k, c, 0, 0)]);
+            for n in 0..tn {
+                for m in 0..tm {
+                    partial[(k, n, m)] += i32::from(ifmap[(c, n, m)]) * w;
+                }
+            }
+        }
+    }
+    let zero_act: u64 = ifmap.as_slice().iter().filter(|&&a| a == 0).count() as u64;
+    let zero_weight: u64 = weights.as_slice().iter().filter(|&&w| w == 0).count() as u64;
+    let activity = EngineActivity {
+        mac_slots: (td * tk * tn * tm) as u64,
+        zero_act_slots: zero_act * tk as u64,
+        zero_weight_slots: zero_weight * (tn * tm) as u64,
+    };
+    (partial, activity)
+}
+
+#[test]
+fn dwc_skip_is_bit_identical_to_per_slot_reference_at_every_sparsity() {
+    let cfg = EdeaConfig::paper();
+    let engine = DwcEngine::new(&cfg);
+    for (case, z) in [0.0, 0.3, 0.6, 0.9, 0.974, 1.0].iter().enumerate() {
+        for stride in [1usize, 2] {
+            let side = stride + 3; // 4×4 at stride 1, 5×5 at stride 2
+            let mut ifmap = rng::uniform_i8_tensor3(8, side, side, -128, 127, 100 + case as u64);
+            let mut weights = rng::uniform_i8_tensor4(8, 1, 3, 3, -128, 127, 200 + case as u64);
+            sparsify3(&mut ifmap, *z, 7 * case as u64);
+            sparsify4(&mut weights, 0.2, 11 * case as u64); // quantized weights have zeros too
+            let out = engine.compute_tile(&ifmap, &weights, stride).unwrap();
+            let (acc, activity) = dwc_reference(&ifmap, &weights, stride, 2, 2, 3);
+            assert_eq!(out.acc, acc, "z={z} stride={stride}");
+            assert_eq!(out.activity, activity, "z={z} stride={stride}");
+            assert_eq!(out.acc, depthwise_conv2d_i8(&ifmap, &weights, stride, 0));
+        }
+    }
+}
+
+#[test]
+fn dwc_uncached_stride_fallback_matches_reference() {
+    // Stride 3 has no precomputed coverage map: the per-slot fallback must
+    // still skip zeros bit-exactly and count identically.
+    let cfg = EdeaConfig::paper();
+    let engine = DwcEngine::new(&cfg);
+    let mut ifmap = rng::uniform_i8_tensor3(8, 6, 6, -128, 127, 300);
+    let weights = rng::uniform_i8_tensor4(8, 1, 3, 3, -128, 127, 301);
+    sparsify3(&mut ifmap, 0.8, 13);
+    let out = engine.compute_tile(&ifmap, &weights, 3).unwrap();
+    let (acc, activity) = dwc_reference(&ifmap, &weights, 3, 2, 2, 3);
+    assert_eq!(out.acc, acc);
+    assert_eq!(out.activity, activity);
+    assert_eq!(out.acc, depthwise_conv2d_i8(&ifmap, &weights, 3, 0));
+}
+
+#[test]
+fn pwc_gated_and_ungated_match_per_slot_reference_at_every_sparsity() {
+    let cfg = EdeaConfig::paper();
+    let engine = PwcEngine::new(&cfg);
+    for (case, z) in [0.0, 0.5, 0.953, 1.0].iter().enumerate() {
+        let mut ifmap = rng::uniform_i8_tensor3(8, 2, 2, -128, 127, 400 + case as u64);
+        let mut weights = rng::uniform_i8_tensor4(16, 8, 1, 1, -128, 127, 500 + case as u64);
+        sparsify3(&mut ifmap, *z, 17 * case as u64);
+        sparsify4(&mut weights, 0.25, 19 * case as u64);
+        let (reference, activity) = pwc_reference(&ifmap, &weights);
+        // Ungated (activation skip only).
+        let out = engine.compute_tile(&ifmap, &weights).unwrap();
+        assert_eq!(out.partial, reference, "z={z} ungated");
+        assert_eq!(out.activity, activity, "z={z} ungated");
+        // Gated by the plan-time weight occupancy.
+        let occ = LaneOccupancy::of_weights(&weights).expect("td=8 fits the mask");
+        let mut partial = Tensor3::<i32>::zeros(1, 1, 1);
+        let act = engine
+            .compute_tile_gated_into(&ifmap, &weights, Some(&occ), &mut partial)
+            .unwrap();
+        assert_eq!(partial, reference, "z={z} gated");
+        assert_eq!(act, activity, "z={z} gated");
+        assert_eq!(partial, pointwise_conv2d_i8(&ifmap, &weights));
+    }
+}
+
+#[test]
+fn activity_reports_modeled_slots_even_when_all_compute_is_skipped() {
+    // An all-zero tile exercises every MAC slot in the modeled hardware —
+    // all of them gated — even though the simulator multiplies nothing.
+    let cfg = EdeaConfig::paper();
+    let dwc = DwcEngine::new(&cfg);
+    let pwc = PwcEngine::new(&cfg);
+    let zeros3 = Tensor3::<i8>::zeros(8, 4, 4);
+    let dwc_w = rng::uniform_i8_tensor4(8, 1, 3, 3, 1, 127, 600);
+    let out = dwc.compute_tile(&zeros3, &dwc_w, 1).unwrap();
+    assert_eq!(out.activity.mac_slots, 288);
+    assert_eq!(out.activity.zero_act_slots, 288);
+    assert!(out.acc.as_slice().iter().all(|&v| v == 0));
+    let zeros_pwc = Tensor3::<i8>::zeros(8, 2, 2);
+    let pwc_w = rng::uniform_i8_tensor4(16, 8, 1, 1, 1, 127, 601);
+    let out = pwc.compute_tile(&zeros_pwc, &pwc_w).unwrap();
+    assert_eq!(out.activity.mac_slots, 512);
+    assert_eq!(out.activity.zero_act_slots, 512);
+    assert!(out.partial.as_slice().iter().all(|&v| v == 0));
+}
+
+#[test]
+fn lane_occupancy_recognizes_dense_and_sparse_tiles() {
+    let dense = rng::uniform_i8_tensor4(16, 8, 1, 1, 1, 127, 700);
+    let occ = LaneOccupancy::of_weights(&dense).unwrap();
+    assert!(occ.all_full());
+    for k in 0..16 {
+        assert_eq!(occ.lane(k), 0xff);
+    }
+    let mut sparse = dense.clone();
+    sparse.as_mut_slice()[3] = 0; // lane 0, channel 3
+    let occ = LaneOccupancy::of_weights(&sparse).unwrap();
+    assert!(!occ.all_full());
+    assert_eq!(occ.lane(0), 0xff & !(1 << 3));
+    assert_eq!(occ.lane(1), 0xff);
+    // Depth beyond the mask word: no occupancy, engine runs unmasked.
+    let deep = Tensor4::<i8>::zeros(2, 65, 1, 1);
+    assert!(LaneOccupancy::of_weights(&deep).is_none());
+    // More lanes than the inline mask array: same fallback.
+    let wide = Tensor4::<i8>::zeros(LaneOccupancy::MAX_LANES + 1, 8, 1, 1);
+    assert!(LaneOccupancy::of_weights(&wide).is_none());
+}
+
+#[test]
+fn shaped_network_outputs_and_activity_are_bit_identical_across_paths() {
+    // End to end on the Fig.-11-shaped deployment: the planned run (weight
+    // occupancy active) and the unplanned run must agree with the golden
+    // executor on outputs and with each other on every activity count —
+    // the skip machinery changes wall-clock only.
+    let d = deploy(0.25, 91);
+    let edea = paper_edea();
+    let plan = NetworkPlan::new(&d.qnet, edea.config()).unwrap();
+    let planned = edea.run_network_planned(&d.qnet, &plan, &d.input).unwrap();
+    let unplanned = edea.run_network(&d.qnet, &d.input).unwrap();
+    let golden = executor::run_network(&d.qnet, &d.input);
+    assert_eq!(planned.output, golden.output);
+    assert_eq!(unplanned.output, golden.output);
+    for (p, u) in planned.stats.layers.iter().zip(&unplanned.stats.layers) {
+        assert_eq!(p.dwc_activity, u.dwc_activity, "layer {}", p.shape.index);
+        assert_eq!(p.pwc_activity, u.pwc_activity, "layer {}", p.shape.index);
+        // PWC slot accounting closes against the intermediate map: each
+        // mid element feeds Tk adder trees per kernel tile = k_out slots,
+        // so gated slots = (zero mid elements) × k_out.
+        let mids = p.mid_zero * p.shape.intermediate_elems() as f64;
+        assert_eq!(
+            p.pwc_activity.zero_act_slots,
+            (mids.round() as u64) * p.shape.k_out as u64,
+            "layer {}",
+            p.shape.index
+        );
+    }
+}

@@ -64,6 +64,16 @@ impl SparsityProfile {
         }
     }
 
+    /// A near-dense profile (5 % zeros everywhere): the dense control for
+    /// sparsity experiments. Exactly 0 is unreachable — the shaper places a
+    /// quantile of each pre-activation distribution at zero, and ReLU on a
+    /// continuous distribution always clips *some* mass — so this is the
+    /// densest profile the calibration flow can realize.
+    #[must_use]
+    pub fn near_dense(layers: usize) -> Self {
+        Self::uniform(0.05, layers)
+    }
+
     /// Number of layers covered.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -299,6 +309,14 @@ mod tests {
         assert_eq!(p.len(), 4);
         assert!(p.validate(4).is_ok());
         assert!(p.validate(5).is_err());
+    }
+
+    #[test]
+    fn near_dense_profile() {
+        let p = SparsityProfile::near_dense(13);
+        assert!(p.validate(13).is_ok());
+        assert!(p.dwc_zero.iter().all(|&z| z == 0.05));
+        assert!(p.pwc_zero.iter().all(|&z| z == 0.05));
     }
 
     #[test]
