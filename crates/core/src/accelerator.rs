@@ -22,8 +22,9 @@ use crate::buffer::BufferSet;
 use crate::config::EdeaConfig;
 use crate::engine::{DwcEngine, EngineActivity, PwcEngine};
 use crate::nonconv::NonConvUnit;
+use crate::par::{self, Parallelism};
 use crate::plan::{LayerPlan, NetworkPlan};
-use crate::schedule::{portions, spatial_tiles, WeightResidency};
+use crate::schedule::{portions, spatial_tiles, Portion, WeightResidency};
 use crate::scratch::TileScratch;
 use crate::stats::{BatchLayerStats, BatchNetworkStats, BufferTraffic, LayerStats, NetworkStats};
 use crate::timing;
@@ -70,6 +71,48 @@ pub struct BatchRun {
     pub stats: BatchNetworkStats,
 }
 
+/// Splits the flat `(portion, image)` slot array into disjoint per-lane
+/// `&mut` slices: lane `i` owns the slots of its portion range
+/// `ranges[i]`, scaled by `per` slots per portion. The borrow checker then
+/// enforces the one-writer-per-slot rule of [`crate::par`] at compile
+/// time.
+fn split_slots<'a, T>(
+    mut slots: &'a mut [T],
+    ranges: &[std::ops::Range<usize>],
+    per: usize,
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    for range in ranges {
+        let (head, tail) = slots.split_at_mut(range.len() * per);
+        out.push(head);
+        slots = tail;
+    }
+    out
+}
+
+/// Per-portion activity counters, accumulated lane-locally by the portion
+/// loop and merged in lane order afterwards. Every field is an exact
+/// (`u64` or counter-struct) sum, so the fixed-order merge reproduces the
+/// serial totals bit for bit.
+#[derive(Debug, Default)]
+struct PortionTally {
+    dwc_activity: EngineActivity,
+    pwc_activity: EngineActivity,
+    nonconv_ops: u64,
+    dwc_invocations: u64,
+    pwc_invocations: u64,
+}
+
+impl PortionTally {
+    fn merge(&mut self, other: &Self) {
+        self.dwc_activity.merge(&other.dwc_activity);
+        self.pwc_activity.merge(&other.pwc_activity);
+        self.nonconv_ops += other.nonconv_ops;
+        self.dwc_invocations += other.dwc_invocations;
+        self.pwc_invocations += other.pwc_invocations;
+    }
+}
+
 /// The EDEA accelerator.
 #[derive(Debug, Clone)]
 pub struct Edea {
@@ -77,10 +120,15 @@ pub struct Edea {
     dwc: DwcEngine,
     pwc: PwcEngine,
     nonconv: NonConvUnit,
+    par: Parallelism,
 }
 
 impl Edea {
     /// Builds an accelerator, validating the configuration.
+    ///
+    /// Host parallelism defaults to [`Parallelism::from_env`]
+    /// (`EDEA_THREADS`, else serial); override with
+    /// [`Edea::with_parallelism`].
     ///
     /// # Errors
     ///
@@ -95,6 +143,7 @@ impl Edea {
             dwc,
             pwc,
             nonconv,
+            par: Parallelism::from_env(),
         })
     }
 
@@ -102,6 +151,27 @@ impl Edea {
     #[must_use]
     pub fn config(&self) -> &EdeaConfig {
         &self.cfg
+    }
+
+    /// The host-parallelism knob for the per-portion tile loop.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// Sets the host thread count for the per-portion tile loop. This is a
+    /// host-simulation knob, not an architecture parameter: any setting
+    /// produces bit-identical outputs, statistics and traffic counters
+    /// (see [`crate::par`] for the contract).
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// In-place variant of [`Edea::with_parallelism`].
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     fn check_layer(&self, layer: &QuantizedDscLayer, input: &Tensor3<i8>) -> Result<(), CoreError> {
@@ -219,6 +289,166 @@ impl Edea {
         self.execute_layer(layer, plan, inputs, residency, scratch)
     }
 
+    /// One portion of the layer schedule: psum residency, the channel-pass
+    /// × image × tile loop, and the drain — writing **portion-local**
+    /// intermediate (`mids`) and output (`outs`) maps (one slot per image)
+    /// and counting traffic into the caller's `buffers`/`tally`.
+    ///
+    /// This is the unit the parallel portion loop distributes across
+    /// lanes: a portion touches only its own output rectangle, its lane's
+    /// scratch and its lane's counters, so any static partition of
+    /// portions is race-free by construction, and every count it produces
+    /// is a pure function of the portion alone (identical in any lane).
+    #[allow(clippy::too_many_arguments)]
+    fn run_portion(
+        &self,
+        layer: &QuantizedDscLayer,
+        plan: &LayerPlan,
+        padded: &[Tensor3<i8>],
+        residency: WeightResidency,
+        portion: &Portion,
+        buffers: &mut BufferSet,
+        scratch: &mut TileScratch,
+        mids: &mut [Tensor3<i8>],
+        outs: &mut [Tensor3<i8>],
+        tally: &mut PortionTally,
+    ) -> Result<(), CoreError> {
+        let s = layer.shape();
+        let t = self.cfg.tile;
+        let (td, tk, tn, tm) = (t.td, t.tk, t.tn, t.tm);
+        let pad = s.pad();
+        let n_images = padded.len();
+        let channel_passes = s.d_in / td;
+        let kernel_tiles = s.k_out / tk;
+        let tr = (tn - 1) * s.stride + s.kernel;
+        let tc = (tm - 1) * s.stride + s.kernel;
+
+        // Per-portion psum SRAM residency, one bank per in-flight image
+        // (write traffic is counted per PWC invocation below).
+        let psum_bytes = portion.pixels() * s.k_out * 4;
+        buffers.psum.reserve(n_images * psum_bytes)?;
+        for psum in scratch.psums.iter_mut().take(n_images) {
+            psum.resize_zeroed(s.k_out, portion.rows, portion.cols);
+        }
+        for mid in mids.iter_mut() {
+            mid.resize_zeroed(s.d_in, portion.rows, portion.cols);
+        }
+        let tiles = spatial_tiles(portion, &self.cfg);
+        let (_, _, rows, cols) = portion.input_region(s.stride, s.kernel, pad, s.in_spatial);
+        let slice_bytes = rows * cols * td;
+        let pw_bytes = td * s.k_out;
+
+        for ct in 0..channel_passes {
+            // Weight-side initiation: the weight-slice registers, the
+            // offline parameters and the PWC weight slice for this
+            // channel window × all kernels. With resident weights this
+            // happens once and serves every image of the batch.
+            let load_weight_slices = |buffers: &mut BufferSet| -> Result<(), CoreError> {
+                buffers.dwc_weight.read(s.kernel * s.kernel * td);
+                buffers.offline.read(6 * td);
+                buffers.external.read_weights(pw_bytes);
+                buffers.pwc_weight.fill(pw_bytes)
+            };
+            if residency == WeightResidency::PerBatch {
+                load_weight_slices(buffers)?;
+            }
+
+            for (img, padded_img) in padded.iter().enumerate() {
+                if residency == WeightResidency::PerImage {
+                    load_weight_slices(buffers)?;
+                }
+                // Ifmap-side initiation: this image's slice for the
+                // portion's channel window (with halo) — inherently
+                // per-image.
+                buffers.external.read_ifmap(slice_bytes);
+                buffers.ifmap.fill(slice_bytes)?;
+
+                for st in &tiles {
+                    // DWC: one engine cycle, window extracted into the
+                    // scratch buffer with flat row copies.
+                    padded_img.copy_window_into(
+                        ct * td,
+                        st.row0 * s.stride,
+                        st.col0 * s.stride,
+                        &mut scratch.window,
+                    );
+                    buffers.ifmap.read(tr * tc * td);
+                    let act = self.dwc.compute_tile_into(
+                        &scratch.window,
+                        plan.dw_slice(ct),
+                        s.stride,
+                        &mut scratch.dwc_acc,
+                    )?;
+                    tally.dwc_activity.merge(&act);
+                    tally.dwc_invocations += 1;
+
+                    // Non-Conv: fold to int8 and stream to the
+                    // intermediate buffer (direct data transfer — no
+                    // external round trip).
+                    let nc = self.nonconv.apply_tile_into(
+                        &scratch.dwc_acc,
+                        &layer.nonconv1()[ct * td..],
+                        &mut scratch.mid_tile,
+                    )?;
+                    tally.nonconv_ops += nc.ops;
+                    buffers.intermediate.fill(tn * tm * td)?;
+                    mids[img].paste_window(
+                        ct * td,
+                        st.row0 - portion.row0,
+                        st.col0 - portion.col0,
+                        &scratch.mid_tile,
+                    );
+
+                    // PWC: one engine cycle per kernel tile,
+                    // accumulating into this image's psum bank.
+                    for kt in 0..kernel_tiles {
+                        buffers.intermediate.read(tn * tm * td);
+                        buffers.pwc_weight.read(td * tk);
+                        let act = self.pwc.compute_tile_gated_into(
+                            &scratch.mid_tile,
+                            plan.pw_slice(ct, kt),
+                            plan.pw_occupancy(ct, kt),
+                            &mut scratch.pwc_partial,
+                        )?;
+                        tally.pwc_activity.merge(&act);
+                        tally.pwc_invocations += 1;
+                        // Read-modify-write: the first pass writes fresh
+                        // values, later passes read the running sums
+                        // first.
+                        if ct > 0 {
+                            buffers.psum.read(tk * tn * tm * 4);
+                        }
+                        let psum = scratch.psums[img].as_mut_slice();
+                        let part = scratch.pwc_partial.as_slice();
+                        let r0 = st.row0 - portion.row0;
+                        let c0 = st.col0 - portion.col0;
+                        for k in 0..tk {
+                            for n in 0..tn {
+                                let dst =
+                                    ((kt * tk + k) * portion.rows + r0 + n) * portion.cols + c0;
+                                let src = (k * tn + n) * tm;
+                                for m in 0..tm {
+                                    psum[dst + m] += part[src + m];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Drain: output-side Non-Conv and external write-back per image
+        // (overlapped with the next portion in hardware — no cycles).
+        for (psum, out) in scratch.psums.iter().take(n_images).zip(outs.iter_mut()) {
+            buffers.psum.read(psum_bytes);
+            let nc = self.nonconv.apply_tile_into(psum, layer.nonconv2(), out)?;
+            tally.nonconv_ops += nc.ops;
+            buffers.external.write(portion.pixels() * s.k_out);
+        }
+        buffers.psum.clear();
+        Ok(())
+    }
+
     /// The functional schedule, generalized over a batch of images and a
     /// weight-residency policy. `PerImage` reproduces the per-image
     /// baseline accounting exactly (every image re-fetches all weights);
@@ -227,6 +457,15 @@ impl Edea {
     /// The tile loop works entirely in `scratch`'s reusable buffers —
     /// reserved once up front, so the steady state performs zero heap
     /// allocations per tile (guarded by the allocation-regression test).
+    ///
+    /// With [`Edea::parallelism`] above one thread, portions are statically
+    /// partitioned into contiguous lanes ([`par::chunk_ranges`]) and run
+    /// concurrently: each lane owns a private [`TileScratch`], a private
+    /// [`BufferSet`] for counting and its own portion-local output slots,
+    /// then lanes are reduced **in lane order** (exact `u64` counter sums,
+    /// first error in portion order) and the portion outputs pasted in
+    /// portion order — bit-identical to the serial run by construction
+    /// (see [`crate::par`]) and enforced by the `parallel_identity` suite.
     fn execute_layer(
         &self,
         layer: &QuantizedDscLayer,
@@ -245,13 +484,11 @@ impl Edea {
         }
         let s = layer.shape();
         let t = self.cfg.tile;
-        let (td, tk, tn, tm) = (t.td, t.tk, t.tn, t.tm);
+        let (tk, tn, tm) = (t.tk, t.tn, t.tm);
         let out = s.out_spatial();
         let pad = s.pad();
         let n_images = inputs.len();
         let padded: Vec<Tensor3<i8>> = inputs.iter().map(|i| i.zero_padded(pad)).collect();
-        let channel_passes = s.d_in / td;
-        let kernel_tiles = s.k_out / tk;
         scratch.reserve(&s, &self.cfg, n_images);
 
         let mut buffers = BufferSet::for_batch(&self.cfg, n_images);
@@ -277,151 +514,141 @@ impl Edea {
         let mut out_maps: Vec<Tensor3<i8>> = (0..n_images)
             .map(|_| Tensor3::<i8>::zeros(s.k_out, out, out))
             .collect();
-        let mut dwc_activity = EngineActivity::default();
-        let mut pwc_activity = EngineActivity::default();
-        let mut nonconv_ops = 0u64;
-        let mut dwc_invocations = 0u64;
-        let mut pwc_invocations = 0u64;
+        let mut tally = PortionTally::default();
 
-        let tr = (tn - 1) * s.stride + s.kernel;
-        let tc = (tm - 1) * s.stride + s.kernel;
+        let ports = portions(out, self.cfg.portion_limit);
+        let n_slots = ports.len() * n_images;
+        scratch.reserve_portion_slots(&s, &self.cfg, n_slots);
+        let lanes = self.par.threads().min(ports.len()).max(1);
 
-        for portion in portions(out, self.cfg.portion_limit) {
-            // Per-portion psum SRAM residency, one bank per in-flight image
-            // (write traffic is counted per PWC invocation below).
-            let psum_bytes = portion.pixels() * s.k_out * 4;
-            buffers.psum.reserve(n_images * psum_bytes)?;
-            for psum in scratch.psums.iter_mut().take(n_images) {
-                psum.resize_zeroed(s.k_out, portion.rows, portion.cols);
-            }
-            let tiles = spatial_tiles(&portion, &self.cfg);
-            let (_, _, rows, cols) = portion.input_region(s.stride, s.kernel, pad, s.in_spatial);
-            let slice_bytes = rows * cols * td;
-            let pw_bytes = td * s.k_out;
+        // The slot vectors leave the scratch for the duration of the
+        // portion loop so they can be split into disjoint per-lane `&mut`
+        // slices; they are restored below on every path, success or error.
+        let mut portion_mids = std::mem::take(&mut scratch.portion_mids);
+        let mut portion_outs = std::mem::take(&mut scratch.portion_outs);
 
-            for ct in 0..channel_passes {
-                // Weight-side initiation: the weight-slice registers, the
-                // offline parameters and the PWC weight slice for this
-                // channel window × all kernels. With resident weights this
-                // happens once and serves every image of the batch.
-                let load_weight_slices = |buffers: &mut BufferSet| -> Result<(), CoreError> {
-                    buffers.dwc_weight.read(s.kernel * s.kernel * td);
-                    buffers.offline.read(6 * td);
-                    buffers.external.read_weights(pw_bytes);
-                    buffers.pwc_weight.fill(pw_bytes)
-                };
-                if residency == WeightResidency::PerBatch {
-                    load_weight_slices(&mut buffers)?;
-                }
-
-                for (img, padded_img) in padded.iter().enumerate() {
-                    if residency == WeightResidency::PerImage {
-                        load_weight_slices(&mut buffers)?;
-                    }
-                    // Ifmap-side initiation: this image's slice for the
-                    // portion's channel window (with halo) — inherently
-                    // per-image.
-                    buffers.external.read_ifmap(slice_bytes);
-                    buffers.ifmap.fill(slice_bytes)?;
-
-                    for st in &tiles {
-                        // DWC: one engine cycle, window extracted into the
-                        // scratch buffer with flat row copies.
-                        padded_img.copy_window_into(
-                            ct * td,
-                            st.row0 * s.stride,
-                            st.col0 * s.stride,
-                            &mut scratch.window,
-                        );
-                        buffers.ifmap.read(tr * tc * td);
-                        let act = self.dwc.compute_tile_into(
-                            &scratch.window,
-                            plan.dw_slice(ct),
-                            s.stride,
-                            &mut scratch.dwc_acc,
-                        )?;
-                        dwc_activity.merge(&act);
-                        dwc_invocations += 1;
-
-                        // Non-Conv: fold to int8 and stream to the
-                        // intermediate buffer (direct data transfer — no
-                        // external round trip).
-                        let nc = self.nonconv.apply_tile_into(
-                            &scratch.dwc_acc,
-                            &layer.nonconv1()[ct * td..],
-                            &mut scratch.mid_tile,
-                        )?;
-                        nonconv_ops += nc.ops;
-                        buffers.intermediate.fill(tn * tm * td)?;
-                        mid_maps[img].paste_window(ct * td, st.row0, st.col0, &scratch.mid_tile);
-
-                        // PWC: one engine cycle per kernel tile,
-                        // accumulating into this image's psum bank.
-                        for kt in 0..kernel_tiles {
-                            buffers.intermediate.read(tn * tm * td);
-                            buffers.pwc_weight.read(td * tk);
-                            let act = self.pwc.compute_tile_gated_into(
-                                &scratch.mid_tile,
-                                plan.pw_slice(ct, kt),
-                                plan.pw_occupancy(ct, kt),
-                                &mut scratch.pwc_partial,
-                            )?;
-                            pwc_activity.merge(&act);
-                            pwc_invocations += 1;
-                            // Read-modify-write: the first pass writes fresh
-                            // values, later passes read the running sums
-                            // first.
-                            if ct > 0 {
-                                buffers.psum.read(tk * tn * tm * 4);
-                            }
-                            let psum = scratch.psums[img].as_mut_slice();
-                            let part = scratch.pwc_partial.as_slice();
-                            let r0 = st.row0 - portion.row0;
-                            let c0 = st.col0 - portion.col0;
-                            for k in 0..tk {
-                                for n in 0..tn {
-                                    let dst =
-                                        ((kt * tk + k) * portion.rows + r0 + n) * portion.cols + c0;
-                                    let src = (k * tn + n) * tm;
-                                    for m in 0..tm {
-                                        psum[dst + m] += part[src + m];
-                                    }
-                                }
-                            }
-                        }
-                    }
+        let run_result = if lanes <= 1 {
+            // Serial base case: one lane over all portions, main buffers,
+            // the caller's scratch — the historical code path.
+            let mut result = Ok(());
+            for (p, portion) in ports.iter().enumerate() {
+                let slots = p * n_images..(p + 1) * n_images;
+                if let Err(e) = self.run_portion(
+                    layer,
+                    plan,
+                    &padded,
+                    residency,
+                    portion,
+                    &mut buffers,
+                    &mut *scratch,
+                    &mut portion_mids[slots.clone()],
+                    &mut portion_outs[slots],
+                    &mut tally,
+                ) {
+                    result = Err(e);
+                    break;
                 }
             }
+            result
+        } else {
+            // Parallel lanes: contiguous portion ranges, lane-private
+            // scratches (lane 0 reuses the caller's), lane-private
+            // counting buffers, disjoint output slots.
+            scratch.ensure_lanes(lanes - 1, &s, &self.cfg, n_images);
+            let mut lane_scratches = std::mem::take(&mut scratch.lanes);
+            let ranges = par::chunk_ranges(ports.len(), lanes);
+            let mid_slices = split_slots(&mut portion_mids[..n_slots], &ranges, n_images);
+            let out_slices = split_slots(&mut portion_outs[..n_slots], &ranges, n_images);
 
-            // Drain: output-side Non-Conv and external write-back per image
-            // (overlapped with the next portion in hardware — no cycles).
-            for (psum, out_map) in scratch.psums.iter().take(n_images).zip(out_maps.iter_mut()) {
-                buffers.psum.read(psum_bytes);
-                let nc = self.nonconv.apply_tile_into(
-                    psum,
-                    layer.nonconv2(),
-                    &mut scratch.portion_out,
-                )?;
-                nonconv_ops += nc.ops;
-                out_map.paste_window(0, portion.row0, portion.col0, &scratch.portion_out);
-                buffers.external.write(portion.pixels() * s.k_out);
+            struct LaneCtx<'a> {
+                scratch: &'a mut TileScratch,
+                mids: &'a mut [Tensor3<i8>],
+                outs: &'a mut [Tensor3<i8>],
+                range: std::ops::Range<usize>,
             }
-            buffers.psum.clear();
+            let ctxs: Vec<LaneCtx<'_>> = std::iter::once(&mut *scratch)
+                .chain(lane_scratches.iter_mut().take(lanes - 1))
+                .zip(mid_slices)
+                .zip(out_slices)
+                .zip(ranges)
+                .map(|(((scratch, mids), outs), range)| LaneCtx {
+                    scratch,
+                    mids,
+                    outs,
+                    range,
+                })
+                .collect();
+
+            let lane_results = par::map_lanes(ctxs, |_, ctx| {
+                let mut buffers = BufferSet::for_batch(&self.cfg, n_images);
+                let mut tally = PortionTally::default();
+                let mut result = Ok(());
+                for (i, p) in ctx.range.clone().enumerate() {
+                    let slots = i * n_images..(i + 1) * n_images;
+                    if let Err(e) = self.run_portion(
+                        layer,
+                        plan,
+                        &padded,
+                        residency,
+                        &ports[p],
+                        &mut buffers,
+                        ctx.scratch,
+                        &mut ctx.mids[slots.clone()],
+                        &mut ctx.outs[slots],
+                        &mut tally,
+                    ) {
+                        // Stop at this lane's first error; since lanes are
+                        // contiguous, the first error across lanes in lane
+                        // order is the serial run's first error.
+                        result = Err(e);
+                        break;
+                    }
+                }
+                (buffers, tally, result)
+            });
+            scratch.lanes = lane_scratches;
+
+            // Fixed-order reduction: lane order == portion order.
+            let mut first_err = Ok(());
+            for (lane_buffers, lane_tally, lane_result) in lane_results {
+                buffers.absorb(&lane_buffers);
+                tally.merge(&lane_tally);
+                if first_err.is_ok() {
+                    first_err = lane_result;
+                }
+            }
+            first_err
+        };
+
+        if run_result.is_ok() {
+            // Paste phase, serially in portion order: assemble the full
+            // mid/out maps from the portion-local slots. Portions tile the
+            // output map disjointly, so this is a pure scatter.
+            for (p, portion) in ports.iter().enumerate() {
+                for img in 0..n_images {
+                    let slot = p * n_images + img;
+                    mid_maps[img].paste_window(0, portion.row0, portion.col0, &portion_mids[slot]);
+                    out_maps[img].paste_window(0, portion.row0, portion.col0, &portion_outs[slot]);
+                }
+            }
         }
+        scratch.portion_mids = portion_mids;
+        scratch.portion_outs = portion_outs;
+        run_result?;
 
         // psum write traffic: one word per PWC invocation.
         // (Recorded here in bulk — the loop above tracked reads.)
-        let psum_write_bytes = pwc_invocations * (tk * tn * tm * 4) as u64;
+        let psum_write_bytes = tally.pwc_invocations * (tk * tn * tm * 4) as u64;
 
         let breakdown = timing::layer_cycles(&s, &self.cfg);
         let nb = n_images as u64;
         debug_assert_eq!(
-            dwc_invocations,
+            tally.dwc_invocations,
             nb * breakdown.dwc_busy,
             "DWC cycle accounting"
         );
         debug_assert_eq!(
-            pwc_invocations,
+            tally.pwc_invocations,
             nb * breakdown.pwc_busy,
             "PWC cycle accounting"
         );
@@ -437,9 +664,9 @@ impl Edea {
             residency,
             breakdown,
             cycles: nb * breakdown.total(),
-            dwc_activity,
-            pwc_activity,
-            nonconv_ops,
+            dwc_activity: tally.dwc_activity,
+            pwc_activity: tally.pwc_activity,
+            nonconv_ops: tally.nonconv_ops,
             input_zero: mean_zero(inputs),
             mid_zero: mean_zero(&mid_maps),
             out_zero: mean_zero(&out_maps),

@@ -134,6 +134,21 @@ impl TrackedBuffer {
     pub fn clear(&mut self) {
         self.occupancy = 0;
     }
+
+    /// Folds another buffer's traffic counters into this one — the
+    /// fixed-order reduction step of the parallel portion loop, where each
+    /// lane counts its traffic into a private [`BufferSet`] and the lanes
+    /// are merged in lane order afterwards. Byte counters are exact sums
+    /// (`u64` addition is associative), so the merged totals are
+    /// bit-identical to the serial run; peak occupancy takes the max over
+    /// lanes.
+    pub(crate) fn absorb(&mut self, other: &Self) {
+        debug_assert_eq!(self.name, other.name);
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.peak = self.peak.max(other.peak);
+    }
 }
 
 /// External (off-chip) memory interface counters, in bytes, split by
@@ -185,6 +200,15 @@ impl ExternalMemory {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.reads() + self.writes
+    }
+
+    /// Folds another interface's counters into this one (exact `u64`
+    /// sums; see [`TrackedBuffer::absorb`]).
+    pub(crate) fn absorb(&mut self, other: &Self) {
+        self.weight_reads += other.weight_reads;
+        self.param_reads += other.param_reads;
+        self.ifmap_reads += other.ifmap_reads;
+        self.writes += other.writes;
     }
 }
 
@@ -261,6 +285,18 @@ impl BufferSet {
             + self.intermediate.writes()
             + self.pwc_weight.writes()
             + self.psum.writes()
+    }
+
+    /// Folds a lane-private buffer set's counters into this one, in the
+    /// caller's (lane) order — the parallel portion loop's reduction.
+    pub(crate) fn absorb(&mut self, other: &Self) {
+        self.ifmap.absorb(&other.ifmap);
+        self.dwc_weight.absorb(&other.dwc_weight);
+        self.offline.absorb(&other.offline);
+        self.intermediate.absorb(&other.intermediate);
+        self.pwc_weight.absorb(&other.pwc_weight);
+        self.psum.absorb(&other.psum);
+        self.external.absorb(&other.external);
     }
 }
 

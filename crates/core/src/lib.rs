@@ -43,6 +43,12 @@
 //!   (max-batch + max-wait policy, simulated clock) that drains a request
 //!   queue into [`Edea::run_batch`] and reports per-request latency and
 //!   aggregate throughput/SLO statistics.
+//! * [`par`] — the deterministic scoped thread pool: a host-`Parallelism`
+//!   knob (default serial, `EDEA_THREADS` overridable) that fans
+//!   independent portions of the tile loop and independent pool workers
+//!   across `std::thread::scope` lanes under a strict static-partition /
+//!   one-writer / fixed-order-reduction contract, so every simulated
+//!   number stays bit-identical at every thread count.
 //! * [`pool`] — the multi-accelerator pool: N backends, each with its own
 //!   busy-until clock and weight residency, behind a
 //!   [`Dispatcher`](pool::Dispatcher) routing requests by
@@ -89,6 +95,7 @@ mod error;
 pub mod floorplan;
 pub mod nonconv;
 pub mod paperdata;
+pub mod par;
 pub mod pipeline;
 pub mod plan;
 pub mod pool;

@@ -64,7 +64,8 @@ use std::collections::VecDeque;
 use edea_tensor::Batch;
 
 use crate::config::EdeaConfig;
-use crate::serve::{Backend, BatchRecord, Policy, Request, Response, ServeReport};
+use crate::par::{self, Parallelism};
+use crate::serve::{Backend, BackendRun, BatchRecord, Policy, Request, Response, ServeReport};
 use crate::CoreError;
 
 /// How the dispatcher assigns incoming requests to pool workers.
@@ -107,10 +108,15 @@ impl std::fmt::Display for DispatchPolicy {
 #[derive(Debug, Clone)]
 pub struct Pool<B> {
     workers: Vec<B>,
+    par: Parallelism,
 }
 
 impl<B: Backend> Pool<B> {
     /// Builds a pool from explicit workers.
+    ///
+    /// Host parallelism defaults to [`Parallelism::from_env`]
+    /// (`EDEA_THREADS`, else serial); override with
+    /// [`Pool::with_parallelism`].
     ///
     /// # Errors
     ///
@@ -142,7 +148,10 @@ impl<B: Backend> Pool<B> {
                 });
             }
         }
-        Ok(Self { workers })
+        Ok(Self {
+            workers,
+            par: Parallelism::from_env(),
+        })
     }
 
     /// Builds a pool of `n` clones of one worker.
@@ -184,6 +193,28 @@ impl<B: Backend> Pool<B> {
     #[must_use]
     pub fn config(&self) -> &EdeaConfig {
         self.workers[0].config()
+    }
+
+    /// The host-parallelism knob for batch execution across workers.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// Sets the host thread count for executing different workers' batches
+    /// concurrently. A host-simulation knob, not a serving parameter: the
+    /// dispatch loop stays serial on the simulated clock at any setting,
+    /// and reports are bit-identical (see [`crate::par`] and the
+    /// dispatch loop's oracle mode).
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// In-place variant of [`Pool::with_parallelism`].
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 }
 
@@ -237,7 +268,7 @@ impl Dispatcher {
         requests: Vec<Request>,
     ) -> Result<PoolReport, CoreError> {
         let workers: Vec<&B> = pool.workers.iter().collect();
-        drive(&workers, self.policy, self.dispatch, requests)
+        drive(&workers, self.policy, self.dispatch, requests, pool.par)
     }
 }
 
@@ -444,6 +475,22 @@ fn route(
     }
 }
 
+/// One dispatched-but-not-yet-executed batch in the oracle-mode event
+/// loop: the scheduling decision (who, when, how long) is final; only the
+/// execution — outputs and measured traffic — is deferred to a worker
+/// thread.
+struct PlannedBatch {
+    worker: usize,
+    /// `(id, arrival)` of each drained request, in FIFO order.
+    timeline: Vec<(u64, u64)>,
+    inputs: Batch<i8>,
+    dispatched: u64,
+    /// The backend's pre-declared service cycles
+    /// ([`Backend::dispatch_cycles`]); the measured run must match
+    /// exactly, enforced at assembly.
+    predicted: u64,
+}
+
 /// The shared discrete-event serve loop: routes arrivals to per-worker
 /// queues and dispatches each worker's batches in global time order,
 /// processing arrivals before dispatches at equal ticks (an arrival at or
@@ -453,14 +500,39 @@ fn route(
 /// `Scheduler::serve` calls this with one worker; the pool API calls it
 /// with N. With one worker every routing policy is the identity, so the
 /// single-backend path *is* the N = 1 case of this loop.
+///
+/// # Parallel execution (oracle mode)
+///
+/// The scheduling decisions depend on *when* batches complete, so the
+/// event loop itself must stay serial on the simulated clock. When `par`
+/// allows more than one thread, the pool has more than one worker, and
+/// every worker pre-declares its service cycles
+/// ([`Backend::dispatch_cycles`]), the loop runs in **oracle mode**: it
+/// makes every scheduling decision serially from the predicted cycles,
+/// recording [`PlannedBatch`]es instead of executing them, then executes
+/// all batches on a scoped fork-join — partitioned **by worker** (a
+/// worker's batches stay on one lane, in dispatch order, preserving each
+/// backend's sequential self-consistency) — and assembles responses,
+/// batch records and per-worker traffic in global dispatch order. A
+/// measured run that contradicts its prediction fails the whole run
+/// (`InvalidConfig`): silently diverging clocks would un-pin the
+/// simulated schedule from the executed one. Any backend without a
+/// prediction (the default) keeps today's serial execute-at-dispatch
+/// behaviour.
 pub(crate) fn drive<W: Backend + ?Sized>(
     workers: &[&W],
     policy: Policy,
     dispatch: DispatchPolicy,
     requests: Vec<Request>,
+    par: Parallelism,
 ) -> Result<PoolReport, CoreError> {
     policy.validate()?;
     assert!(!workers.is_empty(), "pool is non-empty by construction");
+    // Oracle mode is all-or-nothing, decided up front: a mixed pool (some
+    // workers predicting, some not) runs serially like any other.
+    let oracle = !par.is_serial()
+        && workers.len() > 1
+        && workers.iter().all(|w| w.dispatch_cycles(1).is_some());
     let want = workers[0].input_shape();
     for r in &requests {
         if r.input.shape() != want {
@@ -494,6 +566,7 @@ pub(crate) fn drive<W: Backend + ?Sized>(
     let mut responses = Vec::with_capacity(n_requests);
     let mut batches: Vec<BatchRecord> = Vec::new();
     let mut assignments: Vec<usize> = Vec::new();
+    let mut planned: Vec<PlannedBatch> = Vec::new();
     let mut rr_cursor = 0usize;
     let mut now = 0u64;
 
@@ -550,45 +623,170 @@ pub(crate) fn drive<W: Backend + ?Sized>(
         }
         let oldest_arrival = timeline[0].1;
         let inputs = Batch::new(inputs).expect("request shapes validated above");
-        let run = workers[wi].run(&inputs)?;
-        if run.outputs.len() != size {
-            return Err(CoreError::UnsupportedShape {
-                detail: format!(
-                    "backend {} returned {} outputs for a batch of {size}",
-                    workers[wi].name(),
-                    run.outputs.len()
-                ),
+        let index = assignments.len();
+        let cycles = if oracle {
+            // Oracle mode: every scheduling consequence of this dispatch
+            // (busy-until, responses' completion, the next batch boundary)
+            // follows from the pre-declared cycles; execution is deferred.
+            let predicted =
+                workers[wi]
+                    .dispatch_cycles(size)
+                    .ok_or_else(|| CoreError::InvalidConfig {
+                        detail: format!(
+                            "backend {} declared dispatch cycles for a batch of 1 \
+                             but not for a batch of {size}; dispatch_cycles must \
+                             be all-or-nothing",
+                            workers[wi].name()
+                        ),
+                    })?;
+            planned.push(PlannedBatch {
+                worker: wi,
+                timeline,
+                inputs,
+                dispatched: now,
+                predicted,
             });
-        }
-        let completed = now + run.cycles;
-        let index = batches.len();
-        for ((id, arrival), output) in timeline.into_iter().zip(run.outputs.into_images()) {
-            responses.push(Response {
-                id,
-                arrival,
+            predicted
+        } else {
+            let run = workers[wi].run(&inputs)?;
+            if run.outputs.len() != size {
+                return Err(CoreError::UnsupportedShape {
+                    detail: format!(
+                        "backend {} returned {} outputs for a batch of {size}",
+                        workers[wi].name(),
+                        run.outputs.len()
+                    ),
+                });
+            }
+            let completed = now + run.cycles;
+            for ((id, arrival), output) in timeline.into_iter().zip(run.outputs.into_images()) {
+                responses.push(Response {
+                    id,
+                    arrival,
+                    dispatched: now,
+                    completed,
+                    batch: index,
+                    output,
+                });
+            }
+            batches.push(BatchRecord {
+                index,
+                size,
+                oldest_arrival,
                 dispatched: now,
                 completed,
-                batch: index,
-                output,
+                cycles: run.cycles,
+                weight_bytes: run.weight_bytes,
+                external_bytes: run.external_bytes,
             });
-        }
-        batches.push(BatchRecord {
-            index,
-            size,
-            oldest_arrival,
-            dispatched: now,
-            completed,
-            cycles: run.cycles,
-            weight_bytes: run.weight_bytes,
-            external_bytes: run.external_bytes,
-        });
+            state.weight_bytes += run.weight_bytes;
+            state.external_bytes += run.external_bytes;
+            run.cycles
+        };
         assignments.push(wi);
-        state.free_at = completed;
+        state.free_at = now + cycles;
         state.in_service = size;
         state.batches += 1;
-        state.busy_cycles += run.cycles;
-        state.weight_bytes += run.weight_bytes;
-        state.external_bytes += run.external_bytes;
+        state.busy_cycles += cycles;
+    }
+
+    // Oracle mode, phase 2: execute every planned batch on a scoped
+    // fork-join, partitioned by worker (a worker's batches stay on one
+    // lane, in dispatch order), then assemble in global dispatch order.
+    if !planned.is_empty() {
+        let lanes_n = par.threads().min(workers.len());
+        let worker_ranges = par::chunk_ranges(workers.len(), lanes_n);
+        let mut worker_lane = vec![0usize; workers.len()];
+        for (lane, range) in worker_ranges.iter().enumerate() {
+            for w in range.clone() {
+                worker_lane[w] = lane;
+            }
+        }
+        // Per-lane job lists are ascending in global batch index.
+        let mut lane_jobs: Vec<Vec<usize>> = vec![Vec::new(); lanes_n];
+        for (j, p) in planned.iter().enumerate() {
+            lane_jobs[worker_lane[p.worker]].push(j);
+        }
+        let planned_ref = &planned;
+        let lane_results = par::map_lanes(lane_jobs, |_, jobs| {
+            let mut out: Vec<(usize, Result<BackendRun, CoreError>)> =
+                Vec::with_capacity(jobs.len());
+            for j in jobs {
+                let p = &planned_ref[j];
+                let result = workers[p.worker].run(&p.inputs);
+                let failed = result.is_err();
+                out.push((j, result));
+                if failed {
+                    // Stop at this lane's first error: jobs are in
+                    // dispatch order per lane, so the globally first
+                    // error is always executed and found at assembly.
+                    break;
+                }
+            }
+            out
+        });
+        let mut runs: Vec<Option<Result<BackendRun, CoreError>>> =
+            (0..planned.len()).map(|_| None).collect();
+        for lane in lane_results {
+            for (j, r) in lane {
+                runs[j] = Some(r);
+            }
+        }
+        // Ascending assembly reproduces the serial loop's responses,
+        // batch records, per-worker traffic and error precedence exactly
+        // (the schedule prefix up to any first error is identical, since
+        // predictions equal measured cycles for every successful run).
+        for (j, p) in planned.into_iter().enumerate() {
+            let run = runs[j]
+                .take()
+                .expect("every batch up to the first error was executed")?;
+            let size = p.timeline.len();
+            if run.outputs.len() != size {
+                return Err(CoreError::UnsupportedShape {
+                    detail: format!(
+                        "backend {} returned {} outputs for a batch of {size}",
+                        workers[p.worker].name(),
+                        run.outputs.len()
+                    ),
+                });
+            }
+            if run.cycles != p.predicted {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!(
+                        "backend {} reported {} cycles for a batch of {size} but \
+                         declared {} at dispatch; dispatch_cycles must equal the \
+                         measured run exactly",
+                        workers[p.worker].name(),
+                        run.cycles,
+                        p.predicted
+                    ),
+                });
+            }
+            let completed = p.dispatched + run.cycles;
+            let oldest_arrival = p.timeline[0].1;
+            states[p.worker].weight_bytes += run.weight_bytes;
+            states[p.worker].external_bytes += run.external_bytes;
+            for ((id, arrival), output) in p.timeline.into_iter().zip(run.outputs.into_images()) {
+                responses.push(Response {
+                    id,
+                    arrival,
+                    dispatched: p.dispatched,
+                    completed,
+                    batch: j,
+                    output,
+                });
+            }
+            batches.push(BatchRecord {
+                index: j,
+                size,
+                oldest_arrival,
+                dispatched: p.dispatched,
+                completed,
+                cycles: run.cycles,
+                weight_bytes: run.weight_bytes,
+                external_bytes: run.external_bytes,
+            });
+        }
     }
 
     let makespan = batches.last().map_or(0, |b| b.completed);

@@ -3,7 +3,7 @@
 //! Every spatial tile of the loop nest in [`crate::accelerator`] needs the
 //! same five working buffers: the DWC input window, the DWC accumulator
 //! tile, the Non-Conv'd intermediate tile, the PWC partial-sum tile, and
-//! (per portion) the psum banks plus the drained portion output. The
+//! (per portion) the psum banks plus the portion-local mid/output maps. The
 //! original hot path allocated all of them afresh on every tile — the
 //! software equivalent of the external-memory round trips the paper's
 //! direct data transfer eliminates. A [`TileScratch`] owns them instead:
@@ -37,8 +37,16 @@ pub struct TileScratch {
     /// Per-image psum banks for the current portion,
     /// `(K, portion rows, portion cols)` each.
     pub(crate) psums: Vec<Tensor3<i32>>,
-    /// The drained portion output after the output-side Non-Conv.
-    pub(crate) portion_out: Tensor3<i8>,
+    /// Lane-private sub-scratches for the parallel portion loop (lane 0
+    /// reuses this scratch itself; lane `i + 1` owns `lanes[i]`). Empty
+    /// until a parallel run reserves them; a serial run never touches it.
+    pub(crate) lanes: Vec<TileScratch>,
+    /// Portion-local intermediate maps, one slot per `(portion, image)`,
+    /// pasted into the full mid maps in portion order after all lanes join.
+    pub(crate) portion_mids: Vec<Tensor3<i8>>,
+    /// Portion-local drained outputs (after the output-side Non-Conv), one
+    /// slot per `(portion, image)`, pasted in portion order after the join.
+    pub(crate) portion_outs: Vec<Tensor3<i8>>,
 }
 
 impl Default for TileScratch {
@@ -57,7 +65,9 @@ impl TileScratch {
             mid_tile: Tensor3::zeros(1, 1, 1),
             pwc_partial: Tensor3::zeros(1, 1, 1),
             psums: Vec::new(),
-            portion_out: Tensor3::zeros(1, 1, 1),
+            lanes: Vec::new(),
+            portion_mids: Vec::new(),
+            portion_outs: Vec::new(),
         }
     }
 
@@ -85,7 +95,50 @@ impl TileScratch {
         for psum in self.psums.iter_mut().take(n_images) {
             psum.reserve_capacity(bank);
         }
-        self.portion_out.reserve_capacity(bank);
+    }
+
+    /// Grows the per-`(portion, image)` output slots so the portion loop —
+    /// serial or parallel — writes portion-local mids/outs without
+    /// allocating in steady state. Slot vectors only ever grow, like the
+    /// psum banks.
+    pub(crate) fn reserve_portion_slots(
+        &mut self,
+        s: &LayerShape,
+        cfg: &EdeaConfig,
+        n_slots: usize,
+    ) {
+        let pmax = s.out_spatial().min(cfg.portion_limit).max(1);
+        while self.portion_mids.len() < n_slots {
+            self.portion_mids.push(Tensor3::zeros(1, 1, 1));
+        }
+        while self.portion_outs.len() < n_slots {
+            self.portion_outs.push(Tensor3::zeros(1, 1, 1));
+        }
+        for mid in self.portion_mids.iter_mut().take(n_slots) {
+            mid.reserve_capacity(s.d_in * pmax * pmax);
+        }
+        for out in self.portion_outs.iter_mut().take(n_slots) {
+            out.reserve_capacity(s.k_out * pmax * pmax);
+        }
+    }
+
+    /// Grows the lane-private sub-scratch pool to `extra` entries (for
+    /// lanes `1..=extra`; lane 0 reuses this scratch) and reserves each
+    /// for layer `s`, so the parallel tile loops stay allocation-free in
+    /// steady state.
+    pub(crate) fn ensure_lanes(
+        &mut self,
+        extra: usize,
+        s: &LayerShape,
+        cfg: &EdeaConfig,
+        n_images: usize,
+    ) {
+        while self.lanes.len() < extra {
+            self.lanes.push(TileScratch::new());
+        }
+        for lane in self.lanes.iter_mut().take(extra) {
+            lane.reserve(s, cfg, n_images);
+        }
     }
 }
 

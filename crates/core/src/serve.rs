@@ -184,7 +184,12 @@ pub struct BackendRun {
 /// Implementations must be deterministic and must report service cycles
 /// consistently with the analytic [`CostModel`] so that batch boundaries
 /// are identical across backends (tested in the serving suite).
-pub trait Backend {
+///
+/// Backends are `Sync` so a parallel [`crate::pool::Pool`] can execute
+/// different workers' batches on different host threads (every provided
+/// backend is immutable-by-`&self`; [`SimulatorBackend`] guards its scratch
+/// arena internally).
+pub trait Backend: Sync {
     /// Human-readable backend name (appears in reports).
     fn name(&self) -> &'static str;
 
@@ -201,6 +206,22 @@ pub trait Backend {
     /// Backend-specific: shape or capacity errors from the underlying
     /// execution path.
     fn run(&self, inputs: &Batch<i8>) -> Result<BackendRun, CoreError>;
+
+    /// The service cycles a dispatch of `batch` images *will* report, if
+    /// this backend can predict them without executing — the hook that
+    /// lets a parallel pool keep its dispatch loop serial on the simulated
+    /// clock while deferring the actual execution to worker threads.
+    ///
+    /// The contract is all-or-nothing: return `Some` only if **every**
+    /// [`Backend::run`] on a batch of `batch` images reports exactly these
+    /// cycles (the pool enforces the equality and fails the run on a
+    /// mismatch). The default `None` opts out; the pool then executes
+    /// batches inline at dispatch time, serially. All provided backends
+    /// are paced by the equality-tested [`CostModel`] and return `Some`.
+    fn dispatch_cycles(&self, batch: usize) -> Option<u64> {
+        let _ = batch;
+        None
+    }
 }
 
 /// The cycle-accurate backend: dispatches to the accelerator's planned
@@ -343,6 +364,12 @@ impl Backend for SimulatorBackend {
             external_bytes: run.stats.external_total(),
         })
     }
+
+    fn dispatch_cycles(&self, batch: usize) -> Option<u64> {
+        // The measured batched schedule reports exactly the analytic
+        // cycles (equality-tested in the serving suite).
+        Some(self.cost.batch_cycles(batch))
+    }
 }
 
 /// The reference backend: outputs come from `edea-nn`'s golden int8
@@ -405,6 +432,10 @@ impl Backend for GoldenBackend {
             weight_bytes: self.cost.weight_bytes(),
             external_bytes: self.cost.batch_external_bytes(inputs.len()),
         })
+    }
+
+    fn dispatch_cycles(&self, batch: usize) -> Option<u64> {
+        Some(self.cost.batch_cycles(batch))
     }
 }
 
@@ -471,6 +502,10 @@ impl Backend for AnalyticBackend {
             weight_bytes: self.cost.weight_bytes(),
             external_bytes: self.cost.batch_external_bytes(inputs.len()),
         })
+    }
+
+    fn dispatch_cycles(&self, batch: usize) -> Option<u64> {
+        Some(self.cost.batch_cycles(batch))
     }
 }
 
@@ -817,11 +852,16 @@ impl Scheduler {
         backend: &B,
         requests: Vec<Request>,
     ) -> Result<ServeReport, CoreError> {
+        // A single backend has no cross-worker independence to exploit —
+        // the one-worker event loop stays serial regardless of any
+        // parallelism knob (batches on one worker are sequentially
+        // dependent through its busy-until clock).
         let report = crate::pool::drive(
             &[backend],
             self.policy,
             crate::pool::DispatchPolicy::RoundRobin,
             requests,
+            crate::par::Parallelism::serial(),
         )?;
         Ok(report.serve)
     }

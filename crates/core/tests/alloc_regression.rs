@@ -4,12 +4,15 @@
 //! per-image output structures — never per tile — and the pool's
 //! steady-state dispatch machinery must add only a small, stable,
 //! per-batch constant on top of the backend run (never per tick or per
-//! queue entry).
+//! queue entry). Part 4 pins the scoped thread pool: a warm 2-lane layer
+//! run allocates only a small, stable, per-region constant (the scoped
+//! spawn plus per-lane buffers), never per tile.
 //!
 //! The whole guard lives in one `#[test]` because the counting allocator
 //! is process-wide and the default harness runs tests of one binary
 //! concurrently.
 
+use edea_core::par::Parallelism;
 use edea_core::plan::LayerPlan;
 use edea_core::pool::{DispatchPolicy, Dispatcher, Pool};
 use edea_core::schedule::WeightResidency;
@@ -34,7 +37,14 @@ fn steady_state_tile_pipeline_does_not_allocate() {
     let cfg = EdeaConfig::paper();
     let d = deploy(0.25, 77);
     let layer = &d.qnet.layers()[0]; // d_in 8, k_out 16, 32×32 ofmap
-    let edea = Edea::new(cfg.clone()).unwrap();
+
+    // Parts 1–3 measure the serial reference path, so pin it explicitly —
+    // the per-tile/per-batch bounds below assume no scoped threads are
+    // spawned (CI also runs this suite under EDEA_THREADS=4; part 4 covers
+    // the parallel path with its own bound).
+    let edea = Edea::new(cfg.clone())
+        .unwrap()
+        .with_parallelism(Parallelism::serial());
 
     // --- Part 1: the per-tile pipeline itself allocates exactly zero. ---
     // Drive the DWC → Non-Conv → PWC chain over warm scratch buffers, the
@@ -177,7 +187,9 @@ fn steady_state_tile_pipeline_does_not_allocate() {
     // outputs may. With batch-of-1 dispatches, anything per-tick or
     // per-queue-entry would blow the per-batch bound immediately.
     let backend = AnalyticBackend::new(&mobilenet_v1_cifar10(), &cfg).unwrap();
-    let pool = Pool::replicate(backend.clone(), 2).unwrap();
+    let pool = Pool::replicate(backend.clone(), 2)
+        .unwrap()
+        .with_parallelism(Parallelism::serial());
     let dispatcher = Dispatcher::new(
         Policy::new(1, 0).unwrap(),
         DispatchPolicy::JoinShortestQueue,
@@ -212,5 +224,55 @@ fn steady_state_tile_pipeline_does_not_allocate() {
     assert!(
         per_batch <= 16,
         "pool dispatch allocates {per_batch} per batch ({eight_a} for 8, {sixteen} for 16)"
+    );
+
+    // --- Part 4: the scoped thread pool in steady state adds only a
+    // small, stable, per-region constant — never per tile. ---
+    // A 2-lane planned layer run spawns one scoped thread per region and
+    // gives each lane a warm lane-private scratch and its own portion
+    // slots, so after warm-up the only allocations left are the spawn
+    // itself, the per-lane batch buffers and the per-image output set.
+    // Per-tile allocation creeping into the *parallel* loop would clear
+    // the 256-tile bound immediately; instability across identical warm
+    // runs would betray hidden growing state in the lane machinery.
+    let threaded = Edea::new(cfg.clone())
+        .unwrap()
+        .with_parallelism(Parallelism::new(2).unwrap());
+    let mut par_scratch = TileScratch::new();
+    let par_run = |n: usize, scratch: &mut TileScratch| {
+        threaded
+            .run_layer_planned(
+                layer,
+                &plan,
+                &inputs.images()[..n],
+                WeightResidency::PerBatch,
+                scratch,
+            )
+            .unwrap()
+    };
+    // Warm twice: the first run grows the lane scratches and portion
+    // slots, the second settles any thread-runtime one-offs (TLS, stack
+    // caches) so the measured window sees only the steady state.
+    let _ = par_run(2, &mut par_scratch);
+    let _ = par_run(2, &mut par_scratch);
+    let count_par = |n: usize, scratch: &mut TileScratch| {
+        let before = CountingAllocator::allocations();
+        let out = par_run(n, scratch);
+        let allocs = CountingAllocator::allocations() - before;
+        drop(out);
+        allocs
+    };
+    let warm_a = count_par(2, &mut par_scratch);
+    let warm_b = count_par(2, &mut par_scratch);
+    assert_eq!(
+        warm_a, warm_b,
+        "warm 2-lane runs must have a stable allocation count"
+    );
+    // 2 images × 256 tiles each: a single per-tile allocation in the lane
+    // loop would cost 512+. The steady-state budget is the scoped spawn,
+    // two lane-local BufferSets and the per-image outputs.
+    assert!(
+        warm_a < 128,
+        "warm 2-lane batch run allocated {warm_a} times (512 tiles)"
     );
 }

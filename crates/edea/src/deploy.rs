@@ -30,6 +30,7 @@
 
 use edea_core::accelerator::{BatchRun, Edea, NetworkRun};
 use edea_core::config::EdeaConfig;
+use edea_core::par::Parallelism;
 use edea_core::plan::NetworkPlan;
 use edea_core::pool::{DispatchPolicy, Dispatcher, Pool, PoolReport};
 use edea_core::serve::{GoldenBackend, Policy, Request, ServeReport, SimulatorBackend};
@@ -65,6 +66,7 @@ pub struct DeploymentBuilder {
     quant: QuantStrategy,
     config: EdeaConfig,
     replicas: usize,
+    threads: Option<usize>,
 }
 
 impl Default for DeploymentBuilder {
@@ -76,6 +78,7 @@ impl Default for DeploymentBuilder {
             quant: QuantStrategy::paper(),
             config: EdeaConfig::paper(),
             replicas: 1,
+            threads: None,
         }
     }
 }
@@ -127,6 +130,18 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Number of host threads the simulation may use (default: the
+    /// `EDEA_THREADS` environment variable, falling back to 1). `1` is the
+    /// serial reference path; any `n` produces bit-identical results — the
+    /// thread pool only parallelizes independent portions of the tile loop
+    /// and independent pool workers, never the simulated clock (see the
+    /// `edea_core::par` module docs for the determinism contract).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
     /// Calibrates the network and builds the validated accelerator.
     ///
     /// # Errors
@@ -134,8 +149,9 @@ impl DeploymentBuilder {
     /// * [`Error::Builder`] if the model or calibration images are
     ///   missing, or `replicas` is zero.
     /// * [`Error::Nn`] if calibration fails.
-    /// * [`Error::Core`] if the configuration is invalid or the calibrated
-    ///   network does not map onto its engine geometry.
+    /// * [`Error::Core`] if the configuration is invalid, `threads` is out
+    ///   of range, or the calibrated network does not map onto its engine
+    ///   geometry.
     pub fn build(self) -> Result<Deployment, Error> {
         let mut model = self.model.ok_or_else(|| Error::Builder {
             detail: "a model is required: call .model(...)".into(),
@@ -156,9 +172,13 @@ impl DeploymentBuilder {
             &self.sparsity,
             self.quant,
         )?;
-        let edea = Edea::new(self.config)?;
+        let par = match self.threads {
+            None => Parallelism::from_env(),
+            Some(n) => Parallelism::new(n)?,
+        };
+        let edea = Edea::new(self.config)?.with_parallelism(par);
         let simulator = SimulatorBackend::new(edea, qnet)?;
-        let pool = Pool::replicate(simulator, self.replicas)?;
+        let pool = Pool::replicate(simulator, self.replicas)?.with_parallelism(par);
         Ok(Deployment {
             model,
             report,
@@ -209,6 +229,13 @@ impl Deployment {
     #[must_use]
     pub fn replicas(&self) -> usize {
         self.pool.len()
+    }
+
+    /// The host-thread budget of this deployment (shared by the tile
+    /// pipeline of every replica and the pool's worker fan-out).
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.pool.parallelism()
     }
 
     /// The accelerator configuration.
@@ -390,6 +417,50 @@ mod tests {
             .unwrap_err();
         assert!(matches!(e, Error::Builder { .. }), "{e}");
         assert!(e.to_string().contains("replica"), "{e}");
+    }
+
+    #[test]
+    fn builder_threads_knob_reaches_accelerator_and_pool() {
+        let d = Deployment::builder()
+            .model(MobileNetV1::synthetic(0.25, 11))
+            .calibration(rng::synthetic_batch(2, 3, 32, 32, 12))
+            .threads(3)
+            .build()
+            .expect("threaded deployment builds");
+        assert_eq!(d.parallelism().threads(), 3);
+        assert_eq!(d.accelerator().parallelism().threads(), 3);
+        assert_eq!(d.pool().parallelism().threads(), 3);
+
+        // threads(0) is rejected at build time, as a core config error.
+        let e = Deployment::builder()
+            .model(MobileNetV1::synthetic(0.25, 11))
+            .calibration(rng::synthetic_batch(2, 3, 32, 32, 12))
+            .threads(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, Error::Core(_)), "{e}");
+        assert!(e.to_string().contains("thread"), "{e}");
+    }
+
+    #[test]
+    fn threaded_deployment_matches_serial_bit_for_bit() {
+        let serial = Deployment::builder()
+            .model(MobileNetV1::synthetic(0.25, 11))
+            .calibration(rng::synthetic_batch(2, 3, 32, 32, 12))
+            .threads(1)
+            .build()
+            .expect("serial deployment builds");
+        let threaded = Deployment::builder()
+            .model(MobileNetV1::synthetic(0.25, 11))
+            .calibration(rng::synthetic_batch(2, 3, 32, 32, 12))
+            .threads(4)
+            .build()
+            .expect("threaded deployment builds");
+        let input = serial.prepare(&rng::synthetic_image(3, 32, 32, 13));
+        let a = serial.run(&input).expect("serial run");
+        let b = threaded.run(&input).expect("threaded run");
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

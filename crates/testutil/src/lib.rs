@@ -33,6 +33,7 @@ pub mod alloc;
 
 use edea_core::accelerator::{BatchRun, Edea, NetworkRun};
 use edea_core::config::EdeaConfig;
+use edea_core::par::Parallelism;
 use edea_core::serve::Request;
 use edea_nn::mobilenet::MobileNetV1;
 use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
@@ -84,10 +85,23 @@ pub fn deploy(width: f64, seed: u64) -> TestDeployment {
     TestDeployment { model, qnet, input }
 }
 
-/// A paper-configuration accelerator.
+/// A paper-configuration accelerator (thread count from `EDEA_THREADS`,
+/// defaulting to the serial path).
 #[must_use]
 pub fn paper_edea() -> Edea {
     Edea::new(EdeaConfig::paper()).expect("paper configuration is valid")
+}
+
+/// A paper-configuration accelerator pinned to an explicit host-thread
+/// count — the building block of the parallel bit-identity suite.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or above the `edea_core::par` cap.
+#[must_use]
+pub fn paper_edea_threads(threads: usize) -> Edea {
+    paper_edea()
+        .with_parallelism(Parallelism::new(threads).expect("test thread counts are in range"))
 }
 
 /// Deploys at `(width, seed)` and runs the whole network on the paper
@@ -101,6 +115,26 @@ pub fn paper_edea() -> Edea {
 pub fn deploy_and_run(width: f64, seed: u64) -> (TestDeployment, NetworkRun) {
     let d = deploy(width, seed);
     let run = paper_edea()
+        .run_network(&d.qnet, &d.input)
+        .expect("network runs");
+    (d, run)
+}
+
+/// [`deploy_and_run`] pinned to an explicit host-thread count. Every
+/// `threads` value yields bit-identical runs — the determinism guard and
+/// the parallel bit-identity suite both lean on this.
+///
+/// # Panics
+///
+/// Panics if the run fails or `threads` is out of range.
+#[must_use]
+pub fn deploy_and_run_threads(
+    width: f64,
+    seed: u64,
+    threads: usize,
+) -> (TestDeployment, NetworkRun) {
+    let d = deploy(width, seed);
+    let run = paper_edea_threads(threads)
         .run_network(&d.qnet, &d.input)
         .expect("network runs");
     (d, run)
@@ -143,6 +177,26 @@ pub fn deploy_and_run_batch(
     let d = deploy(width, seed);
     let inputs = batch_inputs(&d, n, seed + 2);
     let run = paper_edea()
+        .run_batch(&d.qnet, &inputs)
+        .expect("batched network runs");
+    (d, inputs, run)
+}
+
+/// [`deploy_and_run_batch`] pinned to an explicit host-thread count.
+///
+/// # Panics
+///
+/// Panics if the run fails or `threads` is out of range.
+#[must_use]
+pub fn deploy_and_run_batch_threads(
+    width: f64,
+    seed: u64,
+    n: usize,
+    threads: usize,
+) -> (TestDeployment, Batch<i8>, BatchRun) {
+    let d = deploy(width, seed);
+    let inputs = batch_inputs(&d, n, seed + 2);
+    let run = paper_edea_threads(threads)
         .run_batch(&d.qnet, &inputs)
         .expect("batched network runs");
     (d, inputs, run)

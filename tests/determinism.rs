@@ -3,31 +3,54 @@
 //! `(width, seed)`. Every golden snapshot and paper-number regression in
 //! this repo depends on that, and future batching/async/caching refactors
 //! must not break it.
+//!
+//! The guard is parameterized over the host-thread count: every check runs
+//! at 1 thread (the serial reference) and at 4 threads (the scoped thread
+//! pool), and the threaded flow must also be bit-identical *to* the serial
+//! one — parallelism is an implementation detail of the host, never of the
+//! simulated machine.
 
-use edea_testutil::{deploy_and_run, deploy_and_run_batch};
+use edea_testutil::{deploy_and_run_batch_threads, deploy_and_run_threads};
+
+/// The thread counts the guard pins: the serial reference path and an
+/// oversubscribed parallel one (the test hosts have fewer cores).
+const THREADS: [usize; 2] = [1, 4];
 
 #[test]
 fn deploy_flow_is_bit_identical_across_runs() {
-    let (da, ra) = deploy_and_run(0.25, 2024);
-    let (db, rb) = deploy_and_run(0.25, 2024);
+    let (d1, r1) = deploy_and_run_threads(0.25, 2024, 1);
+    for threads in THREADS {
+        let (da, ra) = deploy_and_run_threads(0.25, 2024, threads);
+        let (db, rb) = deploy_and_run_threads(0.25, 2024, threads);
 
-    // Deployment artifacts: identical quantized networks and inputs.
-    assert_eq!(da.input, db.input, "quantized stem inputs diverged");
-    assert_eq!(da.qnet.layers().len(), db.qnet.layers().len());
-    for (la, lb) in da.qnet.layers().iter().zip(db.qnet.layers()) {
-        assert_eq!(la.dw_weights().values(), lb.dw_weights().values());
-        assert_eq!(la.pw_weights().values(), lb.pw_weights().values());
-        assert_eq!(la.nonconv1(), lb.nonconv1());
-        assert_eq!(la.nonconv2(), lb.nonconv2());
-    }
+        // Deployment artifacts: identical quantized networks and inputs.
+        assert_eq!(da.input, db.input, "quantized stem inputs diverged");
+        assert_eq!(da.qnet.layers().len(), db.qnet.layers().len());
+        for (la, lb) in da.qnet.layers().iter().zip(db.qnet.layers()) {
+            assert_eq!(la.dw_weights().values(), lb.dw_weights().values());
+            assert_eq!(la.pw_weights().values(), lb.pw_weights().values());
+            assert_eq!(la.nonconv1(), lb.nonconv1());
+            assert_eq!(la.nonconv2(), lb.nonconv2());
+        }
 
-    // Accelerator results: identical outputs and cycle statistics.
-    assert_eq!(ra.output, rb.output, "network outputs diverged");
-    assert_eq!(ra.stats.total_cycles(), rb.stats.total_cycles());
-    assert_eq!(ra.stats.total_macs(), rb.stats.total_macs());
-    assert_eq!(ra.stats.layers.len(), rb.stats.layers.len());
-    for (sa, sb) in ra.stats.layers.iter().zip(&rb.stats.layers) {
-        assert_eq!(sa, sb, "layer {} stats diverged", sa.shape.index);
+        // Accelerator results: identical outputs and cycle statistics —
+        // run to run at this thread count, and against the serial flow.
+        assert_eq!(ra.output, rb.output, "network outputs diverged");
+        assert_eq!(ra.stats.total_cycles(), rb.stats.total_cycles());
+        assert_eq!(ra.stats.total_macs(), rb.stats.total_macs());
+        assert_eq!(ra.stats.layers.len(), rb.stats.layers.len());
+        for (sa, sb) in ra.stats.layers.iter().zip(&rb.stats.layers) {
+            assert_eq!(sa, sb, "layer {} stats diverged", sa.shape.index);
+        }
+        assert_eq!(da.input, d1.input, "{threads}-thread deploy diverged");
+        assert_eq!(
+            ra.output, r1.output,
+            "{threads}-thread output diverged from serial"
+        );
+        assert_eq!(
+            ra.stats, r1.stats,
+            "{threads}-thread stats diverged from serial"
+        );
     }
 }
 
@@ -35,15 +58,28 @@ fn deploy_flow_is_bit_identical_across_runs() {
 fn batched_deploy_flow_is_bit_identical_across_runs() {
     // The batched schedule must be as deterministic as the per-image one:
     // identical inputs, outputs and whole-batch statistics (including the
-    // amortized external traffic split) on every run.
-    let (_, ia, ra) = deploy_and_run_batch(0.25, 2025, 3);
-    let (_, ib, rb) = deploy_and_run_batch(0.25, 2025, 3);
-    assert_eq!(ia, ib, "batched inputs diverged");
-    assert_eq!(ra.outputs, rb.outputs, "batched outputs diverged");
-    assert_eq!(ra.stats.batch, rb.stats.batch);
-    assert_eq!(ra.stats.layers.len(), rb.stats.layers.len());
-    for (sa, sb) in ra.stats.layers.iter().zip(&rb.stats.layers) {
-        assert_eq!(sa, sb, "layer {} batch stats diverged", sa.shape.index);
+    // amortized external traffic split) on every run, at every thread
+    // count, and across thread counts.
+    let (_, i1, r1) = deploy_and_run_batch_threads(0.25, 2025, 3, 1);
+    for threads in THREADS {
+        let (_, ia, ra) = deploy_and_run_batch_threads(0.25, 2025, 3, threads);
+        let (_, ib, rb) = deploy_and_run_batch_threads(0.25, 2025, 3, threads);
+        assert_eq!(ia, ib, "batched inputs diverged");
+        assert_eq!(ra.outputs, rb.outputs, "batched outputs diverged");
+        assert_eq!(ra.stats.batch, rb.stats.batch);
+        assert_eq!(ra.stats.layers.len(), rb.stats.layers.len());
+        for (sa, sb) in ra.stats.layers.iter().zip(&rb.stats.layers) {
+            assert_eq!(sa, sb, "layer {} batch stats diverged", sa.shape.index);
+        }
+        assert_eq!(ia, i1, "{threads}-thread batch inputs diverged");
+        assert_eq!(
+            ra.outputs, r1.outputs,
+            "{threads}-thread batch outputs diverged from serial"
+        );
+        assert_eq!(
+            ra.stats, r1.stats,
+            "{threads}-thread batch stats diverged from serial"
+        );
     }
 }
 
@@ -51,8 +87,10 @@ fn batched_deploy_flow_is_bit_identical_across_runs() {
 fn distinct_seeds_produce_distinct_flows() {
     // Guards against a refactor accidentally ignoring the seed (which would
     // make the determinism test above pass vacuously).
-    let (da, ra) = deploy_and_run(0.25, 1);
-    let (db, rb) = deploy_and_run(0.25, 2);
-    assert_ne!(da.input, db.input);
-    assert_ne!(ra.output, rb.output);
+    for threads in THREADS {
+        let (da, ra) = deploy_and_run_threads(0.25, 1, threads);
+        let (db, rb) = deploy_and_run_threads(0.25, 2, threads);
+        assert_ne!(da.input, db.input);
+        assert_ne!(ra.output, rb.output);
+    }
 }
