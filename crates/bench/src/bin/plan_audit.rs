@@ -1,0 +1,6 @@
+//! Plan-time race audit over the width-scaled MobileNets. Run with:
+//! `cargo run -p edea-bench --bin plan_audit --release`
+
+fn main() {
+    print!("{}", edea_bench::experiments::plan_audit());
+}

@@ -968,6 +968,76 @@ fn sparsity_sweep_table(width: f64, batch: usize, seed: u64) -> String {
     )
 }
 
+/// Extension: the plan-time race audit ([`edea::core::plan::audit`]) over
+/// the width-scaled MobileNets.
+///
+/// For every layer of the width-{0.25, 0.5, 0.75, 1.0} networks, the audit
+/// lowers each lane's write set (portion paste windows, per-`(portion,
+/// image)` slot windows) to row-major index intervals and proves — before
+/// any thread runs — pairwise disjointness across lanes, exact ofmap
+/// coverage, a total slot partition, and every buffer residency within its
+/// configured capacity, at 1/2/4/8 lanes with 4 images in flight. The
+/// table is pure plan math (no weights, no inputs, no wall clock), so the
+/// output is pinned as a golden fixture.
+///
+/// # Panics
+///
+/// Panics if any layer fails its audit — this artifact *is* the proof.
+#[must_use]
+pub fn plan_audit() -> String {
+    use edea::core::par::Parallelism;
+    use edea::core::plan::audit::audit_network;
+    use edea::nn::workload::scale_width;
+
+    let c = cfg();
+    let lane_counts = [1usize, 2, 4, 8];
+    let batch = 4usize;
+    let mut t = Table::new(vec![
+        "width",
+        "layers",
+        "portions",
+        "intervals",
+        "batch-4 psum KiB",
+        "lanes proven",
+    ]);
+    for width in [0.25, 0.5, 0.75, 1.0] {
+        let shapes = scale_width(&mobilenet_v1_cifar10(), width, 8);
+        let mut portions = 0usize;
+        let mut intervals = 0usize;
+        let mut psum_peak = 0usize;
+        for &n in &lane_counts {
+            let par = Parallelism::new(n).expect("lane counts are in range");
+            let audits = audit_network(&shapes, &c, par, batch)
+                .unwrap_or_else(|e| panic!("width {width}, {n} lanes: audit failed: {e}"));
+            portions = audits.iter().map(|a| a.portions).sum();
+            intervals = audits.iter().map(|a| a.intervals).sum();
+            psum_peak = audits
+                .iter()
+                .fold(psum_peak, |acc, a| acc.max(a.psum_peak_bytes));
+        }
+        t.row(vec![
+            fmt(width, 2),
+            shapes.len().to_string(),
+            portions.to_string(),
+            intervals.to_string(),
+            fmt(psum_peak as f64 / 1024.0, 0),
+            lane_counts
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("/"),
+        ]);
+    }
+    format!(
+        "== Extension: plan-time race audit (determinism contract proven statically) ==\n{}\n\
+         Every layer of every width: lane write sets pairwise disjoint, portions\n\
+         cover the ofmap exactly, the (portion, image) slot partition is total,\n\
+         and all buffer residencies fit — proven from the plan alone, before any\n\
+         thread runs.\n",
+        t.render()
+    )
+}
+
 /// Reduced [`pool_sweep`] for CI smoke runs (`EDEA_BENCH_SMOKE=1`): one
 /// load point, N ∈ {1, 2} — exercises the full pool dispatch path in a
 /// fraction of the time.

@@ -73,6 +73,7 @@ golden!(
     serve_sweep,
     pool_sweep,
     sparsity_sweep,
+    plan_audit,
 );
 
 #[test]

@@ -121,6 +121,9 @@ pub struct Edea {
     pwc: PwcEngine,
     nonconv: NonConvUnit,
     par: Parallelism,
+    /// The repair message from a malformed `EDEA_THREADS`, if construction
+    /// had to fall back to serial (see [`Parallelism::from_env_checked`]).
+    par_warning: Option<String>,
 }
 
 impl Edea {
@@ -138,12 +141,17 @@ impl Edea {
         let dwc = DwcEngine::new(&cfg);
         let pwc = PwcEngine::new(&cfg);
         let nonconv = NonConvUnit::new(&cfg);
+        let (par, par_warning) = Parallelism::from_env_checked();
+        if let Some(w) = &par_warning {
+            Parallelism::warn_env_once(w);
+        }
         Ok(Self {
             cfg,
             dwc,
             pwc,
             nonconv,
-            par: Parallelism::from_env(),
+            par,
+            par_warning,
         })
     }
 
@@ -159,19 +167,30 @@ impl Edea {
         self.par
     }
 
+    /// The warning raised if `EDEA_THREADS` was set but unusable when this
+    /// accelerator was built (the knob then silently meant "serial" — this
+    /// is how a harness notices). `None` when the variable was unset,
+    /// valid, or the parallelism was set explicitly.
+    #[must_use]
+    pub fn parallelism_warning(&self) -> Option<&str> {
+        self.par_warning.as_deref()
+    }
+
     /// Sets the host thread count for the per-portion tile loop. This is a
     /// host-simulation knob, not an architecture parameter: any setting
     /// produces bit-identical outputs, statistics and traffic counters
     /// (see [`crate::par`] for the contract).
     #[must_use]
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
-        self.par = par;
+        self.set_parallelism(par);
         self
     }
 
     /// In-place variant of [`Edea::with_parallelism`].
     pub fn set_parallelism(&mut self, par: Parallelism) {
         self.par = par;
+        // An explicit setting supersedes whatever the environment said.
+        self.par_warning = None;
     }
 
     fn check_layer(&self, layer: &QuantizedDscLayer, input: &Tensor3<i8>) -> Result<(), CoreError> {
@@ -204,6 +223,31 @@ impl Edea {
         NetworkPlan::new(net, &self.cfg)
     }
 
+    /// Runs the plan-time race audit ([`crate::plan::audit`]) over every
+    /// layer of `plan` for a batch of `batch` in-flight images: write-set
+    /// disjointness across lanes, exact ofmap coverage, the per-lane slot
+    /// partition and all buffer-capacity bounds, at this accelerator's
+    /// [`Edea::parallelism`]. A long-lived deployment calls this once up
+    /// front; debug builds additionally re-prove the same facts inside
+    /// every layer execution.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] naming the offending
+    /// `(layer, portion, lane)` triple on a race or coverage violation;
+    /// [`CoreError::BufferOverflow`] naming the buffer on a capacity
+    /// violation.
+    pub fn audit_plan(
+        &self,
+        plan: &NetworkPlan,
+        batch: usize,
+    ) -> Result<Vec<crate::plan::audit::LayerAudit>, CoreError> {
+        plan.layers()
+            .iter()
+            .map(|lp| crate::plan::audit::audit_layer(lp.shape(), &self.cfg, self.par, batch))
+            .collect()
+    }
+
     /// Runs one quantized DSC layer.
     ///
     /// Thin wrapper over the planned path: slices the layer's weights into
@@ -230,7 +274,9 @@ impl Edea {
             &mut scratch,
         )?;
         Ok(LayerRun {
+            // edea-lint: allow(panic-in-lib): from_ref put exactly one image in
             output: run.outputs.pop().expect("one image in, one image out"),
+            // edea-lint: allow(panic-in-lib): from_ref put exactly one image in
             pwc_input: run.pwc_inputs.pop().expect("one image in, one image out"),
             stats: run.stats.into_layer_stats(),
         })
@@ -520,6 +566,11 @@ impl Edea {
         let n_slots = ports.len() * n_images;
         scratch.reserve_portion_slots(&s, &self.cfg, n_slots);
         let lanes = self.par.threads().min(ports.len()).max(1);
+        // Debug builds re-prove the determinism contract on the exact
+        // portion list and lane count about to fork (release deployments
+        // run the same proofs once up front via `Edea::audit_plan`).
+        #[cfg(debug_assertions)]
+        crate::plan::audit::audit_portions(&s, &self.cfg, &ports, lanes, n_images)?;
 
         // The slot vectors leave the scratch for the duration of the
         // portion loop so they can be split into disjoint per-lane `&mut`
@@ -755,6 +806,7 @@ impl Edea {
                 WeightResidency::PerImage,
                 &mut *scratch,
             )?;
+            // edea-lint: allow(panic-in-lib): from_ref put exactly one image in
             x = Some(run.outputs.pop().expect("one image in, one image out"));
             layers.push(run.stats.into_layer_stats());
         }
@@ -849,6 +901,7 @@ impl Edea {
         }
         Ok(BatchRun {
             outputs: Batch::new(xs.unwrap_or_else(|| inputs.images().to_vec()))
+                // edea-lint: allow(panic-in-lib): every output of one layer has the layer's shape
                 .expect("uniform layer outputs"),
             stats: BatchNetworkStats {
                 batch: inputs.len(),

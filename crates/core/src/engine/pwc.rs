@@ -354,6 +354,7 @@ impl PwcEngine {
                 let w = i32::from(wq);
                 let arow: &[i8; PIX] = ia[c * PIX..(c + 1) * PIX]
                     .try_into()
+                    // edea-lint: allow(panic-in-lib): the chunk is PIX long by construction
                     .expect("lane slice is exactly PIX long");
                 for (o, &a) in acc.iter_mut().zip(arow) {
                     *o += i32::from(a) * w;
@@ -387,6 +388,7 @@ impl PwcEngine {
                 let w = i32::from(wrow[c]);
                 let arow: &[i8; PIX] = ia[c * PIX..(c + 1) * PIX]
                     .try_into()
+                    // edea-lint: allow(panic-in-lib): the chunk is PIX long by construction
                     .expect("lane slice is exactly PIX long");
                 for (o, &a) in acc.iter_mut().zip(arow) {
                     *o += i32::from(a) * w;

@@ -96,14 +96,62 @@ impl Parallelism {
     /// The process-wide default from the `EDEA_THREADS` environment
     /// variable, read leniently: unset, unparsable, zero or out-of-range
     /// values all fall back to [`Parallelism::serial`] — an environment
-    /// knob must never turn into a runtime error.
+    /// knob must never turn into a runtime error. Use
+    /// [`Parallelism::from_env_checked`] to learn *whether* the fallback
+    /// was a silent repair of a malformed value.
     #[must_use]
     pub fn from_env() -> Self {
-        std::env::var("EDEA_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .and_then(|n| Self::new(n).ok())
-            .unwrap_or_else(Self::serial)
+        Self::from_env_checked().0
+    }
+
+    /// As [`Parallelism::from_env`], but reports the parse outcome: the
+    /// second element carries a warning when `EDEA_THREADS` was set to
+    /// something unusable and the serial fallback papered over it.
+    /// `Edea::new` and `Pool::new` surface that warning to stderr once per
+    /// process, so a typo'd knob (`EDEA_THREADS=fourr`) no longer
+    /// silently benchmarks the serial path.
+    #[must_use]
+    pub fn from_env_checked() -> (Self, Option<String>) {
+        let value = std::env::var("EDEA_THREADS").ok();
+        Self::parse_env_value(value.as_deref())
+    }
+
+    /// The pure parsing core of [`Parallelism::from_env_checked`]:
+    /// `None` (unset) is the quiet serial default; a set-but-unusable
+    /// value falls back to serial **with** a warning describing the
+    /// repair. Separated from the environment read so tests can cover
+    /// every outcome without racing on process-global state.
+    #[must_use]
+    pub fn parse_env_value(value: Option<&str>) -> (Self, Option<String>) {
+        let Some(raw) = value else {
+            return (Self::serial(), None);
+        };
+        let trimmed = raw.trim();
+        match trimmed.parse::<usize>() {
+            Ok(n) => match Self::new(n) {
+                Ok(par) => (par, None),
+                Err(e) => (
+                    Self::serial(),
+                    Some(format!(
+                        "EDEA_THREADS={trimmed} is out of range ({e}); running serial"
+                    )),
+                ),
+            },
+            Err(_) => (
+                Self::serial(),
+                Some(format!(
+                    "EDEA_THREADS={raw:?} is not a thread count; running serial"
+                )),
+            ),
+        }
+    }
+
+    /// Prints an environment-repair warning to stderr, once per process —
+    /// every `Edea`/`Pool` construction re-reads the variable, and a
+    /// long-lived service should not log the same typo per request.
+    pub(crate) fn warn_env_once(warning: &str) {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| eprintln!("edea-core: {warning}"));
     }
 
     /// The thread count (always ≥ 1).
@@ -174,6 +222,7 @@ where
     std::thread::scope(|scope| {
         let f = &f;
         let mut items = lanes.into_iter();
+        // edea-lint: allow(panic-in-lib): the len <= 1 early return guarantees a first item
         let first = items.next().expect("len checked above");
         // Spawn lanes 1.. first so they overlap with lane 0's inline run.
         let handles: Vec<_> = items
@@ -217,6 +266,38 @@ mod tests {
             Parallelism::new(MAX_THREADS).unwrap().threads(),
             MAX_THREADS
         );
+    }
+
+    #[test]
+    fn env_value_parsing_reports_repairs() {
+        // Unset: quiet serial default, no warning.
+        assert_eq!(
+            Parallelism::parse_env_value(None),
+            (Parallelism::serial(), None)
+        );
+        // Valid counts (whitespace tolerated): no warning.
+        let (par, warn) = Parallelism::parse_env_value(Some("4"));
+        assert_eq!(par.threads(), 4);
+        assert!(warn.is_none());
+        let (par, warn) = Parallelism::parse_env_value(Some(" 2 "));
+        assert_eq!(par.threads(), 2);
+        assert!(warn.is_none());
+        // Out-of-range counts: serial fallback, with a warning naming it.
+        for bad in ["0", "999"] {
+            let (par, warn) = Parallelism::parse_env_value(Some(bad));
+            assert!(par.is_serial());
+            let warn = warn.unwrap();
+            assert!(warn.contains("out of range"), "{warn}");
+            assert!(warn.contains(bad), "{warn}");
+        }
+        // Unparsable garbage: serial fallback, with the raw value quoted.
+        for bad in ["fourr", "", "-2", "3.5"] {
+            let (par, warn) = Parallelism::parse_env_value(Some(bad));
+            assert!(par.is_serial());
+            let warn = warn.unwrap();
+            assert!(warn.contains("not a thread count"), "{warn}");
+            assert!(warn.contains(&format!("{bad:?}")), "{warn}");
+        }
     }
 
     #[test]

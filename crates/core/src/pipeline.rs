@@ -328,7 +328,7 @@ mod tests {
         // compute and a PWC compute happen simultaneously.
         let l = mobilenet_v1_cifar10()[0];
         let sim = simulate_layer(&l, &cfg(), 50_000);
-        let dwc: std::collections::HashSet<u64> = sim
+        let dwc: std::collections::BTreeSet<u64> = sim
             .events
             .iter()
             .filter(|e| e.stage == Stage::DwcProcess)

@@ -15,6 +15,8 @@
 //! geometry)`: executing through a plan is bit-exact with the unplanned
 //! wrappers, which simply build a throwaway plan per call.
 
+pub mod audit;
+
 use std::sync::OnceLock;
 
 use edea_nn::quantize::{QuantizedDscLayer, QuantizedDscNetwork};

@@ -148,10 +148,11 @@ impl<B: Backend> Pool<B> {
                 });
             }
         }
-        Ok(Self {
-            workers,
-            par: Parallelism::from_env(),
-        })
+        let (par, warning) = Parallelism::from_env_checked();
+        if let Some(w) = &warning {
+            Parallelism::warn_env_once(w);
+        }
+        Ok(Self { workers, par })
     }
 
     /// Builds a pool of `n` clones of one worker.
@@ -461,6 +462,7 @@ fn route(
                     let busy = if w.free_at > now { w.in_service } else { 0 };
                     (w.queue.len() + busy, w.free_at.max(now), *i)
                 })
+                // edea-lint: allow(panic-in-lib): Pool::new rejects empty worker sets
                 .expect("pool is non-empty")
                 .0
         }
@@ -469,6 +471,7 @@ fn route(
                 .iter()
                 .enumerate()
                 .min_by_key(|(i, w)| (w.queue.len(), w.free_at.max(now), *i))
+                // edea-lint: allow(panic-in-lib): Pool::new rejects empty worker sets
                 .expect("pool is non-empty")
                 .0
         }
@@ -599,6 +602,7 @@ pub(crate) fn drive<W: Backend + ?Sized>(
         };
 
         if route_next {
+            // edea-lint: allow(panic-in-lib): route_next is true only when the front exists
             let r = pending.pop_front().expect("checked front");
             advance(&mut states, &mut now, r.arrival);
             let w = route(&states, dispatch, &mut rr_cursor, now);
@@ -609,6 +613,7 @@ pub(crate) fn drive<W: Backend + ?Sized>(
             continue;
         }
 
+        // edea-lint: allow(panic-in-lib): route_next is false only when a dispatch exists
         let (t, wi) = next_dispatch.expect("route_next is false only with a dispatch");
         advance(&mut states, &mut now, t);
         let state = &mut states[wi];
@@ -622,6 +627,8 @@ pub(crate) fn drive<W: Backend + ?Sized>(
             inputs.push(r.input);
         }
         let oldest_arrival = timeline[0].1;
+        // edea-lint: allow(panic-in-lib): every request shape was checked against the
+        // backend at intake (InvalidRequest), so the drained batch is uniform
         let inputs = Batch::new(inputs).expect("request shapes validated above");
         let index = assignments.len();
         let cycles = if oracle {
@@ -739,6 +746,8 @@ pub(crate) fn drive<W: Backend + ?Sized>(
         for (j, p) in planned.into_iter().enumerate() {
             let run = runs[j]
                 .take()
+                // edea-lint: allow(panic-in-lib): lanes cover 0..planned.len(), and the
+                // fixed-order reduction stops this loop at the first missing run
                 .expect("every batch up to the first error was executed")?;
             let size = p.timeline.len();
             if run.outputs.len() != size {

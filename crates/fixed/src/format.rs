@@ -89,10 +89,11 @@ impl QFormat {
 
     /// Smallest representable increment, `2^-frac_bits`.
     #[must_use]
+    // edea-lint: allow(float-in-fixed): reporting boundary, not kernel arithmetic
     pub fn resolution(&self) -> f64 {
         (self.frac_bits as i32)
             .checked_neg()
-            .map(|e| 2f64.powi(e))
+            .map(|e| 2f64.powi(e)) // edea-lint: allow(float-in-fixed): reporting boundary, not kernel arithmetic
             .unwrap_or(1.0)
     }
 
@@ -110,14 +111,16 @@ impl QFormat {
 
     /// Largest representable real value.
     #[must_use]
+    // edea-lint: allow(float-in-fixed): reporting boundary, not kernel arithmetic
     pub fn max_value(&self) -> f64 {
-        self.max_raw() as f64 * self.resolution()
+        self.max_raw() as f64 * self.resolution() // edea-lint: allow(float-in-fixed): reporting boundary, not kernel arithmetic
     }
 
     /// Smallest representable real value.
     #[must_use]
+    // edea-lint: allow(float-in-fixed): reporting boundary, not kernel arithmetic
     pub fn min_value(&self) -> f64 {
-        self.min_raw() as f64 * self.resolution()
+        self.min_raw() as f64 * self.resolution() // edea-lint: allow(float-in-fixed): reporting boundary, not kernel arithmetic
     }
 
     /// Whether `raw` is representable in this format.

@@ -113,6 +113,7 @@ impl Q8x16 {
     /// The quantization error committed when representing `x`:
     /// `|x - from_f64(x)| ≤ 2^-17` within range.
     #[must_use]
+    // edea-lint: allow(float-in-fixed): conversion boundary, measures f64 round-trip error
     pub fn quantization_error(x: f64) -> f64 {
         (x - Self::from_f64(x).to_f64()).abs()
     }

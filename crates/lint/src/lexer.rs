@@ -1,0 +1,453 @@
+//! A minimal Rust lexer: just enough to tell *code* apart from comments
+//! and literals, so the rules in [`crate::rules`] never fire on text that
+//! the compiler would never execute.
+//!
+//! The lexer recognizes and skips (as code):
+//!
+//! * line comments (`//…`, including `///` and `//!` doc comments) — kept
+//!   aside as [`Comment`]s so suppression directives can be parsed;
+//! * block comments (`/* … */`), **nested**, as Rust defines them;
+//! * string literals (`"…"` with `\"`/`\\` escapes) and byte strings;
+//! * raw strings (`r"…"`, `r#"…"#`, … with any hash count, and `br…`);
+//! * char and byte-char literals (`'x'`, `'\n'`, `b'\xFF'`), carefully
+//!   distinguished from lifetimes (`'a`, `'static`) so a lifetime name is
+//!   *not* reported as an identifier (`&'static mut T` must not look like
+//!   `static mut`).
+//!
+//! Everything else becomes a flat [`Token`] stream: identifiers, number
+//! literals (with their type suffix, so `1.0f64` is visible to the
+//! float rule), and punctuation (with `::` fused, the only multi-char
+//! operator the rules need).
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A number literal, suffix included (`1.0f64`, `0x_ffu8`).
+    Number,
+    /// Punctuation; `::` is a single token, everything else one char.
+    Punct,
+    /// A lifetime (`'a`, `'static`) — never matched by any rule.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text.
+    pub text: String,
+    /// The kind.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One comment, with delimiters stripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The comment body (without `//`, `/*`, `*/`).
+    pub text: String,
+    /// 1-based line the comment *starts* on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Whether any code token lies on `line`.
+    #[must_use]
+    pub fn has_code_on(&self, line: u32) -> bool {
+        // Tokens are in line order; a binary search would work, but files
+        // are small and this is called once per directive.
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// The first code line at or after `line`, if any.
+    #[must_use]
+    pub fn first_code_line_at_or_after(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l >= line)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`. Unterminated literals or comments are tolerated (the rest
+/// of the file is simply swallowed by the open construct, exactly as an
+/// editor would highlight it) — the linter runs on code `rustc` already
+/// accepted, so this path only matters for robustness on garbage input.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Reads a `"…"` body starting *after* the opening quote; returns the
+    // index after the closing quote, counting newlines into `line`.
+    fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+        while i < b.len() {
+            match b[i] {
+                '\\' => {
+                    // Escape pair; a `\<newline>` continuation still
+                    // advances the line counter.
+                    if b.get(i + 1) == Some(&'\n') {
+                        *line += 1;
+                    }
+                    i += 2.min(b.len() - i);
+                }
+                '"' => return i + 1,
+                c => {
+                    if c == '\n' {
+                        *line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        i
+    }
+
+    // Raw string at `i` (pointing at `r`), optionally after a `b` already
+    // consumed by the caller: `r#*"…"#*`. Returns Some(end) if it really
+    // is one.
+    fn skip_raw_string(b: &[char], i: usize, line: &mut u32) -> Option<usize> {
+        let mut j = i + 1; // past 'r'
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= b.len() || b[j] != '"' {
+            return None;
+        }
+        j += 1;
+        while j < b.len() {
+            if b[j] == '\n' {
+                *line += 1;
+            }
+            if b[j] == '"'
+                && b[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == '#')
+                    .count()
+                    == hashes
+            {
+                return Some(j + 1 + hashes);
+            }
+            j += 1;
+        }
+        Some(j)
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = if depth == 0 { j - 2 } else { j };
+                out.comments.push(Comment {
+                    text: b[start..end].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            '"' => i = skip_string(&b, i + 1, &mut line),
+            '\'' => {
+                // Char literal or lifetime?
+                let next = b.get(i + 1).copied();
+                match next {
+                    Some('\\') => {
+                        // Escaped char literal: `\X` pairs never close the
+                        // literal, the first bare quote does.
+                        let mut j = i + 1;
+                        while j < b.len() {
+                            if b[j] == '\\' {
+                                j += 2;
+                            } else if b[j] == '\'' {
+                                j += 1;
+                                break;
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        i = j.min(b.len());
+                    }
+                    Some(n) if is_ident_continue(n) && b.get(i + 2) == Some(&'\'') => {
+                        // One-char literal like 'x' or '_'.
+                        i += 3;
+                    }
+                    Some(n) if is_ident_start(n) => {
+                        // A lifetime: consume 'name as one non-ident token.
+                        let mut j = i + 1;
+                        while j < b.len() && is_ident_continue(b[j]) {
+                            j += 1;
+                        }
+                        out.tokens.push(Token {
+                            text: b[i..j].iter().collect(),
+                            kind: TokenKind::Lifetime,
+                            line,
+                        });
+                        i = j;
+                    }
+                    Some(_) => {
+                        // Non-alphanumeric char literal like '(' or '"'.
+                        let mut j = i + 1;
+                        while j < b.len() && b[j] != '\'' {
+                            if b[j] == '\n' {
+                                line += 1;
+                            }
+                            j += 1;
+                        }
+                        i = (j + 1).min(b.len());
+                    }
+                    None => i += 1,
+                }
+            }
+            c if is_ident_start(c) => {
+                // Raw-/byte-string prefixes first: r"…", r#"…"#, b"…",
+                // br"…", b'…'.
+                if c == 'r' || c == 'b' {
+                    let after_b = if c == 'b' && b.get(i + 1) == Some(&'r') {
+                        i + 1
+                    } else {
+                        i
+                    };
+                    if b[after_b] == 'r' {
+                        if let Some(end) = skip_raw_string(&b, after_b, &mut line) {
+                            i = end;
+                            continue;
+                        }
+                    }
+                    if c == 'b' && b.get(i + 1) == Some(&'"') {
+                        i = skip_string(&b, i + 2, &mut line);
+                        continue;
+                    }
+                    if c == 'b' && b.get(i + 1) == Some(&'\'') {
+                        // Byte-char literal, same escape rules as chars.
+                        let mut j = i + 2;
+                        while j < b.len() {
+                            if b[j] == '\\' {
+                                j += 2;
+                            } else if b[j] == '\'' {
+                                j += 1;
+                                break;
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        i = j.min(b.len());
+                        continue;
+                    }
+                }
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    text: b[i..j].iter().collect(),
+                    kind: TokenKind::Ident,
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                // Number literal with suffix; `1.0f64` stays one token so
+                // the float rule sees the suffix. A `.` is part of the
+                // number only when followed by a digit (so `0..n` and
+                // `1.max(x)` keep their dots as punctuation).
+                let mut j = i + 1;
+                while j < b.len()
+                    && (is_ident_continue(b[j])
+                        || (b[j] == '.'
+                            && b.get(j + 1).is_some_and(|c| c.is_ascii_digit())
+                            && !b[i..j].contains(&'.')))
+                {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    text: b[i..j].iter().collect(),
+                    kind: TokenKind::Number,
+                    line,
+                });
+                i = j;
+            }
+            ':' if b.get(i + 1) == Some(&':') => {
+                out.tokens.push(Token {
+                    text: "::".into(),
+                    kind: TokenKind::Punct,
+                    line,
+                });
+                i += 2;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    text: c.to_string(),
+                    kind: TokenKind::Punct,
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // Instant::now() in a line comment
+            /* SystemTime in a block /* nested Instant */ comment */
+            let s = "Instant::now() in a string";
+            let r = r#"HashMap in a raw "string" body"#;
+            let c = 'I';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "Instant" || i == "SystemTime"));
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(ids.contains(&"real_ident".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("Instant::now"));
+    }
+
+    #[test]
+    fn escapes_do_not_break_out_of_strings() {
+        let src = r#"let s = "escaped \" quote Instant"; after();"#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_identifiers() {
+        let src = "fn f<'a>(x: &'static mut u8) -> &'a u8 { x }";
+        let lexed = lex(src);
+        // `static` appears only inside the lifetime token, never as Ident.
+        assert!(!lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "static"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"));
+    }
+
+    #[test]
+    fn char_literals_close_correctly() {
+        for src in [
+            "let c = 'x'; tail()",
+            r"let c = '\n'; tail()",
+            "let c = '\\''; tail()",
+        ] {
+            assert!(idents(src).contains(&"tail".to_string()), "{src}");
+        }
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_close_on_matching_hash_count() {
+        let src = r###"let s = r##"quote "# inside Instant"##; tail();"###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(ids.contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn number_suffixes_stay_attached() {
+        let lexed = lex("let x = 1.0f64 + 2f32; let r = 0..n; v.1.max(y)");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(nums.contains(&"1.0f64"));
+        assert!(nums.contains(&"2f32"));
+        assert!(nums.contains(&"0"));
+        // Range dots and method calls keep their punctuation.
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "max"));
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = lex("std::thread::spawn");
+        let texts: Vec<_> = toks.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["std", "::", "thread", "::", "spawn"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "a\n\"two\nline string\"\nb /* c\nd */ e";
+        let lexed = lex(src);
+        let find = |name: &str| lexed.tokens.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("e"), 5);
+    }
+}

@@ -1,0 +1,199 @@
+//! `edea-lint`: the workspace's hand-rolled static-analysis pass.
+//!
+//! PR 7's parallel layer rests on a determinism contract (static
+//! partition / one writer per element / fixed-order reduction), and the
+//! hot path on a set of hygiene rules (no wall clock in the simulation,
+//! no unordered iteration, no floats in the fixed-point kernels, no
+//! panics in library code). Tests observe violations after the fact; this
+//! crate rejects them at the source level, the same way the paper's
+//! schedule makes buffer conflicts impossible by construction rather than
+//! detected at runtime.
+//!
+//! The scanner is std-only (the workspace builds offline): a small lexer
+//! ([`lexer`]) strips comments and string/char/raw-string literals so
+//! rules never fire on text the compiler would not execute, and the rule
+//! pass ([`rules`]) matches token patterns scoped by workspace path.
+//! Suppressions are per-site and must carry a written justification:
+//!
+//! ```text
+//! // edea-lint: allow(<rule>): <reason>
+//! ```
+//!
+//! A suppression that no longer suppresses anything is itself an error
+//! (`stale-allow`), so the allow-list can only shrink as code improves.
+//!
+//! Run `cargo run -p edea-lint` from the workspace root; the binary exits
+//! nonzero on findings and is a gating CI job.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One finding, workspace-relative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name.
+    pub rule: &'static str,
+    /// Description.
+    pub message: String,
+}
+
+/// The result of scanning a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All surviving findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of justified suppressions that matched a finding.
+    pub suppressions_honored: usize,
+}
+
+impl Report {
+    /// Whether the scan found nothing.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the stable machine-readable report: one
+    /// `path:line: rule: message` line per finding plus a trailing
+    /// summary line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: {}: {}", f.path, f.line, f.rule, f.message);
+        }
+        let _ = writeln!(
+            out,
+            "edea-lint: {} finding(s) in {} file(s) scanned, {} suppression(s) honored",
+            self.findings.len(),
+            self.files_scanned,
+            self.suppressions_honored
+        );
+        out
+    }
+}
+
+/// Lints one file's source under its workspace-relative path. Exposed for
+/// the property and corpus tests.
+#[must_use]
+pub fn scan_source(rel_path: &str, src: &str) -> (Vec<rules::Finding>, usize) {
+    let lexed = lexer::lex(src);
+    rules::apply_suppressions(&lexed, rules::check(rel_path, &lexed))
+}
+
+/// Whether a directory entry should be descended into / scanned.
+fn skip_dir(name: &str, parent_name: Option<&str>) -> bool {
+    name == "vendor"
+        || name == "target"
+        || name.starts_with('.')
+        // The linter's own known-bad test corpus is exempt by design.
+        || (name == "corpus" && parent_name == Some("tests"))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    let parent_name = dir.file_name().and_then(|n| n.to_str()).map(str::to_owned);
+    for e in entries {
+        let path = e.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if !skip_dir(name, parent_name.as_deref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `.rs` file under `root` (excluding `vendor/`, `target/`,
+/// hidden directories and the linter's own `tests/corpus/`) and returns
+/// the aggregate report, deterministically ordered.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        let rel: String = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let (findings, honored) = scan_source(&rel, &src);
+        report.suppressions_honored += honored;
+        report.files_scanned += 1;
+        report
+            .findings
+            .extend(findings.into_iter().map(|f| Finding {
+                path: rel.clone(),
+                line: f.line,
+                rule: f.rule,
+                message: f.message,
+            }));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_stably() {
+        let r = Report {
+            findings: vec![Finding {
+                path: "crates/x/src/a.rs".into(),
+                line: 3,
+                rule: rules::rule::UNSAFE,
+                message: "msg".into(),
+            }],
+            files_scanned: 2,
+            suppressions_honored: 1,
+        };
+        assert_eq!(
+            r.render(),
+            "crates/x/src/a.rs:3: no-unsafe: msg\n\
+             edea-lint: 1 finding(s) in 2 file(s) scanned, 1 suppression(s) honored\n"
+        );
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn dir_skipping_covers_vendor_target_hidden_and_corpus() {
+        assert!(skip_dir("vendor", None));
+        assert!(skip_dir("target", Some("repo")));
+        assert!(skip_dir(".git", None));
+        assert!(skip_dir("corpus", Some("tests")));
+        assert!(!skip_dir("corpus", Some("src")));
+        assert!(!skip_dir("crates", None));
+    }
+}

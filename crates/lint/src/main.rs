@@ -1,0 +1,51 @@
+//! The `edea-lint` binary: scans the workspace, prints the report, exits
+//! nonzero on findings. `--root <dir>` overrides the scan root (default:
+//! the workspace root containing this crate).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ -> workspace root, robust to the invocation directory.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map_or(manifest.clone(), std::path::Path::to_path_buf)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = workspace_root();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("edea-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "edea-lint: unknown argument `{other}` (usage: edea-lint [--root <dir>])"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match edea_lint::scan_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("edea-lint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

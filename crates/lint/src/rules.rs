@@ -1,0 +1,558 @@
+//! The named rules and the suppression machinery.
+//!
+//! Each rule is a token-level pattern scoped to a region of the workspace
+//! (see `ARCHITECTURE.md` § Static analysis for what contract each rule
+//! enforces). A finding can be suppressed at its site with
+//!
+//! ```text
+//! // edea-lint: allow(<rule>): <reason>
+//! ```
+//!
+//! either trailing on the offending line or standalone on the line(s)
+//! directly above (a standalone directive applies to the next line that
+//! carries code). The reason is mandatory — an allow without a written
+//! justification does not count. A directive that suppresses nothing is
+//! itself reported as `stale-allow`, so suppressions cannot outlive the
+//! code they were written for.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// The rule names, as they appear in reports and `allow(...)` directives.
+pub mod rule {
+    /// `Instant::now`/`SystemTime` anywhere in the simulator workspace.
+    pub const WALL_CLOCK: &str = "wall-clock-in-sim";
+    /// `HashMap`/`HashSet` in the deterministic crates.
+    pub const UNORDERED: &str = "unordered-iteration";
+    /// `thread::spawn`/`thread::scope` outside `core/src/par.rs`.
+    pub const THREAD: &str = "thread-outside-par";
+    /// `unsafe` outside the sanctioned testutil allocator.
+    pub const UNSAFE: &str = "no-unsafe";
+    /// `static mut` anywhere.
+    pub const STATIC_MUT: &str = "no-static-mut";
+    /// `f32`/`f64` inside `crates/fixed` kernel code.
+    pub const FLOAT: &str = "float-in-fixed";
+    /// `.unwrap()`/`.expect()` in `core`/`edea` library code.
+    pub const PANIC: &str = "panic-in-lib";
+    /// A suppression that no longer suppresses anything.
+    pub const STALE: &str = "stale-allow";
+}
+
+/// Every rule name, for directive validation and docs.
+pub const ALL_RULES: [&str; 8] = [
+    rule::WALL_CLOCK,
+    rule::UNORDERED,
+    rule::THREAD,
+    rule::UNSAFE,
+    rule::STATIC_MUT,
+    rule::FLOAT,
+    rule::PANIC,
+    rule::STALE,
+];
+
+/// One finding within one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// 1-based line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Per-token region flags, computed in one pass over the token stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct Flags {
+    /// Inside the body of a `#[cfg(test)]`-gated item.
+    in_test: bool,
+    /// Inside the body of a function whose name contains `f32`/`f64` —
+    /// the sanctioned fixed-point conversion boundary.
+    in_float_fn: bool,
+}
+
+/// Computes [`Flags`] for every token: brace-depth tracking finds the
+/// bodies of `#[cfg(test)]` items and of `*f32*`/`*f64*`-named functions.
+fn token_flags(tokens: &[Token]) -> Vec<Flags> {
+    let mut flags = vec![Flags::default(); tokens.len()];
+    let mut depth = 0usize;
+    let mut test_depths: Vec<usize> = Vec::new();
+    let mut float_depths: Vec<usize> = Vec::new();
+    let mut pending_test = false;
+    let mut pending_float = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // A pending attribute/fn already covers the tokens between the
+        // marker and the body brace (the item header and signature — a
+        // conversion fn's own `f64` parameter types are sanctioned).
+        flags[i] = Flags {
+            in_test: !test_depths.is_empty() || pending_test,
+            in_float_fn: !float_depths.is_empty() || pending_float,
+        };
+        let text = tokens[i].text.as_str();
+        // An attribute: scan it whole so its brackets/braces don't disturb
+        // the depth counter, and look for `cfg(test)`.
+        if text == "#" {
+            let mut j = i + 1;
+            if tokens.get(j).map(|t| t.text.as_str()) == Some("!") {
+                j += 1; // inner attribute `#![…]`
+            }
+            if tokens.get(j).map(|t| t.text.as_str()) == Some("[") {
+                let mut brackets = 0usize;
+                let mut saw_cfg = false;
+                let mut saw_test = false;
+                while j < tokens.len() {
+                    flags[j] = flags[i];
+                    match tokens[j].text.as_str() {
+                        "[" => brackets += 1,
+                        "]" => {
+                            brackets -= 1;
+                            if brackets == 0 {
+                                break;
+                            }
+                        }
+                        "cfg" => saw_cfg = true,
+                        "test" => saw_test = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if saw_cfg && saw_test {
+                    pending_test = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        match text {
+            "fn" => {
+                if let Some(name) = tokens.get(i + 1) {
+                    if name.kind == TokenKind::Ident
+                        && (name.text.contains("f32") || name.text.contains("f64"))
+                    {
+                        pending_float = true;
+                    }
+                }
+            }
+            "{" => {
+                depth += 1;
+                if pending_test {
+                    test_depths.push(depth);
+                    pending_test = false;
+                }
+                if pending_float {
+                    float_depths.push(depth);
+                    pending_float = false;
+                }
+            }
+            "}" => {
+                if test_depths.last() == Some(&depth) {
+                    test_depths.pop();
+                }
+                if float_depths.last() == Some(&depth) {
+                    float_depths.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            ";" => {
+                // An item ended without a body (`mod tests;`, trait method
+                // declarations): a pending attribute/fn no longer applies.
+                pending_test = false;
+                pending_float = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Where a file sits in the workspace, for rule scoping. Paths are
+/// workspace-relative with `/` separators.
+#[derive(Debug, Clone, Copy)]
+struct Scope<'a> {
+    rel: &'a str,
+}
+
+impl Scope<'_> {
+    fn in_any(&self, prefixes: &[&str]) -> bool {
+        prefixes.iter().any(|p| self.rel.starts_with(p))
+    }
+
+    /// The crates whose iteration order is load-bearing.
+    fn deterministic_crate(&self) -> bool {
+        self.in_any(&[
+            "crates/core/",
+            "crates/nn/",
+            "crates/tensor/",
+            "crates/fixed/",
+        ])
+    }
+
+    /// Library code that must return `CoreError` instead of panicking.
+    fn panic_checked(&self) -> bool {
+        self.in_any(&["crates/core/src/", "crates/edea/src/"])
+    }
+
+    /// Fixed-point kernel code (integer arithmetic only).
+    fn fixed_kernel(&self) -> bool {
+        self.rel.starts_with("crates/fixed/src/")
+    }
+
+    /// The one sanctioned `std::thread` call site.
+    fn is_par_module(&self) -> bool {
+        self.rel == "crates/core/src/par.rs"
+    }
+
+    /// The one sanctioned `unsafe` block (the counting `GlobalAlloc`).
+    fn is_counting_allocator(&self) -> bool {
+        self.rel == "crates/testutil/src/alloc.rs"
+    }
+}
+
+fn ident(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == text
+}
+
+/// Runs every rule over one lexed file. Returned findings are raw —
+/// suppressions are applied by [`apply_suppressions`].
+#[must_use]
+pub fn check(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
+    let scope = Scope { rel: rel_path };
+    let tokens = &lexed.tokens;
+    let flags = token_flags(tokens);
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let fl = flags[i];
+        let next = |k: usize| tokens.get(i + k);
+
+        // wall-clock-in-sim: everywhere — simulated time comes from the
+        // simulated clock, and even benches must justify wall-clock use.
+        if t.kind == TokenKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            out.push(Finding {
+                line: t.line,
+                rule: rule::WALL_CLOCK,
+                message: format!(
+                    "wall-clock source `{}`; simulation time must come from the simulated clock",
+                    t.text
+                ),
+            });
+        }
+
+        // unordered-iteration: the deterministic crates, tests included
+        // (iteration-order nondeterminism turns tests flaky).
+        if scope.deterministic_crate()
+            && t.kind == TokenKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+        {
+            out.push(Finding {
+                line: t.line,
+                rule: rule::UNORDERED,
+                message: format!(
+                    "`{}` has nondeterministic iteration order; use BTreeMap/BTreeSet or sorted access",
+                    t.text
+                ),
+            });
+        }
+
+        // thread-outside-par: all forking goes through par::map_lanes.
+        if !scope.is_par_module()
+            && ident(t, "thread")
+            && next(1).is_some_and(|n| n.text == "::")
+            && next(2).is_some_and(|n| ident(n, "spawn") || ident(n, "scope"))
+        {
+            out.push(Finding {
+                line: t.line,
+                rule: rule::THREAD,
+                message: format!(
+                    "`thread::{}` outside core/src/par.rs; fork through par::map_lanes",
+                    tokens[i + 2].text
+                ),
+            });
+        }
+
+        // no-unsafe: the workspace is forbid(unsafe_code) by policy; the
+        // counting allocator is the single sanctioned exception.
+        if !scope.is_counting_allocator() && ident(t, "unsafe") {
+            out.push(Finding {
+                line: t.line,
+                rule: rule::UNSAFE,
+                message: "`unsafe` outside the sanctioned testutil counting allocator".into(),
+            });
+        }
+
+        // no-static-mut: everywhere (the lexer keeps `'static` lifetimes
+        // out of the identifier stream, so `&'static mut T` is fine).
+        if ident(t, "static") && next(1).is_some_and(|n| ident(n, "mut")) {
+            out.push(Finding {
+                line: t.line,
+                rule: rule::STATIC_MUT,
+                message: "`static mut` is unsynchronized shared state".into(),
+            });
+        }
+
+        // float-in-fixed: fixed-point kernel code computes in integers
+        // only; conversion boundaries live in fns named `*f32*`/`*f64*`.
+        if scope.fixed_kernel() && !fl.in_test && !fl.in_float_fn {
+            let is_float = (t.kind == TokenKind::Ident && (t.text == "f32" || t.text == "f64"))
+                || (t.kind == TokenKind::Number
+                    && (t.text.ends_with("f32") || t.text.ends_with("f64")));
+            if is_float {
+                out.push(Finding {
+                    line: t.line,
+                    rule: rule::FLOAT,
+                    message: format!(
+                        "`{}` in fixed-point kernel code; arithmetic must stay integer (Q8.16)",
+                        t.text
+                    ),
+                });
+            }
+        }
+
+        // panic-in-lib: library code returns CoreError; every remaining
+        // unwrap/expect needs a written unreachability argument.
+        if scope.panic_checked()
+            && !fl.in_test
+            && t.text == "."
+            && next(1).is_some_and(|n| ident(n, "unwrap") || ident(n, "expect"))
+            && next(2).is_some_and(|n| n.text == "(")
+        {
+            out.push(Finding {
+                line: tokens[i + 1].line,
+                rule: rule::PANIC,
+                message: format!(
+                    "`.{}()` in library code; return a CoreError or justify unreachability",
+                    tokens[i + 1].text
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// One parsed `edea-lint: allow(...)` directive.
+#[derive(Debug)]
+struct Directive {
+    rule: String,
+    /// The line the directive suppresses findings on.
+    target: Option<u32>,
+    /// Line the directive itself sits on (for stale-allow reports).
+    line: u32,
+    /// Why this directive cannot suppress anything, if malformed.
+    defect: Option<&'static str>,
+    used: bool,
+}
+
+/// Parses suppression directives out of a file's comments.
+fn directives(lexed: &Lexed) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        // A directive comment *starts* with the marker (so prose or doc
+        // examples that merely mention the syntax are not directives).
+        let Some(rest) = c.text.trim_start().strip_prefix("edea-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let mut d = Directive {
+            rule: String::new(),
+            target: None,
+            line: c.line,
+            defect: None,
+            used: false,
+        };
+        let body = match rest.strip_prefix("allow(") {
+            Some(b) => b,
+            None => {
+                d.defect = Some("directive is not of the form `allow(<rule>): <reason>`");
+                out.push(d);
+                continue;
+            }
+        };
+        let Some(close) = body.find(')') else {
+            d.defect = Some("directive is not of the form `allow(<rule>): <reason>`");
+            out.push(d);
+            continue;
+        };
+        d.rule = body[..close].trim().to_string();
+        if !ALL_RULES.contains(&d.rule.as_str()) {
+            d.defect = Some("directive names an unknown rule");
+            out.push(d);
+            continue;
+        }
+        let reason = body[close + 1..].trim_start().strip_prefix(':');
+        match reason {
+            Some(r) if !r.trim().is_empty() => {}
+            _ => {
+                d.defect = Some("directive carries no written justification");
+                out.push(d);
+                continue;
+            }
+        }
+        // Trailing directives cover their own line; standalone directives
+        // cover the next line that carries code.
+        d.target = if lexed.has_code_on(c.line) {
+            Some(c.line)
+        } else {
+            lexed.first_code_line_at_or_after(c.line + 1)
+        };
+        out.push(d);
+    }
+    out
+}
+
+/// Applies suppression directives to `findings`: suppressed findings are
+/// removed, and every directive that suppressed nothing (stale or
+/// malformed) becomes a [`rule::STALE`] finding. Returns the surviving
+/// findings and the number of suppressions honored.
+#[must_use]
+pub fn apply_suppressions(lexed: &Lexed, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+    let mut dirs = directives(lexed);
+    let mut honored = 0usize;
+    let mut out = Vec::new();
+    for f in findings {
+        let hit = dirs
+            .iter_mut()
+            .find(|d| d.defect.is_none() && d.rule == f.rule && d.target == Some(f.line));
+        match hit {
+            Some(d) => {
+                d.used = true;
+                honored += 1;
+            }
+            None => out.push(f),
+        }
+    }
+    for d in &dirs {
+        if let Some(defect) = d.defect {
+            out.push(Finding {
+                line: d.line,
+                rule: rule::STALE,
+                message: defect.to_string(),
+            });
+        } else if !d.used {
+            out.push(Finding {
+                line: d.line,
+                rule: rule::STALE,
+                message: format!(
+                    "suppression for `{}` no longer matches a finding on line {}",
+                    d.rule,
+                    d.target
+                        .map_or_else(|| d.line.to_string(), |t| t.to_string()),
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    (out, honored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let (findings, _) = apply_suppressions(&lexed, check(rel, &lexed));
+        findings
+    }
+
+    #[test]
+    fn wall_clock_fires_everywhere_but_not_in_literals() {
+        let f = run("crates/bench/src/x.rs", "let t = Instant::now();");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rule::WALL_CLOCK);
+        assert!(run("crates/bench/src/x.rs", "let s = \"Instant\"; // Instant").is_empty());
+    }
+
+    #[test]
+    fn unordered_is_scoped_to_deterministic_crates() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(run("crates/core/src/x.rs", src).len(), 1);
+        assert_eq!(run("crates/fixed/tests/t.rs", src).len(), 1);
+        assert!(run("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_rule_exempts_par_module() {
+        let src = "std::thread::scope(|s| s.spawn(|| {}));";
+        assert!(run("crates/core/src/par.rs", src).is_empty());
+        let f = run("crates/core/src/pool.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rule::THREAD);
+    }
+
+    #[test]
+    fn unsafe_and_static_mut_fire_with_allocator_exempt() {
+        let src = "static mut X: u8 = 0; unsafe { X = 1 }";
+        let f = run("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 2);
+        let f = run("crates/testutil/src/alloc.rs", src);
+        // The allocator may be unsafe but still must not use static mut.
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rule::STATIC_MUT);
+        // A 'static lifetime next to mut is not a static mut.
+        assert!(run("crates/core/src/x.rs", "fn f(x: &'static mut u8) {}").is_empty());
+    }
+
+    #[test]
+    fn float_rule_spares_conversion_fns_and_tests() {
+        let body = "pub fn quantize(x: f64) -> i32 { (x * 65536.0f64) as i32 }";
+        let f = run("crates/fixed/src/q.rs", body);
+        assert_eq!(f.len(), 2, "{f:?}"); // the `f64` type and the suffixed literal
+        let conv = "pub fn from_f64(x: f64) -> i32 { (x * 65536.0) as i32 }";
+        assert!(run("crates/fixed/src/q.rs", conv).is_empty());
+        let test = "#[cfg(test)] mod tests { fn t(x: f64) {} }";
+        assert!(run("crates/fixed/src/q.rs", test).is_empty());
+        assert!(
+            run("crates/nn/src/q.rs", body).is_empty(),
+            "only crates/fixed"
+        );
+    }
+
+    #[test]
+    fn panic_rule_sees_lib_code_only() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); }";
+        assert_eq!(run("crates/core/src/x.rs", src).len(), 2);
+        assert!(run("crates/core/tests/t.rs", src).is_empty());
+        assert!(run("crates/tensor/src/x.rs", src).is_empty());
+        let test_mod = "#[cfg(test)] mod tests { fn f() { x.unwrap(); } }";
+        assert!(run("crates/core/src/x.rs", test_mod).is_empty());
+    }
+
+    #[test]
+    fn trailing_and_standalone_suppressions_work() {
+        let trailing =
+            "let t = Instant::now(); // edea-lint: allow(wall-clock-in-sim): bench measures the host\n";
+        assert!(run("crates/bench/src/x.rs", trailing).is_empty());
+        let standalone = "// edea-lint: allow(wall-clock-in-sim): bench measures the host\nlet t = Instant::now();\n";
+        assert!(run("crates/bench/src/x.rs", standalone).is_empty());
+    }
+
+    #[test]
+    fn stale_and_malformed_directives_are_findings() {
+        let stale = "// edea-lint: allow(no-unsafe): nothing unsafe here\nlet x = 1;\n";
+        let f = run("crates/core/src/x.rs", stale);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rule::STALE);
+        let unjustified = "let t = Instant::now(); // edea-lint: allow(wall-clock-in-sim)\n";
+        let f = run("crates/bench/src/x.rs", unjustified);
+        // The directive is malformed (no reason), so the original finding
+        // survives alongside the stale-allow report.
+        assert_eq!(f.len(), 2, "{f:?}");
+        let unknown = "// edea-lint: allow(no-such-rule): whatever\nlet x = 1;\n";
+        let f = run("crates/core/src/x.rs", unknown);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rule::STALE);
+    }
+
+    #[test]
+    fn suppression_only_covers_its_own_rule_and_line() {
+        let src = "\
+// edea-lint: allow(no-unsafe): needed for the test fixture
+unsafe { x() }
+unsafe { y() }
+";
+        let f = run("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+}

@@ -1,0 +1,19 @@
+//! Known-bad corpus file: wall clock, unsafe and static mut. Never
+//! compiled — scanned by the corpus golden test only.
+
+pub static mut COUNTER: u64 = 0;
+
+pub fn now_ms() -> u128 {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now();
+    unsafe { COUNTER += 1 };
+    0
+}
+
+pub fn hidden_triggers_stay_hidden() -> (&'static str, &'static str) {
+    // Instant::now() in a comment is fine.
+    /* so is SystemTime in a block comment */
+    let s = "unsafe in a string is fine";
+    let r = r#"thread::spawn in a raw "string" is fine"#;
+    (s, r)
+}

@@ -1,0 +1,17 @@
+//! Known-bad corpus file: suppression hygiene. Never compiled — scanned
+//! by the corpus golden test only.
+
+// edea-lint: allow(no-unsafe): this line stopped being unsafe long ago
+pub fn stale_suppression_site() {}
+
+pub fn justified(x: Option<u8>) -> u8 {
+    // edea-lint: allow(panic-in-lib): corpus demonstrates an honored allow
+    x.unwrap()
+}
+
+// edea-lint: allow(not-a-rule): rule name does not exist
+pub fn unknown_rule_site() {}
+
+pub fn unjustified(y: Option<u8>) -> u8 {
+    y.unwrap() // edea-lint: allow(panic-in-lib)
+}

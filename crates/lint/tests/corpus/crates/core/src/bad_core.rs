@@ -1,0 +1,25 @@
+//! Known-bad corpus file: a core library file violating the determinism
+//! rules. Never compiled — scanned by the corpus golden test only.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn forks_outside_par() {
+    std::thread::spawn(|| {});
+    std::thread::scope(|_s| {});
+}
+
+pub fn lib_panics(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect("msg");
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    // unwrap in test code is sanctioned and must NOT be reported.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let _ = Some(1u8).unwrap();
+    }
+}

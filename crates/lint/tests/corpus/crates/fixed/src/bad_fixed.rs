@@ -1,0 +1,12 @@
+//! Known-bad corpus file: float arithmetic inside fixed-point kernel
+//! code. Never compiled — scanned by the corpus golden test only.
+
+pub fn scale(x: i32) -> i32 {
+    let f = x as f64 * 0.5f64;
+    f as i32
+}
+
+/// Sanctioned conversion boundary: fns named `*f64*` are exempt.
+pub fn to_f64(x: i32) -> f64 {
+    x as f64 / 65536.0
+}

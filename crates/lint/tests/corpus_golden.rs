@@ -1,0 +1,74 @@
+//! Golden-report test over the known-bad corpus in `tests/corpus/`.
+//!
+//! The corpus mirrors the workspace layout (`crates/<name>/src/*.rs`) so
+//! the path-scoped rules apply exactly as they do on the real tree. The
+//! rendered report is pinned in `tests/corpus/report.golden`; regenerate
+//! with `UPDATE_GOLDEN=1 cargo test -p edea-lint --test corpus_golden`.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn corpus_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_report_matches_golden() {
+    let report = edea_lint::scan_workspace(&corpus_root()).expect("corpus scans");
+    let rendered = report.render();
+
+    let golden_path = corpus_root().join("report.golden");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("tests/corpus/report.golden missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        rendered, golden,
+        "corpus lint report drifted from tests/corpus/report.golden; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn corpus_is_dirty_and_covers_every_rule() {
+    let report = edea_lint::scan_workspace(&corpus_root()).expect("corpus scans");
+    assert!(
+        !report.is_clean(),
+        "the known-bad corpus must produce findings"
+    );
+
+    let fired: BTreeSet<&str> = report.findings.iter().map(|f| f.rule).collect();
+    for rule in edea_lint::rules::ALL_RULES {
+        assert!(fired.contains(rule), "corpus never exercises rule `{rule}`");
+    }
+    // Exactly one suppression in the corpus is well-formed and on target.
+    assert_eq!(report.suppressions_honored, 1);
+}
+
+#[test]
+fn corpus_test_code_and_literals_do_not_fire() {
+    let report = edea_lint::scan_workspace(&corpus_root()).expect("corpus scans");
+    for f in &report.findings {
+        assert!(
+            !(f.path.ends_with("bad_core.rs") && f.line >= 18),
+            "rule fired inside #[cfg(test)] code: {}:{}: {}",
+            f.path,
+            f.line,
+            f.rule
+        );
+        assert!(
+            !(f.path.ends_with("bad_clock.rs") && f.line >= 13),
+            "rule fired on a trigger hidden in a comment/string: {}:{}: {}",
+            f.path,
+            f.line,
+            f.rule
+        );
+        assert!(
+            !(f.path.ends_with("bad_fixed.rs") && f.line >= 10),
+            "float-in-fixed fired inside an exempt conversion fn: {}:{}",
+            f.path,
+            f.line
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests of the lexer/rule seam: a rule trigger hidden inside
+//! any literal or comment form must never fire, a plain trigger fires
+//! exactly once with the right rule, a trailing justified allow always
+//! suppresses exactly that finding, and line attribution survives
+//! arbitrary multiline constructs above the trigger.
+//!
+//! The vendored proptest has no string strategies, so adversarial
+//! sources are assembled from fragment tables indexed by generated
+//! integers.
+
+use proptest::prelude::*;
+
+/// (source fragment, rule it must raise) — each fires exactly once when
+/// scanned on its own line at `crates/core/src/x.rs`.
+const TRIGGERS: &[(&str, &str)] = &[
+    (
+        "let t = Instant::now();",
+        edea_lint::rules::rule::WALL_CLOCK,
+    ),
+    (
+        "let t = SystemTime::now();",
+        edea_lint::rules::rule::WALL_CLOCK,
+    ),
+    (
+        "use std::collections::HashMap;",
+        edea_lint::rules::rule::UNORDERED,
+    ),
+    (
+        "use std::collections::HashSet;",
+        edea_lint::rules::rule::UNORDERED,
+    ),
+    ("std::thread::spawn(|| {});", edea_lint::rules::rule::THREAD),
+    (
+        "std::thread::scope(|_s| {});",
+        edea_lint::rules::rule::THREAD,
+    ),
+    ("unsafe { poke() }", edea_lint::rules::rule::UNSAFE),
+    ("static mut X: u8 = 0;", edea_lint::rules::rule::STATIC_MUT),
+    ("x.unwrap();", edea_lint::rules::rule::PANIC),
+    ("x.expect(\"msg\");", edea_lint::rules::rule::PANIC),
+];
+
+const CORE_PATH: &str = "crates/core/src/x.rs";
+
+/// Wraps a trigger in a context the compiler would never execute.
+fn hide(trigger: &str, hider: usize) -> String {
+    match hider {
+        0 => format!("// {trigger}\n"),
+        1 => format!("/* {trigger} */\n"),
+        2 => format!("/// {trigger}\nfn documented() {{}}\n"),
+        3 => format!("let s = \"{trigger}\";\n"),
+        _ => format!("let s = r#\"{trigger}\"#;\n"),
+    }
+}
+
+const N_HIDERS: usize = 5;
+
+/// Multiline filler fragments and how many source lines each occupies.
+fn filler(idx: usize) -> (&'static str, u32) {
+    match idx {
+        0 => ("// one comment line\n", 1),
+        1 => ("/* a block\ncomment */\n", 2),
+        2 => ("let s = \"a string\nwith a newline\";\n", 2),
+        _ => ("let r = r#\"raw\nstring\"#;\n", 2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A trigger inside a comment, doc comment, string or raw string is
+    /// invisible to every rule.
+    #[test]
+    fn hidden_triggers_never_fire(
+        trigger in 0..TRIGGERS.len(),
+        hider in 0..N_HIDERS,
+    ) {
+        let src = hide(TRIGGERS[trigger].0, hider);
+        let (findings, honored) = edea_lint::scan_source(CORE_PATH, &src);
+        prop_assert!(findings.is_empty(), "{src:?} -> {findings:?}");
+        prop_assert_eq!(honored, 0);
+    }
+
+    /// A plain trigger fires exactly once, with its rule; a trailing
+    /// justified allow suppresses exactly that finding.
+    #[test]
+    fn plain_triggers_fire_once_and_allows_suppress(trigger in 0..TRIGGERS.len()) {
+        let (frag, rule) = TRIGGERS[trigger];
+        let (findings, honored) = edea_lint::scan_source(CORE_PATH, &format!("{frag}\n"));
+        prop_assert_eq!(findings.len(), 1, "{:?}", findings);
+        prop_assert_eq!(findings[0].rule, rule);
+        prop_assert_eq!(honored, 0);
+
+        let allowed = format!("{frag} // edea-lint: allow({rule}): property fixture\n");
+        let (findings, honored) = edea_lint::scan_source(CORE_PATH, &allowed);
+        prop_assert!(findings.is_empty(), "{allowed:?} -> {findings:?}");
+        prop_assert_eq!(honored, 1);
+    }
+
+    /// A random interleaving of hidden and plain triggers yields exactly
+    /// the plain ones, as a multiset of rules.
+    #[test]
+    fn mixed_files_report_exactly_the_plain_triggers(
+        picks in proptest::prop::collection::vec((0..TRIGGERS.len(), 0..N_HIDERS + 1), 0..12),
+    ) {
+        let mut src = String::new();
+        let mut expected: Vec<&str> = Vec::new();
+        for &(trigger, ctx) in &picks {
+            let (frag, rule) = TRIGGERS[trigger];
+            if ctx < N_HIDERS {
+                src.push_str(&hide(frag, ctx));
+            } else {
+                src.push_str(frag);
+                src.push('\n');
+                expected.push(rule);
+            }
+        }
+        let (findings, honored) = edea_lint::scan_source(CORE_PATH, &src);
+        let mut got: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected, "source:\n{}", src);
+        prop_assert_eq!(honored, 0);
+    }
+
+    /// Line attribution is exact even when the trigger sits below an
+    /// arbitrary stack of multiline comments and literals.
+    #[test]
+    fn line_numbers_survive_multiline_constructs(
+        fillers in proptest::prop::collection::vec(0usize..4, 0..10),
+        trigger in 0..TRIGGERS.len(),
+    ) {
+        let mut src = String::new();
+        let mut line = 1u32;
+        for &f in &fillers {
+            let (frag, lines) = filler(f);
+            src.push_str(frag);
+            line += lines;
+        }
+        let (frag, rule) = TRIGGERS[trigger];
+        src.push_str(frag);
+        src.push('\n');
+        let (findings, _) = edea_lint::scan_source(CORE_PATH, &src);
+        prop_assert_eq!(findings.len(), 1, "{:?}", &findings);
+        prop_assert_eq!(findings[0].rule, rule);
+        prop_assert_eq!(findings[0].line, line, "source:\n{}", src);
+    }
+
+    /// The float rule is invisible inside literals/comments too, and only
+    /// fires under `crates/fixed/src/`.
+    #[test]
+    fn float_rule_scoping_holds_under_hiding(hider in 0..N_HIDERS) {
+        let plain = "let x = 0.5f64;\n";
+        let (findings, _) = edea_lint::scan_source("crates/fixed/src/q.rs", plain);
+        prop_assert_eq!(findings.len(), 1);
+        prop_assert_eq!(findings[0].rule, edea_lint::rules::rule::FLOAT);
+        let hidden = hide("let x = 0.5f64;", hider);
+        let (findings, _) = edea_lint::scan_source("crates/fixed/src/q.rs", &hidden);
+        prop_assert!(findings.is_empty(), "{hidden:?} -> {findings:?}");
+        let (findings, _) = edea_lint::scan_source(CORE_PATH, plain);
+        prop_assert!(findings.is_empty(), "float rule leaked outside crates/fixed");
+    }
+}
