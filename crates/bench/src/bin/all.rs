@@ -23,6 +23,7 @@ fn main() {
         e::batch_sweep(),
         e::serve_sweep(),
         e::pool_sweep(),
+        e::mixed_serve(),
     ] {
         println!("{section}");
     }

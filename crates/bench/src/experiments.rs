@@ -1001,7 +1001,7 @@ pub fn plan_audit() -> String {
         "lanes proven",
     ]);
     for width in [0.25, 0.5, 0.75, 1.0] {
-        let shapes = scale_width(&mobilenet_v1_cifar10(), width, 8);
+        let shapes = scale_width(&mobilenet_v1_cifar10(), width, 8).expect("valid width");
         let mut portions = 0usize;
         let mut intervals = 0usize;
         let mut psum_peak = 0usize;
@@ -1046,6 +1046,139 @@ pub fn pool_sweep_smoke() -> String {
     format!(
         "== Extension: multi-accelerator pool (smoke: 1x load, N = 1..2) ==\n{}",
         pool_sweep_table(&[(1.0, 7002)], &[1, 2])
+    )
+}
+
+/// Extension: mixed-model serving — MobileNetV1 and MobileNetV2 traffic
+/// interleaved over one accelerator pool.
+///
+/// One deployment holds both networks (v1 at width 0.5 as the primary,
+/// v2 at width 0.25 sharing its stem shape as `net1`); a Poisson stream
+/// dials the v2 share from none to all. Per-request routing keeps batches
+/// single-network (a worker's batch is the longest same-network queue
+/// prefix), and dispatching a batch to a worker whose resident weights
+/// belong to the *other* network pays that network's full weight refetch
+/// as **model-switch traffic** — a distinct external-traffic category the
+/// single-model serving stack has no analogue for. The pure-v1 row is the
+/// control: zero switch traffic, identical to single-model serving.
+/// Everything printed is deterministic (seeded streams, simulated clock),
+/// so the output is pinned as a golden fixture.
+#[must_use]
+pub fn mixed_serve() -> String {
+    format!(
+        "== Extension: mixed-model serving (v1 + v2 over one pool, model-switch traffic) ==\n{}",
+        mixed_serve_table(
+            48,
+            2,
+            &[("none", 0), ("1/4", 4), ("1/2", 2), ("all", 1)],
+            9101
+        )
+    )
+}
+
+/// Reduced [`mixed_serve`] for CI smoke runs (`EDEA_BENCH_SMOKE=1`):
+/// 8 requests, one v2 share — exercises the mixed dispatch, per-network
+/// planning and switch accounting end to end in a fraction of the time.
+#[must_use]
+pub fn mixed_serve_smoke() -> String {
+    format!(
+        "== Extension: mixed-model serving (smoke: 8 requests, 1/2 v2 share) ==\n{}",
+        mixed_serve_table(8, 2, &[("1/2", 2)], 9101)
+    )
+}
+
+/// Renders the mixed-model serving study for one stream size and replica
+/// count (the body of [`mixed_serve`]; the smoke variant reuses it
+/// reduced). `shares` are `(label, period)` pairs: every `period`-th
+/// request targets the v2 network (`0` = pure v1).
+fn mixed_serve_table(n: usize, replicas: usize, shares: &[(&str, usize)], seed: u64) -> String {
+    use edea::nn::mobilenet::{MobileNetV1, MobileNetV2};
+    use edea::nn::workload::NetworkId;
+    use edea::pool::DispatchPolicy;
+    use edea::serve::{arrivals, Backend, Policy, Request};
+    use edea::tensor::rng;
+    use edea::Deployment;
+
+    // v1 at width 0.5 and v2 at width 0.25 share the (16, 32, 32) stem
+    // output shape — the mixed-model precondition.
+    let d = Deployment::builder()
+        .model(MobileNetV1::synthetic(0.5, seed))
+        .model_v2(MobileNetV2::synthetic(0.25, seed + 10))
+        .calibration(rng::synthetic_batch(2, 3, 32, 32, seed + 1))
+        .replicas(replicas)
+        .build()
+        .expect("mixed deployment builds");
+    let backend = d.simulator_backend();
+    let v1_service = backend.dispatch_cycles(1).expect("simulator predicts");
+    let v2_service = backend
+        .dispatch_cycles_for(NetworkId(1), 1)
+        .expect("v2 registered");
+    let v1_switch = backend.switch_bytes(NetworkId::PRIMARY);
+    let v2_switch = backend.switch_bytes(NetworkId(1));
+    let policy = Policy::new(4, v1_service).expect("policy");
+    let ticks = arrivals::poisson(n, v1_service as f64 / 1.5, seed + 2);
+    let images = rng::synthetic_batch(n, 3, 32, 32, seed + 3);
+
+    let mut t = Table::new(vec![
+        "v2 share",
+        "batches",
+        "mean B",
+        "v1 lat",
+        "v2 lat",
+        "switch B",
+        "switch B/img",
+        "wgt B/img",
+    ]);
+    for &(label, period) in shares {
+        let nets: Vec<NetworkId> = (0..n)
+            .map(|i| {
+                if period > 0 && i % period == period - 1 {
+                    NetworkId(1)
+                } else {
+                    NetworkId::PRIMARY
+                }
+            })
+            .collect();
+        let inputs = images
+            .iter()
+            .zip(&nets)
+            .map(|(img, &net)| d.prepare_for(net, img).expect("registered network"))
+            .collect();
+        let requests = Request::stream_mixed(&ticks, &nets, inputs).expect("stream");
+        let report = d
+            .serve_pool(policy, DispatchPolicy::LeastLoaded, requests)
+            .expect("mixed serve");
+        let s = &report.serve;
+        let lat = |net: NetworkId| {
+            s.mean_latency_for(net)
+                .map_or_else(|| "-".to_owned(), |l| fmt(l, 0))
+        };
+        t.row(vec![
+            label.to_owned(),
+            s.batches.len().to_string(),
+            fmt(s.mean_batch_size(), 2),
+            lat(NetworkId::PRIMARY),
+            lat(NetworkId(1)),
+            s.switch_bytes_total().to_string(),
+            fmt(s.switch_bytes_total() as f64 / n as f64, 1),
+            fmt(s.weight_bytes_per_image(), 1),
+        ]);
+    }
+    format!(
+        "{n} Poisson requests over {replicas} workers, least-loaded dispatch; \
+         policy max_batch = {}, max_wait = {v1_service} ticks; every k-th request \
+         targets v2.\n\
+         service: v1 {v1_service} / v2 {v2_service} cycles per image; \
+         switch refetch: v1 {v1_switch} / v2 {v2_switch} B.\n{}\n\
+         batches never mix networks (a worker dispatches the longest\n\
+         same-network prefix of its queue), so raising the v2 share fragments\n\
+         batches and every residency flip pays the incoming network's full\n\
+         weight refetch — switch B/img is the price of model diversity on a\n\
+         weight-resident accelerator, a traffic category the per-batch weight\n\
+         fetch does not contain. The pure-v1 row is the single-model control:\n\
+         zero switch traffic, bit-identical to the single-model serving path.\n",
+        policy.max_batch,
+        t.render(),
     )
 }
 

@@ -72,6 +72,7 @@ golden!(
     batch_sweep,
     serve_sweep,
     pool_sweep,
+    mixed_serve,
     sparsity_sweep,
     plan_audit,
 );

@@ -16,6 +16,7 @@
 //! bit-identical to the per-image path.
 
 use edea_nn::quantize::{QuantizedDscLayer, QuantizedDscNetwork};
+use edea_nn::workload::StageOp;
 use edea_tensor::{Batch, Tensor3};
 
 use crate::buffer::BufferSet;
@@ -270,6 +271,7 @@ impl Edea {
             layer,
             &plan,
             std::slice::from_ref(input),
+            None,
             WeightResidency::PerImage,
             &mut scratch,
         )?;
@@ -307,6 +309,7 @@ impl Edea {
             layer,
             &plan,
             inputs,
+            None,
             WeightResidency::PerBatch,
             &mut scratch,
         )
@@ -332,7 +335,7 @@ impl Edea {
         scratch: &mut TileScratch,
     ) -> Result<BatchLayerRun, CoreError> {
         plan.check_layer(layer)?;
-        self.execute_layer(layer, plan, inputs, residency, scratch)
+        self.execute_layer(layer, plan, inputs, None, residency, scratch)
     }
 
     /// One portion of the layer schedule: psum residency, the channel-pass
@@ -351,6 +354,7 @@ impl Edea {
         layer: &QuantizedDscLayer,
         plan: &LayerPlan,
         padded: &[Tensor3<i8>],
+        residuals: Option<&[Tensor3<i8>]>,
         residency: WeightResidency,
         portion: &Portion,
         buffers: &mut BufferSet,
@@ -388,10 +392,14 @@ impl Edea {
             // Weight-side initiation: the weight-slice registers, the
             // offline parameters and the PWC weight slice for this
             // channel window × all kernels. With resident weights this
-            // happens once and serves every image of the batch.
+            // happens once and serves every image of the batch. A PwcOnly
+            // stage has no DWC weights and no DWC-side Non-Conv
+            // parameters, so only the PWC slice moves.
             let load_weight_slices = |buffers: &mut BufferSet| -> Result<(), CoreError> {
-                buffers.dwc_weight.read(s.kernel * s.kernel * td);
-                buffers.offline.read(6 * td);
+                if s.op == StageOp::Dsc {
+                    buffers.dwc_weight.read(s.kernel * s.kernel * td);
+                    buffers.offline.read(6 * td);
+                }
                 buffers.external.read_weights(pw_bytes);
                 buffers.pwc_weight.fill(pw_bytes)
             };
@@ -410,8 +418,9 @@ impl Edea {
                 buffers.ifmap.fill(slice_bytes)?;
 
                 for st in &tiles {
-                    // DWC: one engine cycle, window extracted into the
-                    // scratch buffer with flat row copies.
+                    // Window extraction into the scratch buffer with flat
+                    // row copies (for a 1×1 stride-1 PwcOnly stage the
+                    // window *is* the `(Td, Tn, Tm)` input tile).
                     padded_img.copy_window_into(
                         ct * td,
                         st.row0 * s.stride,
@@ -419,39 +428,54 @@ impl Edea {
                         &mut scratch.window,
                     );
                     buffers.ifmap.read(tr * tc * td);
-                    let act = self.dwc.compute_tile_into(
-                        &scratch.window,
-                        plan.dw_slice(ct),
-                        s.stride,
-                        &mut scratch.dwc_acc,
-                    )?;
-                    tally.dwc_activity.merge(&act);
-                    tally.dwc_invocations += 1;
+                    let mid_tile: &Tensor3<i8> = match s.op {
+                        StageOp::Dsc => {
+                            // DWC: one engine cycle.
+                            let act = self.dwc.compute_tile_into(
+                                &scratch.window,
+                                plan.dw_slice(ct),
+                                s.stride,
+                                &mut scratch.dwc_acc,
+                            )?;
+                            tally.dwc_activity.merge(&act);
+                            tally.dwc_invocations += 1;
 
-                    // Non-Conv: fold to int8 and stream to the
-                    // intermediate buffer (direct data transfer — no
-                    // external round trip).
-                    let nc = self.nonconv.apply_tile_into(
-                        &scratch.dwc_acc,
-                        &layer.nonconv1()[ct * td..],
-                        &mut scratch.mid_tile,
-                    )?;
-                    tally.nonconv_ops += nc.ops;
-                    buffers.intermediate.fill(tn * tm * td)?;
+                            // Non-Conv: fold to int8 and stream to the
+                            // intermediate buffer (direct data transfer —
+                            // no external round trip).
+                            let nc = self.nonconv.apply_tile_into(
+                                &scratch.dwc_acc,
+                                &layer.nonconv1()[ct * td..],
+                                &mut scratch.mid_tile,
+                            )?;
+                            tally.nonconv_ops += nc.ops;
+                            buffers.intermediate.fill(tn * tm * td)?;
+                            &scratch.mid_tile
+                        }
+                        // PwcOnly: the DWC engine, Non-Conv #1 and the
+                        // intermediate buffer are bypassed — the PWC is
+                        // fed straight from the ifmap buffer.
+                        StageOp::PwcOnly => &scratch.window,
+                    };
                     mids[img].paste_window(
                         ct * td,
                         st.row0 - portion.row0,
                         st.col0 - portion.col0,
-                        &scratch.mid_tile,
+                        mid_tile,
                     );
 
                     // PWC: one engine cycle per kernel tile,
                     // accumulating into this image's psum bank.
                     for kt in 0..kernel_tiles {
-                        buffers.intermediate.read(tn * tm * td);
+                        match s.op {
+                            StageOp::Dsc => buffers.intermediate.read(tn * tm * td),
+                            // The tile is re-read from the ifmap buffer
+                            // once per kernel tile instead.
+                            StageOp::PwcOnly => buffers.ifmap.read(tn * tm * td),
+                        }
                         buffers.pwc_weight.read(td * tk);
                         let act = self.pwc.compute_tile_gated_into(
-                            &scratch.mid_tile,
+                            mid_tile,
                             plan.pw_slice(ct, kt),
                             plan.pw_occupancy(ct, kt),
                             &mut scratch.pwc_partial,
@@ -484,10 +508,48 @@ impl Edea {
         }
 
         // Drain: output-side Non-Conv and external write-back per image
-        // (overlapped with the next portion in hardware — no cycles).
-        for (psum, out) in scratch.psums.iter().take(n_images).zip(outs.iter_mut()) {
+        // (overlapped with the next portion in hardware — no cycles). The
+        // clip floor is the layer's (0 for a folded ReLU, −128 for the
+        // linear project of an inverted-residual block); a residual-add
+        // stage streams the saved block input in from external memory and
+        // sums it onto the Non-Conv bus at wide precision.
+        let lo = layer.out_lo();
+        for (img, (psum, out)) in scratch
+            .psums
+            .iter()
+            .take(n_images)
+            .zip(outs.iter_mut())
+            .enumerate()
+        {
             buffers.psum.read(psum_bytes);
-            let nc = self.nonconv.apply_tile_into(psum, layer.nonconv2(), out)?;
+            let nc = if let Some(res_imgs) = residuals {
+                let r = layer
+                    .residual_scale()
+                    .ok_or_else(|| CoreError::UnsupportedShape {
+                        detail: format!("layer {}: residual add without a residual scale", s.index),
+                    })?;
+                buffers.external.read_ifmap(portion.pixels() * s.k_out);
+                scratch
+                    .res_tile
+                    .resize_zeroed(s.k_out, portion.rows, portion.cols);
+                res_imgs[img].copy_window_into(
+                    0,
+                    portion.row0,
+                    portion.col0,
+                    &mut scratch.res_tile,
+                );
+                self.nonconv.apply_tile_residual_into(
+                    psum,
+                    layer.nonconv2(),
+                    &scratch.res_tile,
+                    r,
+                    lo,
+                    out,
+                )?
+            } else {
+                self.nonconv
+                    .apply_tile_into_clipped(psum, layer.nonconv2(), lo, out)?
+            };
             tally.nonconv_ops += nc.ops;
             buffers.external.write(portion.pixels() * s.k_out);
         }
@@ -517,6 +579,7 @@ impl Edea {
         layer: &QuantizedDscLayer,
         plan: &LayerPlan,
         inputs: &[Tensor3<i8>],
+        residuals: Option<&[Tensor3<i8>]>,
         residency: WeightResidency,
         scratch: &mut TileScratch,
     ) -> Result<BatchLayerRun, CoreError> {
@@ -529,6 +592,50 @@ impl Edea {
             self.check_layer(layer, input)?;
         }
         let s = layer.shape();
+        if s.residual_add != residuals.is_some() {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "layer {}: residual_add={} but residual batch {}",
+                    s.index,
+                    s.residual_add,
+                    if residuals.is_some() {
+                        "provided"
+                    } else {
+                        "missing"
+                    }
+                ),
+            });
+        }
+        if let Some(res) = residuals {
+            if res.len() != inputs.len() {
+                return Err(CoreError::UnsupportedShape {
+                    detail: format!(
+                        "layer {}: {} residual maps for {} images",
+                        s.index,
+                        res.len(),
+                        inputs.len()
+                    ),
+                });
+            }
+            let out = s.out_spatial();
+            for r in res {
+                if r.shape() != (s.k_out, out, out) {
+                    return Err(CoreError::UnsupportedShape {
+                        detail: format!(
+                            "layer {}: residual map {:?} does not match ofmap ({}, {out}, {out})",
+                            s.index,
+                            r.shape(),
+                            s.k_out
+                        ),
+                    });
+                }
+            }
+            if layer.residual_scale().is_none() {
+                return Err(CoreError::UnsupportedShape {
+                    detail: format!("layer {}: residual add without a residual scale", s.index),
+                });
+            }
+        }
         let t = self.cfg.tile;
         let (tk, tn, tm) = (t.tk, t.tn, t.tm);
         let out = s.out_spatial();
@@ -538,18 +645,24 @@ impl Edea {
         scratch.reserve(&s, &self.cfg, n_images);
 
         let mut buffers = BufferSet::for_batch(&self.cfg, n_images);
-        // Layer-setup transfers: all DWC weights, both Non-Conv parameter
-        // sets — once per batch with resident weights, once per image in
-        // the baseline.
+        // Layer-setup transfers: all DWC weights and the Non-Conv
+        // parameter sets the stage actually uses — once per batch with
+        // resident weights, once per image in the baseline. PwcOnly
+        // stages have neither DWC weights nor a DWC-side parameter set.
         let weight_loads = match residency {
             WeightResidency::PerImage => n_images,
             WeightResidency::PerBatch => 1,
         };
-        let dwc_weight_bytes = s.kernel * s.kernel * s.d_in;
-        let offline_bytes = 6 * (s.d_in + s.k_out); // 2×24-bit words per channel
+        let dwc_weight_bytes = s.dwc_params() as usize;
+        let offline_bytes = match s.op {
+            StageOp::Dsc => 6 * (s.dwc_out_channels() + s.k_out), // 2×24-bit words per channel
+            StageOp::PwcOnly => 6 * s.k_out,
+        };
         for _ in 0..weight_loads {
-            buffers.external.read_weights(dwc_weight_bytes);
-            buffers.dwc_weight.fill(dwc_weight_bytes)?;
+            if dwc_weight_bytes > 0 {
+                buffers.external.read_weights(dwc_weight_bytes);
+                buffers.dwc_weight.fill(dwc_weight_bytes)?;
+            }
             buffers.external.read_params(offline_bytes);
             buffers.offline.fill(offline_bytes)?;
         }
@@ -588,6 +701,7 @@ impl Edea {
                     layer,
                     plan,
                     &padded,
+                    residuals,
                     residency,
                     portion,
                     &mut buffers,
@@ -640,6 +754,7 @@ impl Edea {
                         layer,
                         plan,
                         &padded,
+                        residuals,
                         residency,
                         &ports[p],
                         &mut buffers,
@@ -797,12 +912,28 @@ impl Edea {
         debug_assert_eq!(plan.layers().len(), net.layers().len());
         let mut layers = Vec::with_capacity(net.layers().len());
         let mut x: Option<Tensor3<i8>> = None;
+        // The saved int8 block input of an inverted-residual skip, held
+        // between the `residual_save` stage and the `residual_add` stage
+        // that consumes it (same order as the golden executor).
+        let mut saved: Option<Tensor3<i8>> = None;
         for (layer, lp) in net.layers().iter().zip(plan.layers()) {
+            let s = layer.shape();
+            if s.residual_save {
+                saved = Some(x.as_ref().unwrap_or(input).clone());
+            }
+            let residual = if s.residual_add {
+                Some(saved.take().ok_or_else(|| CoreError::UnsupportedShape {
+                    detail: format!("layer {}: residual add without a preceding save", s.index),
+                })?)
+            } else {
+                None
+            };
             let cur = x.as_ref().unwrap_or(input);
             let mut run = self.execute_layer(
                 layer,
                 lp,
                 std::slice::from_ref(cur),
+                residual.as_ref().map(std::slice::from_ref),
                 WeightResidency::PerImage,
                 &mut *scratch,
             )?;
@@ -892,10 +1023,30 @@ impl Edea {
         debug_assert_eq!(plan.layers().len(), net.layers().len());
         let mut layers = Vec::with_capacity(net.layers().len());
         let mut xs: Option<Vec<Tensor3<i8>>> = None;
+        // Per-image saved block inputs for inverted-residual skips (same
+        // save-then-add order as the golden executor).
+        let mut saved: Option<Vec<Tensor3<i8>>> = None;
         for (layer, lp) in net.layers().iter().zip(plan.layers()) {
+            let s = layer.shape();
+            if s.residual_save {
+                saved = Some(xs.as_deref().unwrap_or(inputs.images()).to_vec());
+            }
+            let residual = if s.residual_add {
+                Some(saved.take().ok_or_else(|| CoreError::UnsupportedShape {
+                    detail: format!("layer {}: residual add without a preceding save", s.index),
+                })?)
+            } else {
+                None
+            };
             let cur: &[Tensor3<i8>] = xs.as_deref().unwrap_or(inputs.images());
-            let run =
-                self.execute_layer(layer, lp, cur, WeightResidency::PerBatch, &mut *scratch)?;
+            let run = self.execute_layer(
+                layer,
+                lp,
+                cur,
+                residual.as_deref(),
+                WeightResidency::PerBatch,
+                &mut *scratch,
+            )?;
             xs = Some(run.outputs);
             layers.push(run.stats);
         }
@@ -1202,5 +1353,112 @@ mod tests {
         let b = &run.stats.breakdown;
         assert_eq!(run.stats.dwc_activity.mac_slots, b.dwc_busy * 288);
         assert_eq!(run.stats.pwc_activity.mac_slots, b.pwc_busy * 512);
+    }
+
+    fn setup_v2() -> (
+        edea_nn::mobilenet::MobileNetV2,
+        QuantizedDscNetwork,
+        Tensor3<i8>,
+    ) {
+        let model = edea_nn::mobilenet::MobileNetV2::synthetic(0.25, 41);
+        let calib = rng::synthetic_batch(2, 3, 32, 32, 32);
+        let qnet =
+            QuantizedDscNetwork::calibrate_v2(&model, &calib, QuantStrategy::paper()).unwrap();
+        let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
+        (model, qnet, input)
+    }
+
+    #[test]
+    fn v2_network_is_bit_exact_with_golden_executor() {
+        // The inverted-residual stack: PwcOnly expansions, linear
+        // projections and Q8.16 residual adds through the same datapath.
+        let (_, qnet, input) = setup_v2();
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
+        let run = edea.run_network(&qnet, &input).unwrap();
+        let golden = executor::run_network(&qnet, &input);
+        assert_eq!(run.output, golden.output);
+    }
+
+    #[test]
+    fn v2_planned_path_matches_one_shot() {
+        let (_, qnet, input) = setup_v2();
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
+        let plan = NetworkPlan::new(&qnet, edea.config()).unwrap();
+        let planned = edea.run_network_planned(&qnet, &plan, &input).unwrap();
+        let oneshot = edea.run_network(&qnet, &input).unwrap();
+        assert_eq!(planned.output, oneshot.output);
+    }
+
+    #[test]
+    fn v2_batch_outputs_match_per_image_and_golden() {
+        let (model, qnet, _) = setup_v2();
+        let images = rng::synthetic_batch(3, 3, 32, 32, 77);
+        let inputs = Batch::new(
+            images
+                .iter()
+                .map(|img| qnet.quantize_input(&model.forward_stem(img)))
+                .collect(),
+        )
+        .unwrap();
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
+        let batch = edea.run_batch(&qnet, &inputs).unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            let single = edea.run_network(&qnet, input).unwrap();
+            assert_eq!(batch.outputs[i], single.output, "image {i}");
+            let golden = executor::run_network(&qnet, input);
+            assert_eq!(batch.outputs[i], golden.output, "image {i} vs golden");
+        }
+    }
+
+    #[test]
+    fn v2_synthetic_stats_match_simulated_traffic() {
+        // The analytic mirror must track the generalized datapath exactly:
+        // PwcOnly stages (no DWC/intermediate traffic, ifmap-side kernel
+        // re-reads) and residual-add stages (external residual stream).
+        let (_, qnet, input) = setup_v2();
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
+        let run = edea.run_network(&qnet, &input).unwrap();
+        for stats in &run.stats.layers {
+            let synth = crate::stats::synthetic_layer_stats(
+                &stats.shape,
+                edea.config(),
+                stats.input_zero,
+                stats.mid_zero,
+                stats.out_zero,
+            );
+            assert_eq!(stats.cycles, synth.cycles, "layer {}", stats.shape.index);
+            assert_eq!(
+                stats.external, synth.external,
+                "layer {}",
+                stats.shape.index
+            );
+            assert_eq!(stats.onchip, synth.onchip, "layer {}", stats.shape.index);
+            assert_eq!(
+                stats.intermediate, synth.intermediate,
+                "layer {}",
+                stats.shape.index
+            );
+            assert_eq!(stats.psum, synth.psum, "layer {}", stats.shape.index);
+            assert_eq!(
+                stats.nonconv_ops, synth.nonconv_ops,
+                "layer {}",
+                stats.shape.index
+            );
+        }
+    }
+
+    #[test]
+    fn v2_residual_add_without_matching_batch_is_rejected() {
+        // execute_layer's contract: the residual batch must be present
+        // exactly when the shape says residual_add, with one map per image.
+        let (_, qnet, input) = setup_v2();
+        let edea = Edea::new(EdeaConfig::paper()).unwrap();
+        let add_layer = qnet
+            .layers()
+            .iter()
+            .find(|l| l.shape().residual_add)
+            .expect("v2 has residual-add stages");
+        let err = edea.run_layer(add_layer, &input).unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedShape { .. }), "{err:?}");
     }
 }

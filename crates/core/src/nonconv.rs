@@ -76,6 +76,11 @@ impl NonConvUnit {
     /// transform walks flat channel planes instead of indexing every
     /// element.
     ///
+    /// The clip floor is the ReLU zero — the intermediate-boundary
+    /// configuration. [`NonConvUnit::apply_tile_into_clipped`] exposes the
+    /// floor for output boundaries that fold no ReLU (the linear project
+    /// convolution of an inverted-residual block clips to −128).
+    ///
     /// # Errors
     ///
     /// [`CoreError::UnsupportedShape`] if `params` has fewer entries than
@@ -84,6 +89,23 @@ impl NonConvUnit {
         &self,
         acc: &Tensor3<i32>,
         params: &[FoldedAffine],
+        out: &mut Tensor3<i8>,
+    ) -> Result<NonConvActivity, CoreError> {
+        self.apply_tile_into_clipped(acc, params, 0, out)
+    }
+
+    /// [`NonConvUnit::apply_tile_into`] with an explicit clip floor `lo`
+    /// (`0` = folded ReLU, `-128` = linear output).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if `params` has fewer entries than
+    /// the tile has channels.
+    pub fn apply_tile_into_clipped(
+        &self,
+        acc: &Tensor3<i32>,
+        params: &[FoldedAffine],
+        lo: i8,
         out: &mut Tensor3<i8>,
     ) -> Result<NonConvActivity, CoreError> {
         let (c, h, w) = acc.shape();
@@ -103,7 +125,63 @@ impl NonConvUnit {
             .zip(out.as_mut_slice().chunks_exact_mut(plane));
         for ((src, dst), p) in planes.zip(params) {
             for (d, &a) in dst.iter_mut().zip(src) {
-                let y = p.apply_fixed(a, 0);
+                let y = p.apply_fixed(a, lo);
+                activity.ops += 1;
+                activity.zero_outputs += u64::from(y == 0);
+                *d = y;
+            }
+        }
+        Ok(activity)
+    }
+
+    /// The residual extension of the output boundary: transforms one
+    /// accumulator tile while summing the requantized skip connection
+    /// `r · residual[c]` onto the `k·x + b` bus at wide Q8.16 precision
+    /// *before* the round stage (see
+    /// [`FoldedAffine::apply_fixed_residual`]) — the Non-Conv fold and the
+    /// residual add commute bit-exactly, proven by the `residual_fold`
+    /// property suite in `edea-nn`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] if `params` has fewer entries than
+    /// the tile has channels, or if `residual`'s shape differs from
+    /// `acc`'s.
+    pub fn apply_tile_residual_into(
+        &self,
+        acc: &Tensor3<i32>,
+        params: &[FoldedAffine],
+        residual: &Tensor3<i8>,
+        r: edea_fixed::Q8x16,
+        lo: i8,
+        out: &mut Tensor3<i8>,
+    ) -> Result<NonConvActivity, CoreError> {
+        let (c, h, w) = acc.shape();
+        if params.len() < c {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!("{} Non-Conv parameter sets for {c} channels", params.len()),
+            });
+        }
+        if residual.shape() != acc.shape() {
+            return Err(CoreError::UnsupportedShape {
+                detail: format!(
+                    "residual tile {:?} does not match accumulator tile {:?}",
+                    residual.shape(),
+                    acc.shape()
+                ),
+            });
+        }
+        out.resize_for_overwrite(c, h, w);
+        let mut activity = NonConvActivity::default();
+        let plane = h * w;
+        let planes = acc
+            .as_slice()
+            .chunks_exact(plane)
+            .zip(residual.as_slice().chunks_exact(plane))
+            .zip(out.as_mut_slice().chunks_exact_mut(plane));
+        for (((src, res), dst), p) in planes.zip(params) {
+            for ((d, &a), &rv) in dst.iter_mut().zip(src).zip(res) {
+                let y = p.apply_fixed_residual(a, rv, r, lo);
                 activity.ops += 1;
                 activity.zero_outputs += u64::from(y == 0);
                 *d = y;
@@ -163,6 +241,55 @@ mod tests {
         let acc = Tensor3::<i32>::zeros(8, 2, 2);
         let params = vec![affine(1.0, 0.0); 4];
         assert!(unit().apply_tile(&acc, &params).is_err());
+    }
+
+    #[test]
+    fn clipped_floor_passes_negative_outputs() {
+        // lo = −128: the linear project boundary keeps signed codes that
+        // the ReLU-folded boundary would floor to zero.
+        let acc = Tensor3::<i32>::from_fn(1, 2, 2, |_, h, w| (h * 2 + w) as i32 - 2); // -2..1
+        let params = vec![affine(1.0, 0.0)];
+        let mut out = Tensor3::<i8>::zeros(1, 1, 1);
+        unit()
+            .apply_tile_into_clipped(&acc, &params, -128, &mut out)
+            .unwrap();
+        assert_eq!(out.as_slice(), &[-2, -1, 0, 1]);
+    }
+
+    #[test]
+    fn residual_path_matches_the_fold_reference() {
+        let acc = Tensor3::<i32>::from_fn(2, 2, 2, |c, h, w| {
+            (c as i32 * 900 - 700) + (h as i32 * 55) - (w as i32 * 13)
+        });
+        let residual = Tensor3::<i8>::from_fn(2, 2, 2, |c, h, w| {
+            (c as i32 * 37 - 60 + (h * 2 + w) as i32 * 9) as i8
+        });
+        let params = vec![
+            FoldedAffine::fold(0.6, -0.1, 0.02, 0.01, 0.015),
+            FoldedAffine::fold(-0.3, 0.4, 0.02, 0.01, 0.015),
+        ];
+        let r = Q8x16::from_f64(0.73);
+        let mut out = Tensor3::<i8>::zeros(1, 1, 1);
+        unit()
+            .apply_tile_residual_into(&acc, &params, &residual, r, -128, &mut out)
+            .unwrap();
+        for ((c, h, w), &v) in out.indexed_iter() {
+            assert_eq!(
+                v,
+                params[c].apply_fixed_residual(acc[(c, h, w)], residual[(c, h, w)], r, -128)
+            );
+        }
+    }
+
+    #[test]
+    fn residual_rejects_mismatched_shapes() {
+        let acc = Tensor3::<i32>::zeros(2, 2, 2);
+        let residual = Tensor3::<i8>::zeros(2, 2, 1);
+        let params = vec![affine(1.0, 0.0); 2];
+        let mut out = Tensor3::<i8>::zeros(1, 1, 1);
+        assert!(unit()
+            .apply_tile_residual_into(&acc, &params, &residual, Q8x16::ONE, -128, &mut out)
+            .is_err());
     }
 
     #[test]

@@ -379,14 +379,7 @@ mod tests {
         // closed-form Eq. 1 does not model. (MobileNetV1 never enters this
         // regime — its smallest K is 64, i.e. Kt = 4.)
         use edea_nn::workload::LayerShape;
-        let l = LayerShape {
-            index: 0,
-            in_spatial: 8,
-            d_in: 8,
-            k_out: 16,
-            stride: 1,
-            kernel: 3,
-        };
+        let l = LayerShape::dsc(0, 8, 8, 16, 1, 3);
         let sim = simulate_layer(&l, &cfg(), 0);
         let analytic = timing::layer_cycles(&l, &cfg());
         assert!(

@@ -225,14 +225,17 @@ pub fn audit_portions(
     let psum_required = n_images * psum_peak;
     overflow("psum", psum_required, cfg.psum_buf_bytes * n_images)?;
     overflow("dwc_ifmap", ifmap_peak, cfg.ifmap_buf_bytes)?;
+    // Op-aware residencies, exactly as `execute_layer` reserves them: a
+    // PwcOnly stage fills neither the DWC weight registers nor a DWC-side
+    // offline-parameter set.
     overflow(
         "dwc_weight",
-        shape.kernel * shape.kernel * shape.d_in,
+        usize::try_from(shape.dwc_params()).unwrap_or(usize::MAX),
         cfg.dwc_weight_buf_bytes,
     )?;
     overflow(
         "offline",
-        6 * (shape.d_in + shape.k_out),
+        usize::try_from(crate::schedule::layer_param_fetch_bytes(shape)).unwrap_or(usize::MAX),
         cfg.offline_buf_bytes,
     )?;
     overflow("pwc_weight", t.td * shape.k_out, cfg.pwc_weight_buf_bytes)?;
@@ -306,7 +309,7 @@ mod tests {
     #[test]
     fn every_mobilenet_layer_passes_at_all_widths_and_lane_counts() {
         for width in [0.25, 0.5, 0.75, 1.0] {
-            let shapes = scale_width(&mobilenet_v1_cifar10(), width, 8);
+            let shapes = scale_width(&mobilenet_v1_cifar10(), width, 8).unwrap();
             for n in [1usize, 2, 4, 8] {
                 for batch in [1usize, 4] {
                     let audits = audit_network(&shapes, &cfg(), threads(n), batch)
@@ -315,6 +318,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn every_mobilenet_v2_stage_passes_the_proofs() {
+        // The generalized workload: 17 inverted-residual stages, PwcOnly
+        // expansions included.
+        use edea_nn::workload::mobilenet_v2_cifar10;
+        let shapes = scale_width(&mobilenet_v2_cifar10(), 0.25, 16).unwrap();
+        for n in [1usize, 4] {
+            let audits = audit_network(&shapes, &cfg(), threads(n), 2)
+                .unwrap_or_else(|e| panic!("v2 lanes {n}: {e}"));
+            assert_eq!(audits.len(), shapes.len());
+        }
+    }
+
+    #[test]
+    fn full_width_v2_expansions_overflow_the_paper_psum_budget() {
+        // At width 1.0 the 6× expand stages hold up to 576 kernels over an
+        // 8×8 portion — 147 456 bytes of psum against the paper's 64 KiB.
+        // The audit proves the overflow ahead of time, naming the buffer,
+        // instead of failing mid-run.
+        use edea_nn::workload::mobilenet_v2_cifar10;
+        let err = audit_network(&mobilenet_v2_cifar10(), &cfg(), threads(1), 1).unwrap_err();
+        assert!(
+            matches!(err, CoreError::BufferOverflow { buffer: "psum", .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

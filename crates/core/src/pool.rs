@@ -61,6 +61,7 @@
 
 use std::collections::VecDeque;
 
+use edea_nn::workload::NetworkId;
 use edea_tensor::Batch;
 
 use crate::config::EdeaConfig;
@@ -289,6 +290,12 @@ pub struct WorkerReport {
     pub weight_bytes: u64,
     /// Total external bytes this worker moved.
     pub external_bytes: u64,
+    /// Model-switch traffic this worker paid: the weight refetch charged
+    /// whenever a dispatched batch's network differed from the worker's
+    /// resident one. Workers start resident on [`NetworkId::PRIMARY`], so
+    /// a single-model run reports zero. A traffic category of its own,
+    /// never folded into [`WorkerReport::external_bytes`].
+    pub switch_bytes: u64,
     /// Deepest its request queue ever got.
     pub max_queue_depth: usize,
     /// Time-averaged queue depth over the run's makespan.
@@ -399,11 +406,16 @@ struct WorkerState {
     /// for [`DispatchPolicy::LeastLoaded`] while `free_at` is in the
     /// future).
     in_service: usize,
+    /// The network whose weights the worker holds resident. Workers boot
+    /// resident on the primary model; dispatching any other network pays
+    /// that network's switch traffic and flips residency.
+    resident: NetworkId,
     requests: usize,
     batches: usize,
     busy_cycles: u64,
     weight_bytes: u64,
     external_bytes: u64,
+    switch_bytes: u64,
     max_queue_depth: usize,
     /// `Σ queue-depth × ticks`, advanced whenever simulated time moves.
     depth_integral: u128,
@@ -415,25 +427,42 @@ impl WorkerState {
             queue: VecDeque::new(),
             free_at: 0,
             in_service: 0,
+            resident: NetworkId::PRIMARY,
             requests: 0,
             batches: 0,
             busy_cycles: 0,
             weight_bytes: 0,
             external_bytes: 0,
+            switch_bytes: 0,
             max_queue_depth: 0,
             depth_integral: 0,
         }
     }
 
+    /// Number of leading queued requests that target the same network as
+    /// the queue head — the longest batch the worker could dispatch
+    /// (batches are never mixed-network: one plan runs per dispatch). On
+    /// single-model streams this is the whole queue.
+    fn same_network_prefix(&self) -> usize {
+        let Some(head) = self.queue.front() else {
+            return 0;
+        };
+        self.queue
+            .iter()
+            .take_while(|r| r.network == head.network)
+            .count()
+    }
+
     /// The tick this worker's next batch may dispatch, given the current
     /// simulated time — the single-backend scheduler's rule verbatim:
-    /// `ready = now.max(free_at)`; dispatch at `ready` when the queue
-    /// holds `max_batch`, else at the queue head's waiting deadline (but
-    /// never before `ready`).
+    /// `ready = now.max(free_at)`; dispatch at `ready` when the head's
+    /// same-network prefix holds `max_batch`, else at the queue head's
+    /// waiting deadline (but never before `ready`). A request of another
+    /// network parked behind the prefix never fills the head's batch.
     fn dispatch_at(&self, now: u64, policy: Policy) -> Option<u64> {
         let head = self.queue.front()?;
         let ready = now.max(self.free_at);
-        if self.queue.len() >= policy.max_batch {
+        if self.same_network_prefix() >= policy.max_batch {
             Some(ready)
         } else {
             Some(ready.max(head.arrival.saturating_add(policy.max_wait)))
@@ -484,14 +513,18 @@ fn route(
 /// thread.
 struct PlannedBatch {
     worker: usize,
+    /// The network every member targets (batches are never mixed).
+    network: NetworkId,
     /// `(id, arrival)` of each drained request, in FIFO order.
     timeline: Vec<(u64, u64)>,
     inputs: Batch<i8>,
     dispatched: u64,
     /// The backend's pre-declared service cycles
-    /// ([`Backend::dispatch_cycles`]); the measured run must match
+    /// ([`Backend::dispatch_cycles_for`]); the measured run must match
     /// exactly, enforced at assembly.
     predicted: u64,
+    /// Model-switch traffic charged at the (serial) scheduling decision.
+    switch_bytes: u64,
 }
 
 /// The shared discrete-event serve loop: routes arrivals to per-worker
@@ -531,13 +564,34 @@ pub(crate) fn drive<W: Backend + ?Sized>(
 ) -> Result<PoolReport, CoreError> {
     policy.validate()?;
     assert!(!workers.is_empty(), "pool is non-empty by construction");
+    // The distinct networks this stream targets (usually just PRIMARY).
+    let networks: Vec<NetworkId> = {
+        let mut v: Vec<NetworkId> = requests.iter().map(|r| r.network).collect();
+        v.sort_unstable_by_key(|n| n.0);
+        v.dedup();
+        v
+    };
     // Oracle mode is all-or-nothing, decided up front: a mixed pool (some
-    // workers predicting, some not) runs serially like any other.
+    // workers predicting, some not — for any network the stream targets)
+    // runs serially like any other.
     let oracle = !par.is_serial()
         && workers.len() > 1
-        && workers.iter().all(|w| w.dispatch_cycles(1).is_some());
-    let want = workers[0].input_shape();
+        && workers.iter().all(|w| {
+            networks
+                .iter()
+                .all(|&n| w.dispatch_cycles_for(n, 1).is_some())
+        });
     for r in &requests {
+        let Some(want) = workers[0].input_shape_for(r.network) else {
+            return Err(CoreError::InvalidRequest {
+                detail: format!(
+                    "request {}: unknown network id {} (backend {} does not serve it)",
+                    r.id,
+                    r.network,
+                    workers[0].name()
+                ),
+            });
+        };
         if r.input.shape() != want {
             return Err(CoreError::InvalidRequest {
                 detail: format!(
@@ -617,7 +671,10 @@ pub(crate) fn drive<W: Backend + ?Sized>(
         let (t, wi) = next_dispatch.expect("route_next is false only with a dispatch");
         advance(&mut states, &mut now, t);
         let state = &mut states[wi];
-        let size = state.queue.len().min(policy.max_batch);
+        let size = state.same_network_prefix().min(policy.max_batch);
+        // edea-lint: allow(panic-in-lib): dispatch_at returned Some, so the queue
+        // head (and thus a non-empty same-network prefix) exists
+        let network = state.queue.front().expect("non-empty batch").network;
         // Move the inputs out of the drained requests — no tensor copies
         // on the dispatch path.
         let mut timeline = Vec::with_capacity(size);
@@ -631,31 +688,43 @@ pub(crate) fn drive<W: Backend + ?Sized>(
         // backend at intake (InvalidRequest), so the drained batch is uniform
         let inputs = Batch::new(inputs).expect("request shapes validated above");
         let index = assignments.len();
+        // Model-switch accounting happens here, on the serial scheduling
+        // decision, so oracle and serial runs agree exactly: a dispatch
+        // whose network differs from the worker's resident one pays the
+        // incoming network's refetch and flips residency.
+        let switch = if state.resident == network {
+            0
+        } else {
+            workers[wi].switch_bytes(network)
+        };
+        state.resident = network;
+        state.switch_bytes += switch;
         let cycles = if oracle {
             // Oracle mode: every scheduling consequence of this dispatch
             // (busy-until, responses' completion, the next batch boundary)
             // follows from the pre-declared cycles; execution is deferred.
-            let predicted =
-                workers[wi]
-                    .dispatch_cycles(size)
-                    .ok_or_else(|| CoreError::InvalidConfig {
-                        detail: format!(
-                            "backend {} declared dispatch cycles for a batch of 1 \
-                             but not for a batch of {size}; dispatch_cycles must \
-                             be all-or-nothing",
-                            workers[wi].name()
-                        ),
-                    })?;
+            let predicted = workers[wi]
+                .dispatch_cycles_for(network, size)
+                .ok_or_else(|| CoreError::InvalidConfig {
+                    detail: format!(
+                        "backend {} declared dispatch cycles for a batch of 1 \
+                         but not for a batch of {size}; dispatch_cycles must \
+                         be all-or-nothing",
+                        workers[wi].name()
+                    ),
+                })?;
             planned.push(PlannedBatch {
                 worker: wi,
+                network,
                 timeline,
                 inputs,
                 dispatched: now,
                 predicted,
+                switch_bytes: switch,
             });
             predicted
         } else {
-            let run = workers[wi].run(&inputs)?;
+            let run = workers[wi].run_for(network, &inputs)?;
             if run.outputs.len() != size {
                 return Err(CoreError::UnsupportedShape {
                     detail: format!(
@@ -673,6 +742,7 @@ pub(crate) fn drive<W: Backend + ?Sized>(
                     dispatched: now,
                     completed,
                     batch: index,
+                    network,
                     output,
                 });
             }
@@ -683,8 +753,10 @@ pub(crate) fn drive<W: Backend + ?Sized>(
                 dispatched: now,
                 completed,
                 cycles: run.cycles,
+                network,
                 weight_bytes: run.weight_bytes,
                 external_bytes: run.external_bytes,
+                switch_bytes: switch,
             });
             state.weight_bytes += run.weight_bytes;
             state.external_bytes += run.external_bytes;
@@ -720,7 +792,7 @@ pub(crate) fn drive<W: Backend + ?Sized>(
                 Vec::with_capacity(jobs.len());
             for j in jobs {
                 let p = &planned_ref[j];
-                let result = workers[p.worker].run(&p.inputs);
+                let result = workers[p.worker].run_for(p.network, &p.inputs);
                 let failed = result.is_err();
                 out.push((j, result));
                 if failed {
@@ -782,6 +854,7 @@ pub(crate) fn drive<W: Backend + ?Sized>(
                     dispatched: p.dispatched,
                     completed,
                     batch: j,
+                    network: p.network,
                     output,
                 });
             }
@@ -792,8 +865,10 @@ pub(crate) fn drive<W: Backend + ?Sized>(
                 dispatched: p.dispatched,
                 completed,
                 cycles: run.cycles,
+                network: p.network,
                 weight_bytes: run.weight_bytes,
                 external_bytes: run.external_bytes,
+                switch_bytes: p.switch_bytes,
             });
         }
     }
@@ -809,6 +884,7 @@ pub(crate) fn drive<W: Backend + ?Sized>(
             busy_cycles: s.busy_cycles,
             weight_bytes: s.weight_bytes,
             external_bytes: s.external_bytes,
+            switch_bytes: s.switch_bytes,
             max_queue_depth: s.max_queue_depth,
             mean_queue_depth: if makespan == 0 {
                 0.0
@@ -1061,6 +1137,203 @@ mod tests {
         // In range it still reports real busy fractions (this run served
         // work, so at least one worker was busy).
         assert!((0..3).any(|w| report.worker_utilization(w) > 0.0));
+    }
+
+    /// A two-model simulator backend: MobileNetV1 (primary) and
+    /// MobileNetV2 (net1) at width 0.25, sharing the stem input shape.
+    fn mixed_backend(threads: usize) -> crate::serve::SimulatorBackend {
+        use crate::accelerator::Edea;
+        use crate::serve::SimulatorBackend;
+        use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
+        use edea_tensor::rng;
+
+        let calib = rng::synthetic_batch(2, 3, 32, 32, 32);
+        // v1 at width 0.5 and v2 at width 0.25 share the stem output
+        // shape (16, 32, 32) — the multi-model precondition.
+        let v1 = edea_nn::mobilenet::MobileNetV1::synthetic(0.5, 31);
+        let q1 = QuantizedDscNetwork::calibrate(&v1, &calib);
+        let v2 = edea_nn::mobilenet::MobileNetV2::synthetic(0.25, 41);
+        let q2 = QuantizedDscNetwork::calibrate_v2(&v2, &calib, QuantStrategy::paper()).unwrap();
+        let edea = Edea::new(EdeaConfig::paper())
+            .unwrap()
+            .with_parallelism(Parallelism::new(threads).unwrap());
+        SimulatorBackend::new(edea, q1)
+            .unwrap()
+            .with_model(NetworkId(1), q2)
+            .unwrap()
+    }
+
+    fn mixed_requests(backend: &impl Backend, nets: &[u32], ticks: &[u64]) -> Vec<Request> {
+        let (d, h, w) = backend.input_shape();
+        let networks: Vec<NetworkId> = nets.iter().map(|&n| NetworkId(n)).collect();
+        Request::stream_mixed(
+            ticks,
+            &networks,
+            nets.iter()
+                .map(|&n| {
+                    Tensor3::<i8>::from_fn(d, h, w, |c, r, col| (c + r + col + n as usize) as i8)
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mixed_stream_batches_same_network_prefixes_and_pays_switch_traffic() {
+        let b = mixed_backend(1);
+        // One worker, everything arrives at t = 0: the queue reads
+        // v1 v1 v2 v2 v1. Prefix batching must form [v1 v1] [v2 v2] [v1]
+        // — never a mixed batch — and charge switch traffic exactly on
+        // the two residency flips (PRIMARY → net1 → PRIMARY).
+        let reqs = mixed_requests(&b, &[0, 0, 1, 1, 0], &[0; 5]);
+        let pool = Pool::replicate(b.clone(), 1)
+            .unwrap()
+            .with_parallelism(Parallelism::serial());
+        let report = Dispatcher::new(Policy::new(2, 0).unwrap(), DispatchPolicy::RoundRobin)
+            .serve(&pool, reqs)
+            .unwrap();
+
+        let nets: Vec<u32> = report.serve.batches.iter().map(|b| b.network.0).collect();
+        assert_eq!(nets, vec![0, 1, 0]);
+        assert_eq!(
+            report
+                .serve
+                .batches
+                .iter()
+                .map(|b| b.size)
+                .collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        // Per-response network attribution follows the batches.
+        for r in &report.serve.responses {
+            assert_eq!(r.network.0, if (2..=3).contains(&r.id) { 1 } else { 0 });
+        }
+        // Switch traffic: worker boots resident on PRIMARY, so batch 0 is
+        // free; batch 1 pays net1's full refetch, batch 2 pays net0's.
+        let sw: Vec<u64> = report
+            .serve
+            .batches
+            .iter()
+            .map(|b| b.switch_bytes)
+            .collect();
+        assert_eq!(sw[0], 0);
+        assert_eq!(sw[1], b.switch_bytes(NetworkId(1)));
+        assert_eq!(sw[2], b.switch_bytes(NetworkId::PRIMARY));
+        assert!(sw[1] > 0 && sw[2] > 0);
+        assert_eq!(report.serve.switch_bytes_total(), sw.iter().sum::<u64>());
+        assert_eq!(
+            report.workers[0].switch_bytes,
+            report.serve.switch_bytes_total()
+        );
+        // Switch traffic is its own category, never folded into the
+        // backend-measured external bytes: the v2 batch's external and
+        // cycle figures equal a direct switch-free run of the same inputs.
+        let (d, h, w) = b.input_shape();
+        let img =
+            |n: u32| Tensor3::<i8>::from_fn(d, h, w, |c, r, col| (c + r + col + n as usize) as i8);
+        let direct = b
+            .run_for(NetworkId(1), &Batch::new(vec![img(1), img(1)]).unwrap())
+            .unwrap();
+        assert_eq!(
+            report.serve.batches[1].external_bytes,
+            direct.external_bytes
+        );
+        assert_eq!(report.serve.batches[1].cycles, direct.cycles);
+        // Per-network latency accounting sees both populations.
+        assert!(report.serve.mean_latency_for(NetworkId::PRIMARY).is_some());
+        assert!(report.serve.mean_latency_for(NetworkId(1)).is_some());
+        assert_eq!(report.serve.mean_latency_for(NetworkId(9)), None);
+    }
+
+    #[test]
+    fn single_model_stream_on_a_multi_model_backend_pays_no_switch_traffic() {
+        let b = mixed_backend(1);
+        let reqs = mixed_requests(&b, &[0, 0, 0, 0], &[0, 10, 20, 30]);
+        let pool = Pool::replicate(b, 2)
+            .unwrap()
+            .with_parallelism(Parallelism::serial());
+        let report = Dispatcher::new(Policy::new(2, 1_000).unwrap(), DispatchPolicy::LeastLoaded)
+            .serve(&pool, reqs)
+            .unwrap();
+        assert_eq!(report.serve.switch_bytes_total(), 0);
+        assert!(report.workers.iter().all(|w| w.switch_bytes == 0));
+        assert!(report
+            .serve
+            .batches
+            .iter()
+            .all(|b| b.network == NetworkId::PRIMARY));
+    }
+
+    #[test]
+    fn a_foreign_network_request_never_fills_the_heads_batch() {
+        let b = mixed_backend(1);
+        // max_batch = 2, long wait: a v1 head plus a v2 arrival must NOT
+        // dispatch as a "full" batch of two — the v2 request parks behind
+        // the prefix and each network dispatches alone at its deadline.
+        let reqs = mixed_requests(&b, &[0, 1], &[0, 0]);
+        let pool = Pool::replicate(b, 1)
+            .unwrap()
+            .with_parallelism(Parallelism::serial());
+        let report = Dispatcher::new(Policy::new(2, 5_000).unwrap(), DispatchPolicy::RoundRobin)
+            .serve(&pool, reqs)
+            .unwrap();
+        assert_eq!(report.serve.batches.len(), 2);
+        assert!(report.serve.batches.iter().all(|b| b.size == 1));
+        // Neither batch dispatched before the head's deadline.
+        assert_eq!(report.serve.batches[0].dispatched, 5_000);
+    }
+
+    #[test]
+    fn mixed_serving_is_bit_identical_across_thread_counts() {
+        // The oracle-mode event loop must reproduce the serial mixed-model
+        // schedule exactly: same batches, same networks, same switch
+        // traffic, same outputs.
+        let serve = |threads: usize| -> PoolReport {
+            let b = mixed_backend(threads);
+            let reqs = mixed_requests(&b, &[0, 1, 0, 1, 1, 0, 0, 1], &arrivals::uniform(8, 1_000));
+            let pool = Pool::replicate(b, 2)
+                .unwrap()
+                .with_parallelism(Parallelism::new(threads).unwrap());
+            Dispatcher::new(Policy::new(2, 2_000).unwrap(), DispatchPolicy::LeastLoaded)
+                .serve(&pool, reqs)
+                .unwrap()
+        };
+        let serial = serve(1);
+        let parallel = serve(4);
+        assert_eq!(serial.serve.responses, parallel.serve.responses);
+        assert_eq!(serial.serve.batches, parallel.serve.batches);
+        assert_eq!(serial.assignments, parallel.assignments);
+        assert_eq!(serial.workers, parallel.workers);
+        // The mixed stream actually exercised both models and a switch.
+        assert!(serial
+            .serve
+            .batches
+            .iter()
+            .any(|b| b.network == NetworkId(1)));
+        assert!(serial.serve.switch_bytes_total() > 0);
+    }
+
+    #[test]
+    fn unknown_network_id_is_rejected_naming_request_and_network() {
+        let b = mixed_backend(1);
+        let (d, h, w) = b.input_shape();
+        let reqs = vec![Request::for_network(
+            7,
+            0,
+            NetworkId(9),
+            Tensor3::<i8>::zeros(d, h, w),
+        )];
+        let pool = Pool::replicate(b, 1).unwrap();
+        let err = Dispatcher::new(Policy::new(1, 0).unwrap(), DispatchPolicy::RoundRobin)
+            .serve(&pool, reqs)
+            .unwrap_err();
+        match err {
+            CoreError::InvalidRequest { detail } => {
+                assert!(detail.contains("request 7"), "{detail}");
+                assert!(detail.contains("net9"), "{detail}");
+            }
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
     }
 
     #[test]

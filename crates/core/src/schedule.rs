@@ -41,13 +41,21 @@
 
 use crate::config::EdeaConfig;
 use crate::CoreError;
-use edea_nn::workload::LayerShape;
+use edea_nn::workload::{LayerShape, StageOp};
 
 /// Checks that one layer shape maps onto the engine geometry: channels a
-/// multiple of `Td`, kernels of `Tk`, output size of `Tn`, and the DWC
-/// kernel matching the engine's. The single source of this rule — the
+/// multiple of `Td`, kernels of `Tk`, output size of `Tn`, and the stage
+/// kernel matching the engine — `Dsc` stages run the engine's depthwise
+/// kernel, `PwcOnly` stages (inverted-residual expand/project) must be
+/// 1×1 with stride 1 and no padding. The single source of this rule — the
 /// accelerator's per-layer check and the serving layer's network
 /// validation both delegate here.
+///
+/// The generalized shape axes ([`LayerShape::dilation`],
+/// [`LayerShape::depth_multiplier`], asymmetric [`LayerShape::padding`])
+/// exist for schedule-space exploration; the realized datapath executes
+/// only their degenerate settings, and this check is where the boundary is
+/// enforced with a typed error instead of silent miscomputation.
 ///
 /// # Errors
 ///
@@ -80,13 +88,52 @@ pub fn check_layer_geometry(s: &LayerShape, cfg: &EdeaConfig) -> Result<(), Core
             ),
         });
     }
-    if s.kernel != t.kernel {
+    if s.dilation != 1 {
         return Err(CoreError::UnsupportedShape {
             detail: format!(
-                "layer {}: kernel {} != engine kernel {}",
-                s.index, s.kernel, t.kernel
+                "layer {}: dilation {} not supported by the datapath",
+                s.index, s.dilation
             ),
         });
+    }
+    if s.depth_multiplier != 1 {
+        return Err(CoreError::UnsupportedShape {
+            detail: format!(
+                "layer {}: depth multiplier {} not supported by the datapath",
+                s.index, s.depth_multiplier
+            ),
+        });
+    }
+    match s.op {
+        StageOp::Dsc => {
+            if s.kernel != t.kernel {
+                return Err(CoreError::UnsupportedShape {
+                    detail: format!(
+                        "layer {}: kernel {} != engine kernel {}",
+                        s.index, s.kernel, t.kernel
+                    ),
+                });
+            }
+            if !s.padding.is_symmetric() {
+                return Err(CoreError::UnsupportedShape {
+                    detail: format!(
+                        "layer {}: asymmetric padding ({}, {}) not supported by the datapath",
+                        s.index, s.padding.before, s.padding.after
+                    ),
+                });
+            }
+        }
+        StageOp::PwcOnly => {
+            if s.kernel != 1 || s.stride != 1 || s.padding.total() != 0 {
+                return Err(CoreError::UnsupportedShape {
+                    detail: format!(
+                        "layer {}: PwcOnly stage must be 1x1 stride-1 unpadded \
+                         (kernel {}, stride {}, padding ({}, {}))",
+                        s.index, s.kernel, s.stride, s.padding.before, s.padding.after
+                    ),
+                });
+            }
+        }
     }
     Ok(())
 }
@@ -111,10 +158,17 @@ pub fn layer_weight_fetch_bytes(shape: &LayerShape, cfg: &EdeaConfig) -> u64 {
 }
 
 /// External offline-parameter bytes one image's layer execution fetches:
-/// two 24-bit `(k, b)` words per channel at both Non-Conv boundaries.
+/// two 24-bit `(k, b)` words per channel at each Non-Conv boundary the
+/// stage actually crosses. A `Dsc` stage pays both boundaries (the
+/// DWC-side set covers the depthwise output channels — `d_in ×` the depth
+/// multiplier); a `PwcOnly` stage has no DWC-side Non-Conv, so only the
+/// output-side set is fetched.
 #[must_use]
 pub fn layer_param_fetch_bytes(shape: &LayerShape) -> u64 {
-    6 * (shape.d_in + shape.k_out) as u64
+    match shape.op {
+        StageOp::Dsc => 6 * (shape.dwc_out_channels() + shape.k_out) as u64,
+        StageOp::PwcOnly => 6 * shape.k_out as u64,
+    }
 }
 
 /// External weight + offline-parameter bytes a batch of `n` images fetches
@@ -171,16 +225,39 @@ impl Portion {
         pad: usize,
         in_spatial: usize,
     ) -> (usize, usize, usize, usize) {
-        // Padded-coordinate window: [row0*stride, row0*stride + (rows-1)*stride + kernel)
+        self.input_region_general(stride, kernel, 1, pad, in_spatial)
+    }
+
+    /// [`Portion::input_region`] generalized over dilation and a
+    /// possibly-asymmetric leading pad: the window is computed with the
+    /// *effective* kernel extent `(kernel−1)·dilation + 1` and shifted by
+    /// `pad_before` (the trailing pad only widens the padded map, so it
+    /// never moves the window origin). Underflow below the map is clipped
+    /// to zero, overflow clipped to `in_spatial` — the region never
+    /// escapes the real map (proven over the generalized axes by the
+    /// `schedule_properties` suite).
+    #[must_use]
+    pub fn input_region_general(
+        &self,
+        stride: usize,
+        kernel: usize,
+        dilation: usize,
+        pad_before: usize,
+        in_spatial: usize,
+    ) -> (usize, usize, usize, usize) {
+        let eff = (kernel - 1) * dilation + 1;
+        // Padded-coordinate window: [row0*stride, row0*stride + (rows-1)*stride + eff)
         let r0p = self.row0 * stride;
         let c0p = self.col0 * stride;
-        let rows_p = (self.rows - 1) * stride + kernel;
-        let cols_p = (self.cols - 1) * stride + kernel;
-        // Clip to real (unpadded) extent.
-        let r0 = r0p.saturating_sub(pad);
-        let c0 = c0p.saturating_sub(pad);
-        let r1 = (r0p + rows_p).saturating_sub(pad).min(in_spatial);
-        let c1 = (c0p + cols_p).saturating_sub(pad).min(in_spatial);
+        let rows_p = (self.rows - 1) * stride + eff;
+        let cols_p = (self.cols - 1) * stride + eff;
+        // Clip to real (unpadded) extent. A window lying entirely inside
+        // the trailing pad (possible with large asymmetric `after` pads)
+        // clips to an empty region rather than underflowing.
+        let r1 = (r0p + rows_p).saturating_sub(pad_before).min(in_spatial);
+        let c1 = (c0p + cols_p).saturating_sub(pad_before).min(in_spatial);
+        let r0 = r0p.saturating_sub(pad_before).min(r1);
+        let c0 = c0p.saturating_sub(pad_before).min(c1);
         (r0, c0, r1 - r0, c1 - c0)
     }
 }
@@ -243,6 +320,56 @@ mod tests {
 
     fn cfg() -> EdeaConfig {
         EdeaConfig::paper()
+    }
+
+    #[test]
+    fn geometry_check_is_op_aware() {
+        use edea_nn::workload::Padding;
+        // A well-formed Dsc stage and a well-formed PwcOnly stage pass.
+        let dsc = LayerShape::dsc(0, 16, 8, 16, 1, 3);
+        check_layer_geometry(&dsc, &cfg()).unwrap();
+        let pwc = LayerShape::pwc(1, 16, 8, 16);
+        check_layer_geometry(&pwc, &cfg()).unwrap();
+
+        // The generalized axes are schedule-space only: each one is
+        // rejected with a typed error naming the constraint.
+        let reject = |s: &LayerShape, needle: &str| {
+            let err = check_layer_geometry(s, &cfg()).unwrap_err();
+            match err {
+                CoreError::UnsupportedShape { detail } => {
+                    assert!(detail.contains(needle), "{detail:?} missing {needle:?}");
+                }
+                other => panic!("expected UnsupportedShape, got {other:?}"),
+            }
+        };
+        let mut dilated = dsc;
+        dilated.dilation = 2;
+        reject(&dilated, "dilation");
+        let mut multi = dsc;
+        multi.depth_multiplier = 4;
+        reject(&multi, "depth multiplier");
+        let mut lopsided = dsc;
+        lopsided.in_spatial = 15;
+        lopsided.padding = Padding {
+            before: 1,
+            after: 0,
+        };
+        reject(&lopsided, "asymmetric padding");
+        // A PwcOnly stage that is not 1×1 stride-1 unpadded is malformed.
+        let mut strided = pwc;
+        strided.in_spatial = 32;
+        strided.stride = 2;
+        reject(&strided, "PwcOnly");
+    }
+
+    #[test]
+    fn pwc_only_param_fetch_skips_the_dwc_side() {
+        // Dsc offline params cover both Non-Conv stages (6 bytes per
+        // channel each side); a PwcOnly stage has no DWC-side Non-Conv.
+        let dsc = LayerShape::dsc(0, 16, 8, 16, 1, 3);
+        assert_eq!(layer_param_fetch_bytes(&dsc), 6 * (8 + 16));
+        let pwc = LayerShape::pwc(1, 16, 8, 16);
+        assert_eq!(layer_param_fetch_bytes(&pwc), 6 * 16);
     }
 
     #[test]

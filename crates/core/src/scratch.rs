@@ -37,6 +37,9 @@ pub struct TileScratch {
     /// Per-image psum banks for the current portion,
     /// `(K, portion rows, portion cols)` each.
     pub(crate) psums: Vec<Tensor3<i32>>,
+    /// The `(K, portion rows, portion cols)` residual window fetched at
+    /// the drain of an inverted-residual add stage (unused otherwise).
+    pub(crate) res_tile: Tensor3<i8>,
     /// Lane-private sub-scratches for the parallel portion loop (lane 0
     /// reuses this scratch itself; lane `i + 1` owns `lanes[i]`). Empty
     /// until a parallel run reserves them; a serial run never touches it.
@@ -65,6 +68,7 @@ impl TileScratch {
             mid_tile: Tensor3::zeros(1, 1, 1),
             pwc_partial: Tensor3::zeros(1, 1, 1),
             psums: Vec::new(),
+            res_tile: Tensor3::zeros(1, 1, 1),
             lanes: Vec::new(),
             portion_mids: Vec::new(),
             portion_outs: Vec::new(),
@@ -94,6 +98,9 @@ impl TileScratch {
         }
         for psum in self.psums.iter_mut().take(n_images) {
             psum.reserve_capacity(bank);
+        }
+        if s.residual_add {
+            self.res_tile.reserve_capacity(bank);
         }
     }
 

@@ -51,7 +51,7 @@ use std::sync::Mutex;
 
 use edea_nn::executor;
 use edea_nn::quantize::QuantizedDscNetwork;
-use edea_nn::workload::LayerShape;
+use edea_nn::workload::{LayerShape, NetworkId};
 use edea_tensor::{Batch, Tensor3};
 
 use crate::accelerator::{BatchRun, Edea, NetworkRun};
@@ -62,8 +62,10 @@ use crate::scratch::TileScratch;
 use crate::stats::synthetic_batch_layer_stats;
 use crate::CoreError;
 
-/// Checks that every layer of a network maps onto the engine geometry and
-/// that the layers chain (each output feeds the next input).
+/// Checks that every layer of a network maps onto the engine geometry,
+/// that the layers chain (each output feeds the next input), and that
+/// inverted-residual skips pair up: every `residual_add` stage consumes a
+/// prior `residual_save` whose saved map matches the add stage's ofmap.
 fn validate_network(shapes: &[LayerShape], cfg: &EdeaConfig) -> Result<(), CoreError> {
     if shapes.is_empty() {
         return Err(CoreError::UnsupportedShape {
@@ -86,6 +88,35 @@ fn validate_network(shapes: &[LayerShape], cfg: &EdeaConfig) -> Result<(), CoreE
                     pair[0].out_spatial()
                 ),
             });
+        }
+    }
+    // Residual pairing: save-then-add, with matching geometry (the saved
+    // block input is summed elementwise into the add stage's ofmap).
+    let mut saved: Option<(usize, usize, usize)> = None; // (index, channels, spatial)
+    for s in shapes {
+        if s.residual_save {
+            saved = Some((s.index, s.d_in, s.in_spatial));
+        }
+        if s.residual_add {
+            let Some((i, d, sp)) = saved.take() else {
+                return Err(CoreError::UnsupportedShape {
+                    detail: format!(
+                        "layer {}: residual add without a preceding residual save",
+                        s.index
+                    ),
+                });
+            };
+            if s.k_out != d || s.out_spatial() != sp {
+                return Err(CoreError::UnsupportedShape {
+                    detail: format!(
+                        "layer {}: residual add ofmap ({}, {}) does not match the map \
+                         saved at layer {i} ({d}, {sp})",
+                        s.index,
+                        s.k_out,
+                        s.out_spatial()
+                    ),
+                });
+            }
         }
     }
     Ok(())
@@ -222,6 +253,62 @@ pub trait Backend: Sync {
         let _ = batch;
         None
     }
+
+    /// The input shape requests for `network` must have, or `None` if this
+    /// backend does not serve that network. The default serves exactly
+    /// [`NetworkId::PRIMARY`] — a single-model backend needs no override.
+    fn input_shape_for(&self, network: NetworkId) -> Option<(usize, usize, usize)> {
+        (network == NetworkId::PRIMARY).then(|| self.input_shape())
+    }
+
+    /// Executes one formed batch of `network` requests. The default
+    /// delegates [`NetworkId::PRIMARY`] to [`Backend::run`] and rejects
+    /// every other id — multi-model backends override it with a
+    /// per-network execution path.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidRequest`] naming an unserved network id, plus
+    /// whatever [`Backend::run`] can return.
+    fn run_for(&self, network: NetworkId, inputs: &Batch<i8>) -> Result<BackendRun, CoreError> {
+        if network != NetworkId::PRIMARY {
+            return Err(CoreError::InvalidRequest {
+                detail: format!("unknown network id {network}"),
+            });
+        }
+        self.run(inputs)
+    }
+
+    /// [`Backend::dispatch_cycles`], per network. Same all-or-nothing
+    /// contract, checked per network actually present in the stream.
+    fn dispatch_cycles_for(&self, network: NetworkId, batch: usize) -> Option<u64> {
+        if network == NetworkId::PRIMARY {
+            self.dispatch_cycles(batch)
+        } else {
+            None
+        }
+    }
+
+    /// External bytes to (re)load `network`'s weights and offline
+    /// parameters when a worker switches its resident model to it — the
+    /// model-switch cost of mixed-model serving, accounted by the pool as
+    /// a traffic category of its own (never folded into
+    /// [`BackendRun::external_bytes`]). Single-model backends never
+    /// switch; the default is 0.
+    fn switch_bytes(&self, network: NetworkId) -> u64 {
+        let _ = network;
+        0
+    }
+}
+
+/// One network a [`SimulatorBackend`] serves: the quantized model, its
+/// pre-sliced weight plan and its analytic cost model, built together.
+#[derive(Debug, Clone)]
+struct ModelEntry {
+    id: NetworkId,
+    qnet: QuantizedDscNetwork,
+    plan: NetworkPlan,
+    cost: CostModel,
 }
 
 /// The cycle-accurate backend: dispatches to the accelerator's planned
@@ -230,12 +317,18 @@ pub trait Backend: Sync {
 /// ([`NetworkPlan`]) is built once at construction and one
 /// [`TileScratch`] is reused across requests, so a serving session
 /// neither re-slices weights nor re-grows tile buffers per dispatch.
+///
+/// A backend can serve **several networks**: register more with
+/// [`SimulatorBackend::with_model`] (each keeps its own plan and cost
+/// model; all must share the primary's input shape, the shared-stem
+/// requirement that lets one pool route mixed traffic). Dispatching a
+/// batch of a non-resident network costs that network's weight refetch,
+/// accounted by the pool as model-switch traffic.
 #[derive(Debug)]
 pub struct SimulatorBackend {
     edea: Edea,
-    qnet: QuantizedDscNetwork,
-    plan: NetworkPlan,
-    cost: CostModel,
+    /// Entry 0 is the primary network ([`NetworkId::PRIMARY`]).
+    models: Vec<ModelEntry>,
     scratch: Mutex<TileScratch>,
 }
 
@@ -243,9 +336,7 @@ impl Clone for SimulatorBackend {
     fn clone(&self) -> Self {
         Self {
             edea: self.edea.clone(),
-            qnet: self.qnet.clone(),
-            plan: self.plan.clone(),
-            cost: self.cost,
+            models: self.models.clone(),
             // Scratch is pure working memory: a clone starts empty and
             // grows to steady state on its first request.
             scratch: Mutex::new(TileScratch::new()),
@@ -254,37 +345,114 @@ impl Clone for SimulatorBackend {
 }
 
 impl SimulatorBackend {
-    /// Builds a simulator backend owning the accelerator, the network and
-    /// its pre-sliced weight plan.
+    /// Builds a simulator backend owning the accelerator, the primary
+    /// network ([`NetworkId::PRIMARY`]) and its pre-sliced weight plan.
     ///
     /// # Errors
     ///
     /// [`CoreError::UnsupportedShape`] if the network does not map onto the
     /// accelerator's engine geometry.
     pub fn new(edea: Edea, qnet: QuantizedDscNetwork) -> Result<Self, CoreError> {
-        let shapes: Vec<LayerShape> = qnet.layers().iter().map(|l| l.shape()).collect();
-        let cost = CostModel::for_network(&shapes, edea.config())?;
-        let plan = edea.plan_network(&qnet)?;
+        let entry = Self::entry_for(&edea, NetworkId::PRIMARY, qnet)?;
         Ok(Self {
             edea,
-            qnet,
-            plan,
-            cost,
+            models: vec![entry],
             scratch: Mutex::new(TileScratch::new()),
         })
     }
 
-    /// The analytic cost model of this deployment (measured runs agree
+    fn entry_for(
+        edea: &Edea,
+        id: NetworkId,
+        qnet: QuantizedDscNetwork,
+    ) -> Result<ModelEntry, CoreError> {
+        let shapes: Vec<LayerShape> = qnet.layers().iter().map(|l| l.shape()).collect();
+        let cost = CostModel::for_network(&shapes, edea.config())?;
+        let plan = edea.plan_network(&qnet)?;
+        Ok(ModelEntry {
+            id,
+            qnet,
+            plan,
+            cost,
+        })
+    }
+
+    /// Registers another network under `id`, with its own plan and cost
+    /// model. Requests carrying `id` route to it; everything else
+    /// (including the single-model serve paths) is untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] if `id` is already registered or the
+    ///   network's input shape differs from the primary's (one pool input
+    ///   shape serves all models — the shared-stem requirement).
+    /// * [`CoreError::UnsupportedShape`] if the network does not map onto
+    ///   the accelerator's engine geometry.
+    pub fn with_model(
+        mut self,
+        id: NetworkId,
+        qnet: QuantizedDscNetwork,
+    ) -> Result<Self, CoreError> {
+        if self.models.iter().any(|m| m.id == id) {
+            return Err(CoreError::InvalidConfig {
+                detail: format!("network id {id} is already registered"),
+            });
+        }
+        let entry = Self::entry_for(&self.edea, id, qnet)?;
+        let s = entry.qnet.layers()[0].shape();
+        let shape = (s.d_in, s.in_spatial, s.in_spatial);
+        if shape != self.input_shape() {
+            return Err(CoreError::InvalidConfig {
+                detail: format!(
+                    "network {id} input shape {shape:?} != primary input shape {:?} \
+                     (mixed-model serving requires a shared stem)",
+                    self.input_shape()
+                ),
+            });
+        }
+        self.models.push(entry);
+        Ok(self)
+    }
+
+    /// The networks this backend serves, primary first.
+    #[must_use]
+    pub fn networks(&self) -> Vec<NetworkId> {
+        self.models.iter().map(|m| m.id).collect()
+    }
+
+    fn entry(&self, id: NetworkId) -> Option<&ModelEntry> {
+        self.models.iter().find(|m| m.id == id)
+    }
+
+    fn entry_or_err(&self, id: NetworkId) -> Result<&ModelEntry, CoreError> {
+        self.entry(id).ok_or_else(|| CoreError::InvalidRequest {
+            detail: format!("unknown network id {id}"),
+        })
+    }
+
+    /// The analytic cost model of the primary network (measured runs agree
     /// with it exactly; equality-tested).
     #[must_use]
     pub fn cost(&self) -> &CostModel {
-        &self.cost
+        &self.models[0].cost
     }
 
-    /// The network being served.
+    /// The analytic cost model of `network`, if registered.
+    #[must_use]
+    pub fn cost_of(&self, network: NetworkId) -> Option<&CostModel> {
+        self.entry(network).map(|m| &m.cost)
+    }
+
+    /// The primary network being served.
     #[must_use]
     pub fn qnet(&self) -> &QuantizedDscNetwork {
-        &self.qnet
+        &self.models[0].qnet
+    }
+
+    /// The quantized network registered under `network`, if any.
+    #[must_use]
+    pub fn qnet_of(&self, network: NetworkId) -> Option<&QuantizedDscNetwork> {
+        self.entry(network).map(|m| &m.qnet)
     }
 
     /// The accelerator instance executing the batches.
@@ -293,10 +461,11 @@ impl SimulatorBackend {
         &self.edea
     }
 
-    /// The pre-sliced weight plan, built once for the session.
+    /// The primary network's pre-sliced weight plan, built once for the
+    /// session.
     #[must_use]
     pub fn plan(&self) -> &NetworkPlan {
-        &self.plan
+        &self.models[0].plan
     }
 
     /// Runs `f` with the session scratch, without ever blocking: the
@@ -311,7 +480,7 @@ impl SimulatorBackend {
         }
     }
 
-    /// Runs one input through the owned network on the cycle-accurate
+    /// Runs one input through the primary network on the cycle-accurate
     /// simulator, through the session's cached plan and reused scratch.
     /// No per-call identity check is needed: plan and network were built
     /// together in [`SimulatorBackend::new`] and are immutable.
@@ -320,23 +489,57 @@ impl SimulatorBackend {
     ///
     /// As [`Edea::run_network`].
     pub fn run_network(&self, input: &Tensor3<i8>) -> Result<NetworkRun, CoreError> {
+        let m = &self.models[0];
         self.with_scratch(|scratch| {
             self.edea
-                .run_network_planned_unchecked(&self.qnet, &self.plan, input, scratch)
+                .run_network_planned_unchecked(&m.qnet, &m.plan, input, scratch)
         })
     }
 
-    /// Runs a batch through the owned network's weight-residency schedule,
-    /// through the session's cached plan and reused scratch (see
+    /// [`SimulatorBackend::run_network`] on a registered network.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidRequest`] for an unknown id, else as
+    /// [`Edea::run_network`].
+    pub fn run_network_for(
+        &self,
+        network: NetworkId,
+        input: &Tensor3<i8>,
+    ) -> Result<NetworkRun, CoreError> {
+        let m = self.entry_or_err(network)?;
+        self.with_scratch(|scratch| {
+            self.edea
+                .run_network_planned_unchecked(&m.qnet, &m.plan, input, scratch)
+        })
+    }
+
+    /// Runs a batch through the primary network's weight-residency
+    /// schedule, through the session's cached plan and reused scratch (see
     /// [`SimulatorBackend::run_network`]).
     ///
     /// # Errors
     ///
     /// As [`Edea::run_batch`].
     pub fn run_batch(&self, inputs: &Batch<i8>) -> Result<BatchRun, CoreError> {
+        self.run_batch_for(NetworkId::PRIMARY, inputs)
+    }
+
+    /// [`SimulatorBackend::run_batch`] on a registered network.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidRequest`] for an unknown id, else as
+    /// [`Edea::run_batch`].
+    pub fn run_batch_for(
+        &self,
+        network: NetworkId,
+        inputs: &Batch<i8>,
+    ) -> Result<BatchRun, CoreError> {
+        let m = self.entry_or_err(network)?;
         self.with_scratch(|scratch| {
             self.edea
-                .run_batch_planned_unchecked(&self.qnet, &self.plan, inputs, scratch)
+                .run_batch_planned_unchecked(&m.qnet, &m.plan, inputs, scratch)
         })
     }
 }
@@ -351,12 +554,28 @@ impl Backend for SimulatorBackend {
     }
 
     fn input_shape(&self) -> (usize, usize, usize) {
-        let s = self.qnet.layers()[0].shape();
+        let s = self.models[0].qnet.layers()[0].shape();
         (s.d_in, s.in_spatial, s.in_spatial)
     }
 
     fn run(&self, inputs: &Batch<i8>) -> Result<BackendRun, CoreError> {
-        let run = self.run_batch(inputs)?;
+        self.run_for(NetworkId::PRIMARY, inputs)
+    }
+
+    fn dispatch_cycles(&self, batch: usize) -> Option<u64> {
+        // The measured batched schedule reports exactly the analytic
+        // cycles (equality-tested in the serving suite).
+        Some(self.cost().batch_cycles(batch))
+    }
+
+    fn input_shape_for(&self, network: NetworkId) -> Option<(usize, usize, usize)> {
+        // Every registered model shares the primary's input shape
+        // (enforced by `with_model`).
+        self.entry(network).map(|_| self.input_shape())
+    }
+
+    fn run_for(&self, network: NetworkId, inputs: &Batch<i8>) -> Result<BackendRun, CoreError> {
+        let run = self.run_batch_for(network, inputs)?;
         Ok(BackendRun {
             outputs: run.outputs,
             cycles: run.stats.total_cycles(),
@@ -365,10 +584,14 @@ impl Backend for SimulatorBackend {
         })
     }
 
-    fn dispatch_cycles(&self, batch: usize) -> Option<u64> {
-        // The measured batched schedule reports exactly the analytic
-        // cycles (equality-tested in the serving suite).
-        Some(self.cost.batch_cycles(batch))
+    fn dispatch_cycles_for(&self, network: NetworkId, batch: usize) -> Option<u64> {
+        self.entry(network).map(|m| m.cost.batch_cycles(batch))
+    }
+
+    fn switch_bytes(&self, network: NetworkId) -> u64 {
+        // Switching the resident model refetches the incoming network's
+        // weights and offline parameters in full.
+        self.entry(network).map_or(0, |m| m.cost.weight_bytes())
     }
 }
 
@@ -556,26 +779,42 @@ impl Policy {
     }
 }
 
-/// One inference request: an input image stamped with its arrival tick.
+/// One inference request: an input image stamped with its arrival tick and
+/// the network it targets ([`NetworkId::PRIMARY`] unless the stream is
+/// mixed-model).
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Caller-chosen identifier, unique within one `serve` call.
     pub id: u64,
     /// Arrival tick on the simulated clock.
     pub arrival: u64,
+    /// The network this request targets. Backends that serve a single
+    /// model only accept [`NetworkId::PRIMARY`].
+    pub network: NetworkId,
     /// The quantized layer-0 input.
     pub input: Tensor3<i8>,
 }
 
 impl Request {
-    /// Builds one request.
+    /// Builds one request against the primary network.
     #[must_use]
     pub fn new(id: u64, arrival: u64, input: Tensor3<i8>) -> Self {
-        Self { id, arrival, input }
+        Self::for_network(id, arrival, NetworkId::PRIMARY, input)
     }
 
-    /// Zips an arrival pattern with inputs into a request stream, assigning
-    /// ids `0..n` in order.
+    /// Builds one request against a specific network.
+    #[must_use]
+    pub fn for_network(id: u64, arrival: u64, network: NetworkId, input: Tensor3<i8>) -> Self {
+        Self {
+            id,
+            arrival,
+            network,
+            input,
+        }
+    }
+
+    /// Zips an arrival pattern with inputs into a request stream against
+    /// the primary network, assigning ids `0..n` in order.
     ///
     /// # Errors
     ///
@@ -597,6 +836,38 @@ impl Request {
             .map(|(id, (&arrival, input))| Self::new(id as u64, arrival, input))
             .collect())
     }
+
+    /// [`Request::stream`] with a per-request network id — the mixed-model
+    /// traffic constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidRequest`] if the three lengths differ.
+    pub fn stream_mixed(
+        arrivals: &[u64],
+        networks: &[NetworkId],
+        inputs: Vec<Tensor3<i8>>,
+    ) -> Result<Vec<Self>, CoreError> {
+        if arrivals.len() != inputs.len() || networks.len() != inputs.len() {
+            return Err(CoreError::InvalidRequest {
+                detail: format!(
+                    "{} arrival ticks and {} network ids for {} inputs",
+                    arrivals.len(),
+                    networks.len(),
+                    inputs.len()
+                ),
+            });
+        }
+        Ok(arrivals
+            .iter()
+            .zip(networks)
+            .zip(inputs)
+            .enumerate()
+            .map(|(id, ((&arrival, &network), input))| {
+                Self::for_network(id as u64, arrival, network, input)
+            })
+            .collect())
+    }
 }
 
 /// One served request: the output plus its full timeline.
@@ -612,6 +883,8 @@ pub struct Response {
     pub completed: u64,
     /// Index of the carrying batch in [`ServeReport::batches`].
     pub batch: usize,
+    /// The network that served the request.
+    pub network: NetworkId,
     /// The int8 network output.
     pub output: Tensor3<i8>,
 }
@@ -645,10 +918,18 @@ pub struct BatchRecord {
     pub completed: u64,
     /// Service cycles reported by the backend.
     pub cycles: u64,
+    /// The network the batch ran (batches are never mixed-network).
+    pub network: NetworkId,
     /// External weight + offline-parameter bytes (paid once per batch).
     pub weight_bytes: u64,
     /// Total external bytes.
     pub external_bytes: u64,
+    /// Model-switch traffic: the weight refetch paid because the worker's
+    /// resident network differed from this batch's. Zero whenever the
+    /// previous batch on the same worker ran the same network — so a
+    /// single-model run reports zero everywhere. A category of its own,
+    /// **not** folded into [`BatchRecord::external_bytes`].
+    pub switch_bytes: u64,
 }
 
 /// Everything a serve run produced: per-request responses, per-batch
@@ -708,6 +989,29 @@ impl ServeReport {
         }
         let bytes: u64 = self.batches.iter().map(|b| b.external_bytes).sum();
         bytes as f64 / self.responses.len() as f64
+    }
+
+    /// Total model-switch traffic across all batches — the mixed-model
+    /// serving cost headline. Zero for any single-model run.
+    #[must_use]
+    pub fn switch_bytes_total(&self) -> u64 {
+        self.batches.iter().map(|b| b.switch_bytes).sum()
+    }
+
+    /// Mean end-to-end latency in ticks over the responses of one network
+    /// (`None` when the run served none of its requests).
+    #[must_use]
+    pub fn mean_latency_for(&self, network: NetworkId) -> Option<f64> {
+        let lat: Vec<u64> = self
+            .responses
+            .iter()
+            .filter(|r| r.network == network)
+            .map(Response::latency)
+            .collect();
+        if lat.is_empty() {
+            return None;
+        }
+        Some(lat.iter().map(|&l| l as f64).sum::<f64>() / lat.len() as f64)
     }
 
     /// Mean end-to-end latency in ticks.
@@ -1123,6 +1427,7 @@ mod tests {
                     dispatched: 0,
                     completed: lat,
                     batch: 0,
+                    network: NetworkId::PRIMARY,
                     output: Tensor3::<i8>::zeros(1, 1, 1),
                 })
                 .collect(),
@@ -1218,6 +1523,95 @@ mod tests {
             Request::stream(&[0, 1], vec![Tensor3::<i8>::zeros(d, h, w)]),
             Err(CoreError::InvalidRequest { .. })
         ));
+        // Mismatched mixed-stream lengths.
+        assert!(matches!(
+            Request::stream_mixed(
+                &[0, 1],
+                &[NetworkId::PRIMARY],
+                vec![Tensor3::<i8>::zeros(d, h, w), Tensor3::<i8>::zeros(d, h, w)]
+            ),
+            Err(CoreError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_network_id_on_a_single_model_backend_names_the_request() {
+        // A single-model backend (the trait defaults) serves only
+        // PRIMARY: a request targeting any other network must fail up
+        // front with an InvalidRequest naming both the request and the
+        // network — not a panic, not a silently dropped response.
+        let b = analytic();
+        let (d, h, w) = b.input_shape();
+        let reqs = vec![Request::for_network(
+            3,
+            0,
+            NetworkId(7),
+            Tensor3::<i8>::zeros(d, h, w),
+        )];
+        let err = Scheduler::new(Policy::new(1, 0).unwrap())
+            .serve(&b, reqs)
+            .unwrap_err();
+        match err {
+            CoreError::InvalidRequest { detail } => {
+                assert!(detail.contains("request 3"), "{detail}");
+                assert!(detail.contains("net7"), "{detail}");
+            }
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_model_registration_is_validated() {
+        use crate::accelerator::Edea;
+        use edea_nn::mobilenet::{MobileNetV1, MobileNetV2};
+        use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
+        use edea_tensor::rng;
+
+        let calib = rng::synthetic_batch(2, 3, 32, 32, 32);
+        let q1 = QuantizedDscNetwork::calibrate(&MobileNetV1::synthetic(0.5, 31), &calib);
+        let q2 = QuantizedDscNetwork::calibrate_v2(
+            &MobileNetV2::synthetic(0.25, 41),
+            &calib,
+            QuantStrategy::paper(),
+        )
+        .unwrap();
+        // A second model on the primary's id is a duplicate.
+        let backend =
+            SimulatorBackend::new(Edea::new(EdeaConfig::paper()).unwrap(), q1.clone()).unwrap();
+        let err = backend.clone().with_model(NetworkId::PRIMARY, q2.clone());
+        assert!(
+            matches!(err, Err(CoreError::InvalidConfig { .. })),
+            "{err:?}"
+        );
+        // A model whose stem disagrees with the primary's cannot share
+        // the pool's single input shape.
+        let narrow = QuantizedDscNetwork::calibrate(&MobileNetV1::synthetic(0.25, 31), &calib);
+        let err = backend.clone().with_model(NetworkId(1), narrow);
+        match err {
+            Err(CoreError::InvalidConfig { detail }) => {
+                assert!(detail.contains("shared stem"), "{detail}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // A valid registration serves both ids; any other id is an
+        // InvalidRequest naming the network.
+        let backend = backend.with_model(NetworkId(1), q2).unwrap();
+        assert_eq!(backend.networks(), vec![NetworkId::PRIMARY, NetworkId(1)]);
+        assert_eq!(
+            backend.input_shape_for(NetworkId(1)),
+            Some(backend.input_shape())
+        );
+        assert!(backend.dispatch_cycles_for(NetworkId(1), 2).is_some());
+        assert!(backend.switch_bytes(NetworkId(1)) > 0);
+        let (d, h, w) = backend.input_shape();
+        let batch = Batch::new(vec![Tensor3::<i8>::zeros(d, h, w)]).unwrap();
+        let err = backend.run_batch_for(NetworkId(5), &batch).unwrap_err();
+        match err {
+            CoreError::InvalidRequest { detail } => {
+                assert!(detail.contains("net5"), "{detail}");
+            }
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
     }
 
     #[test]

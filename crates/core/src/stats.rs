@@ -8,7 +8,7 @@
 //! amortizable part (weights + offline parameters) is visible separately
 //! from the inherently per-image part (ifmap reads, ofmap writes).
 
-use edea_nn::workload::LayerShape;
+use edea_nn::workload::{LayerShape, StageOp};
 
 use crate::buffer::ExternalMemory;
 use crate::config::EdeaConfig;
@@ -353,21 +353,45 @@ pub fn synthetic_batch_layer_stats(
         ifmap_reads += nb * passes * slice;
         ifmap_slice_writes += nb * passes * slice;
     }
+    // A residual-add stage streams the saved block input (one ofmap-sized
+    // map per image) in from external memory at the drain.
+    if shape.residual_add {
+        ifmap_reads += nb * shape.ofmap_elems();
+    }
     let writes = nb * shape.ofmap_elems();
 
     // On-chip traffic:
     let dwc_inv = nb * breakdown.dwc_busy;
     let pwc_inv = nb * breakdown.pwc_busy;
+    // Spatial-tile visits (equals DWC invocations on a Dsc stage; a
+    // PwcOnly stage still extracts each tile from the ifmap buffer).
+    let st_inv = nb * breakdown.spatial_tiles * passes;
     let tile_bytes = (t.tn * t.tm * t.td) as u64;
     let psum_word = (t.tk * t.tn * t.tm * 4) as u64;
-    let ifmap_buf_reads = dwc_inv * (tr * tc * t.td) as u64;
+    // Per spatial tile the window is read from the ifmap buffer; a
+    // PwcOnly stage additionally re-reads the tile once per kernel tile
+    // (the intermediate buffer is bypassed).
+    let ifmap_buf_reads = st_inv * (tr * tc * t.td) as u64
+        + match shape.op {
+            StageOp::Dsc => 0,
+            StageOp::PwcOnly => pwc_inv * tile_bytes,
+        };
     // Register loads at initiation follow the residency: resident weights
-    // skip the per-image reload of the weight/offline registers.
-    let dwcw_reads =
-        fetches * breakdown.portions * passes * (shape.kernel * shape.kernel * t.td) as u64;
-    let offline_reads = fetches * breakdown.portions * passes * 6 * t.td as u64;
+    // skip the per-image reload of the weight/offline registers. PwcOnly
+    // stages load neither the DWC weight slice nor the DWC-side
+    // Non-Conv parameters.
+    let (dwcw_reads, offline_reads) = match shape.op {
+        StageOp::Dsc => (
+            fetches * breakdown.portions * passes * (shape.kernel * shape.kernel * t.td) as u64,
+            fetches * breakdown.portions * passes * 6 * t.td as u64,
+        ),
+        StageOp::PwcOnly => (0, 0),
+    };
     let inter_writes = dwc_inv * tile_bytes;
-    let inter_reads = pwc_inv * tile_bytes;
+    let inter_reads = match shape.op {
+        StageOp::Dsc => pwc_inv * tile_bytes,
+        StageOp::PwcOnly => 0,
+    };
     let pwcw_reads = pwc_inv * (t.td * t.tk) as u64;
     // psum: read-modify-write except the first pass; plus the drain read.
     let psum_reads = pwc_inv.saturating_sub(nb * breakdown.spatial_tiles * kernel_tiles)
@@ -375,8 +399,8 @@ pub fn synthetic_batch_layer_stats(
         + nb * shape.ofmap_elems() * 4;
     let psum_writes = pwc_inv * psum_word;
     let onchip_fills = fetches
-        * ((shape.kernel * shape.kernel * shape.d_in) as u64 // dwc weight fill
-            + 6 * (shape.d_in + shape.k_out) as u64 // offline fill
+        * (shape.dwc_params() // dwc weight fill (zero for PwcOnly)
+            + crate::schedule::layer_param_fetch_bytes(shape) // offline fill
             + breakdown.portions * passes * (t.td * shape.k_out) as u64) // pwc weight fills
         + ifmap_slice_writes;
 

@@ -14,7 +14,7 @@
 //! With the paper's parameters this reproduces Fig. 13 exactly:
 //! 1024 GOPS for layers 0–4, 973.5 for layers 5–10, 905.6 for layers 11–12.
 
-use edea_nn::workload::LayerShape;
+use edea_nn::workload::{LayerShape, StageOp};
 
 use crate::config::EdeaConfig;
 
@@ -84,12 +84,22 @@ impl CycleBreakdown {
 
 /// Computes the cycle breakdown of a layer (Eq. 1 + Eq. 2).
 ///
+/// A [`StageOp::PwcOnly`] stage (the 1×1 expand/project convolutions of an
+/// inverted-residual block) bypasses the DWC engine entirely: the PWC is
+/// fed straight from the ifmap buffer, so `dwc_busy` is zero while the
+/// initiation and PWC terms keep the identical form — the total is still
+/// `init + pwc_busy`.
+///
 /// # Panics
 ///
-/// Panics if the layer kernel does not match the configuration.
+/// Panics if the layer kernel does not match the configuration (`Dsc`
+/// stages must match the engine kernel; `PwcOnly` stages must be 1×1).
 #[must_use]
 pub fn layer_cycles(shape: &LayerShape, cfg: &EdeaConfig) -> CycleBreakdown {
-    assert_eq!(shape.kernel, cfg.tile.kernel, "kernel mismatch");
+    match shape.op {
+        StageOp::Dsc => assert_eq!(shape.kernel, cfg.tile.kernel, "kernel mismatch"),
+        StageOp::PwcOnly => assert_eq!(shape.kernel, 1, "PwcOnly stages are 1x1"),
+    }
     let n = shape.out_spatial();
     let edges = portion_edges(n, cfg.portion_limit);
     let kernel_tiles = shape.k_out.div_ceil(cfg.tile.tk) as u64;
@@ -109,7 +119,10 @@ pub fn layer_cycles(shape: &LayerShape, cfg: &EdeaConfig) -> CycleBreakdown {
         kernel_tiles,
         init: cfg.init_cycles * portions * channel_passes,
         pwc_busy: spatial_tiles * kernel_tiles * channel_passes,
-        dwc_busy: spatial_tiles * channel_passes,
+        dwc_busy: match shape.op {
+            StageOp::Dsc => spatial_tiles * channel_passes,
+            StageOp::PwcOnly => 0,
+        },
     }
 }
 
@@ -248,6 +261,27 @@ mod tests {
             let got = layer_cycles(l, &cfg()).total();
             assert_eq!(got, want, "layer {}", l.index);
         }
+    }
+
+    #[test]
+    fn pwc_only_stages_never_occupy_the_dwc_engine() {
+        // Inverted-residual expansions bypass the DWC engine entirely:
+        // zero DWC-busy cycles, and Eq. 1 degenerates to init + pwc_busy.
+        use edea_nn::workload::mobilenet_v2_cifar10;
+        let v2 = mobilenet_v2_cifar10();
+        let mut saw_pwc_only = false;
+        for l in &v2 {
+            let b = layer_cycles(l, &cfg());
+            if l.op == edea_nn::workload::StageOp::PwcOnly {
+                saw_pwc_only = true;
+                assert_eq!(b.dwc_busy, 0, "layer {}", l.index);
+            } else {
+                assert!(b.dwc_busy > 0, "layer {}", l.index);
+            }
+            assert_eq!(b.total(), b.init + b.pwc_busy, "layer {}", l.index);
+            assert!(b.pwc_busy > 0, "layer {}", l.index);
+        }
+        assert!(saw_pwc_only, "v2 should contain PwcOnly stages");
     }
 
     #[test]

@@ -93,9 +93,7 @@ proptest! {
                                    sp in 1usize..6) {
         use edea_nn::workload::LayerShape;
         let cfg = EdeaConfig::paper();
-        let mk = |d: usize, k: usize, s: usize| LayerShape {
-            index: 0, in_spatial: 2 * s, d_in: 8 * d, k_out: 16 * k, stride: 1, kernel: 3,
-        };
+        let mk = |d: usize, k: usize, s: usize| LayerShape::dsc(0, 2 * s, 8 * d, 16 * k, 1, 3);
         let base = timing::layer_cycles(&mk(d_mult, k_mult, sp), &cfg).total();
         prop_assert!(timing::layer_cycles(&mk(d_mult + 1, k_mult, sp), &cfg).total() > base);
         prop_assert!(timing::layer_cycles(&mk(d_mult, k_mult + 1, sp), &cfg).total() > base);

@@ -75,4 +75,95 @@ proptest! {
             .expect("at least one portion");
         prop_assert_eq!(last, in_spatial);
     }
+
+    /// The generalized window math: over dilation 1–2, asymmetric padding
+    /// and kernels 1/3/5, every portion's input region stays an in-bounds
+    /// (possibly empty only when it lies wholly in the trailing pad)
+    /// rectangle — no index underflow from the saturating arithmetic —
+    /// and matches the brute-force union of the dilated halo windows of
+    /// the portion's output pixels.
+    #[test]
+    fn generalized_input_regions_never_underflow_and_are_exact(
+        in_spatial in 4usize..=48,
+        kernel_idx in 0usize..3,
+        stride in 1usize..=2,
+        dilation in 1usize..=2,
+        before in 0usize..=3,
+        after in 0usize..=3,
+        limit in 1usize..=8,
+    ) {
+        let kernel = [1usize, 3, 5][kernel_idx];
+        let eff = (kernel - 1) * dilation + 1;
+        prop_assume!(in_spatial + before + after >= eff);
+        let out = (in_spatial + before + after - eff) / stride + 1;
+        for p in portions(out, limit) {
+            let (r0, c0, rows, cols) =
+                p.input_region_general(stride, kernel, dilation, before, in_spatial);
+            // In bounds, no wrap-around.
+            prop_assert!(r0 + rows <= in_spatial, "{p:?} rows overflow");
+            prop_assert!(c0 + cols <= in_spatial, "{p:?} cols overflow");
+            prop_assert!(r0 <= in_spatial && c0 <= in_spatial, "{p:?} origin escapes");
+            // Brute-force the clipped union of the dilated windows.
+            let needed = |o0: usize, n: usize| {
+                let lo = (o0 * stride).saturating_sub(before).min(in_spatial);
+                let hi = ((o0 + n - 1) * stride + eff)
+                    .saturating_sub(before)
+                    .min(in_spatial);
+                (lo, hi.max(lo))
+            };
+            let (nr0, nr1) = needed(p.row0, p.rows);
+            let (nc0, nc1) = needed(p.col0, p.cols);
+            prop_assert_eq!((r0, r0 + rows), (nr0, nr1), "row window of {:?}", p);
+            prop_assert_eq!((c0, c0 + cols), (nc0, nc1), "col window of {:?}", p);
+        }
+    }
+
+    /// Portion geometry covers the generalized ofmap exactly — the portion
+    /// edges partition `out × out` for any shape the generalized
+    /// `LayerShape` can describe (dilation, depth multiplier, asymmetric
+    /// pad). Depth multiplier scales the channel axis, never the spatial
+    /// partition; the MAC/param model must scale with it linearly.
+    #[test]
+    fn generalized_shapes_partition_the_ofmap_and_scale_channels(
+        in_spatial in 4usize..=48,
+        stride in 1usize..=2,
+        dilation in 1usize..=2,
+        before in 0usize..=3,
+        after in 0usize..=3,
+        dm in 1usize..=4,
+        limit in 1usize..=8,
+    ) {
+        use edea_nn::workload::{LayerShape, Padding};
+        let mut s = LayerShape::dsc(0, in_spatial, 8, 16, stride, 3);
+        s.padding = Padding { before, after };
+        s.dilation = dilation;
+        s.depth_multiplier = dm;
+        let eff = (s.kernel - 1) * dilation + 1;
+        prop_assume!(in_spatial + before + after >= eff);
+        let out = s.out_spatial();
+        prop_assert_eq!(out, (in_spatial + before + after - eff) / stride + 1);
+        // Exact cover of the ofmap, no overlap.
+        let mut covered = vec![false; out * out];
+        for p in portions(out, limit) {
+            for r in p.row0..p.row0 + p.rows {
+                for c in p.col0..p.col0 + p.cols {
+                    prop_assert!(!covered[r * out + c], "overlap at ({r},{c})");
+                    covered[r * out + c] = true;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&v| v), "portions miss ofmap pixels");
+        // The channel axis: depth multiplier multiplies DWC kernels,
+        // MACs and params but leaves the PWC input tiling untouched
+        // relative to dwc_out_channels.
+        prop_assert_eq!(s.dwc_out_channels(), 8 * dm);
+        let base = {
+            let mut b = s;
+            b.depth_multiplier = 1;
+            b
+        };
+        prop_assert_eq!(s.dwc_macs(), base.dwc_macs() * dm as u64);
+        prop_assert_eq!(s.dwc_params(), base.dwc_params() * dm as u64);
+        prop_assert_eq!(s.pwc_macs(), base.pwc_macs() * dm as u64);
+    }
 }

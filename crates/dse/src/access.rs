@@ -194,14 +194,7 @@ mod tests {
     fn ceilings_cover_ragged_dimensions() {
         // A layer whose dims are not multiples of the tiles still counts
         // whole tiles (hardware pads).
-        let l = LayerShape {
-            index: 0,
-            in_spatial: 5,
-            d_in: 10,
-            k_out: 20,
-            stride: 1,
-            kernel: 3,
-        };
+        let l = LayerShape::dsc(0, 5, 10, 20, 1, 3);
         let cfg = TileConfig::new(2, 2, 8, 16, 3);
         let a = layer_access(&l, &cfg, LoopOrder::La);
         // spatial tiles = ceil(5/2)^2 = 9, channel tiles = ceil(10/8) = 2

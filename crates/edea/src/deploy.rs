@@ -34,9 +34,10 @@ use edea_core::par::Parallelism;
 use edea_core::plan::NetworkPlan;
 use edea_core::pool::{DispatchPolicy, Dispatcher, Pool, PoolReport};
 use edea_core::serve::{GoldenBackend, Policy, Request, ServeReport, SimulatorBackend};
-use edea_nn::mobilenet::MobileNetV1;
+use edea_nn::mobilenet::{MobileNetV1, MobileNetV2};
 use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
 use edea_nn::sparsity::{ShapingReport, SparsityProfile};
+use edea_nn::workload::NetworkId;
 use edea_tensor::{Batch, Tensor3};
 
 use crate::Error;
@@ -46,6 +47,9 @@ use crate::Error;
 #[derive(Debug, Clone)]
 pub struct Deployment {
     model: MobileNetV1,
+    /// Secondary float models, in registration order: entry `i` serves
+    /// `NetworkId(1 + i)`. Empty for a single-model deployment.
+    models_v2: Vec<MobileNetV2>,
     report: ShapingReport,
     // The single owner of the calibrated network and the accelerator
     // replicas, built once at build() time so serve() never re-clones
@@ -61,6 +65,7 @@ pub struct Deployment {
 #[derive(Debug, Clone)]
 pub struct DeploymentBuilder {
     model: Option<MobileNetV1>,
+    models_v2: Vec<MobileNetV2>,
     calibration: Vec<Tensor3<f32>>,
     sparsity: SparsityProfile,
     quant: QuantStrategy,
@@ -73,6 +78,7 @@ impl Default for DeploymentBuilder {
     fn default() -> Self {
         Self {
             model: None,
+            models_v2: Vec::new(),
             calibration: Vec::new(),
             sparsity: SparsityProfile::paper(),
             quant: QuantStrategy::paper(),
@@ -84,10 +90,25 @@ impl Default for DeploymentBuilder {
 }
 
 impl DeploymentBuilder {
-    /// The float MobileNetV1 to deploy (required).
+    /// The float MobileNetV1 to deploy (required). It serves
+    /// [`NetworkId::PRIMARY`] and every pool worker boots with its
+    /// weights resident.
     #[must_use]
     pub fn model(mut self, model: MobileNetV1) -> Self {
         self.model = Some(model);
+        self
+    }
+
+    /// Registers a secondary MobileNetV2 for mixed-model serving. The
+    /// `i`-th registration serves `NetworkId(1 + i)`; it is calibrated on
+    /// the same image set as the primary and must share its stem output
+    /// shape. Requests opt in per network
+    /// ([`Request::for_network`] / [`Request::stream_mixed`]); dispatching
+    /// a batch to a worker whose resident network differs pays the
+    /// incoming network's full weight refetch as model-switch traffic.
+    #[must_use]
+    pub fn model_v2(mut self, model: MobileNetV2) -> Self {
+        self.models_v2.push(model);
         self
     }
 
@@ -177,10 +198,15 @@ impl DeploymentBuilder {
             Some(n) => Parallelism::new(n)?,
         };
         let edea = Edea::new(self.config)?.with_parallelism(par);
-        let simulator = SimulatorBackend::new(edea, qnet)?;
+        let mut simulator = SimulatorBackend::new(edea, qnet)?;
+        for (i, m) in self.models_v2.iter().enumerate() {
+            let q = QuantizedDscNetwork::calibrate_v2(m, &self.calibration, self.quant)?;
+            simulator = simulator.with_model(NetworkId(1 + i as u32), q)?;
+        }
         let pool = Pool::replicate(simulator, self.replicas)?.with_parallelism(par);
         Ok(Deployment {
             model,
+            models_v2: self.models_v2,
             report,
             pool,
         })
@@ -250,11 +276,45 @@ impl Deployment {
         &self.report
     }
 
+    /// The network ids this deployment serves, primary first.
+    #[must_use]
+    pub fn networks(&self) -> Vec<NetworkId> {
+        self.simulator().networks()
+    }
+
+    /// The secondary float models, in registration order (entry `i`
+    /// serves `NetworkId(1 + i)`).
+    #[must_use]
+    pub fn models_v2(&self) -> &[MobileNetV2] {
+        &self.models_v2
+    }
+
+    /// The calibrated quantized network of a registered secondary model
+    /// (`None` for an unknown id; use [`Deployment::qnet`] for the
+    /// primary).
+    #[must_use]
+    pub fn qnet_of(&self, network: NetworkId) -> Option<&QuantizedDscNetwork> {
+        self.simulator().qnet_of(network)
+    }
+
     /// Turns a float image into the quantized layer-0 input the
     /// accelerator consumes: float stem forward, then int8 quantization.
     #[must_use]
     pub fn prepare(&self, image: &Tensor3<f32>) -> Tensor3<i8> {
         self.qnet().quantize_input(&self.model.forward_stem(image))
+    }
+
+    /// [`Deployment::prepare`] against a registered network: the float
+    /// stem of *that* network's model feeds its own quantizer (`None`
+    /// for an unknown id).
+    #[must_use]
+    pub fn prepare_for(&self, network: NetworkId, image: &Tensor3<f32>) -> Option<Tensor3<i8>> {
+        if network == NetworkId::PRIMARY {
+            return Some(self.prepare(image));
+        }
+        let model = self.models_v2.get(network.0.checked_sub(1)? as usize)?;
+        let qnet = self.qnet_of(network)?;
+        Some(qnet.quantize_input(&model.forward_stem(image)))
     }
 
     /// The pre-sliced weight plan of this deployment, built once at
@@ -285,6 +345,16 @@ impl Deployment {
     /// [`Error::Core`] on shape or buffer-capacity errors.
     pub fn run_batch(&self, inputs: &Batch<i8>) -> Result<BatchRun, Error> {
         Ok(self.simulator().run_batch(inputs)?)
+    }
+
+    /// [`Deployment::run`] against a registered network.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Core`] — `InvalidRequest` for an unknown id, else as
+    /// [`Deployment::run`].
+    pub fn run_for(&self, network: NetworkId, input: &Tensor3<i8>) -> Result<NetworkRun, Error> {
+        Ok(self.simulator().run_network_for(network, input)?)
     }
 
     /// The cycle-accurate serving backend over this deployment (worker 0
@@ -461,6 +531,124 @@ mod tests {
         let b = threaded.run(&input).expect("threaded run");
         assert_eq!(a.output, b.output);
         assert_eq!(a.stats, b.stats);
+    }
+
+    fn built_mixed(replicas: usize, threads: usize) -> Deployment {
+        // v1 at width 0.5 and v2 at width 0.25 share the (16, 32, 32)
+        // stem output shape — the mixed-model precondition.
+        Deployment::builder()
+            .model(MobileNetV1::synthetic(0.5, 11))
+            .model_v2(MobileNetV2::synthetic(0.25, 21))
+            .calibration(rng::synthetic_batch(2, 3, 32, 32, 12))
+            .replicas(replicas)
+            .threads(threads)
+            .build()
+            .expect("mixed deployment builds")
+    }
+
+    #[test]
+    fn mixed_deployment_serves_both_networks_bit_exactly() {
+        let d = built_mixed(2, 1);
+        assert_eq!(d.networks(), vec![NetworkId::PRIMARY, NetworkId(1)]);
+        assert_eq!(d.models_v2().len(), 1);
+
+        // Per-network preparation routes through the right float stem
+        // and quantizer.
+        let image = rng::synthetic_image(3, 32, 32, 33);
+        let p1 = d.prepare_for(NetworkId::PRIMARY, &image).unwrap();
+        let p2 = d.prepare_for(NetworkId(1), &image).unwrap();
+        assert_eq!(p1, d.prepare(&image));
+        assert_eq!(d.prepare_for(NetworkId(9), &image), None);
+
+        // The v2 serving path is bit-exact against the golden executor.
+        let direct = d.run_for(NetworkId(1), &p2).expect("v2 run");
+        let golden = edea_nn::executor::run_network(d.qnet_of(NetworkId(1)).unwrap(), &p2);
+        assert_eq!(direct.output, golden.output);
+
+        // A mixed stream over the pool: responses carry the right
+        // network and match the one-shot paths image for image.
+        let requests = Request::stream_mixed(
+            &[0, 0, 0, 0],
+            &[
+                NetworkId::PRIMARY,
+                NetworkId(1),
+                NetworkId::PRIMARY,
+                NetworkId(1),
+            ],
+            vec![p1.clone(), p2.clone(), p1.clone(), p2.clone()],
+        )
+        .unwrap();
+        let report = d
+            .serve_pool(
+                Policy::new(2, 1_000).unwrap(),
+                DispatchPolicy::RoundRobin,
+                requests,
+            )
+            .expect("mixed serve");
+        assert_eq!(report.serve.responses.len(), 4);
+        for r in &report.serve.responses {
+            let expect = if r.network == NetworkId(1) {
+                &golden.output
+            } else {
+                &d.run(&p1).expect("v1 run").output
+            };
+            assert_eq!(&r.output, expect, "request {}", r.id);
+        }
+        // The stream switched models somewhere, and the traffic shows it.
+        assert!(report.serve.switch_bytes_total() > 0);
+        // An unknown network id is rejected naming the request.
+        let bad = vec![Request::for_network(9, 0, NetworkId(4), p1)];
+        let err = d
+            .serve(Policy::new(1, 0).unwrap(), bad)
+            .expect_err("unknown id");
+        assert!(err.to_string().contains("net4"), "{err}");
+    }
+
+    #[test]
+    fn mixed_deployment_is_bit_identical_across_thread_counts() {
+        let serve = |threads: usize| {
+            let d = built_mixed(2, threads);
+            let image = rng::synthetic_image(3, 32, 32, 35);
+            let p1 = d.prepare_for(NetworkId::PRIMARY, &image).unwrap();
+            let p2 = d.prepare_for(NetworkId(1), &image).unwrap();
+            let nets: Vec<NetworkId> = (0..6)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        NetworkId(1)
+                    } else {
+                        NetworkId::PRIMARY
+                    }
+                })
+                .collect();
+            let inputs = nets
+                .iter()
+                .map(|&n| {
+                    if n == NetworkId(1) {
+                        p2.clone()
+                    } else {
+                        p1.clone()
+                    }
+                })
+                .collect();
+            let requests =
+                Request::stream_mixed(&[0, 500, 1_000, 1_500, 2_000, 2_500], &nets, inputs)
+                    .unwrap();
+            d.serve_pool(
+                Policy::new(2, 2_000).unwrap(),
+                DispatchPolicy::LeastLoaded,
+                requests,
+            )
+            .expect("mixed serve")
+        };
+        let serial = serve(1);
+        let threaded = serve(4);
+        assert_eq!(serial.serve.responses, threaded.serve.responses);
+        assert_eq!(serial.serve.batches, threaded.serve.batches);
+        assert_eq!(serial.workers, threaded.workers);
+        assert_eq!(
+            serial.serve.switch_bytes_total(),
+            threaded.serve.switch_bytes_total()
+        );
     }
 
     #[test]

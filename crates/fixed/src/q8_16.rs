@@ -204,6 +204,15 @@ impl WideQ16 {
         self.0 as f64 / f64::from(1u32 << Q8X16_FRAC_BITS)
     }
 
+    /// Saturating wide + wide addition — the residual-accumulate path of
+    /// the Non-Conv unit (a requantized skip connection is summed onto the
+    /// `k·x + b` bus *before* the round stage, so fold-then-add and
+    /// add-then-fold are bit-identical).
+    #[must_use]
+    pub fn saturating_add(self, other: WideQ16) -> WideQ16 {
+        WideQ16(self.0.saturating_add(other.0))
+    }
+
     /// Rounds to an integer — the Round stage of Fig. 6.
     #[must_use]
     pub fn round_to_int(self, round: Round) -> i64 {

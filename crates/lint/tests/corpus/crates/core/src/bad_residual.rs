@@ -1,0 +1,8 @@
+//! Known-bad corpus file: a residual-add stage in core library code
+//! that panics instead of returning `CoreError`. Never compiled —
+//! scanned by the corpus golden test only.
+
+pub fn residual_stage(main: &[i32], shortcut: Option<&[i32]>) -> Vec<i32> {
+    let shortcut = shortcut.expect("residual layers carry a shortcut");
+    main.iter().zip(shortcut).map(|(m, s)| m + s).collect()
+}

@@ -1,0 +1,8 @@
+//! Known-bad corpus file: the inverted-residual requantized add done in
+//! floating point instead of the Q8.16 integer fold. Never compiled —
+//! scanned by the corpus golden test only.
+
+pub fn residual_add(main: i32, shortcut: i32, scale: f32) -> i32 {
+    let rescaled = shortcut as f32 * scale;
+    main + rescaled as i32
+}

@@ -12,25 +12,33 @@
 //! magic "EDEA"  | u32 version | u32 layer count | f32 input scale
 //! per layer:
 //!   u32×5 shape (in_spatial, d_in, k_out, stride, kernel)
+//!   u32×6 generalized axes (pad_before, pad_after, dilation,
+//!         depth_multiplier, op, residual flags)
+//!   i32 out_lo | u32 residual-scale presence | [i32 raw Q8.16 scale]
 //!   f32×3 scales (s_in, s_mid, s_out)
-//!   f32 dw weight scale, i8[9·D] dw weights
-//!   f32 pw weight scale, i8[D·K] pw weights
-//!   i32[2·D] nonconv1 (k, b) raw Q8.16 words
+//!   f32 dw weight scale, i8[k²·D·dm] dw weights
+//!   f32 pw weight scale, i8[D·dm·K] pw weights
+//!   i32[2·D·dm] nonconv1 (k, b) raw Q8.16 words
 //!   i32[2·K] nonconv2 (k, b) raw Q8.16 words
 //! u32 FNV-1a checksum of everything above
 //! ```
+//!
+//! Version 2 generalized the per-layer shape record (the `u32×6` axes
+//! row and the residual/out-lo words) so the MobileNetV2 inverted
+//! residual round-trips exactly; version-1 blobs predate that row and
+//! are rejected by the version check.
 
 use edea_fixed::Q8x16;
 use edea_tensor::{QTensor4, QuantParams, Tensor4};
 
 use crate::fold::FoldedAffine;
 use crate::quantize::{QuantizedDscLayer, QuantizedDscNetwork};
-use crate::workload::LayerShape;
+use crate::workload::{LayerShape, Padding, StageOp};
 use crate::NnError;
 
 const MAGIC: &[u8; 4] = b"EDEA";
 /// Artifact format version.
-pub const ARTIFACT_VERSION: u32 = 1;
+pub const ARTIFACT_VERSION: u32 = 2;
 
 /// FNV-1a, the checksum of the artifact body.
 fn fnv1a(bytes: &[u8]) -> u32 {
@@ -109,6 +117,29 @@ pub fn serialize(net: &QuantizedDscNetwork) -> Vec<u8> {
         let s = l.shape();
         for v in [s.in_spatial, s.d_in, s.k_out, s.stride, s.kernel] {
             w.u32(v as u32);
+        }
+        let op = match s.op {
+            StageOp::Dsc => 0,
+            StageOp::PwcOnly => 1,
+        };
+        let flags = u32::from(s.residual_save) | (u32::from(s.residual_add) << 1);
+        for v in [
+            s.padding.before as u32,
+            s.padding.after as u32,
+            s.dilation as u32,
+            s.depth_multiplier as u32,
+            op,
+            flags,
+        ] {
+            w.u32(v);
+        }
+        w.i32(i32::from(l.out_lo()));
+        match l.residual_scale() {
+            Some(r) => {
+                w.u32(1);
+                w.i32(r.raw());
+            }
+            None => w.u32(0),
         }
         w.f32(l.s_in());
         w.f32(l.s_mid());
@@ -190,6 +221,25 @@ pub fn deserialize(bytes: &[u8]) -> Result<QuantizedDscNetwork, NnError> {
                 detail: format!("layer {index}: zero dimension"),
             });
         }
+        let pad_before = r.u32()? as usize;
+        let pad_after = r.u32()? as usize;
+        let dilation = r.u32()? as usize;
+        let depth_multiplier = r.u32()? as usize;
+        let op = match r.u32()? {
+            0 => StageOp::Dsc,
+            1 => StageOp::PwcOnly,
+            other => {
+                return Err(NnError::InvalidConfig {
+                    detail: format!("layer {index}: unknown stage op {other}"),
+                })
+            }
+        };
+        let flags = r.u32()?;
+        if flags > 0b11 || dilation == 0 || depth_multiplier == 0 {
+            return Err(NnError::InvalidConfig {
+                detail: format!("layer {index}: malformed generalized-axes record"),
+            });
+        }
         let shape = LayerShape {
             index,
             in_spatial,
@@ -197,16 +247,44 @@ pub fn deserialize(bytes: &[u8]) -> Result<QuantizedDscNetwork, NnError> {
             k_out,
             stride,
             kernel,
+            padding: Padding {
+                before: pad_before,
+                after: pad_after,
+            },
+            dilation,
+            depth_multiplier,
+            op,
+            residual_save: flags & 1 != 0,
+            residual_add: flags & 2 != 0,
         };
+        let out_lo = r.i32()?;
+        let out_lo = i8::try_from(out_lo).map_err(|_| NnError::InvalidConfig {
+            detail: format!("layer {index}: out_lo {out_lo} outside i8"),
+        })?;
+        let residual_scale = match r.u32()? {
+            0 => None,
+            1 => Some(Q8x16::from_raw(r.i32()?)),
+            other => {
+                return Err(NnError::InvalidConfig {
+                    detail: format!("layer {index}: bad residual-scale flag {other}"),
+                })
+            }
+        };
+        if residual_scale.is_some() && !shape.residual_add {
+            return Err(NnError::InvalidConfig {
+                detail: format!("layer {index}: residual scale on a non-residual stage"),
+            });
+        }
+        let dwc_out = shape.dwc_out_channels();
         let s_in = r.f32()?;
         let s_mid = r.f32()?;
         let s_out = r.f32()?;
         let dw_scale = r.f32()?;
-        let dw = r.i8s(kernel * kernel * d_in)?;
+        let dw = r.i8s(kernel * kernel * dwc_out)?;
         let pw_scale = r.f32()?;
-        let pw = r.i8s(d_in * k_out)?;
-        let mut nonconv1 = Vec::with_capacity(d_in);
-        for _ in 0..d_in {
+        let pw = r.i8s(dwc_out * k_out)?;
+        let mut nonconv1 = Vec::with_capacity(dwc_out);
+        for _ in 0..dwc_out {
             let k = r.i32()?;
             let b = r.i32()?;
             nonconv1.push(affine_from_raw(k, b));
@@ -217,12 +295,13 @@ pub fn deserialize(bytes: &[u8]) -> Result<QuantizedDscNetwork, NnError> {
             let b = r.i32()?;
             nonconv2.push(affine_from_raw(k, b));
         }
-        let dw_t =
-            Tensor4::from_vec(dw, d_in, 1, kernel, kernel).map_err(|e| NnError::InvalidConfig {
+        let dw_t = Tensor4::from_vec(dw, dwc_out, 1, kernel, kernel).map_err(|e| {
+            NnError::InvalidConfig {
                 detail: e.to_string(),
-            })?;
+            }
+        })?;
         let pw_t =
-            Tensor4::from_vec(pw, k_out, d_in, 1, 1).map_err(|e| NnError::InvalidConfig {
+            Tensor4::from_vec(pw, k_out, dwc_out, 1, 1).map_err(|e| NnError::InvalidConfig {
                 detail: e.to_string(),
             })?;
         let dw_params = QuantParams::new(dw_scale).map_err(|e| NnError::InvalidConfig {
@@ -231,7 +310,7 @@ pub fn deserialize(bytes: &[u8]) -> Result<QuantizedDscNetwork, NnError> {
         let pw_params = QuantParams::new(pw_scale).map_err(|e| NnError::InvalidConfig {
             detail: e.to_string(),
         })?;
-        layers.push(QuantizedDscLayer::from_parts(
+        let mut layer = QuantizedDscLayer::from_parts(
             shape,
             QTensor4::new(dw_t, dw_params),
             QTensor4::new(pw_t, pw_params),
@@ -240,7 +319,12 @@ pub fn deserialize(bytes: &[u8]) -> Result<QuantizedDscNetwork, NnError> {
             s_in,
             s_mid,
             s_out,
-        ));
+        )
+        .with_out_lo(out_lo);
+        if let Some(r) = residual_scale {
+            layer = layer.with_residual_scale(r);
+        }
+        layers.push(layer);
     }
     if r.pos != body.len() {
         return Err(NnError::InvalidConfig {
@@ -254,7 +338,7 @@ pub fn deserialize(bytes: &[u8]) -> Result<QuantizedDscNetwork, NnError> {
 mod tests {
     use super::*;
     use crate::executor;
-    use crate::mobilenet::MobileNetV1;
+    use crate::mobilenet::{MobileNetV1, MobileNetV2};
     use crate::quantize::QuantStrategy;
     use crate::sparsity::SparsityProfile;
     use edea_tensor::rng;
@@ -297,11 +381,37 @@ mod tests {
             assert_eq!(a.s_in(), b.s_in());
             assert_eq!(a.s_mid(), b.s_mid());
             assert_eq!(a.s_out(), b.s_out());
+            assert_eq!(a.out_lo(), b.out_lo());
+            assert_eq!(a.residual_scale(), b.residual_scale());
             for (fa, fb) in a.nonconv1().iter().zip(b.nonconv1()) {
                 assert_eq!(fa.k, fb.k);
                 assert_eq!(fa.b, fb.b);
             }
         }
+    }
+
+    #[test]
+    fn v2_inverted_residuals_round_trip_bit_exactly() {
+        // The generalized record is the point of format version 2: stage
+        // ops, residual markers, out_lo and the residual rescale must all
+        // survive the blob, proven by bit-exact re-execution.
+        let model = MobileNetV2::synthetic(0.25, 94);
+        let calib = rng::synthetic_batch(1, 3, 32, 32, 95);
+        let qnet =
+            QuantizedDscNetwork::calibrate_v2(&model, &calib, QuantStrategy::paper()).unwrap();
+        let restored = deserialize(&serialize(&qnet)).expect("valid v2 artifact");
+        assert!(qnet.layers().iter().any(|l| l.shape().residual_add));
+        for (a, b) in qnet.layers().iter().zip(restored.layers()) {
+            assert_eq!(a.shape(), b.shape());
+            assert_eq!(a.out_lo(), b.out_lo());
+            assert_eq!(a.residual_scale(), b.residual_scale());
+        }
+        let img = rng::synthetic_image(3, 32, 32, 96);
+        let input = qnet.quantize_input(&model.forward_stem(&img));
+        assert_eq!(
+            executor::run_network(&qnet, &input).output,
+            executor::run_network(&restored, &input).output
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use edea_tensor::conv::{depthwise_conv2d_i8, pointwise_conv2d_i8};
 use edea_tensor::{Batch, Tensor3};
 
 use crate::quantize::{QuantizedDscLayer, QuantizedDscNetwork};
+use crate::workload::StageOp;
 use crate::NnError;
 
 /// Activity statistics of one executed DSC layer.
@@ -80,6 +81,27 @@ pub fn try_run_layer(
     layer: &QuantizedDscLayer,
     input: &Tensor3<i8>,
 ) -> Result<LayerExecution, NnError> {
+    try_run_layer_with(layer, input, None)
+}
+
+/// Executes one quantized stage with an optional residual source — the
+/// int8 block input preserved at a `residual_save` stage. The residual is
+/// requantized by the layer's Q8.16
+/// residual scale and summed onto the Non-Conv #2 bus *before* the round
+/// stage (see `FoldedAffine::apply_fixed_residual`).
+///
+/// # Errors
+///
+/// * [`NnError::ShapeMismatch`] if `input` (or the residual) does not match
+///   the layer's shapes.
+/// * [`NnError::InvalidConfig`] if the residual presence disagrees with the
+///   layer shape's `residual_add` marker, or the layer lacks a residual
+///   scale.
+pub fn try_run_layer_with(
+    layer: &QuantizedDscLayer,
+    input: &Tensor3<i8>,
+    residual: Option<&Tensor3<i8>>,
+) -> Result<LayerExecution, NnError> {
     let s = layer.shape();
     if input.shape() != (s.d_in, s.in_spatial, s.in_spatial) {
         return Err(NnError::ShapeMismatch {
@@ -93,25 +115,72 @@ pub fn try_run_layer(
             ),
         });
     }
-    // DWC: int8 conv to i32 accumulators.
-    let dwc_acc = depthwise_conv2d_i8(input, layer.dw_weights().values(), s.stride, s.pad());
-    // Non-Conv #1: per-channel k·x + b, round, ReLU-clip to [0, 127].
-    let (d, oh, ow) = dwc_acc.shape();
-    let pwc_input = Tensor3::from_fn(d, oh, ow, |c, h, w| {
-        layer.nonconv1()[c].apply_fixed(dwc_acc[(c, h, w)], 0)
-    });
+    if s.residual_add != residual.is_some() {
+        return Err(NnError::InvalidConfig {
+            detail: format!(
+                "layer {}: residual_add={} but residual {}",
+                s.index,
+                s.residual_add,
+                if residual.is_some() {
+                    "provided"
+                } else {
+                    "missing"
+                }
+            ),
+        });
+    }
+    // DWC + Non-Conv #1 — skipped by a lone PWC, whose engine input is the
+    // ifmap itself.
+    let (dwc_acc, pwc_input) = match s.op {
+        StageOp::Dsc => {
+            let acc = depthwise_conv2d_i8(input, layer.dw_weights().values(), s.stride, s.pad());
+            let (d, oh, ow) = acc.shape();
+            let mid = Tensor3::from_fn(d, oh, ow, |c, h, w| {
+                layer.nonconv1()[c].apply_fixed(acc[(c, h, w)], 0)
+            });
+            (Some(acc), mid)
+        }
+        StageOp::PwcOnly => (None, input.clone()),
+    };
+    let (_, oh, ow) = pwc_input.shape();
     // PWC: int8 conv to i32 accumulators.
     let pwc_acc = pointwise_conv2d_i8(&pwc_input, layer.pw_weights().values());
-    // Non-Conv #2 (same hardware, used at the layer output boundary).
+    // Non-Conv #2 (same hardware, used at the layer output boundary): low
+    // clip 0 with a folded ReLU, −128 for a linear (project) stage.
     let (k, _, _) = pwc_acc.shape();
-    let output = Tensor3::from_fn(k, oh, ow, |c, h, w| {
-        layer.nonconv2()[c].apply_fixed(pwc_acc[(c, h, w)], 0)
-    });
+    let lo = layer.out_lo();
+    let output = match residual {
+        Some(res) => {
+            if res.shape() != (k, oh, ow) {
+                return Err(NnError::ShapeMismatch {
+                    layer: s.index,
+                    detail: format!(
+                        "residual shape mismatch: expected ({k}, {oh}, {ow}), got {:?}",
+                        res.shape()
+                    ),
+                });
+            }
+            let r = layer
+                .residual_scale()
+                .ok_or_else(|| NnError::InvalidConfig {
+                    detail: format!(
+                        "layer {}: residual-add layer without a residual scale",
+                        s.index
+                    ),
+                })?;
+            Tensor3::from_fn(k, oh, ow, |c, h, w| {
+                layer.nonconv2()[c].apply_fixed_residual(pwc_acc[(c, h, w)], res[(c, h, w)], r, lo)
+            })
+        }
+        None => Tensor3::from_fn(k, oh, ow, |c, h, w| {
+            layer.nonconv2()[c].apply_fixed(pwc_acc[(c, h, w)], lo)
+        }),
+    };
     let activity = LayerActivity {
         input_zero: zero_fraction(input),
         dwc_out_zero: zero_fraction(&pwc_input),
         pwc_out_zero: zero_fraction(&output),
-        dwc_acc_range: acc_range(&dwc_acc),
+        dwc_acc_range: dwc_acc.as_ref().map_or((0, 0), acc_range),
         pwc_acc_range: acc_range(&pwc_acc),
     };
     Ok(LayerExecution {
@@ -154,8 +223,20 @@ pub fn try_run_network(
 ) -> Result<NetworkExecution, NnError> {
     let mut x = input.clone();
     let mut activities = Vec::with_capacity(net.layers().len());
+    let mut saved: Option<Tensor3<i8>> = None;
     for layer in net.layers() {
-        let exec = try_run_layer(layer, &x)?;
+        let s = layer.shape();
+        if s.residual_save {
+            saved = Some(x.clone());
+        }
+        let residual = if s.residual_add {
+            Some(saved.take().ok_or_else(|| NnError::InvalidConfig {
+                detail: format!("layer {}: residual add without a preceding save", s.index),
+            })?)
+        } else {
+            None
+        };
+        let exec = try_run_layer_with(layer, &x, residual.as_ref())?;
         activities.push(exec.activity);
         x = exec.output;
     }
@@ -546,5 +627,66 @@ mod tests {
         let a = try_run_network(&qnet, &input).unwrap();
         let b = run_network(&qnet, &input);
         assert_eq!(a.output, b.output);
+    }
+
+    fn setup_v2() -> (
+        crate::mobilenet::MobileNetV2,
+        QuantizedDscNetwork,
+        Vec<Tensor3<f32>>,
+    ) {
+        let model = crate::mobilenet::MobileNetV2::synthetic(0.25, 41);
+        let calib = rng::synthetic_batch(3, 3, 32, 32, 42);
+        let qnet =
+            QuantizedDscNetwork::calibrate_v2(&model, &calib, QuantStrategy::paper()).unwrap();
+        (model, qnet, calib)
+    }
+
+    #[test]
+    fn v2_network_executes_through_the_generalized_path() {
+        let (model, qnet, calib) = setup_v2();
+        let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
+        let exec = run_network(&qnet, &input);
+        assert_eq!(exec.activities.len(), 17);
+        let last = qnet.layers().last().unwrap().shape();
+        assert_eq!(exec.output.shape(), (last.k_out, 4, 4));
+        // Project stages are linear: the final map carries both signs.
+        assert!(exec.output.as_slice().iter().any(|&v| v < 0));
+        // Determinism.
+        assert_eq!(run_network(&qnet, &input).output, exec.output);
+    }
+
+    #[test]
+    fn v2_residual_layers_reject_missing_or_spurious_residuals() {
+        let (_, qnet, _) = setup_v2();
+        let add_layer = qnet
+            .layers()
+            .iter()
+            .find(|l| l.shape().residual_add)
+            .unwrap();
+        let s = add_layer.shape();
+        let input = Tensor3::<i8>::zeros(s.d_in, s.in_spatial, s.in_spatial);
+        assert!(matches!(
+            try_run_layer_with(add_layer, &input, None),
+            Err(NnError::InvalidConfig { .. })
+        ));
+        let plain = &qnet.layers()[0];
+        let s0 = plain.shape();
+        let in0 = Tensor3::<i8>::zeros(s0.d_in, s0.in_spatial, s0.in_spatial);
+        let res = Tensor3::<i8>::zeros(s0.k_out, s0.out_spatial(), s0.out_spatial());
+        assert!(matches!(
+            try_run_layer_with(plain, &in0, Some(&res)),
+            Err(NnError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_batched_execution_is_per_image_identical() {
+        let (model, qnet, calib) = setup_v2();
+        let stems = Batch::new(calib.iter().map(|img| model.forward_stem(img)).collect()).unwrap();
+        let batch = run_batch(&qnet, &qnet.quantize_input_batch(&stems));
+        for (i, img) in calib.iter().enumerate() {
+            let single = run_network(&qnet, &qnet.quantize_input(&model.forward_stem(img)));
+            assert_eq!(batch.per_image[i].output, single.output, "image {i}");
+        }
     }
 }

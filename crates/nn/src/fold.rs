@@ -75,6 +75,21 @@ impl FoldedAffine {
             .round_clip_i8(Round::HalfAwayFromZero, lo, 127)
     }
 
+    /// Applies the folded transform with a requantized residual summed onto
+    /// the wide bus before the round stage:
+    /// `clip(round(k·acc + b + r·res), lo, 127)` — the inverted-residual
+    /// skip connection as a natural extension of the Non-Conv fold. `r` is
+    /// the residual rescale `s_res / s_out` in Q8.16; the add happens at
+    /// wide (pre-round) precision, so folding the add into the affine and
+    /// adding after the fold are bit-identical (property-tested).
+    #[must_use]
+    pub fn apply_fixed_residual(&self, acc: i32, residual: i8, r: Q8x16, lo: i8) -> i8 {
+        self.k
+            .mul_int_add(acc, self.b)
+            .saturating_add(r.mul_int_add(i32::from(residual), Q8x16::ZERO))
+            .round_clip_i8(Round::HalfAwayFromZero, lo, 127)
+    }
+
     /// Applies the *reference* path in f64: `clip(round(k·x + b))` with the
     /// exact (unrounded) constants. Used to bound the Q8.16 rounding impact.
     #[must_use]

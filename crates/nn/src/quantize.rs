@@ -23,14 +23,16 @@
 
 use edea_tensor::conv::{depthwise_conv2d_i8, pointwise_conv2d_i8};
 use edea_tensor::ops::BatchNorm;
-use edea_tensor::{QTensor4, QuantParams, Tensor3};
+use edea_tensor::{QTensor4, QuantParams, Tensor3, Tensor4};
+
+use edea_fixed::Q8x16;
 
 use crate::fold::{fold_boundary, FoldedAffine};
 use crate::lsq::{learn_step, LsqConfig};
-use crate::mobilenet::MobileNetV1;
+use crate::mobilenet::{MobileNetV1, MobileNetV2};
 use crate::observer::Observer;
 use crate::sparsity::{shape_bn_from_pools, ShapingReport, SparsityProfile};
-use crate::workload::LayerShape;
+use crate::workload::{LayerShape, StageOp};
 use crate::NnError;
 
 /// How step sizes are chosen during calibration.
@@ -89,6 +91,12 @@ pub struct QuantizedDscLayer {
     s_in: f32,
     s_mid: f32,
     s_out: f32,
+    /// Low clip of the output-side Non-Conv: 0 with ReLU folded in (v1),
+    /// −128 for a linear stage (the v2 project PWC).
+    out_lo: i8,
+    /// Residual rescale `s_res / s_out` in Q8.16 for a
+    /// [`residual_add`](LayerShape::residual_add) stage.
+    residual_scale: Option<Q8x16>,
 }
 
 impl QuantizedDscLayer {
@@ -111,17 +119,18 @@ impl QuantizedDscLayer {
         s_mid: f32,
         s_out: f32,
     ) -> Self {
+        let dwc_out = shape.dwc_out_channels();
         assert_eq!(
             dw_weights.values().shape(),
-            (shape.d_in, 1, shape.kernel, shape.kernel),
+            (dwc_out, 1, shape.kernel, shape.kernel),
             "dw weight shape"
         );
         assert_eq!(
             pw_weights.values().shape(),
-            (shape.k_out, shape.d_in, 1, 1),
+            (shape.k_out, dwc_out, 1, 1),
             "pw weight shape"
         );
-        assert_eq!(nonconv1.len(), shape.d_in, "nonconv1 channel count");
+        assert_eq!(nonconv1.len(), dwc_out, "nonconv1 channel count");
         assert_eq!(nonconv2.len(), shape.k_out, "nonconv2 channel count");
         Self {
             shape,
@@ -132,7 +141,33 @@ impl QuantizedDscLayer {
             s_in,
             s_mid,
             s_out,
+            out_lo: 0,
+            residual_scale: None,
         }
+    }
+
+    /// Sets the output-side Non-Conv low clip (−128 for a linear stage,
+    /// e.g. the v2 project PWC; the default 0 folds the ReLU).
+    #[must_use]
+    pub fn with_out_lo(mut self, lo: i8) -> Self {
+        self.out_lo = lo;
+        self
+    }
+
+    /// Attaches the residual rescale `s_res / s_out` (Q8.16) of a
+    /// [`residual_add`](LayerShape::residual_add) stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape does not mark a residual add.
+    #[must_use]
+    pub fn with_residual_scale(mut self, r: Q8x16) -> Self {
+        assert!(
+            self.shape.residual_add,
+            "residual scale on a non-residual stage"
+        );
+        self.residual_scale = Some(r);
+        self
     }
 
     /// Layer shape.
@@ -181,6 +216,19 @@ impl QuantizedDscLayer {
     #[must_use]
     pub fn s_out(&self) -> f32 {
         self.s_out
+    }
+
+    /// Low clip of the output-side Non-Conv (0 = folded ReLU, −128 =
+    /// linear stage).
+    #[must_use]
+    pub fn out_lo(&self) -> i8 {
+        self.out_lo
+    }
+
+    /// Residual rescale `s_res / s_out` (Q8.16) of a residual-add stage.
+    #[must_use]
+    pub fn residual_scale(&self) -> Option<Q8x16> {
+        self.residual_scale
     }
 }
 
@@ -324,6 +372,8 @@ impl QuantizedDscNetwork {
                 s_in: s_in as f32,
                 s_mid: s_mid as f32,
                 s_out: s_out as f32,
+                out_lo: 0,
+                residual_scale: None,
             });
             s_in = s_out;
         }
@@ -470,6 +520,8 @@ impl QuantizedDscNetwork {
                 s_in: s_in as f32,
                 s_mid: s_mid as f32,
                 s_out: s_out as f32,
+                out_lo: 0,
+                residual_scale: None,
             });
             xs = outs;
             s_in = s_out;
@@ -481,6 +533,209 @@ impl QuantizedDscNetwork {
             },
             report,
         ))
+    }
+
+    /// Calibrates a quantized MobileNetV2 stack **on the int8 path**: stage
+    /// by stage, weights are quantized, the int8 engine ops run on the
+    /// calibration activations, step sizes are envelope-fitted and folded,
+    /// and the resulting int8 activations feed the next stage — so the
+    /// Non-Conv constants describe exactly the tensors the accelerator will
+    /// see. Expand ([`StageOp::PwcOnly`]) stages fold a ReLU
+    /// (`out_lo = 0`); project stages are linear (`out_lo = −128`) and, on
+    /// residual blocks, carry the Q8.16 requantized residual scale
+    /// `s_res / s_out`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NnError::EmptyCalibrationSet`] if `calib` is empty.
+    /// * [`NnError::ShapeMismatch`] if a DSC stage lacks depthwise
+    ///   parameters.
+    /// * [`NnError::InvalidConfig`] if BN parameters are non-finite or a
+    ///   residual-add stage has no matching save.
+    pub fn calibrate_v2(
+        model: &MobileNetV2,
+        calib: &[Tensor3<f32>],
+        strategy: QuantStrategy,
+    ) -> Result<Self, NnError> {
+        if calib.is_empty() {
+            return Err(NnError::EmptyCalibrationSet);
+        }
+        let stem_acts: Vec<Tensor3<f32>> =
+            calib.iter().map(|img| model.forward_stem(img)).collect();
+        let input_pool: Vec<f32> = stem_acts
+            .iter()
+            .flat_map(|t| t.as_slice().iter().copied())
+            .collect();
+        let input_params = strategy.scale_for(&subsample(&input_pool), false);
+        let mut xs: Vec<Tensor3<i8>> = stem_acts
+            .iter()
+            .map(|t| t.map(|&v| input_params.quantize(v)))
+            .collect();
+
+        let mut layers = Vec::with_capacity(model.stages().len());
+        let mut s_in = f64::from(input_params.scale());
+        // Residual source: the int8 block input plus its step size, held
+        // from the save stage to the matching add stage.
+        let mut saved: Option<(Vec<Tensor3<i8>>, f64)> = None;
+        for stage in model.stages() {
+            let shape = stage.shape;
+            let missing = |what: &str| NnError::ShapeMismatch {
+                layer: shape.index,
+                detail: format!("DSC stage without {what}"),
+            };
+            if shape.residual_save {
+                saved = Some((xs.clone(), s_in));
+            }
+            let pw_params = strategy.scale_for(&subsample(stage.pw_weights.as_slice()), true);
+            let pw_q = pw_params.quantize_tensor4(&stage.pw_weights);
+            let s_pw = f64::from(pw_params.scale());
+
+            // --- DWC + Non-Conv #1 (DSC stages; expand stages feed the
+            // PWC straight from the ifmap) ---
+            let (dw_q, nonconv1, mids, s_mid) = match shape.op {
+                StageOp::Dsc => {
+                    let dw = stage
+                        .dw_weights
+                        .as_ref()
+                        .ok_or_else(|| missing("depthwise weights"))?;
+                    let bn1 = stage.bn1.as_ref().ok_or_else(|| missing("bn1"))?;
+                    let dw_params = strategy.scale_for(&subsample(dw.as_slice()), true);
+                    let dw_q = dw_params.quantize_tensor4(dw);
+                    let s_dw = f64::from(dw_params.scale());
+                    let dwc_accs: Vec<Tensor3<i32>> = xs
+                        .iter()
+                        .map(|x| depthwise_conv2d_i8(x, dw_q.values(), shape.stride, shape.pad()))
+                        .collect();
+                    let pools = acc_pools(&dwc_accs, s_in * s_dw);
+                    let coeffs = bn1.affine_coefficients();
+                    let mid_pool: Vec<f32> = pools
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(c, pool)| {
+                            let (k, b) = coeffs[c];
+                            pool.iter().map(move |&v| (k * v + b).max(0.0))
+                        })
+                        .filter(|&v| v > 0.0)
+                        .collect();
+                    let s_mid_raw =
+                        f64::from(strategy.scale_for(&subsample(&mid_pool), false).scale());
+                    let s_mid = fit_scale_to_fold(bn1, s_in, s_dw, s_mid_raw);
+                    let nonconv1 = fold_boundary(bn1, s_in, s_dw, s_mid)?;
+                    let mids: Vec<Tensor3<i8>> = dwc_accs
+                        .iter()
+                        .map(|acc| {
+                            let (c, h, w) = acc.shape();
+                            Tensor3::from_fn(c, h, w, |ci, hi, wi| {
+                                nonconv1[ci].apply_fixed(acc[(ci, hi, wi)], 0)
+                            })
+                        })
+                        .collect();
+                    (dw_q, nonconv1, mids, s_mid)
+                }
+                StageOp::PwcOnly => {
+                    // Placeholder depthwise parameters keep the layer layout
+                    // uniform; the engine skips them (zero 1×1 kernels,
+                    // identity Non-Conv #1).
+                    let unit = QuantParams::new(1.0)
+                        .map_err(|e| NnError::InvalidConfig {
+                            detail: e.to_string(),
+                        })?
+                        .quantize_tensor4(&Tensor4::zeros(shape.d_in, 1, 1, 1));
+                    let identity = vec![FoldedAffine::fold(1.0, 0.0, 1.0, 1.0, 1.0); shape.d_in];
+                    (unit, identity, xs.clone(), s_in)
+                }
+            };
+
+            // --- PWC + Non-Conv #2 ---
+            let pwc_accs: Vec<Tensor3<i32>> = mids
+                .iter()
+                .map(|m| pointwise_conv2d_i8(m, pw_q.values()))
+                .collect();
+            let res = if shape.residual_add {
+                Some(saved.take().ok_or_else(|| NnError::InvalidConfig {
+                    detail: format!(
+                        "stage {}: residual add without a preceding save",
+                        shape.index
+                    ),
+                })?)
+            } else {
+                None
+            };
+            let relu_out = stage.relu_out();
+            let coeffs = stage.bn2.affine_coefficients();
+            let unit = (s_mid * s_pw) as f32;
+            // Real-unit output pool, including the residual contribution on
+            // skip-connected blocks, so s_out covers the summed range.
+            let mut out_pool: Vec<f32> = Vec::new();
+            for (img, acc) in pwc_accs.iter().enumerate() {
+                let (c, h, w) = acc.shape();
+                for ci in 0..c {
+                    let (k, b) = coeffs[ci];
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let mut v = k * (acc[(ci, hi, wi)] as f32 * unit) + b;
+                            if let Some((res_xs, s_res)) = &res {
+                                v += f32::from(res_xs[img][(ci, hi, wi)]) * *s_res as f32;
+                            }
+                            if relu_out {
+                                v = v.max(0.0);
+                            }
+                            out_pool.push(v);
+                        }
+                    }
+                }
+            }
+            if relu_out {
+                out_pool.retain(|&v| v > 0.0);
+            }
+            let s_out_raw = f64::from(strategy.scale_for(&subsample(&out_pool), false).scale());
+            let mut s_out = fit_scale_to_fold(&stage.bn2, s_mid, s_pw, s_out_raw);
+            if let Some((_, s_res)) = &res {
+                // The residual coefficient r = s_res/s_out must itself fit
+                // the Q8.16 envelope (|r| ≤ 127).
+                s_out = s_out.max(s_res / 127.0);
+            }
+            let nonconv2 = fold_boundary(&stage.bn2, s_mid, s_pw, s_out)?;
+            let out_lo: i8 = if relu_out { 0 } else { -128 };
+            let r_scale = res
+                .as_ref()
+                .map(|(_, s_res)| Q8x16::from_f64(s_res / s_out));
+            let outs: Vec<Tensor3<i8>> = pwc_accs
+                .iter()
+                .enumerate()
+                .map(|(img, acc)| {
+                    let (c, h, w) = acc.shape();
+                    Tensor3::from_fn(c, h, w, |ci, hi, wi| match (&res, r_scale) {
+                        (Some((res_xs, _)), Some(r)) => nonconv2[ci].apply_fixed_residual(
+                            acc[(ci, hi, wi)],
+                            res_xs[img][(ci, hi, wi)],
+                            r,
+                            out_lo,
+                        ),
+                        _ => nonconv2[ci].apply_fixed(acc[(ci, hi, wi)], out_lo),
+                    })
+                })
+                .collect();
+
+            layers.push(QuantizedDscLayer {
+                shape,
+                dw_weights: dw_q,
+                pw_weights: pw_q,
+                nonconv1,
+                nonconv2,
+                s_in: s_in as f32,
+                s_mid: s_mid as f32,
+                s_out: s_out as f32,
+                out_lo,
+                residual_scale: r_scale,
+            });
+            xs = outs;
+            s_in = s_out;
+        }
+        Ok(Self {
+            input_params,
+            layers,
+        })
     }
 
     /// Quantization parameters for the network input (the stem activation).
@@ -530,6 +785,92 @@ mod tests {
         )
         .unwrap();
         (model, qnet, report)
+    }
+
+    fn calibrated_v2() -> (MobileNetV2, QuantizedDscNetwork) {
+        let model = MobileNetV2::synthetic(0.25, 31);
+        let calib = rng::synthetic_batch(3, 3, 32, 32, 32);
+        let qnet =
+            QuantizedDscNetwork::calibrate_v2(&model, &calib, QuantStrategy::paper()).unwrap();
+        (model, qnet)
+    }
+
+    #[test]
+    fn v2_calibration_matches_stage_structure() {
+        let (model, qnet) = calibrated_v2();
+        assert_eq!(qnet.layers().len(), 17);
+        for (layer, stage) in qnet.layers().iter().zip(model.stages()) {
+            assert_eq!(layer.shape(), stage.shape);
+            match layer.shape().op {
+                // Expand stages fold a ReLU; project stages are linear.
+                StageOp::PwcOnly => assert_eq!(layer.out_lo(), 0),
+                StageOp::Dsc => assert_eq!(layer.out_lo(), -128),
+            }
+            assert_eq!(
+                layer.residual_scale().is_some(),
+                layer.shape().residual_add,
+                "stage {}",
+                layer.shape().index
+            );
+        }
+        assert_eq!(
+            qnet.layers()
+                .iter()
+                .filter(|l| l.residual_scale().is_some())
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn v2_scales_chain_across_stages() {
+        let (_, qnet) = calibrated_v2();
+        for pair in qnet.layers().windows(2) {
+            assert_eq!(pair[0].s_out(), pair[1].s_in());
+        }
+    }
+
+    #[test]
+    fn v2_expand_stages_carry_inert_placeholder_dwc() {
+        // A lone PWC still slots into the uniform layer layout: zero 1×1
+        // depthwise kernels and an identity Non-Conv #1 the engine skips.
+        let (_, qnet) = calibrated_v2();
+        let expand = qnet
+            .layers()
+            .iter()
+            .find(|l| l.shape().op == StageOp::PwcOnly)
+            .unwrap();
+        let s = expand.shape();
+        assert_eq!(expand.dw_weights().values().shape(), (s.d_in, 1, 1, 1));
+        assert!(expand
+            .dw_weights()
+            .values()
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0));
+        assert_eq!(expand.nonconv1().len(), s.d_in);
+        for f in expand.nonconv1() {
+            assert_eq!(f.apply_fixed(37, -128), 37);
+        }
+        assert_eq!(expand.s_in(), expand.s_mid());
+    }
+
+    #[test]
+    fn v2_residual_scale_is_the_save_to_out_ratio() {
+        // The residual source is the *expand* stage's input, so
+        // r = expand.s_in / project.s_out, rounded to Q8.16.
+        let (_, qnet) = calibrated_v2();
+        let mut checked = 0;
+        for (i, l) in qnet.layers().iter().enumerate() {
+            if let Some(r) = l.residual_scale() {
+                let s_res = f64::from(qnet.layers()[i - 1].s_in());
+                let want = s_res / f64::from(l.s_out());
+                assert!((r.to_f64() - want).abs() < 1e-4, "stage {i}");
+                assert!(want <= 127.0, "stage {i}: envelope");
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 3);
     }
 
     #[test]

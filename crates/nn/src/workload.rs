@@ -1,18 +1,84 @@
-//! The MobileNetV1-CIFAR10 workload database.
+//! The workload database: generalized DSC stages and the networks built
+//! from them.
 //!
 //! Every experiment in the paper iterates over "all DSC layers of
 //! MobileNetV1" on CIFAR-10 (32×32 inputs, stem convolution with stride 1).
-//! That yields the 13 depthwise-separable layers below, with stride-2
-//! down-sampling at layers 1, 3, 5 and 11 — exactly the layers the paper
-//! singles out in Fig. 10 ("layers 1, 3, 5 and 11 exhibit a reduced number
-//! of MAC operations due to the stride of 2") — and 2×2 feature maps in the
-//! last two layers ("later layers such as layers 11 and 12 with an ifmap
-//! size of 2").
+//! That yields the 13 depthwise-separable layers of
+//! [`mobilenet_v1_cifar10`], with stride-2 down-sampling at layers 1, 3, 5
+//! and 11 — exactly the layers the paper singles out in Fig. 10 ("layers
+//! 1, 3, 5 and 11 exhibit a reduced number of MAC operations due to the
+//! stride of 2") — and 2×2 feature maps in the last two layers.
+//!
+//! The block structure is **data, not code**: a [`LayerShape`] carries
+//! explicit padding, dilation, a depth multiplier (`kernels_per_layer`),
+//! the stage operator ([`StageOp`]) and residual markers, so the same
+//! representation expresses the paper's plain DSC block (the degenerate
+//! case: depth multiplier 1, dilation 1, same-padding, no residual) and
+//! the MobileNetV2 inverted residual (expand-PWC → DWC → project-PWC with
+//! a requantized skip connection) of [`mobilenet_v2_cifar10`].
 
 use edea_tensor::conv::out_dim;
 
-/// Shape of one depthwise-separable layer: DWC (3×3, per-channel) followed
-/// by PWC (1×1, `d_in → k_out`).
+use crate::error::NnError;
+
+/// Spatial zero-padding of a convolution, allowed to be asymmetric
+/// (`before` = top/left, `after` = bottom/right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Padding {
+    /// Rows/columns of zeros before the map (top and left edges).
+    pub before: usize,
+    /// Rows/columns of zeros after the map (bottom and right edges).
+    pub after: usize,
+}
+
+impl Padding {
+    /// Same-padding for an odd `kernel`: `kernel / 2` on both edges.
+    #[must_use]
+    pub fn same(kernel: usize) -> Self {
+        Self {
+            before: kernel / 2,
+            after: kernel / 2,
+        }
+    }
+
+    /// Symmetric padding of `p` on every edge.
+    #[must_use]
+    pub fn symmetric(p: usize) -> Self {
+        Self {
+            before: p,
+            after: p,
+        }
+    }
+
+    /// Total padded rows/columns added to one spatial dimension.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.before + self.after
+    }
+
+    /// Whether both edges carry the same padding.
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        self.before == self.after
+    }
+}
+
+/// The operator a stage runs on the dual-engine datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageOp {
+    /// The paper's depthwise-separable block: DWC (`kernel×kernel`,
+    /// per-channel) → Non-Conv → PWC (1×1, direct transfer).
+    Dsc,
+    /// A lone pointwise convolution (the MobileNetV2 *expand* stage): the
+    /// PWC engine at a different channel count — no new MAC loop, the DWC
+    /// engine idles. `kernel = stride = 1`, no padding.
+    PwcOnly,
+}
+
+/// Shape of one accelerator stage. For [`StageOp::Dsc`] this is a DWC
+/// (`kernel×kernel`, per-input-channel, `depth_multiplier` kernels each)
+/// followed by a PWC (1×1, `d_in·depth_multiplier → k_out`); for
+/// [`StageOp::PwcOnly`] it is the PWC alone (`d_in → k_out`).
 ///
 /// # Example
 ///
@@ -26,7 +92,7 @@ use edea_tensor::conv::out_dim;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LayerShape {
-    /// Layer index within the DSC stack (0-based, as in the paper's plots).
+    /// Stage index within the stack (0-based, as in the paper's plots).
     pub index: usize,
     /// Input feature-map spatial size (`R = C`, square maps).
     pub in_spatial: usize,
@@ -36,38 +102,139 @@ pub struct LayerShape {
     pub k_out: usize,
     /// DWC stride (1 or 2).
     pub stride: usize,
-    /// DWC kernel height/width (`H = W = 3` for MobileNetV1).
+    /// DWC kernel height/width (`H = W = 3` for MobileNet; 1 for
+    /// [`StageOp::PwcOnly`]).
     pub kernel: usize,
+    /// Spatial zero-padding (v1: same-padding `kernel / 2`).
+    pub padding: Padding,
+    /// DWC dilation (v1/v2: 1).
+    pub dilation: usize,
+    /// Depthwise kernels per input channel (`kernels_per_layer`; v1/v2: 1).
+    pub depth_multiplier: usize,
+    /// Which engines the stage occupies.
+    pub op: StageOp,
+    /// This stage's *input* is the residual source of its block (it must
+    /// stay resident in external memory until the matching
+    /// [`residual_add`](LayerShape::residual_add) stage drains).
+    pub residual_save: bool,
+    /// The saved residual is requantized and added to this stage's output
+    /// on the Non-Conv drain path (inverted-residual skip connection).
+    pub residual_add: bool,
+}
+
+impl Default for LayerShape {
+    /// A degenerate v1-style stage: 3×3 DSC, stride 1, same-padding,
+    /// dilation 1, depth multiplier 1, no residual.
+    fn default() -> Self {
+        Self {
+            index: 0,
+            in_spatial: 1,
+            d_in: 1,
+            k_out: 1,
+            stride: 1,
+            kernel: 3,
+            padding: Padding::same(3),
+            dilation: 1,
+            depth_multiplier: 1,
+            op: StageOp::Dsc,
+            residual_save: false,
+            residual_add: false,
+        }
+    }
 }
 
 impl LayerShape {
-    /// Spatial padding used by the DWC (same-padding: `kernel / 2`).
+    /// A plain DSC stage with v1 defaults (same-padding, dilation 1, depth
+    /// multiplier 1, no residual).
+    #[must_use]
+    pub fn dsc(
+        index: usize,
+        in_spatial: usize,
+        d_in: usize,
+        k_out: usize,
+        stride: usize,
+        kernel: usize,
+    ) -> Self {
+        Self {
+            index,
+            in_spatial,
+            d_in,
+            k_out,
+            stride,
+            kernel,
+            padding: Padding::same(kernel),
+            ..Self::default()
+        }
+    }
+
+    /// A lone pointwise (expand/project) stage: 1×1, stride 1, no padding.
+    #[must_use]
+    pub fn pwc(index: usize, in_spatial: usize, d_in: usize, k_out: usize) -> Self {
+        Self {
+            index,
+            in_spatial,
+            d_in,
+            k_out,
+            stride: 1,
+            kernel: 1,
+            padding: Padding::symmetric(0),
+            op: StageOp::PwcOnly,
+            ..Self::default()
+        }
+    }
+
+    /// Leading (top/left) spatial padding — what the halo math consumes.
+    /// Equals `kernel / 2` for the v1 same-padding case.
     #[must_use]
     pub fn pad(&self) -> usize {
-        self.kernel / 2
+        self.padding.before
     }
 
-    /// Output spatial size (`N = M`).
+    /// Effective kernel extent under dilation:
+    /// `(kernel − 1)·dilation + 1`.
+    #[must_use]
+    pub fn effective_kernel(&self) -> usize {
+        (self.kernel - 1) * self.dilation + 1
+    }
+
+    /// Output spatial size (`N = M`):
+    /// `(R + pad_before + pad_after − effective_kernel)/stride + 1`.
     #[must_use]
     pub fn out_spatial(&self) -> usize {
-        out_dim(self.in_spatial, self.kernel, self.stride, self.pad())
+        if self.dilation == 1 && self.padding.is_symmetric() {
+            return out_dim(self.in_spatial, self.kernel, self.stride, self.pad());
+        }
+        (self.in_spatial + self.padding.total() - self.effective_kernel()) / self.stride + 1
     }
 
-    /// MAC operations in the DWC: `N·M·D·H·W`.
+    /// Channels leaving the DWC stage (= entering the PWC):
+    /// `D·depth_multiplier` for a DSC stage, `D` for a lone PWC.
+    #[must_use]
+    pub fn dwc_out_channels(&self) -> usize {
+        match self.op {
+            StageOp::Dsc => self.d_in * self.depth_multiplier,
+            StageOp::PwcOnly => self.d_in,
+        }
+    }
+
+    /// MAC operations in the DWC: `N·M·D·dm·H·W` (0 for a lone PWC).
     #[must_use]
     pub fn dwc_macs(&self) -> u64 {
+        if self.op == StageOp::PwcOnly {
+            return 0;
+        }
         let n = self.out_spatial() as u64;
-        n * n * self.d_in as u64 * (self.kernel * self.kernel) as u64
+        n * n * self.dwc_out_channels() as u64 * (self.kernel * self.kernel) as u64
     }
 
-    /// MAC operations in the PWC: `N·M·D·K`.
+    /// MAC operations in the PWC: `N·M·(D·dm)·K`.
     #[must_use]
     pub fn pwc_macs(&self) -> u64 {
         let n = self.out_spatial() as u64;
-        n * n * self.d_in as u64 * self.k_out as u64
+        n * n * self.dwc_out_channels() as u64 * self.k_out as u64
     }
 
-    /// Total DSC MACs (`dwc_macs + pwc_macs`).
+    /// Total stage MACs (`dwc_macs + pwc_macs`).
     #[must_use]
     pub fn total_macs(&self) -> u64 {
         self.dwc_macs() + self.pwc_macs()
@@ -80,16 +247,19 @@ impl LayerShape {
         2 * self.total_macs()
     }
 
-    /// DWC weight parameter count: `H·W·D`.
+    /// DWC weight parameter count: `H·W·D·dm` (0 for a lone PWC).
     #[must_use]
     pub fn dwc_params(&self) -> u64 {
-        (self.kernel * self.kernel * self.d_in) as u64
+        if self.op == StageOp::PwcOnly {
+            return 0;
+        }
+        (self.kernel * self.kernel * self.dwc_out_channels()) as u64
     }
 
-    /// PWC weight parameter count: `D·K`.
+    /// PWC weight parameter count: `(D·dm)·K`.
     #[must_use]
     pub fn pwc_params(&self) -> u64 {
-        (self.d_in * self.k_out) as u64
+        (self.dwc_out_channels() * self.k_out) as u64
     }
 
     /// Elements in the DWC input feature map: `R·C·D`.
@@ -98,11 +268,16 @@ impl LayerShape {
         (self.in_spatial * self.in_spatial * self.d_in) as u64
     }
 
-    /// Elements in the intermediate (DWC output = PWC input) map: `N·M·D`.
+    /// Elements in the intermediate (DWC output = PWC input) map:
+    /// `N·M·D·dm` — 0 for a lone PWC, which feeds the engine straight from
+    /// the ifmap buffer.
     #[must_use]
     pub fn intermediate_elems(&self) -> u64 {
+        if self.op == StageOp::PwcOnly {
+            return 0;
+        }
         let n = self.out_spatial() as u64;
-        n * n * self.d_in as u64
+        n * n * self.dwc_out_channels() as u64
     }
 
     /// Elements in the PWC output feature map: `N·M·K`.
@@ -135,40 +310,160 @@ pub fn mobilenet_v1_cifar10() -> Vec<LayerShape> {
     ];
     SPEC.iter()
         .enumerate()
-        .map(|(index, &(in_spatial, d_in, k_out, stride))| LayerShape {
-            index,
-            in_spatial,
-            d_in,
-            k_out,
-            stride,
-            kernel: 3,
+        .map(|(index, &(in_spatial, d_in, k_out, stride))| {
+            LayerShape::dsc(index, in_spatial, d_in, k_out, stride, 3)
         })
         .collect()
+}
+
+/// One MobileNetV2 inverted-residual block spec:
+/// `(expansion t, c_out, stride, residual)`.
+type V2Block = (usize, usize, usize, bool);
+
+/// The MobileNetV2 inverted-residual stack adapted to CIFAR-10 and to the
+/// engine geometry (channel counts rounded to multiples of `Tk = 16`,
+/// spatial sizes kept even), flattened into accelerator stages: each block
+/// with expansion `t > 1` becomes a [`StageOp::PwcOnly`] expand stage
+/// (marked [`residual_save`](LayerShape::residual_save) when the block has
+/// a skip connection) followed by a [`StageOp::Dsc`] stage fusing the DWC
+/// with the *project* PWC (marked
+/// [`residual_add`](LayerShape::residual_add) on residual blocks); `t = 1`
+/// blocks are a single DSC stage. The stem is shared with v1
+/// ([`StemShape::cifar10`]), so both networks accept the same layer-0
+/// input — what lets one pool serve mixed v1+v2 traffic.
+#[must_use]
+pub fn mobilenet_v2_cifar10() -> Vec<LayerShape> {
+    // (t, c_out, stride, residual); input channels start at the stem's 32.
+    const BLOCKS: [V2Block; 9] = [
+        (1, 16, 1, false),
+        (6, 32, 2, false),
+        (6, 32, 1, true),
+        (6, 64, 2, false),
+        (6, 64, 1, true),
+        (6, 96, 1, false),
+        (6, 160, 2, false),
+        (6, 160, 1, true),
+        (6, 320, 1, false),
+    ];
+    let mut layers = Vec::new();
+    let mut spatial = 32usize;
+    let mut c_in = StemShape::cifar10().c_out;
+    for &(t, c_out, stride, residual) in &BLOCKS {
+        debug_assert!(!residual || (stride == 1 && c_in == c_out));
+        if t > 1 {
+            let mut expand = LayerShape::pwc(layers.len(), spatial, c_in, t * c_in);
+            expand.residual_save = residual;
+            layers.push(expand);
+            let mut dsc = LayerShape::dsc(layers.len(), spatial, t * c_in, c_out, stride, 3);
+            dsc.residual_add = residual;
+            layers.push(dsc);
+        } else {
+            let mut dsc = LayerShape::dsc(layers.len(), spatial, c_in, c_out, stride, 3);
+            dsc.residual_save = residual;
+            dsc.residual_add = residual;
+            layers.push(dsc);
+        }
+        spatial = layers[layers.len() - 1].out_spatial();
+        c_in = c_out;
+    }
+    layers
+}
+
+/// Identifies a network within a serving deployment (requests carry one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetworkId(pub u32);
+
+impl NetworkId {
+    /// The primary network of a deployment (the first registered model).
+    pub const PRIMARY: Self = Self(0);
+}
+
+impl std::fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "net{}", self.0)
+    }
+}
+
+/// A complete network descriptor: identity, host-side stem, accelerator
+/// stage list and classifier head width. The stage list is the part the
+/// accelerator consumes; the rest routes requests and sizes the host-side
+/// pre/post-processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkDescriptor {
+    /// Identity within a deployment.
+    pub id: NetworkId,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The host-run stem convolution feeding stage 0.
+    pub stem: StemShape,
+    /// The accelerator stage list.
+    pub layers: Vec<LayerShape>,
+    /// Classifier head width (CIFAR-10: 10).
+    pub num_classes: usize,
+}
+
+impl NetworkDescriptor {
+    /// MobileNetV1-CIFAR10 as the primary network.
+    #[must_use]
+    pub fn mobilenet_v1() -> Self {
+        Self {
+            id: NetworkId::PRIMARY,
+            name: "mobilenet-v1-cifar10",
+            stem: StemShape::cifar10(),
+            layers: mobilenet_v1_cifar10(),
+            num_classes: 10,
+        }
+    }
+
+    /// MobileNetV2-CIFAR10 as a secondary network (id 1).
+    #[must_use]
+    pub fn mobilenet_v2() -> Self {
+        Self {
+            id: NetworkId(1),
+            name: "mobilenet-v2-cifar10",
+            stem: StemShape::cifar10(),
+            layers: mobilenet_v2_cifar10(),
+            num_classes: 10,
+        }
+    }
 }
 
 /// Scales a layer stack by a MobileNet width multiplier (channel counts are
 /// multiplied and rounded up to a multiple of `round_to`). Used to build
 /// small models for fast tests while preserving the layer structure.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width <= 0` or `round_to == 0`.
-#[must_use]
-pub fn scale_width(layers: &[LayerShape], width: f64, round_to: usize) -> Vec<LayerShape> {
-    assert!(width > 0.0, "width multiplier must be positive");
-    assert!(round_to > 0, "round_to must be positive");
+/// [`NnError::InvalidConfig`] if `round_to` is zero or `width` is
+/// non-positive or non-finite (a NaN or infinite multiplier would
+/// silently produce nonsense channel counts).
+pub fn scale_width(
+    layers: &[LayerShape],
+    width: f64,
+    round_to: usize,
+) -> Result<Vec<LayerShape>, NnError> {
+    if !width.is_finite() || width <= 0.0 {
+        return Err(NnError::InvalidConfig {
+            detail: format!("width multiplier must be positive and finite, got {width}"),
+        });
+    }
+    if round_to == 0 {
+        return Err(NnError::InvalidConfig {
+            detail: "round_to must be positive".into(),
+        });
+    }
     let scale = |c: usize| -> usize {
         let scaled = (c as f64 * width).round().max(1.0) as usize;
         scaled.div_ceil(round_to) * round_to
     };
-    layers
+    Ok(layers
         .iter()
         .map(|l| LayerShape {
             d_in: scale(l.d_in),
             k_out: scale(l.k_out),
             ..*l
         })
-        .collect()
+        .collect())
 }
 
 /// Stem (first) layer of MobileNetV1-CIFAR10: a standard 3×3 convolution,
@@ -212,6 +507,19 @@ mod tests {
             .map(|l| l.index)
             .collect();
         assert_eq!(strided, vec![1, 3, 5, 11]);
+    }
+
+    #[test]
+    fn v1_layers_are_the_degenerate_generalized_case() {
+        for l in mobilenet_v1_cifar10() {
+            assert_eq!(l.padding, Padding::same(3));
+            assert_eq!(l.dilation, 1);
+            assert_eq!(l.depth_multiplier, 1);
+            assert_eq!(l.op, StageOp::Dsc);
+            assert!(!l.residual_save && !l.residual_add);
+            assert_eq!(l.dwc_out_channels(), l.d_in);
+            assert_eq!(l.effective_kernel(), l.kernel);
+        }
     }
 
     #[test]
@@ -296,7 +604,7 @@ mod tests {
     #[test]
     fn scale_width_preserves_structure() {
         let layers = mobilenet_v1_cifar10();
-        let small = scale_width(&layers, 0.25, 8);
+        let small = scale_width(&layers, 0.25, 8).unwrap();
         assert_eq!(small.len(), 13);
         assert_eq!(small[0].d_in, 8);
         assert_eq!(small[0].k_out, 16);
@@ -311,8 +619,31 @@ mod tests {
     #[test]
     fn scale_width_rounds_up_to_multiple() {
         let layers = mobilenet_v1_cifar10();
-        let odd = scale_width(&layers, 0.1, 16);
+        let odd = scale_width(&layers, 0.1, 16).unwrap();
         assert!(odd.iter().all(|l| l.d_in % 16 == 0 && l.k_out % 16 == 0));
+    }
+
+    #[test]
+    fn scale_width_rejects_bad_width() {
+        let layers = mobilenet_v1_cifar10();
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    scale_width(&layers, w, 8),
+                    Err(NnError::InvalidConfig { .. })
+                ),
+                "width {w} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_width_rejects_zero_round_to() {
+        let layers = mobilenet_v1_cifar10();
+        assert!(matches!(
+            scale_width(&layers, 1.0, 0),
+            Err(NnError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
@@ -327,5 +658,94 @@ mod tests {
     fn stem_is_cifar_shaped() {
         let s = StemShape::cifar10();
         assert_eq!((s.in_spatial, s.c_in, s.c_out, s.stride), (32, 3, 32, 1));
+    }
+
+    #[test]
+    fn v2_stack_chains_and_maps_onto_engine_geometry() {
+        let layers = mobilenet_v2_cifar10();
+        assert_eq!(layers.len(), 17); // 8 expanded blocks × 2 + 1 t=1 block
+        for (i, l) in layers.iter().enumerate() {
+            assert_eq!(l.index, i);
+            assert_eq!(l.d_in % 8, 0, "stage {i} d_in {}", l.d_in);
+            assert_eq!(l.k_out % 16, 0, "stage {i} k_out {}", l.k_out);
+            assert_eq!(l.out_spatial() % 2, 0, "stage {i}");
+            match l.op {
+                StageOp::Dsc => assert_eq!(l.kernel, 3),
+                StageOp::PwcOnly => {
+                    assert_eq!((l.kernel, l.stride, l.padding.total()), (1, 1, 0));
+                }
+            }
+        }
+        for pair in layers.windows(2) {
+            assert_eq!(pair[0].k_out, pair[1].d_in);
+            assert_eq!(pair[0].out_spatial(), pair[1].in_spatial);
+        }
+        // The network ends at 4×4×320 after three stride-2 blocks.
+        let last = layers.last().unwrap();
+        assert_eq!((last.k_out, last.out_spatial()), (320, 4));
+    }
+
+    #[test]
+    fn v2_residual_markers_pair_up_inside_blocks() {
+        let layers = mobilenet_v2_cifar10();
+        let saves: Vec<usize> = layers
+            .iter()
+            .filter(|l| l.residual_save)
+            .map(|l| l.index)
+            .collect();
+        let adds: Vec<usize> = layers
+            .iter()
+            .filter(|l| l.residual_add)
+            .map(|l| l.index)
+            .collect();
+        assert_eq!(saves.len(), 3);
+        assert_eq!(adds.len(), 3);
+        for (&s, &a) in saves.iter().zip(&adds) {
+            // Save on the expand stage, add on the very next DSC stage.
+            assert_eq!(a, s + 1);
+            let (expand, dsc) = (&layers[s], &layers[a]);
+            assert_eq!(expand.op, StageOp::PwcOnly);
+            assert_eq!(dsc.op, StageOp::Dsc);
+            // A residual needs stride 1 and matched channels end to end.
+            assert_eq!(dsc.stride, 1);
+            assert_eq!(expand.d_in, dsc.k_out);
+        }
+    }
+
+    #[test]
+    fn effective_kernel_and_asymmetric_padding_generalize_out_spatial() {
+        // Dilation 2 over a 3-wide kernel spans 5 input columns.
+        let mut l = LayerShape::dsc(0, 16, 8, 16, 1, 3);
+        l.dilation = 2;
+        l.padding = Padding::symmetric(2);
+        assert_eq!(l.effective_kernel(), 5);
+        assert_eq!(l.out_spatial(), 16);
+        // Asymmetric padding: (16 + 1 + 0 − 3)/1 + 1 = 15 columns.
+        let mut a = LayerShape::dsc(0, 16, 8, 16, 1, 3);
+        a.padding = Padding {
+            before: 1,
+            after: 0,
+        };
+        assert_eq!(a.out_spatial(), 15);
+        // Depth multiplier scales DWC outputs, params and PWC inputs.
+        let mut m = LayerShape::dsc(0, 8, 8, 16, 1, 3);
+        m.depth_multiplier = 3;
+        assert_eq!(m.dwc_out_channels(), 24);
+        assert_eq!(m.dwc_params(), 9 * 24);
+        assert_eq!(m.pwc_params(), 24 * 16);
+        assert_eq!(m.intermediate_elems(), 64 * 24);
+    }
+
+    #[test]
+    fn network_descriptors_identify_and_wrap_the_stacks() {
+        let v1 = NetworkDescriptor::mobilenet_v1();
+        let v2 = NetworkDescriptor::mobilenet_v2();
+        assert_eq!(v1.id, NetworkId::PRIMARY);
+        assert_ne!(v1.id, v2.id);
+        assert_eq!(v1.layers, mobilenet_v1_cifar10());
+        assert_eq!(v2.layers, mobilenet_v2_cifar10());
+        // The shared stem is what allows one pool to serve both networks.
+        assert_eq!(v1.stem, v2.stem);
+        assert_eq!(format!("{}", v2.id), "net1");
     }
 }

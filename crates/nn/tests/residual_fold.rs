@@ -1,0 +1,104 @@
+//! Property tests for the residual extension of the Q8.16 Non-Conv fold:
+//! the requantized skip connection is summed onto the `k·x + b` bus at wide
+//! precision *before* the round stage, so folding the residual term into
+//! the offset (`b' = b + r·res`) and adding it after the fold are the same
+//! bits — `fold(add) == add∘fold` exactly, never "close".
+
+use edea_fixed::{Q8x16, WideQ16};
+use edea_nn::fold::FoldedAffine;
+use proptest::prelude::*;
+
+/// A `FoldedAffine` with the given fixed constants (the exact-float mirror
+/// fields are irrelevant to the hardware path under test).
+fn affine(k: Q8x16, b: Q8x16) -> FoldedAffine {
+    FoldedAffine {
+        k_exact: k.to_f64(),
+        b_exact: b.to_f64(),
+        k,
+        b,
+    }
+}
+
+proptest! {
+    /// fold(add) == add∘fold, bit-exactly: applying the residual through
+    /// `apply_fixed_residual` equals pre-folding `r·res` into the offset
+    /// and running the plain fold — whenever the merged offset is
+    /// representable in Q8.16 (the hardware adds at wide precision, so it
+    /// has no such restriction; the fold-side comparison does).
+    #[test]
+    fn residual_add_commutes_with_the_fold(
+        k_raw in -8_000_000i32..8_000_000,
+        b_raw in -8_000_000i32..8_000_000,
+        r_raw in -8_000_000i32..8_000_000,
+        res in any::<i8>(),
+        acc in -100_000i32..100_000,
+        relu in any::<bool>(),
+    ) {
+        let (k, b, r) = (Q8x16::from_raw(k_raw), Q8x16::from_raw(b_raw), Q8x16::from_raw(r_raw));
+        let lo: i8 = if relu { 0 } else { -128 };
+        let merged_raw = i64::from(b_raw) + i64::from(r_raw) * i64::from(res);
+        prop_assume!(Q8x16::from_raw_saturating(merged_raw).raw() as i64 == merged_raw);
+        let added = affine(k, b).apply_fixed_residual(acc, res, r, lo);
+        let folded = affine(k, Q8x16::from_raw(merged_raw as i32)).apply_fixed(acc, lo);
+        prop_assert_eq!(added, folded, "acc={} res={}", acc, res);
+    }
+
+    /// A zero residual (or a zero residual scale) degenerates to the plain
+    /// fold — v1 layers pay nothing for the generalized path.
+    #[test]
+    fn zero_residual_is_the_plain_fold(
+        k_raw in -8_000_000i32..8_000_000,
+        b_raw in -8_000_000i32..8_000_000,
+        r_raw in -8_000_000i32..8_000_000,
+        res in any::<i8>(),
+        acc in -100_000i32..100_000,
+    ) {
+        let f = affine(Q8x16::from_raw(k_raw), Q8x16::from_raw(b_raw));
+        let r = Q8x16::from_raw(r_raw);
+        prop_assert_eq!(f.apply_fixed_residual(acc, 0, r, 0), f.apply_fixed(acc, 0));
+        prop_assert_eq!(
+            f.apply_fixed_residual(acc, res, Q8x16::ZERO, -128),
+            f.apply_fixed(acc, -128)
+        );
+    }
+
+    /// The residual path clips like the plain path: outputs never escape
+    /// `[lo, 127]`, for any accumulator, residual, or scale.
+    #[test]
+    fn residual_output_always_clipped(
+        acc in any::<i32>(),
+        res in any::<i8>(),
+        relu in any::<bool>(),
+    ) {
+        let f = affine(Q8x16::MAX, Q8x16::MIN);
+        let lo: i8 = if relu { 0 } else { -128 };
+        let y = f.apply_fixed_residual(acc, res, Q8x16::MAX, lo);
+        prop_assert!(y >= lo, "y={} lo={}", y, lo);
+    }
+}
+
+#[test]
+fn residual_bus_is_exact_at_wide_extremes() {
+    // The wide accumulation `k·acc + b + r·res` saturates instead of
+    // wrapping at the i64 boundary, and matches i128 reference arithmetic
+    // everywhere it does not saturate.
+    for k in [Q8x16::MIN, Q8x16::MAX] {
+        for acc in [i32::MIN, i32::MAX] {
+            for r in [Q8x16::MIN, Q8x16::MAX] {
+                for res in [i8::MIN, i8::MAX] {
+                    let w = k
+                        .mul_int_add(acc, Q8x16::ZERO)
+                        .saturating_add(r.mul_int_add(i32::from(res), Q8x16::ZERO));
+                    let want = i128::from(k.raw()) * i128::from(acc)
+                        + i128::from(r.raw()) * i128::from(res);
+                    assert_eq!(
+                        i128::from(w.raw()),
+                        want,
+                        "no saturation at these magnitudes"
+                    );
+                    let _ = WideQ16::saturating_add(w, w); // still inside i64
+                }
+            }
+        }
+    }
+}

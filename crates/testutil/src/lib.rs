@@ -35,9 +35,10 @@ use edea_core::accelerator::{BatchRun, Edea, NetworkRun};
 use edea_core::config::EdeaConfig;
 use edea_core::par::Parallelism;
 use edea_core::serve::Request;
-use edea_nn::mobilenet::MobileNetV1;
+use edea_nn::mobilenet::{MobileNetV1, MobileNetV2};
 use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
 use edea_nn::sparsity::SparsityProfile;
+use edea_nn::workload::NetworkId;
 use edea_tensor::{rng, Batch, Tensor3};
 
 /// A fully deployed network ready to run on the accelerator: the float
@@ -83,6 +84,39 @@ pub fn deploy(width: f64, seed: u64) -> TestDeployment {
     .expect("synthetic calibration succeeds");
     let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
     TestDeployment { model, qnet, input }
+}
+
+/// A deployed MobileNetV2 ready for the accelerator: the float model, its
+/// quantization (17 flattened inverted-residual stages), and the quantized
+/// stem output of the first calibration image — the v2 counterpart of
+/// [`TestDeployment`].
+#[derive(Debug, Clone)]
+pub struct TestDeploymentV2 {
+    /// The float MobileNetV2 the quantization was derived from.
+    pub model: MobileNetV2,
+    /// The quantized DSC network (PwcOnly expand + Dsc project stages).
+    pub qnet: QuantizedDscNetwork,
+    /// Quantized input to stage 0 (the stem output of the first
+    /// calibration image).
+    pub input: Tensor3<i8>,
+}
+
+/// Deterministic MobileNetV2 deploy-time flow, mirroring [`deploy`]'s
+/// seeded stream layout (`seed` for the model, `seed + 1` for the
+/// calibration batch).
+///
+/// # Panics
+///
+/// Panics if calibration fails — synthetic v2 networks at the widths used
+/// in tests always calibrate.
+#[must_use]
+pub fn deploy_v2(width: f64, seed: u64) -> TestDeploymentV2 {
+    let model = MobileNetV2::synthetic(width, seed);
+    let calib = rng::synthetic_batch(2, 3, 32, 32, seed + 1);
+    let qnet = QuantizedDscNetwork::calibrate_v2(&model, &calib, QuantStrategy::paper())
+        .expect("synthetic v2 calibration succeeds");
+    let input = qnet.quantize_input(&model.forward_stem(&calib[0]));
+    TestDeploymentV2 { model, qnet, input }
 }
 
 /// A paper-configuration accelerator (thread count from `EDEA_THREADS`,
@@ -215,6 +249,47 @@ pub fn serve_requests(d: &TestDeployment, arrivals: &[u64], seed: u64) -> Vec<Re
     Request::stream(arrivals, inputs).expect("one arrival tick per input")
 }
 
+/// Builds a deterministic **mixed-model** request stream: arrival `i`
+/// targets `networks[i % networks.len()]`, with the image prepared through
+/// that network's own float stem and quantizer ([`NetworkId::PRIMARY`] →
+/// `v1`, anything else → `v2`). Ids are `0..arrivals.len()`; images are
+/// seeded from `seed` exactly as [`serve_requests`] seeds them.
+///
+/// The two deployments must share a stem output shape (e.g. v1 at width
+/// 0.5 with v2 at width 0.25) — the same precondition the multi-model
+/// backend enforces.
+///
+/// # Panics
+///
+/// Panics if `networks` is empty.
+#[must_use]
+pub fn mixed_requests(
+    v1: &TestDeployment,
+    v2: &TestDeploymentV2,
+    networks: &[NetworkId],
+    arrivals: &[u64],
+    seed: u64,
+) -> Vec<Request> {
+    assert!(!networks.is_empty(), "at least one network id is required");
+    let images = rng::synthetic_batch(arrivals.len().max(1), 3, 32, 32, seed);
+    let nets: Vec<NetworkId> = (0..arrivals.len())
+        .map(|i| networks[i % networks.len()])
+        .collect();
+    let inputs = images
+        .iter()
+        .take(arrivals.len())
+        .zip(&nets)
+        .map(|(img, &n)| {
+            if n == NetworkId::PRIMARY {
+                v1.qnet.quantize_input(&v1.model.forward_stem(img))
+            } else {
+                v2.qnet.quantize_input(&v2.model.forward_stem(img))
+            }
+        })
+        .collect();
+    Request::stream_mixed(arrivals, &nets, inputs).expect("one arrival tick per input")
+}
+
 /// Builds a serving request stream of all-zero inputs of `shape`
 /// (`(channels, height, width)`), one per arrival tick, ids
 /// `0..arrivals.len()` — the cheap stream for scheduler and pool tests
@@ -289,6 +364,42 @@ mod tests {
         for (x, y) in a.qnet.layers().iter().zip(b.qnet.layers()) {
             assert_eq!(x.dw_weights().values(), y.dw_weights().values());
             assert_eq!(x.pw_weights().values(), y.pw_weights().values());
+        }
+    }
+
+    #[test]
+    fn deploy_v2_is_deterministic_and_mixed_requests_alternate() {
+        let a = deploy_v2(0.25, 7);
+        let b = deploy_v2(0.25, 7);
+        assert_eq!(a.input, b.input);
+        assert_eq!(a.qnet.layers().len(), b.qnet.layers().len());
+
+        let v1 = deploy(0.5, 7);
+        let reqs = mixed_requests(
+            &v1,
+            &a,
+            &[NetworkId::PRIMARY, NetworkId(1)],
+            &[0, 10, 20, 30],
+            9,
+        );
+        assert_eq!(reqs.len(), 4);
+        let nets: Vec<u32> = reqs.iter().map(|r| r.network.0).collect();
+        assert_eq!(nets, vec![0, 1, 0, 1]);
+        // Inputs route through the right stem: both models share the
+        // input shape, and the pixel values differ between the stems.
+        assert_eq!(reqs[0].input.shape(), reqs[1].input.shape());
+        assert_ne!(reqs[0].input, reqs[1].input);
+        // Seeded determinism extends to the mixed stream.
+        let again = mixed_requests(
+            &v1,
+            &a,
+            &[NetworkId::PRIMARY, NetworkId(1)],
+            &[0, 10, 20, 30],
+            9,
+        );
+        for (x, y) in reqs.iter().zip(&again) {
+            assert_eq!(x.input, y.input);
+            assert_eq!(x.network, y.network);
         }
     }
 

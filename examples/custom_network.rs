@@ -32,13 +32,8 @@ fn custom_backbone() -> Vec<LayerShape> {
     ];
     spec.iter()
         .enumerate()
-        .map(|(index, &(in_spatial, d_in, k_out, stride))| LayerShape {
-            index,
-            in_spatial,
-            d_in,
-            k_out,
-            stride,
-            kernel: 3,
+        .map(|(index, &(in_spatial, d_in, k_out, stride))| {
+            LayerShape::dsc(index, in_spatial, d_in, k_out, stride, 3)
         })
         .collect()
 }

@@ -10,12 +10,14 @@
 //! weight DRAM traffic per image rises with the replica count at fixed
 //! load — the replication cost.
 
+use edea::nn::executor;
 use edea::nn::mobilenet::MobileNetV1;
+use edea::nn::workload::NetworkId;
 use edea::pool::{DispatchPolicy, Dispatcher, Pool};
 use edea::serve::{arrivals, Policy, Request, Scheduler, SimulatorBackend};
 use edea::tensor::rng;
 use edea::{Deployment, EdeaConfig};
-use edea_testutil::{deploy, paper_edea, serve_requests};
+use edea_testutil::{deploy, deploy_v2, mixed_requests, paper_edea, serve_requests};
 
 fn deployment(seed: u64, replicas: usize) -> Deployment {
     Deployment::builder()
@@ -196,4 +198,54 @@ fn pool_serving_is_deterministic_end_to_end() {
     assert_eq!(a.serve.responses, b.serve.responses, "responses diverged");
     assert_eq!(a.assignments, b.assignments, "assignments diverged");
     assert_eq!(a.workers, b.workers, "worker reports diverged");
+}
+
+#[test]
+fn mixed_model_pool_serves_both_networks_bit_exactly() {
+    // The testutil mixed-model builders in anger: a shared-stem pair
+    // (v1 at width 0.5, v2 at width 0.25 — both (16, 32, 32) after the
+    // stem) served as one alternating stream over a two-worker pool.
+    // Every response must match the golden executor through the network
+    // its request targeted, and the model switches must be accounted as
+    // their own traffic category.
+    let v1 = deploy(0.5, 970);
+    let v2 = deploy_v2(0.25, 971);
+    let backend = SimulatorBackend::new(paper_edea(), v1.qnet.clone())
+        .expect("backend")
+        .with_model(NetworkId(1), v2.qnet.clone())
+        .expect("shared stem");
+    let per_image = backend.cost().per_image_cycles();
+    let ticks = arrivals::poisson(10, per_image as f64 / 2.0, 972);
+    let nets = [NetworkId::PRIMARY, NetworkId(1)];
+    let requests = mixed_requests(&v1, &v2, &nets, &ticks, 973);
+    let policy = Policy::new(2, per_image).expect("policy");
+    let pool = Pool::replicate(backend, 2).expect("pool");
+    let report = Dispatcher::new(policy, DispatchPolicy::LeastLoaded)
+        .serve(&pool, requests)
+        .expect("mixed pool serve");
+
+    assert_eq!(report.serve.responses.len(), 10);
+    let images = rng::synthetic_batch(10, 3, 32, 32, 973);
+    for (i, img) in images.iter().enumerate() {
+        let resp = report.serve.response(i as u64).expect("response");
+        let expected = if i % 2 == 0 {
+            assert_eq!(resp.network, NetworkId::PRIMARY, "request {i}");
+            let input = v1.qnet.quantize_input(&v1.model.forward_stem(img));
+            executor::run_network(&v1.qnet, &input).output
+        } else {
+            assert_eq!(resp.network, NetworkId(1), "request {i}");
+            let input = v2.qnet.quantize_input(&v2.model.forward_stem(img));
+            executor::run_network(&v2.qnet, &input).output
+        };
+        assert_eq!(resp.output, expected, "request {i} vs golden executor");
+    }
+
+    // Both networks saw traffic, switches happened, and the per-worker
+    // switch accounting sums to the aggregate — separate from the
+    // per-batch external/weight traffic.
+    assert!(report.serve.mean_latency_for(NetworkId::PRIMARY).is_some());
+    assert!(report.serve.mean_latency_for(NetworkId(1)).is_some());
+    assert!(report.serve.switch_bytes_total() > 0, "no model switches");
+    let per_worker: u64 = report.workers.iter().map(|w| w.switch_bytes).sum();
+    assert_eq!(per_worker, report.serve.switch_bytes_total());
 }

@@ -24,14 +24,9 @@ fn arbitrary_layer() -> impl Strategy<Value = LayerShape> {
     (1usize..5, 1usize..8, 1usize..8, 1usize..3).prop_map(|(sp, d, k, stride)| {
         let out = 2 * sp; // even output
         let in_spatial = out * stride;
-        LayerShape {
-            index: 0,
-            in_spatial,
-            d_in: 8 * d * 2, // multiples of 16 so td up to 16 divides
-            k_out: 32 * k,   // multiples of 32 so tk up to 32 divides
-            stride,
-            kernel: 3,
-        }
+        // Channels: multiples of 16 so td up to 16 divides, and of 32 so
+        // tk up to 32 divides.
+        LayerShape::dsc(0, in_spatial, 8 * d * 2, 32 * k, stride, 3)
     })
 }
 
