@@ -96,6 +96,8 @@ fn main() {
     println!("this measures the simulator's own wall-clock only.\n");
 
     let s = setup(0.25, n_requests.max(batch));
+    // (path, threads, median ms) samples for the machine-readable line.
+    let mut samples: Vec<(&str, usize, f64)> = Vec::new();
 
     // Seam 1: the per-portion tile lanes inside one planned batched
     // forward (one backend, one scratch, portions fanned across lanes).
@@ -113,6 +115,7 @@ fn main() {
             base = ms;
         }
         println!("{:>7}  {:>10.2}  {:>7.2}x", t, ms, base / ms);
+        samples.push(("batched_forward", t, ms));
     }
 
     // Seam 2: the pool-worker fan-out — N workers serve a burst of
@@ -139,5 +142,20 @@ fn main() {
             base = ms;
         }
         println!("{:>7}  {:>10.2}  {:>7.2}x", t, ms, base / ms);
+        samples.push(("pool_serve", t, ms));
     }
+
+    // One machine-readable JSON line so the perf trajectory is scrapeable
+    // across CI runs. Deliberately NOT golden-snapshotted: wall-clock
+    // depends on the host (the `host_cores` field records it).
+    let results: Vec<String> = samples
+        .iter()
+        .map(|(path, t, ms)| {
+            format!("{{\"path\":\"{path}\",\"threads\":{t},\"median_ms\":{ms:.3}}}")
+        })
+        .collect();
+    println!(
+        "\nJSON: {{\"bench\":\"thread_scaling\",\"host_cores\":{cores},\"smoke\":{smoke},\"results\":[{}]}}",
+        results.join(",")
+    );
 }

@@ -1182,6 +1182,116 @@ fn mixed_serve_table(n: usize, replicas: usize, shares: &[(&str, usize)], seed: 
     )
 }
 
+/// Observability export: a seeded 64-request mixed-model pool run rendered
+/// as a Chrome trace-event JSON (opens in Perfetto / `chrome://tracing`)
+/// and a Prometheus text exposition of the metrics registry.
+///
+/// Every timestamp is a simulated tick and every event is derived from the
+/// run's assembled outcome, so both renderings are bit-identical at every
+/// `EDEA_THREADS` setting (pinned by `telemetry_identical_across_threads`
+/// below) and pinned character for character as a golden fixture.
+#[must_use]
+pub fn trace_export() -> String {
+    trace_export_run(64, 9301)
+}
+
+/// Reduced [`trace_export`] for CI smoke runs (`EDEA_BENCH_SMOKE=1`):
+/// 8 requests — exercises the recorder, both exporters and the registry
+/// cross-check end to end in a fraction of the time.
+#[must_use]
+pub fn trace_export_smoke() -> String {
+    trace_export_run(8, 9301)
+}
+
+/// The body of [`trace_export`]: an `n`-request mixed pool run observed by
+/// a ring-buffer recorder, rendered in both export formats.
+fn trace_export_run(n: usize, seed: u64) -> String {
+    use edea::nn::mobilenet::{MobileNetV1, MobileNetV2};
+    use edea::nn::workload::NetworkId;
+    use edea::pool::DispatchPolicy;
+    use edea::serve::{arrivals, Backend, Policy, Request};
+    use edea::telemetry::{derive, export, metrics::Registry, Recorder};
+    use edea::tensor::rng;
+    use edea::Deployment;
+    use std::sync::Arc;
+
+    // The mixed-serve deployment shape: v1 at width 0.5 as the primary,
+    // v2 at width 0.25 sharing its stem shape, two replicas — plus a
+    // telemetry recorder observing every serve.
+    let recorder = Arc::new(Recorder::new());
+    let d = Deployment::builder()
+        .model(MobileNetV1::synthetic(0.5, seed))
+        .model_v2(MobileNetV2::synthetic(0.25, seed + 10))
+        .calibration(rng::synthetic_batch(2, 3, 32, 32, seed + 1))
+        .replicas(2)
+        .telemetry(recorder.clone())
+        .build()
+        .expect("mixed deployment builds");
+    let service = d
+        .simulator_backend()
+        .dispatch_cycles(1)
+        .expect("simulator predicts");
+    let policy = Policy::new(4, service).expect("policy");
+    let ticks = arrivals::poisson(n, service as f64 / 1.5, seed + 2);
+    let images = rng::synthetic_batch(n, 3, 32, 32, seed + 3);
+    // Every third request targets v2, so the run switches models.
+    let nets: Vec<NetworkId> = (0..n)
+        .map(|i| {
+            if i % 3 == 2 {
+                NetworkId(1)
+            } else {
+                NetworkId::PRIMARY
+            }
+        })
+        .collect();
+    let inputs = images
+        .iter()
+        .zip(&nets)
+        .map(|(img, &net)| d.prepare_for(net, img).expect("registered network"))
+        .collect();
+    let requests = Request::stream_mixed(&ticks, &nets, inputs).expect("stream");
+    let report = d
+        .serve_pool(policy, DispatchPolicy::LeastLoaded, requests)
+        .expect("observed mixed serve");
+
+    let events = recorder.events();
+    assert_eq!(recorder.dropped(), 0, "recorder sized for the run");
+    derive::check_well_formed(&events).expect("well-formed span tree");
+    let registry = Registry::from_events(&events);
+    // The two accounting paths must agree before anything is exported.
+    assert_eq!(
+        registry.counter("requests_total"),
+        Some(n as u64),
+        "registry vs request stream"
+    );
+    assert_eq!(
+        registry.counter("switch_bytes_total"),
+        Some(report.serve.switch_bytes_total()),
+        "registry vs ServeReport switch traffic"
+    );
+    assert_eq!(
+        registry.gauge("makespan_ticks"),
+        Some(report.serve.makespan()),
+        "registry vs ServeReport makespan"
+    );
+
+    format!(
+        "== Observability: telemetry export ({n} mixed requests, 2 workers) ==\n\
+         {} events; {} batches; makespan {} ticks; switch traffic {} B.\n\
+         \n\
+         -- Chrome trace-event JSON (Perfetto / chrome://tracing; ts in simulated ticks) --\n\
+         {}\n\
+         -- Prometheus text exposition --\n\
+         {}",
+        events.len(),
+        report.serve.batches.len(),
+        report.serve.makespan(),
+        report.serve.switch_bytes_total(),
+        export::chrome_trace(&events),
+        export::prometheus(&registry),
+    )
+}
+
 /// Heavyweight verification: runs the real width-1.0 functional simulation
 /// and cross-checks analytic timing, golden-executor equivalence, and the
 /// sparsity anchors. Takes a few seconds in release mode.

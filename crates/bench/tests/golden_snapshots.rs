@@ -75,6 +75,7 @@ golden!(
     mixed_serve,
     sparsity_sweep,
     plan_audit,
+    trace_export,
 );
 
 #[test]

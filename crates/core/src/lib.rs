@@ -57,6 +57,13 @@
 //!   of its event loop; [`PoolReport`](pool::PoolReport) adds per-worker
 //!   utilization, queue depth and the aggregate weight-DRAM-per-image
 //!   replication cost.
+//! * [`telemetry`] — deterministic observability on the simulated clock: a
+//!   [`Telemetry`](telemetry::Telemetry) sink (ring-buffer
+//!   [`Recorder`](telemetry::Recorder), zero-cost
+//!   [`Disabled`](telemetry::Disabled)) recording the full request
+//!   lifecycle as spans + events, a fixed-bucket metrics
+//!   [`Registry`](telemetry::metrics::Registry), and Chrome-trace /
+//!   Prometheus exporters — bit-identical at every thread count.
 //!
 //! ## Quickstart
 //!
@@ -105,6 +112,7 @@ pub mod schedule;
 pub mod scratch;
 pub mod serve;
 pub mod stats;
+pub mod telemetry;
 pub mod timing;
 pub mod trace;
 

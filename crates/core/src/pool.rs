@@ -66,7 +66,10 @@ use edea_tensor::Batch;
 
 use crate::config::EdeaConfig;
 use crate::par::{self, Parallelism};
-use crate::serve::{Backend, BackendRun, BatchRecord, Policy, Request, Response, ServeReport};
+use crate::serve::{
+    Backend, BackendRun, BatchRecord, LayerTrace, Policy, Request, Response, ServeReport,
+};
+use crate::telemetry::{Event, Telemetry};
 use crate::CoreError;
 
 /// How the dispatcher assigns incoming requests to pool workers.
@@ -269,8 +272,35 @@ impl Dispatcher {
         pool: &Pool<B>,
         requests: Vec<Request>,
     ) -> Result<PoolReport, CoreError> {
+        self.serve_with(pool, requests, &crate::telemetry::Disabled)
+    }
+
+    /// [`Dispatcher::serve`] with a telemetry sink observing the run.
+    ///
+    /// The sink receives the canonical event stream (see
+    /// [`crate::telemetry`]) derived from the run's assembled outcome, so
+    /// it is bit-identical at every thread count; passing
+    /// [`crate::telemetry::Disabled`] makes this identical to
+    /// [`Dispatcher::serve`] at zero extra cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dispatcher::serve`].
+    pub fn serve_with<B: Backend>(
+        &self,
+        pool: &Pool<B>,
+        requests: Vec<Request>,
+        telemetry: &dyn crate::telemetry::Telemetry,
+    ) -> Result<PoolReport, CoreError> {
         let workers: Vec<&B> = pool.workers.iter().collect();
-        drive(&workers, self.policy, self.dispatch, requests, pool.par)
+        drive(
+            &workers,
+            self.policy,
+            self.dispatch,
+            requests,
+            pool.par,
+            telemetry,
+        )
     }
 }
 
@@ -527,6 +557,128 @@ struct PlannedBatch {
     switch_bytes: u64,
 }
 
+/// One routing decision, side-recorded in the serial scheduling loop so
+/// the telemetry post-pass can replay arrivals in routing order. Collected
+/// only when the sink is enabled — the disabled path allocates nothing.
+struct RouteRecord {
+    /// Arrival tick (= enqueue tick; routing is immediate).
+    t: u64,
+    /// Request id.
+    request: u64,
+    /// Network the request targets.
+    network: NetworkId,
+    /// Worker the dispatch policy chose.
+    worker: usize,
+    /// Queue depth just after the push (what `max_queue_depth` samples).
+    depth: usize,
+}
+
+/// Replays a finished run as the canonical telemetry event stream (see
+/// `crate::telemetry`): phase A emits arrival + enqueue per routing
+/// decision in routing order; phase B walks batches in global dispatch
+/// order emitting form/switch/dispatch, per-layer spans tiling the batch
+/// span, the batch span itself, then a completion per member request.
+///
+/// Everything here is derived from the *assembled* run — `routes` from
+/// the serial scheduling loop, the rest from outputs that are already
+/// bit-identical across thread counts (PR-7 contract) — so the stream is
+/// bit-identical at every thread count by construction. Worker threads
+/// never touch the sink.
+fn emit(
+    tel: &dyn Telemetry,
+    routes: &[RouteRecord],
+    responses: &[Response],
+    batches: &[BatchRecord],
+    assignments: &[usize],
+    batch_layers: &[Vec<LayerTrace>],
+) {
+    for r in routes {
+        tel.record(&Event::RequestArrived {
+            t: r.t,
+            request: r.request,
+            network: r.network,
+        });
+        tel.record(&Event::RequestEnqueued {
+            t: r.t,
+            request: r.request,
+            worker: r.worker,
+            depth: r.depth,
+        });
+    }
+    // Responses are pushed batch-by-batch in dispatch order in both the
+    // serial and oracle paths, so each batch's members are the next
+    // `size` responses.
+    let mut member = 0usize;
+    for b in batches {
+        let worker = assignments.get(b.index).copied().unwrap_or(0);
+        tel.record(&Event::BatchFormed {
+            t: b.dispatched,
+            batch: b.index,
+            worker,
+            size: b.size,
+            network: b.network,
+        });
+        if b.switch_bytes > 0 {
+            tel.record(&Event::ModelSwitch {
+                t: b.dispatched,
+                batch: b.index,
+                worker,
+                network: b.network,
+                bytes: b.switch_bytes,
+            });
+        }
+        tel.record(&Event::BatchDispatched {
+            t: b.dispatched,
+            batch: b.index,
+            worker,
+            size: b.size,
+            network: b.network,
+        });
+        let mut cursor = b.dispatched;
+        if let Some(layers) = batch_layers.get(b.index) {
+            for l in layers {
+                let end = cursor + l.cycles;
+                tel.record(&Event::LayerExecuted {
+                    start: cursor,
+                    end,
+                    batch: b.index,
+                    worker,
+                    layer: l.index,
+                    network: b.network,
+                    cycles: l.cycles,
+                    mac_slots: l.mac_slots,
+                    gated_slots: l.gated_slots,
+                });
+                cursor = end;
+            }
+        }
+        tel.record(&Event::BatchExecuted {
+            start: b.dispatched,
+            end: b.completed,
+            batch: b.index,
+            worker,
+            size: b.size,
+            network: b.network,
+            cycles: b.cycles,
+            weight_bytes: b.weight_bytes,
+            external_bytes: b.external_bytes,
+            switch_bytes: b.switch_bytes,
+        });
+        for resp in responses.iter().skip(member).take(b.size) {
+            tel.record(&Event::RequestCompleted {
+                t: resp.completed,
+                request: resp.id,
+                batch: b.index,
+                worker,
+                network: resp.network,
+                latency: resp.completed - resp.arrival,
+                queue_ticks: resp.dispatched - resp.arrival,
+            });
+        }
+        member += b.size;
+    }
+}
+
 /// The shared discrete-event serve loop: routes arrivals to per-worker
 /// queues and dispatches each worker's batches in global time order,
 /// processing arrivals before dispatches at equal ticks (an arrival at or
@@ -561,8 +713,17 @@ pub(crate) fn drive<W: Backend + ?Sized>(
     dispatch: DispatchPolicy,
     requests: Vec<Request>,
     par: Parallelism,
+    tel: &dyn Telemetry,
 ) -> Result<PoolReport, CoreError> {
     policy.validate()?;
+    // Telemetry is derived, never recorded from worker threads: routing
+    // decisions are side-recorded in the serial loop below, per-batch
+    // layer traces are captured off each run, and one post-pass replays
+    // the assembled outcome into the sink (see `emit`). With a disabled
+    // sink none of these vectors ever allocates.
+    let observe = tel.enabled();
+    let mut routes: Vec<RouteRecord> = Vec::new();
+    let mut batch_layers: Vec<Vec<LayerTrace>> = Vec::new();
     assert!(!workers.is_empty(), "pool is non-empty by construction");
     // The distinct networks this stream targets (usually just PRIMARY).
     let networks: Vec<NetworkId> = {
@@ -661,6 +822,15 @@ pub(crate) fn drive<W: Backend + ?Sized>(
             advance(&mut states, &mut now, r.arrival);
             let w = route(&states, dispatch, &mut rr_cursor, now);
             let s = &mut states[w];
+            if observe {
+                routes.push(RouteRecord {
+                    t: r.arrival,
+                    request: r.id,
+                    network: r.network,
+                    worker: w,
+                    depth: s.queue.len() + 1,
+                });
+            }
             s.queue.push_back(r);
             s.requests += 1;
             s.max_queue_depth = s.max_queue_depth.max(s.queue.len());
@@ -724,7 +894,7 @@ pub(crate) fn drive<W: Backend + ?Sized>(
             });
             predicted
         } else {
-            let run = workers[wi].run_for(network, &inputs)?;
+            let mut run = workers[wi].run_for(network, &inputs)?;
             if run.outputs.len() != size {
                 return Err(CoreError::UnsupportedShape {
                     detail: format!(
@@ -733,6 +903,9 @@ pub(crate) fn drive<W: Backend + ?Sized>(
                         run.outputs.len()
                     ),
                 });
+            }
+            if observe {
+                batch_layers.push(std::mem::take(&mut run.layers));
             }
             let completed = now + run.cycles;
             for ((id, arrival), output) in timeline.into_iter().zip(run.outputs.into_images()) {
@@ -816,7 +989,7 @@ pub(crate) fn drive<W: Backend + ?Sized>(
         // (the schedule prefix up to any first error is identical, since
         // predictions equal measured cycles for every successful run).
         for (j, p) in planned.into_iter().enumerate() {
-            let run = runs[j]
+            let mut run = runs[j]
                 .take()
                 // edea-lint: allow(panic-in-lib): lanes cover 0..planned.len(), and the
                 // fixed-order reduction stops this loop at the first missing run
@@ -842,6 +1015,9 @@ pub(crate) fn drive<W: Backend + ?Sized>(
                         p.predicted
                     ),
                 });
+            }
+            if observe {
+                batch_layers.push(std::mem::take(&mut run.layers));
             }
             let completed = p.dispatched + run.cycles;
             let oldest_arrival = p.timeline[0].1;
@@ -871,6 +1047,17 @@ pub(crate) fn drive<W: Backend + ?Sized>(
                 switch_bytes: p.switch_bytes,
             });
         }
+    }
+
+    if observe {
+        emit(
+            tel,
+            &routes,
+            &responses,
+            &batches,
+            &assignments,
+            &batch_layers,
+        );
     }
 
     let makespan = batches.last().map_or(0, |b| b.completed);

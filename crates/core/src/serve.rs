@@ -197,6 +197,25 @@ impl CostModel {
     }
 }
 
+/// Per-layer execution summary attached to a [`BackendRun`] for telemetry.
+///
+/// The layer cycles sum to the run's total cycles
+/// (`BatchNetworkStats::total_cycles` is exactly that sum), so telemetry
+/// layer spans tile the batch span with no gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerTrace {
+    /// Layer index within the network.
+    pub index: usize,
+    /// Modeled cycles this layer took for the whole batch.
+    pub cycles: u64,
+    /// MAC slots exercised (DWC + PWC engines).
+    pub mac_slots: u64,
+    /// Slots gated by zero activations (DWC + PWC engines).
+    pub gated_slots: u64,
+    /// External bytes this layer moved for the whole batch.
+    pub external_bytes: u64,
+}
+
 /// Result of a backend executing one formed batch.
 #[derive(Debug, Clone)]
 pub struct BackendRun {
@@ -208,6 +227,10 @@ pub struct BackendRun {
     pub weight_bytes: u64,
     /// Total external bytes for the whole batch.
     pub external_bytes: u64,
+    /// Per-layer spans for telemetry, in execution order. Empty for
+    /// backends that do not model per-layer time (golden, analytic);
+    /// the simulator fills it from its batched schedule statistics.
+    pub layers: Vec<LayerTrace>,
 }
 
 /// An execution engine the [`Scheduler`] can dispatch formed batches to.
@@ -576,11 +599,24 @@ impl Backend for SimulatorBackend {
 
     fn run_for(&self, network: NetworkId, inputs: &Batch<i8>) -> Result<BackendRun, CoreError> {
         let run = self.run_batch_for(network, inputs)?;
+        let layers = run
+            .stats
+            .layers
+            .iter()
+            .map(|l| LayerTrace {
+                index: l.shape.index,
+                cycles: l.cycles,
+                mac_slots: l.dwc_activity.mac_slots + l.pwc_activity.mac_slots,
+                gated_slots: l.dwc_activity.zero_act_slots + l.pwc_activity.zero_act_slots,
+                external_bytes: l.external.total(),
+            })
+            .collect();
         Ok(BackendRun {
             outputs: run.outputs,
             cycles: run.stats.total_cycles(),
             weight_bytes: run.stats.external_weight_total(),
             external_bytes: run.stats.external_total(),
+            layers,
         })
     }
 
@@ -654,6 +690,7 @@ impl Backend for GoldenBackend {
             cycles: self.cost.batch_cycles(inputs.len()),
             weight_bytes: self.cost.weight_bytes(),
             external_bytes: self.cost.batch_external_bytes(inputs.len()),
+            layers: Vec::new(),
         })
     }
 
@@ -725,6 +762,7 @@ impl Backend for AnalyticBackend {
             cycles: self.cost.batch_cycles(inputs.len()),
             weight_bytes: self.cost.weight_bytes(),
             external_bytes: self.cost.batch_external_bytes(inputs.len()),
+            layers: Vec::new(),
         })
     }
 
@@ -1157,6 +1195,24 @@ impl Scheduler {
         backend: &B,
         requests: Vec<Request>,
     ) -> Result<ServeReport, CoreError> {
+        self.serve_with(backend, requests, &crate::telemetry::Disabled)
+    }
+
+    /// [`Scheduler::serve`] with a telemetry sink observing the run.
+    ///
+    /// The sink receives the canonical event stream (see
+    /// [`crate::telemetry`]); passing [`crate::telemetry::Disabled`] makes
+    /// this identical to [`Scheduler::serve`] at zero extra cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::serve`].
+    pub fn serve_with<B: Backend + ?Sized>(
+        &self,
+        backend: &B,
+        requests: Vec<Request>,
+        telemetry: &dyn crate::telemetry::Telemetry,
+    ) -> Result<ServeReport, CoreError> {
         // A single backend has no cross-worker independence to exploit —
         // the one-worker event loop stays serial regardless of any
         // parallelism knob (batches on one worker are sequentially
@@ -1167,6 +1223,7 @@ impl Scheduler {
             crate::pool::DispatchPolicy::RoundRobin,
             requests,
             crate::par::Parallelism::serial(),
+            telemetry,
         )?;
         Ok(report.serve)
     }

@@ -1,0 +1,361 @@
+//! Exporters: Chrome trace-event JSON and Prometheus text exposition.
+//!
+//! Both renderings are deterministic character for character — integer
+//! sim-tick timestamps, fixed field order, fixed series order — so they
+//! can be pinned as golden fixtures (the `trace_export` experiment does).
+//!
+//! The Chrome trace opens directly in Perfetto or `chrome://tracing`. The
+//! viewer interprets `ts`/`dur` as microseconds; we emit raw simulated
+//! ticks (1 displayed µs = 1 accelerator cycle), which keeps the export
+//! bit-stable and the timeline scale exact. This complements the
+//! stage-level VCD of [`crate::trace`]: the VCD shows intra-layer engine
+//! stages of one network run, the Chrome trace shows the serving timeline
+//! of a whole pool run.
+
+use std::fmt::Write as _;
+
+use super::metrics::{Histogram, Registry};
+use super::Event;
+
+/// Track ids: requests ride tid 0; worker `w` gets a batch track and a
+/// layer track.
+fn tid_batches(worker: usize) -> usize {
+    1 + 2 * worker
+}
+
+fn tid_layers(worker: usize) -> usize {
+    2 + 2 * worker
+}
+
+/// Renders an event stream as Chrome trace-event JSON (the "JSON Array
+/// Format" with a `traceEvents` wrapper).
+///
+/// Tracks: one `requests` track of per-request latency spans (arrival →
+/// completion), and per worker one track of batch-execution spans (with
+/// model-switch instants) plus one of per-layer engine spans. All
+/// timestamps are simulated ticks.
+#[must_use]
+pub fn chrome_trace(events: &[Event]) -> String {
+    let workers = events
+        .iter()
+        .filter_map(Event::worker)
+        .max()
+        .map_or(0, |w| w + 1);
+    let mut lines: Vec<String> = Vec::new();
+    lines.push(
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\",\
+         \"args\":{\"name\":\"requests\"}}"
+            .to_string(),
+    );
+    for w in 0..workers {
+        lines.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"worker {w} batches\"}}}}",
+            tid_batches(w)
+        ));
+        lines.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"worker {w} layers\"}}}}",
+            tid_layers(w)
+        ));
+    }
+    for ev in events {
+        match *ev {
+            Event::RequestCompleted {
+                t,
+                request,
+                batch,
+                worker,
+                network,
+                latency,
+                queue_ticks,
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":{},\"dur\":{latency},\
+                     \"name\":\"req {request} {network}\",\
+                     \"args\":{{\"batch\":{batch},\"worker\":{worker},\
+                     \"queue_ticks\":{queue_ticks}}}}}",
+                    t - latency
+                ));
+            }
+            Event::ModelSwitch {
+                t,
+                batch,
+                worker,
+                network,
+                bytes,
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"ts\":{t},\"s\":\"t\",\
+                     \"name\":\"switch {network}\",\
+                     \"args\":{{\"batch\":{batch},\"bytes\":{bytes}}}}}",
+                    tid_batches(worker)
+                ));
+            }
+            Event::BatchExecuted {
+                start,
+                batch,
+                worker,
+                size,
+                network,
+                cycles,
+                weight_bytes,
+                external_bytes,
+                switch_bytes,
+                ..
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{start},\"dur\":{cycles},\
+                     \"name\":\"batch {batch} {network}\",\
+                     \"args\":{{\"size\":{size},\"weight_bytes\":{weight_bytes},\
+                     \"external_bytes\":{external_bytes},\"switch_bytes\":{switch_bytes}}}}}",
+                    tid_batches(worker)
+                ));
+            }
+            Event::LayerExecuted {
+                start,
+                batch,
+                worker,
+                layer,
+                cycles,
+                mac_slots,
+                gated_slots,
+                ..
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{start},\"dur\":{cycles},\
+                     \"name\":\"L{layer}\",\
+                     \"args\":{{\"batch\":{batch},\"mac_slots\":{mac_slots},\
+                     \"gated_slots\":{gated_slots}}}}}",
+                    tid_layers(worker)
+                ));
+            }
+            Event::RequestArrived { .. }
+            | Event::RequestEnqueued { .. }
+            | Event::BatchFormed { .. }
+            | Event::BatchDispatched { .. } => {}
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+fn help_for(name: &str) -> &'static str {
+    match name {
+        "requests_total" => "Requests that entered the run.",
+        "requests_completed_total" => "Requests served to completion.",
+        "batches_total" => "Batches dispatched.",
+        "model_switches_total" => "Dispatches that flipped a worker's resident model.",
+        "switch_bytes_total" => "Model-switch weight-refetch traffic in bytes.",
+        "weight_bytes_total" => "External weight + offline-parameter bytes.",
+        "external_bytes_total" => "Total external bytes.",
+        "layer_spans_total" => "Per-layer execution spans recorded.",
+        "mac_slots_total" => "MAC slots exercised (DWC + PWC).",
+        "gated_slots_total" => "Slots gated by zero activations (DWC + PWC).",
+        "worker_requests_total" => "Requests routed to the worker.",
+        "worker_batches_total" => "Batches the worker dispatched.",
+        "worker_busy_cycles" => "Cycles the worker spent executing batches.",
+        "worker_switch_bytes" => "Model-switch traffic the worker paid.",
+        "makespan_ticks" => "Completion tick of the last batch.",
+        "queue_depth_max" => "Deepest any worker queue ever got.",
+        "worker_queue_depth_max" => "Deepest the worker's queue ever got.",
+        "latency_ticks" => "End-to-end request latency in ticks.",
+        "queue_ticks" => "Ticks requests spent queued before dispatch.",
+        "batch_size" => "Formed batch sizes.",
+        "switch_bytes" => "Per-switch weight-refetch bytes.",
+        "queue_depth" => "Queue depth observed at each enqueue.",
+        "gated_slots" => "Gated slots per layer span.",
+        _ => "EDEA simulated-clock metric.",
+    }
+}
+
+fn push_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP edea_{name} {}", help_for(name));
+    let _ = writeln!(out, "# TYPE edea_{name} histogram");
+    let mut cumulative = 0u64;
+    for i in 0..Histogram::buckets() {
+        cumulative += h.bucket_count(i);
+        match Histogram::edge(i) {
+            Some(edge) => {
+                let _ = writeln!(out, "edea_{name}_bucket{{le=\"{edge}\"}} {cumulative}");
+            }
+            None => {
+                let _ = writeln!(out, "edea_{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            }
+        }
+    }
+    let _ = writeln!(out, "edea_{name}_sum {}", h.sum());
+    let _ = writeln!(out, "edea_{name}_count {}", h.count());
+}
+
+/// Renders a [`Registry`] snapshot in the Prometheus text exposition
+/// format (version 0.0.4). Metric names carry an `edea_` prefix;
+/// per-worker series carry a `worker` label. Series order follows the
+/// registry's fixed fold order, so the exposition is deterministic.
+#[must_use]
+pub fn prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    for &(name, v) in registry.counters() {
+        let _ = writeln!(out, "# HELP edea_{name} {}", help_for(name));
+        let _ = writeln!(out, "# TYPE edea_{name} counter");
+        let _ = writeln!(out, "edea_{name} {v}");
+    }
+    for (name, series) in registry.worker_counters() {
+        let _ = writeln!(out, "# HELP edea_{name} {}", help_for(name));
+        let _ = writeln!(out, "# TYPE edea_{name} counter");
+        for (w, v) in series.iter().enumerate() {
+            let _ = writeln!(out, "edea_{name}{{worker=\"{w}\"}} {v}");
+        }
+    }
+    for &(name, v) in registry.gauges() {
+        let _ = writeln!(out, "# HELP edea_{name} {}", help_for(name));
+        let _ = writeln!(out, "# TYPE edea_{name} gauge");
+        let _ = writeln!(out, "edea_{name} {v}");
+    }
+    for (name, series) in registry.worker_gauges() {
+        let _ = writeln!(out, "# HELP edea_{name} {}", help_for(name));
+        let _ = writeln!(out, "# TYPE edea_{name} gauge");
+        for (w, v) in series.iter().enumerate() {
+            let _ = writeln!(out, "edea_{name}{{worker=\"{w}\"}} {v}");
+        }
+    }
+    for (name, h) in registry.histograms() {
+        push_histogram(&mut out, name, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edea_nn::workload::NetworkId;
+
+    fn sample_events() -> Vec<Event> {
+        let n = NetworkId::PRIMARY;
+        vec![
+            Event::RequestArrived {
+                t: 0,
+                request: 0,
+                network: n,
+            },
+            Event::RequestEnqueued {
+                t: 0,
+                request: 0,
+                worker: 0,
+                depth: 1,
+            },
+            Event::BatchFormed {
+                t: 2,
+                batch: 0,
+                worker: 0,
+                size: 1,
+                network: n,
+            },
+            Event::ModelSwitch {
+                t: 2,
+                batch: 0,
+                worker: 0,
+                network: NetworkId(1),
+                bytes: 99,
+            },
+            Event::BatchDispatched {
+                t: 2,
+                batch: 0,
+                worker: 0,
+                size: 1,
+                network: n,
+            },
+            Event::LayerExecuted {
+                start: 2,
+                end: 7,
+                batch: 0,
+                worker: 0,
+                layer: 0,
+                network: n,
+                cycles: 5,
+                mac_slots: 10,
+                gated_slots: 4,
+            },
+            Event::BatchExecuted {
+                start: 2,
+                end: 12,
+                batch: 0,
+                worker: 0,
+                size: 1,
+                network: n,
+                cycles: 10,
+                weight_bytes: 7,
+                external_bytes: 9,
+                switch_bytes: 99,
+            },
+            Event::RequestCompleted {
+                t: 12,
+                request: 0,
+                batch: 0,
+                worker: 0,
+                network: n,
+                latency: 12,
+                queue_ticks: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_and_structured() {
+        let events = sample_events();
+        let a = chrome_trace(&events);
+        let b = chrome_trace(&events);
+        assert_eq!(a, b);
+        // Well-formed wrapper, one metadata line per track.
+        assert!(a.starts_with("{\"displayTimeUnit\""));
+        assert!(a.trim_end().ends_with("]}"));
+        assert_eq!(a.matches("thread_name").count(), 3);
+        // The request span starts at arrival (t − latency = 0).
+        assert!(a.contains("\"name\":\"req 0 net0\""), "{a}");
+        assert!(a.contains("\"ts\":0,\"dur\":12"), "{a}");
+        // Batch and layer spans land on their worker's tracks.
+        assert!(a.contains("\"name\":\"batch 0 net0\""), "{a}");
+        assert!(a.contains("\"name\":\"L0\""), "{a}");
+        assert!(a.contains("\"name\":\"switch net1\""), "{a}");
+    }
+
+    #[test]
+    fn empty_stream_renders_an_empty_trace() {
+        let s = chrome_trace(&[]);
+        // Just the requests metadata track — still valid JSON.
+        assert_eq!(s.matches("\"ph\"").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_deterministic_and_complete() {
+        let r = Registry::from_events(&sample_events());
+        let a = prometheus(&r);
+        assert_eq!(a, prometheus(&r));
+        assert!(a.contains("# TYPE edea_requests_total counter"), "{a}");
+        assert!(a.contains("edea_requests_total 1"), "{a}");
+        assert!(
+            a.contains("edea_worker_busy_cycles{worker=\"0\"} 10"),
+            "{a}"
+        );
+        assert!(a.contains("# TYPE edea_latency_ticks histogram"), "{a}");
+        assert!(a.contains("edea_latency_ticks_bucket{le=\"16\"} 1"), "{a}");
+        assert!(
+            a.contains("edea_latency_ticks_bucket{le=\"+Inf\"} 1"),
+            "{a}"
+        );
+        assert!(a.contains("edea_latency_ticks_sum 12"), "{a}");
+        assert!(a.contains("edea_latency_ticks_count 1"), "{a}");
+        assert!(a.contains("edea_makespan_ticks 12"), "{a}");
+        // Histogram buckets are cumulative and monotone.
+        let counts: Vec<u64> = a
+            .lines()
+            .filter(|l| l.starts_with("edea_latency_ticks_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), Histogram::buckets());
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

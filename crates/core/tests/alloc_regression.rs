@@ -6,7 +6,9 @@
 //! per-batch constant on top of the backend run (never per tick or per
 //! queue entry). Part 4 pins the scoped thread pool: a warm 2-lane layer
 //! run allocates only a small, stable, per-region constant (the scoped
-//! spawn plus per-lane buffers), never per tile.
+//! spawn plus per-lane buffers), never per tile. Part 5 pins telemetry:
+//! a `Disabled` sink adds exactly zero allocations to the serve path,
+//! and a warm enabled recorder settles to a stable per-batch constant.
 //!
 //! The whole guard lives in one `#[test]` because the counting allocator
 //! is process-wide and the default harness runs tests of one binary
@@ -274,5 +276,52 @@ fn steady_state_tile_pipeline_does_not_allocate() {
     assert!(
         warm_a < 128,
         "warm 2-lane batch run allocated {warm_a} times (512 tiles)"
+    );
+
+    // --- Part 5: telemetry discipline — a Disabled sink adds exactly
+    // zero allocations to the serve path, and an enabled ring-buffer
+    // recorder settles to a stable steady-state count. ---
+    // The drive loop's side-record vectors are gated on `enabled()`, so
+    // the explicit Disabled path must count identically to the default
+    // (no-sink) path measured in part 3.
+    let serve_with_allocs = |n_requests: usize, tel: &dyn edea_core::telemetry::Telemetry| {
+        let ticks = arrivals::uniform(n_requests, 1_000);
+        let requests = zero_requests(shape, &ticks);
+        let before = CountingAllocator::allocations();
+        let report = dispatcher.serve_with(&pool, requests, tel).unwrap();
+        let allocs = CountingAllocator::allocations() - before;
+        drop(report);
+        allocs
+    };
+    let disabled = edea_core::telemetry::Disabled;
+    let _ = serve_with_allocs(8, &disabled);
+    let off_a = serve_with_allocs(8, &disabled);
+    assert_eq!(
+        off_a, eight_b,
+        "Disabled telemetry changed the serve allocation count \
+         ({off_a} observed vs {eight_b} unobserved)"
+    );
+
+    // Enabled recorder: warm it (ring buffer + side-record vectors grow
+    // to steady state), then identical runs must allocate identically —
+    // the per-event record path itself pushes into preallocated storage.
+    let recorder = edea_core::telemetry::Recorder::with_capacity(1 << 10);
+    let _ = serve_with_allocs(8, &recorder);
+    recorder.clear();
+    let on_a = serve_with_allocs(8, &recorder);
+    recorder.clear();
+    let on_b = serve_with_allocs(8, &recorder);
+    assert_eq!(
+        on_a, on_b,
+        "warm enabled-recorder serves must have a stable allocation count"
+    );
+    // The recorder's marginal footprint per batch is a small constant:
+    // the route records, layer vectors and ring-buffer pushes — nothing
+    // per tick or per queue entry.
+    let on_margin = (on_a - off_a) / 8;
+    assert!(
+        on_margin <= 16,
+        "enabled recorder adds {on_margin} allocations per batch \
+         ({on_a} observed vs {off_a} disabled for 8 batches)"
     );
 }

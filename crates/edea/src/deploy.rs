@@ -34,6 +34,7 @@ use edea_core::par::Parallelism;
 use edea_core::plan::NetworkPlan;
 use edea_core::pool::{DispatchPolicy, Dispatcher, Pool, PoolReport};
 use edea_core::serve::{GoldenBackend, Policy, Request, ServeReport, SimulatorBackend};
+use edea_core::telemetry::{Disabled, Telemetry};
 use edea_nn::mobilenet::{MobileNetV1, MobileNetV2};
 use edea_nn::quantize::{QuantStrategy, QuantizedDscNetwork};
 use edea_nn::sparsity::{ShapingReport, SparsityProfile};
@@ -55,6 +56,7 @@ pub struct Deployment {
     // replicas, built once at build() time so serve() never re-clones
     // either. Worker 0 doubles as the one-shot `run`/`run_batch` engine.
     pool: Pool<SimulatorBackend>,
+    telemetry: Option<std::sync::Arc<dyn Telemetry>>,
 }
 
 /// Step-by-step construction of a [`Deployment`].
@@ -72,6 +74,7 @@ pub struct DeploymentBuilder {
     config: EdeaConfig,
     replicas: usize,
     threads: Option<usize>,
+    telemetry: Option<std::sync::Arc<dyn Telemetry>>,
 }
 
 impl Default for DeploymentBuilder {
@@ -85,6 +88,7 @@ impl Default for DeploymentBuilder {
             config: EdeaConfig::paper(),
             replicas: 1,
             threads: None,
+            telemetry: None,
         }
     }
 }
@@ -163,6 +167,18 @@ impl DeploymentBuilder {
         self
     }
 
+    /// A telemetry sink observing every serve through this deployment
+    /// (default: none — the zero-cost
+    /// [`Disabled`](edea_core::telemetry::Disabled) path). The sink
+    /// receives the canonical sim-clock event stream (see
+    /// [`edea_core::telemetry`]), bit-identical at every thread count;
+    /// pass an `Arc<Recorder>` and keep a clone to read events back.
+    #[must_use]
+    pub fn telemetry(mut self, sink: std::sync::Arc<dyn Telemetry>) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
     /// Calibrates the network and builds the validated accelerator.
     ///
     /// # Errors
@@ -209,6 +225,7 @@ impl DeploymentBuilder {
             models_v2: self.models_v2,
             report,
             pool,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -416,7 +433,14 @@ impl Deployment {
         dispatch: DispatchPolicy,
         requests: Vec<Request>,
     ) -> Result<PoolReport, Error> {
-        Ok(Dispatcher::new(policy, dispatch).serve(&self.pool, requests)?)
+        let tel: &dyn Telemetry = self.telemetry.as_deref().unwrap_or(&Disabled);
+        Ok(Dispatcher::new(policy, dispatch).serve_with(&self.pool, requests, tel)?)
+    }
+
+    /// The telemetry sink configured at build time, if any.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&dyn Telemetry> {
+        self.telemetry.as_deref()
     }
 }
 

@@ -71,6 +71,7 @@ pub use edea_tensor as tensor;
 pub use deploy::{Deployment, DeploymentBuilder};
 pub use edea_core::pool;
 pub use edea_core::serve;
+pub use edea_core::telemetry;
 pub use edea_core::{Edea, EdeaConfig};
 pub use edea_nn::workload::mobilenet_v1_cifar10;
 pub use error::Error;

@@ -207,6 +207,13 @@ impl Scope<'_> {
     fn is_counting_allocator(&self) -> bool {
         self.rel == "crates/testutil/src/alloc.rs"
     }
+
+    /// The telemetry subsystem: every event timestamp is a simulated
+    /// tick handed in by the caller, so a wall-clock source here would
+    /// silently break the bit-identity contract across thread counts.
+    fn telemetry_module(&self) -> bool {
+        self.rel.contains("/src/telemetry/") || self.rel.ends_with("/src/telemetry.rs")
+    }
 }
 
 fn ident(t: &Token, text: &str) -> bool {
@@ -227,14 +234,25 @@ pub fn check(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
 
         // wall-clock-in-sim: everywhere — simulated time comes from the
         // simulated clock, and even benches must justify wall-clock use.
+        // The telemetry module gets a sharper message: a sink that
+        // stamps events itself (instead of recording the caller's tick)
+        // would break bit-identity across thread counts undetectably.
         if t.kind == TokenKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            let message = if scope.telemetry_module() {
+                format!(
+                    "wall-clock source `{}` in telemetry; event timestamps must be the caller's simulated tick, never host time",
+                    t.text
+                )
+            } else {
+                format!(
+                    "wall-clock source `{}`; simulation time must come from the simulated clock",
+                    t.text
+                )
+            };
             out.push(Finding {
                 line: t.line,
                 rule: rule::WALL_CLOCK,
-                message: format!(
-                    "wall-clock source `{}`; simulation time must come from the simulated clock",
-                    t.text
-                ),
+                message,
             });
         }
 
@@ -461,6 +479,24 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, rule::WALL_CLOCK);
         assert!(run("crates/bench/src/x.rs", "let s = \"Instant\"; // Instant").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_in_telemetry_gets_the_sim_tick_message() {
+        let f = run(
+            "crates/core/src/telemetry/sink.rs",
+            "let t = Instant::now();",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rule::WALL_CLOCK);
+        assert!(
+            f[0].message.contains("caller's simulated tick"),
+            "telemetry scope should specialize the message: {}",
+            f[0].message
+        );
+        // Outside the telemetry module the generic wording applies.
+        let f = run("crates/core/src/serve.rs", "let t = Instant::now();");
+        assert!(f[0].message.contains("simulated clock"), "{}", f[0].message);
     }
 
     #[test]

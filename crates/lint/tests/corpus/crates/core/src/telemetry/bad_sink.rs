@@ -1,0 +1,15 @@
+// Known-bad: a telemetry sink that stamps events with host time instead
+// of recording the caller's simulated tick. This is exactly the defect
+// that would break bit-identity across thread counts without failing any
+// functional test, so the wall-clock rule carries a telemetry-specific
+// message here.
+
+pub struct BadSink;
+
+impl BadSink {
+    pub fn record(&self) -> u128 {
+        let stamp = std::time::Instant::now();
+        let _ = std::time::SystemTime::now();
+        stamp.elapsed().as_nanos()
+    }
+}
